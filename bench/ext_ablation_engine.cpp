@@ -1,0 +1,60 @@
+// Extension X4 — ablation of the two Figure-2 mechanisms:
+//  (a) disable the iWARP RNIC's pipelining (initiation interval ==
+//      latency, i.e. a processor-based engine): its multi-connection
+//      scaling must collapse to IB-like behaviour;
+//  (b) sweep the IB HCA's QP-context cache size: the serialization knee
+//      must track the cache capacity.
+#include <cstdio>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/runners.hpp"
+
+using namespace fabsim;
+using namespace fabsim::core;
+
+int main() {
+  std::printf("=== Extension X4: engine-architecture ablations (Fig 2 mechanisms) ===\n");
+
+  {
+    NetworkProfile piped = iwarp_profile();
+    NetworkProfile serial = iwarp_profile();
+    // Processor-based variant: a segment occupies the engine for its full
+    // processing latency.
+    serial.rnic.tx_occupancy = serial.rnic.tx_latency;
+    serial.rnic.rx_occupancy = serial.rnic.rx_latency;
+
+    Table table("iWARP normalized multi-conn latency (us), 1 KB messages", "connections",
+                {"pipelined (real)", "processor-based (ablated)"});
+    for (int c : {1, 2, 4, 8, 16, 32, 64}) {
+      table.add_row(c, {multiconn_normalized_latency_us(piped, c, 1024),
+                        multiconn_normalized_latency_us(serial, c, 1024)});
+    }
+    table.print();
+  }
+
+  {
+    std::vector<int> cache_sizes = {2, 8, 32};
+    std::vector<std::string> cols;
+    for (int s : cache_sizes) cols.push_back("cache=" + std::to_string(s));
+    Table table("IB normalized multi-conn latency (us), 1 KB messages", "connections", cols);
+    for (int c : {1, 2, 4, 8, 16, 32, 64}) {
+      std::vector<double> row;
+      for (int s : cache_sizes) {
+        NetworkProfile p = ib_profile();
+        p.hca.context_cache_entries = s;
+        row.push_back(multiconn_normalized_latency_us(p, c, 1024));
+      }
+      table.add_row(c, std::move(row));
+    }
+    table.print();
+  }
+
+  std::printf(
+      "\nExpected shape: (a) the ablated iWARP engine stops improving once the\n"
+      "serial engine saturates — the pipelined design is what buys Figure 2's\n"
+      "scaling; (b) IB's knee sits right after its context-cache size: a\n"
+      "2-entry cache serializes at 4 connections, a 32-entry cache pushes the\n"
+      "knee past 32.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Extension X3 — ablation: MX registration cache disabled.
+// The paper notes (Sec. 6.4): "when we disable the Myrinet registration
+// cache, the effect of buffer re-use decreases to a maximum of ~1.25" —
+// with no cache, both re-use patterns pay registration, so the ratio
+// collapses. We sweep the cache bound as well to show the thrash point
+// moving.
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "core/runners.hpp"
+
+using namespace fabsim;
+using namespace fabsim::core;
+
+namespace {
+
+double ratio_at(NetworkProfile p, std::uint32_t msg) {
+  return bufreuse_latency_us(p, msg, /*reuse=*/false, 16, 24) /
+         bufreuse_latency_us(p, msg, /*reuse=*/true, 16, 24);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension X3: MX registration-cache ablation (Fig 6 note) ===\n");
+
+  Table table("Buffer re-use ratio on MXoM", "msg_bytes",
+              {"cache on", "cache off", "cache 2MB", "cache 32MB"});
+  for (std::uint32_t msg : {32768u, 131072u, 262144u, 524288u, 1u << 20}) {
+    NetworkProfile on = mxom_profile();
+    NetworkProfile off = mxom_profile();
+    off.mx.reg_cache_enabled = false;
+    NetworkProfile small = mxom_profile();
+    small.mx.reg_cache_bytes = 2ull << 20;
+    NetworkProfile large = mxom_profile();
+    large.mx.reg_cache_bytes = 32ull << 20;
+    table.add_row(msg, {ratio_at(on, msg), ratio_at(off, msg), ratio_at(small, msg),
+                        ratio_at(large, msg)});
+  }
+  table.print();
+
+  std::printf(
+      "\nExpected shape: with the cache on, the ratio climbs once 16 buffers no\n"
+      "longer fit in the pinned-byte bound (default 8 MB -> ~512 KB+ messages).\n"
+      "With the cache off both patterns register every time: ratio ~1 (the\n"
+      "paper still saw ~1.25 from TLB/page-table warmth, which our flat\n"
+      "registration-cost model does not include — see EXPERIMENTS.md). A\n"
+      "smaller bound moves the thrash point left; a larger bound defers it.\n");
+  return 0;
+}

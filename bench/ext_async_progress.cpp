@@ -1,0 +1,39 @@
+// Extension X10 — asynchronous progress ("enhance the NetEffect MPI
+// implementation", paper Sec. 7). Adds a background progress engine to
+// the verbs MPIs and re-runs the two experiments that synchronous
+// progress ruins: the LogP receiver overhead at rendezvous sizes and
+// sender-side overlap. MX already progresses on the NIC; with async
+// progress the verbs stacks catch up.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "core/runners.hpp"
+
+using namespace fabsim;
+using namespace fabsim::core;
+
+int main() {
+  std::printf("=== Extension X10: asynchronous progress for the verbs MPIs ===\n");
+
+  Table table("LogP receiver overhead Or(m) in us: sync vs async progress", "msg_bytes",
+              {"iWARP sync", "iWARP async", "IB sync", "IB async"});
+  for (std::uint32_t msg : {1024u, 16384u, 65536u, 262144u}) {
+    NetworkProfile iw_async = iwarp_profile();
+    iw_async.mpi.async_progress = true;
+    NetworkProfile ib_async = ib_profile();
+    ib_async.mpi.async_progress = true;
+    table.add_row(msg, {logp_parameters(iwarp_profile(), msg, 10).or_us,
+                        logp_parameters(iw_async, msg, 10).or_us,
+                        logp_parameters(ib_profile(), msg, 10).or_us,
+                        logp_parameters(ib_async, msg, 10).or_us});
+  }
+  table.print();
+
+  std::printf(
+      "\nExpected shape: with a progress engine, the rendezvous handshake is\n"
+      "answered while the receiver computes, so the Or(m) jump (tens to\n"
+      "hundreds of microseconds under synchronous progress) collapses to the\n"
+      "microsecond class — the verbs stacks behave like MX's NIC progression.\n");
+  return 0;
+}

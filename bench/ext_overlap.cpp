@@ -1,0 +1,114 @@
+// Extension X2 — computation/communication overlap and independent
+// progress (the paper names these among experiments omitted for space;
+// the same authors published them separately in 2008).
+//
+// Method: sender issues MPI_Isend, computes for roughly the message's
+// transfer time, then waits. If the stack progresses independently, the
+// total is ~max(compute, transfer); if the host must drive the protocol,
+// the total degrades toward compute + transfer. We report the overlap
+// ratio: available_overlap = (t_blocking + t_compute - t_overlapped) /
+// min(t_blocking, t_compute), clamped to [0, 1].
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/report.hpp"
+
+using namespace fabsim;
+using namespace fabsim::core;
+
+namespace {
+
+constexpr int kIters = 12;
+constexpr int kTagData = 3;
+constexpr int kTagSync = 900001;
+
+struct OverlapResult {
+  double blocking_us;    ///< isend+wait with no compute
+  double overlapped_us;  ///< isend, compute, wait
+  double compute_us;
+};
+
+OverlapResult run(Network network, std::uint32_t msg) {
+  Cluster cluster(2, network);
+  auto& b0 = cluster.node(0).mem().alloc(msg, false);
+  auto& b1 = cluster.node(1).mem().alloc(msg, false);
+  auto& s0 = cluster.node(0).mem().alloc(64, false);
+  auto& s1 = cluster.node(1).mem().alloc(64, false);
+
+  OverlapResult result{};
+  cluster.engine().spawn([](Cluster& c, std::uint64_t addr, std::uint64_t sync,
+                            std::uint32_t m, OverlapResult* out) -> Task<> {
+    co_await c.setup_mpi();
+    auto& rank = c.mpi_rank(0);
+    auto& cpu = c.node(0).cpu();
+
+    // Phase 1: blocking reference.
+    Time t_block = 0;
+    for (int i = 0; i < kIters; ++i) {
+      co_await rank.recv(1, kTagSync, sync, 64);
+      const Time t0 = c.engine().now();
+      co_await rank.send(1, kTagData, addr, m);
+      t_block += c.engine().now() - t0;
+    }
+    out->blocking_us = to_us(t_block) / kIters;
+
+    // Phase 2: isend + compute(t_blocking) + wait.
+    const Time compute = t_block / kIters;
+    out->compute_us = to_us(compute);
+    Time t_overlap = 0;
+    for (int i = 0; i < kIters; ++i) {
+      co_await rank.recv(1, kTagSync, sync, 64);
+      const Time t0 = c.engine().now();
+      auto req = co_await rank.isend(1, kTagData, addr, m);
+      co_await cpu.compute(compute);
+      co_await rank.wait(std::move(req));
+      t_overlap += c.engine().now() - t0;
+    }
+    out->overlapped_us = to_us(t_overlap) / kIters;
+  }(cluster, b0.addr(), s0.addr(), msg, &result));
+
+  cluster.engine().spawn([](Cluster& c, std::uint64_t addr, std::uint64_t cap,
+                            std::uint64_t sync, int total) -> Task<> {
+    co_await c.setup_mpi();
+    auto& rank = c.mpi_rank(1);
+    for (int i = 0; i < total; ++i) {
+      co_await rank.send(0, kTagSync, sync, 1);
+      co_await rank.recv(0, kTagData, addr, cap);
+    }
+  }(cluster, b1.addr(), b1.size(), s1.addr(), 2 * kIters));
+  cluster.engine().run();
+  return result;
+}
+
+double overlap_ratio(const OverlapResult& r) {
+  const double saved = r.blocking_us + r.compute_us - r.overlapped_us;
+  const double max_savable = std::min(r.blocking_us, r.compute_us);
+  return std::clamp(saved / max_savable, 0.0, 1.0);
+}
+
+}  // namespace
+
+int main() {
+  const auto networks = {Network::kIwarp, Network::kIb, Network::kMxoe, Network::kMxom};
+  std::printf("=== Extension X2: computation/communication overlap ===\n");
+
+  std::vector<std::string> cols;
+  for (Network n : networks) cols.push_back(network_name(n));
+  Table table("Sender-side overlap availability (1.0 = full overlap)", "msg_bytes", cols);
+  for (std::uint32_t msg : {1024u, 8192u, 65536u, 262144u, 1u << 20}) {
+    std::vector<double> row;
+    for (Network n : networks) row.push_back(overlap_ratio(run(n, msg)));
+    table.add_row(msg, std::move(row));
+  }
+  table.print();
+
+  std::printf(
+      "\nExpected shape: eager-size messages overlap everywhere (the NIC owns\n"
+      "the transfer once posted). For rendezvous sizes the MPICH-derived verbs\n"
+      "stacks lose overlap — the sender only answers the CTS inside MPI_Wait —\n"
+      "while MX keeps progressing autonomously (its handshake lives on the\n"
+      "NIC), matching the authors' 2008 follow-up study.\n");
+  return 0;
+}

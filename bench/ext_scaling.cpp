@@ -1,0 +1,105 @@
+// Extension X8 — a larger testbed (the paper's closing future-work item:
+// "We plan to put these networks to the test in a larger testbed").
+// Scales the simulated cluster to 16 nodes and measures how the
+// interconnects' collective performance diverges with rank count.
+#include <cstdio>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/report.hpp"
+
+using namespace fabsim;
+using namespace fabsim::core;
+
+namespace {
+
+double allreduce_us(Network network, int ranks, std::uint32_t count_doubles, int iters = 8) {
+  NetworkProfile p = profile(network);
+  p.mpi.eager_buffers = 64;  // keep the N^2 mesh memory bounded at 16 ranks
+  Cluster cluster(ranks, p);
+  const std::uint32_t bytes = count_doubles * sizeof(double);
+  std::vector<hw::Buffer*> data, scratch;
+  for (int r = 0; r < ranks; ++r) {
+    data.push_back(&cluster.node(r).mem().alloc(bytes, false));
+    scratch.push_back(&cluster.node(r).mem().alloc(bytes, false));
+  }
+  std::vector<double> elapsed(static_cast<std::size_t>(ranks), 0);
+  for (int r = 0; r < ranks; ++r) {
+    cluster.engine().spawn([](Cluster& c, int me, std::uint32_t n, int it,
+                              std::vector<hw::Buffer*>& d, std::vector<hw::Buffer*>& s,
+                              double* out) -> Task<> {
+      co_await c.setup_mpi();
+      auto& rank = c.mpi_rank(me);
+      co_await rank.barrier();
+      const double t0 = rank.wtime();
+      const auto idx = static_cast<std::size_t>(me);
+      for (int i = 0; i < it; ++i) {
+        co_await rank.allreduce_sum(d[idx]->addr(), s[idx]->addr(), n);
+      }
+      *out = (rank.wtime() - t0) / it * 1e6;
+    }(cluster, r, count_doubles, iters, data, scratch,
+      &elapsed[static_cast<std::size_t>(r)]));
+  }
+  cluster.engine().run();
+  double worst = 0;
+  for (double e : elapsed) worst = std::max(worst, e);
+  return worst;
+}
+
+double barrier_us(Network network, int ranks, int iters = 10) {
+  NetworkProfile p = profile(network);
+  p.mpi.eager_buffers = 64;
+  Cluster cluster(ranks, p);
+  std::vector<double> elapsed(static_cast<std::size_t>(ranks), 0);
+  for (int r = 0; r < ranks; ++r) {
+    cluster.engine().spawn([](Cluster& c, int me, int it, double* out) -> Task<> {
+      co_await c.setup_mpi();
+      auto& rank = c.mpi_rank(me);
+      co_await rank.barrier();
+      const double t0 = rank.wtime();
+      for (int i = 0; i < it; ++i) co_await rank.barrier();
+      *out = (rank.wtime() - t0) / it * 1e6;
+    }(cluster, r, iters, &elapsed[static_cast<std::size_t>(r)]));
+  }
+  cluster.engine().run();
+  double worst = 0;
+  for (double e : elapsed) worst = std::max(worst, e);
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  const auto networks = {Network::kIwarp, Network::kIb, Network::kMxoe, Network::kMxom};
+  std::printf("=== Extension X8: scaling to a 16-node testbed ===\n");
+
+  std::vector<std::string> cols;
+  for (Network n : networks) cols.push_back(network_name(n));
+
+  {
+    Table table("Barrier latency (us) vs ranks", "ranks", cols);
+    for (int ranks : {2, 4, 8, 16}) {
+      std::vector<double> row;
+      for (Network n : networks) row.push_back(barrier_us(n, ranks));
+      table.add_row(ranks, std::move(row));
+    }
+    table.print();
+  }
+  for (std::uint32_t doubles : {8u, 4096u}) {
+    Table table("Allreduce " + std::to_string(doubles * 8) + "B latency (us) vs ranks", "ranks",
+                cols);
+    for (int ranks : {2, 4, 8, 16}) {
+      std::vector<double> row;
+      for (Network n : networks) row.push_back(allreduce_us(n, ranks, doubles));
+      table.add_row(ranks, std::move(row));
+    }
+    table.print();
+  }
+
+  std::printf(
+      "\nExpected shape: log2(N) growth for the small collectives, with the gap\n"
+      "between interconnects set by their point-to-point latency; bandwidth-\n"
+      "bound allreduce narrows the gap as IB's higher link rate offsets its\n"
+      "per-hop latency deficit against Myrinet.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 1: user-level inter-node ping-pong latency and one-way bandwidth
+// for the four user-level communication libraries (iWARP verbs RDMA
+// Write, IB verbs RDMA Write, MXoE send/recv, MXoM send/recv).
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "core/runners.hpp"
+
+using namespace fabsim;
+using namespace fabsim::core;
+
+int main() {
+  const auto networks = {Network::kIwarp, Network::kIb, Network::kMxoe, Network::kMxom};
+
+  std::printf("=== Figure 1: user-level ping-pong (paper Sec. 5) ===\n");
+
+  Table latency("User-level inter-node latency (us, half RTT)", "msg_bytes",
+                {"iWARP", "IB", "MXoE", "MXoM"});
+  for (std::uint32_t msg : pow2_sizes(4, 16 * 1024)) {
+    std::vector<double> row;
+    for (Network n : networks) row.push_back(userlevel_pingpong_latency_us(profile(n), msg));
+    latency.add_row(msg, std::move(row));
+  }
+  latency.print();
+
+  Table bandwidth("User-level inter-node bandwidth (MB/s)", "msg_bytes",
+                  {"iWARP", "IB", "MXoE", "MXoM"});
+  for (std::uint32_t msg : pow2_sizes(1024, 4 << 20)) {
+    std::vector<double> row;
+    const int iters = msg >= (1 << 20) ? 4 : 10;
+    for (Network n : networks) row.push_back(userlevel_bandwidth_mbps(profile(n), msg, iters));
+    bandwidth.add_row(msg, std::move(row));
+  }
+  bandwidth.print();
+  bandwidth.print_csv();
+
+  std::printf(
+      "\nPaper reference points: short-message latency 9.78 (iWARP), 4.53 (IB),\n"
+      "3.45 (MXoE), 3.05 (MXoM) us; peak one-way bandwidth ~880 (iWARP, 83%% of\n"
+      "the internal PCI-X), ~970 (IB, 97%% of 4X SDR), <=75%% of 10G (Myri-10G).\n");
+  return 0;
+}

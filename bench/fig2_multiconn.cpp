@@ -1,0 +1,61 @@
+// Figure 2: normalized multiple-connection latency and aggregate
+// throughput for NetEffect iWARP vs Mellanox IB over the common verbs
+// interface, 1..256 connections between two nodes.
+#include <cstdio>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/runners.hpp"
+
+using namespace fabsim;
+using namespace fabsim::core;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1;  // smaller sweep for smoke runs
+  std::printf("=== Figure 2: multi-connection scalability (paper Sec. 5.1) ===\n");
+
+  const std::vector<int> connections =
+      quick ? std::vector<int>{1, 4, 16, 64} : std::vector<int>{1, 2, 4, 8, 16, 32, 64, 128, 256};
+  const std::vector<std::uint32_t> lat_sizes = {1, 1024, 2048, 4096, 8192, 16384};
+  const std::vector<std::uint32_t> tput_sizes = {512, 1024, 2048, 4096, 8192, 16384};
+
+  for (Network network : {Network::kIwarp, Network::kIb}) {
+    std::vector<std::string> cols;
+    for (auto m : lat_sizes) cols.push_back("msg=" + std::to_string(m) + "B");
+    Table latency(std::string("Normalized multi-connection latency (us) — ") +
+                      network_name(network),
+                  "connections", cols);
+    for (int c : connections) {
+      std::vector<double> row;
+      for (auto m : lat_sizes) {
+        row.push_back(multiconn_normalized_latency_us(profile(network), c, m));
+      }
+      latency.add_row(c, std::move(row));
+    }
+    latency.print();
+  }
+
+  for (Network network : {Network::kIwarp, Network::kIb}) {
+    std::vector<std::string> cols;
+    for (auto m : tput_sizes) cols.push_back("msg=" + std::to_string(m) + "B");
+    Table tput(std::string("Multi-connection aggregate throughput (MB/s) — ") +
+                   network_name(network),
+               "connections", cols);
+    for (int c : connections) {
+      std::vector<double> row;
+      for (auto m : tput_sizes) {
+        row.push_back(multiconn_throughput_mbps(profile(network), c, m));
+      }
+      tput.add_row(c, std::move(row));
+    }
+    tput.print();
+  }
+
+  std::printf(
+      "\nPaper reference shape: iWARP normalized latency keeps dropping up to 128\n"
+      "connections (pipelined protocol engine); IB improves only up to 8\n"
+      "connections, then serializes (QP context cache misses on the MemFree\n"
+      "card). Throughput mirrors it: IB small-message throughput drops at 8+\n"
+      "connections, iWARP sustains. Behaviour converges for messages > 4 KB.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 3: MPI inter-node ping-pong latency and the MPI layer's latency
+// overhead over the respective user-level library.
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "core/runners.hpp"
+
+using namespace fabsim;
+using namespace fabsim::core;
+
+int main() {
+  const auto networks = {Network::kIwarp, Network::kIb, Network::kMxoe, Network::kMxom};
+  std::printf("=== Figure 3: MPI ping-pong latency and overhead (paper Sec. 6.1) ===\n");
+
+  Table latency("MPI inter-node latency (us, half RTT)", "msg_bytes",
+                {"iWARP", "IB", "MXoE", "MXoM"});
+  Table overhead("MPI latency overhead over user-level (%)", "msg_bytes",
+                 {"iWARP", "IB", "MXoE", "MXoM"});
+  for (std::uint32_t msg : pow2_sizes(4, 16 * 1024)) {
+    std::vector<double> lat_row, ovh_row;
+    for (Network n : networks) {
+      const double user = userlevel_pingpong_latency_us(profile(n), msg);
+      const double mpi = mpi_pingpong_latency_us(profile(n), msg);
+      lat_row.push_back(mpi);
+      ovh_row.push_back((mpi - user) / user * 100.0);
+    }
+    latency.add_row(msg, std::move(lat_row));
+    overhead.add_row(msg, std::move(ovh_row));
+  }
+  latency.print();
+  overhead.print();
+  latency.print_csv();
+
+  std::printf(
+      "\nPaper reference points: short-message MPI latency ~10.7 (iWARP), 4.8\n"
+      "(IB), 3.6 (MXoE), 3.3 (MXoM) us; MPICH-MX has the lowest overhead since\n"
+      "MX semantics are closest to MPI.\n");
+  return 0;
+}

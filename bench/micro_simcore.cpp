@@ -1,0 +1,105 @@
+// google-benchmark microbenchmarks of the simulation core itself:
+// event throughput, coroutine context switches, resource booking, and a
+// full iWARP RDMA-write transfer as an end-to-end figure of merit.
+#include <benchmark/benchmark.h>
+
+#include "core/cluster.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/sync.hpp"
+
+namespace {
+
+using namespace fabsim;
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine engine;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 10000; ++i) {
+      engine.post(static_cast<Time>(i), [&sink, i] { sink += static_cast<std::uint64_t>(i); });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void BM_CoroutineSleepChain(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine engine;
+    engine.spawn([](Engine& e) -> Task<> {
+      for (int i = 0; i < 10000; ++i) co_await e.sleep(ns(10));
+    }(engine));
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_CoroutineSleepChain);
+
+void BM_MailboxPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine engine;
+    Mailbox<int> a(engine), b(engine);
+    engine.spawn([](Mailbox<int>& rx, Mailbox<int>& tx) -> Task<> {
+      for (int i = 0; i < 5000; ++i) {
+        tx.send(i);
+        co_await rx.recv();
+      }
+    }(a, b));
+    engine.spawn([](Mailbox<int>& rx, Mailbox<int>& tx) -> Task<> {
+      for (int i = 0; i < 5000; ++i) {
+        const int v = co_await rx.recv();
+        tx.send(v);
+      }
+    }(b, a));
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_MailboxPingPong);
+
+void BM_SerialServerBooking(benchmark::State& state) {
+  SerialServer server;
+  Time now = 0;
+  for (auto _ : state) {
+    now = server.book(now, ns(100));
+    benchmark::DoNotOptimize(now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SerialServerBooking);
+
+void BM_IwarpRdmaWrite64K(benchmark::State& state) {
+  using namespace fabsim::core;
+  for (auto _ : state) {
+    Cluster cluster(2, Network::kIwarp);
+    verbs::CompletionQueue cq0(cluster.engine()), cq1(cluster.engine());
+    auto qp0 = cluster.device(0).create_qp(cq0, cq0);
+    auto qp1 = cluster.device(1).create_qp(cq1, cq1);
+    cluster.device(0).establish(*qp0, *qp1);
+    auto& src = cluster.node(0).mem().alloc(65536, false);
+    auto& dst = cluster.node(1).mem().alloc(65536, false);
+    auto k0 = cluster.device(0).registry().register_region(src.addr(), 65536);
+    auto k1 = cluster.device(1).registry().register_region(dst.addr(), 65536);
+    cluster.engine().spawn([](Cluster& c, verbs::QueuePair& qp, hw::Buffer& s, hw::Buffer& d,
+                              verbs::MrKey lk, verbs::MrKey rk) -> Task<> {
+      auto watch = c.device(1).watch_placement(d.addr(), 65536);
+      co_await qp.post_send(verbs::SendWr{.wr_id = 1,
+                                          .opcode = verbs::Opcode::kRdmaWrite,
+                                          .sge = {s.addr(), 65536, lk},
+                                          .remote_addr = d.addr(),
+                                          .rkey = rk});
+      co_await watch->wait();
+    }(cluster, *qp0, src, dst, k0, k1));
+    cluster.engine().run();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * 65536);
+}
+BENCHMARK(BM_IwarpRdmaWrite64K);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// fabric_bench — an OSU-microbenchmark-style command-line tool.
+//
+//   fabric_bench <network> <test> [min_size] [max_size]
+//
+//   network: iwarp | ib | mxoe | mxom
+//   test:    latency | bw | bibw | mpi_latency | mpi_bw
+//
+// Runs the chosen microbenchmark on a fresh two-node simulated testbed
+// and prints the usual size/latency or size/bandwidth columns.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/runners.hpp"
+
+using namespace fabsim;
+using namespace fabsim::core;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fabric_bench <iwarp|ib|mxoe|mxom> "
+               "<latency|bw|bibw|mpi_latency|mpi_bw> [min_size] [max_size]\n");
+  return 2;
+}
+
+bool parse_network(const char* name, Network* out) {
+  if (std::strcmp(name, "iwarp") == 0) *out = Network::kIwarp;
+  else if (std::strcmp(name, "ib") == 0) *out = Network::kIb;
+  else if (std::strcmp(name, "mxoe") == 0) *out = Network::kMxoe;
+  else if (std::strcmp(name, "mxom") == 0) *out = Network::kMxom;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  Network network;
+  if (!parse_network(argv[1], &network)) return usage();
+  const std::string test = argv[2];
+  std::uint32_t min_size = argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 4;
+  std::uint32_t max_size =
+      argc > 4 ? static_cast<std::uint32_t>(std::atoi(argv[4])) : (1u << 22);
+  if (min_size == 0) min_size = 1;
+
+  const NetworkProfile p = profile(network);
+  std::printf("# fabric_bench: %s on %s (simulated)\n", test.c_str(), network_name(network));
+
+  if (test == "latency" || test == "mpi_latency") {
+    std::printf("%-12s %14s\n", "size", "latency_us");
+    for (std::uint32_t s = min_size; s <= max_size; s *= 2) {
+      const double v = test == "latency" ? userlevel_pingpong_latency_us(p, s)
+                                         : mpi_pingpong_latency_us(p, s);
+      std::printf("%-12u %14.2f\n", s, v);
+    }
+  } else if (test == "bw" || test == "mpi_bw") {
+    std::printf("%-12s %14s\n", "size", "bandwidth_MBps");
+    for (std::uint32_t s = std::max(min_size, 1024u); s <= max_size; s *= 2) {
+      const double v = test == "bw" ? userlevel_bandwidth_mbps(p, s, 6)
+                                    : mpi_unidir_bw_mbps(p, s, 16, 4);
+      std::printf("%-12u %14.1f\n", s, v);
+    }
+  } else if (test == "bibw") {
+    std::printf("%-12s %14s\n", "size", "bidir_MBps");
+    for (std::uint32_t s = std::max(min_size, 1024u); s <= max_size; s *= 2) {
+      std::printf("%-12u %14.1f\n", s, mpi_bidir_bw_mbps(p, s, 10));
+    }
+  } else {
+    return usage();
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+// A small but real MPI application: 1-D heat diffusion with halo
+// exchange on a ring of 4 ranks, the workload class the paper's
+// introduction motivates. Demonstrates non-blocking halo exchange,
+// collectives (allreduce for the global residual), and how interconnect
+// choice shows up in application time.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+using namespace fabsim;
+using namespace fabsim::core;
+
+namespace {
+
+constexpr int kRanks = 4;
+constexpr int kCellsPerRank = 4096;
+constexpr int kSteps = 50;
+
+struct RankBuffers {
+  hw::Buffer* field;    ///< kCellsPerRank + 2 halo doubles
+  hw::Buffer* scratch;  ///< halo staging + allreduce scratch
+};
+
+Task<> worker(Cluster& cluster, int me, RankBuffers bufs, double* final_residual) {
+  co_await cluster.setup_mpi();
+  auto& rank = cluster.mpi_rank(me);
+  auto& mem = cluster.node(me).mem();
+  const int left = (me - 1 + kRanks) % kRanks;
+  const int right = (me + 1) % kRanks;
+  constexpr std::uint32_t kD = sizeof(double);
+
+  // Initialize: a hot spike on rank 0, cold elsewhere.
+  auto field = mem.window(bufs.field->addr(), (kCellsPerRank + 2) * kD);
+  std::vector<double> u(kCellsPerRank + 2, 0.0);
+  if (me == 0) {
+    for (int i = 1; i <= 64; ++i) u[static_cast<std::size_t>(i)] = 100.0;
+  }
+
+  const double t0 = rank.wtime();
+  double residual = 0.0;
+  for (int step = 0; step < kSteps; ++step) {
+    // Publish boundary cells, exchange halos with both neighbours.
+    std::memcpy(field.data(), u.data(), (kCellsPerRank + 2) * kD);
+    const std::uint64_t send_left = bufs.field->addr() + 1 * kD;
+    const std::uint64_t send_right = bufs.field->addr() + kCellsPerRank * kD;
+    const std::uint64_t halo_left = bufs.field->addr();
+    const std::uint64_t halo_right = bufs.field->addr() + (kCellsPerRank + 1) * kD;
+
+    auto rx_left = co_await rank.irecv(left, 10, halo_left, kD);
+    auto rx_right = co_await rank.irecv(right, 11, halo_right, kD);
+    auto tx_left = co_await rank.isend(left, 11, send_left, kD);
+    auto tx_right = co_await rank.isend(right, 10, send_right, kD);
+    co_await rank.wait(rx_left);
+    co_await rank.wait(rx_right);
+    co_await rank.wait(tx_left);
+    co_await rank.wait(tx_right);
+
+    // Read back halos and take a Jacobi step (charged as compute time).
+    std::memcpy(u.data(), field.data(), (kCellsPerRank + 2) * kD);
+    double local_residual = 0.0;
+    std::vector<double> next(u);
+    for (int i = 1; i <= kCellsPerRank; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      next[idx] = 0.5 * u[idx] + 0.25 * (u[idx - 1] + u[idx + 1]);
+      local_residual += (next[idx] - u[idx]) * (next[idx] - u[idx]);
+    }
+    u.swap(next);
+    co_await cluster.node(me).cpu().compute(ns(2.0) * kCellsPerRank);
+
+    // Global residual via allreduce every 10 steps.
+    if (step % 10 == 9) {
+      auto res_window = mem.window(bufs.scratch->addr(), kD);
+      std::memcpy(res_window.data(), &local_residual, kD);
+      co_await rank.allreduce_sum(bufs.scratch->addr(), bufs.scratch->addr() + 64, 1);
+      std::memcpy(&residual, res_window.data(), kD);
+    }
+  }
+  co_await rank.barrier();
+
+  if (me == 0) {
+    std::printf("  %d steps, %d cells/rank: %.1f us simulated, residual %.4f\n", kSteps,
+                kCellsPerRank, (rank.wtime() - t0) * 1e6, residual);
+    *final_residual = residual;
+  }
+}
+
+double run(Network network) {
+  Cluster cluster(kRanks, network);
+  std::vector<RankBuffers> bufs;
+  for (int r = 0; r < kRanks; ++r) {
+    bufs.push_back(RankBuffers{
+        &cluster.node(r).mem().alloc((kCellsPerRank + 2) * sizeof(double)),
+        &cluster.node(r).mem().alloc(256),
+    });
+  }
+  double residual = 0.0;
+  for (int r = 0; r < kRanks; ++r) {
+    cluster.engine().spawn(worker(cluster, r, bufs[static_cast<std::size_t>(r)], &residual));
+  }
+  cluster.engine().run();
+  return residual;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("1-D heat diffusion, %d ranks, halo exchange + allreduce:\n", kRanks);
+  double reference = -1.0;
+  for (Network n : {Network::kIwarp, Network::kIb, Network::kMxoe, Network::kMxom}) {
+    std::printf("%s:\n", network_name(n));
+    const double residual = run(n);
+    if (reference < 0) {
+      reference = residual;
+    } else if (residual != reference) {
+      std::printf("  WARNING: numeric result differs across interconnects!\n");
+      return 1;
+    }
+  }
+  std::printf("numeric results identical on all four interconnects.\n");
+  return 0;
+}

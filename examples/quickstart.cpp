@@ -1,0 +1,61 @@
+// Quickstart: the smallest complete FabricSim program.
+//
+// Builds a two-node iWARP cluster, registers memory on both sides, and
+// performs one RDMA Write from node 0 into node 1's buffer, timing it
+// with simulated time. Run it, then try changing Network::kIwarp to kIb,
+// kMxoe is MPI/MX-only — see mpi_pingpong.cpp for the portable layer.
+#include <cstdio>
+#include <cstring>
+
+#include "core/cluster.hpp"
+
+using namespace fabsim;
+using namespace fabsim::core;
+
+int main() {
+  // A two-node testbed with the calibrated NetEffect-iWARP profile:
+  // nodes, PCIe buses, the 10GbE switch, and one RNIC each.
+  Cluster cluster(2, Network::kIwarp);
+
+  // Allocate real (data-carrying) buffers in each node's memory.
+  hw::Buffer& src = cluster.node(0).mem().alloc(4096);
+  hw::Buffer& dst = cluster.node(1).mem().alloc(4096);
+  std::memcpy(cluster.node(0).mem().window(src.addr(), 13).data(), "hello, iWARP!", 13);
+
+  // Verbs objects: completion queues and a connected queue pair.
+  verbs::CompletionQueue cq0(cluster.engine()), cq1(cluster.engine());
+  auto qp0 = cluster.device(0).create_qp(cq0, cq0);
+  auto qp1 = cluster.device(1).create_qp(cq1, cq1);
+  cluster.device(0).establish(*qp0, *qp1);
+
+  // The simulation runs coroutine processes; spawn one driver.
+  cluster.engine().spawn([](Cluster& c, verbs::QueuePair& qp, hw::Buffer& s,
+                            hw::Buffer& d) -> Task<> {
+    // Register memory (this charges the host CPU with the pinning cost).
+    verbs::MrKey lkey = co_await c.device(0).reg_mr(s.addr(), s.size());
+    verbs::MrKey rkey = co_await c.device(1).reg_mr(d.addr(), d.size());
+
+    // Watch for the data landing on the remote side (the paper's
+    // "poll the target buffer" completion check).
+    auto placed = c.device(1).watch_placement(d.addr(), 13);
+
+    const Time start = c.engine().now();
+    co_await qp.post_send(verbs::SendWr{.wr_id = 1,
+                                        .opcode = verbs::Opcode::kRdmaWrite,
+                                        .sge = {s.addr(), 13, lkey},
+                                        .remote_addr = d.addr(),
+                                        .rkey = rkey});
+    co_await placed->wait();
+    std::printf("RDMA Write delivered in %.2f us of simulated time\n",
+                to_us(c.engine().now() - start));
+  }(cluster, *qp0, src, dst));
+
+  cluster.engine().run();
+
+  // The bytes really moved: read them back out of node 1's memory.
+  char text[14] = {};
+  auto view = cluster.node(1).mem().window(dst.addr(), 13);
+  std::memcpy(text, view.data(), 13);
+  std::printf("node 1 buffer now contains: \"%s\"\n", text);
+  return 0;
+}

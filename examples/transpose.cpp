@@ -1,0 +1,101 @@
+// Distributed matrix transpose via MPI_Alltoall — the classic
+// communication-bound kernel (FFTs, tensor reshuffles). Each of the 4
+// ranks owns a block-row of an N x N matrix of doubles; one alltoall
+// plus local re-staggering transposes it. Verifies numerically, then
+// reports the communication time per interconnect.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+using namespace fabsim;
+using namespace fabsim::core;
+
+namespace {
+
+constexpr int kRanks = 4;
+constexpr int kN = 256;  // matrix is kN x kN doubles
+constexpr int kRows = kN / kRanks;
+constexpr std::uint32_t kBlockBytes = kRows * kRows * sizeof(double);
+
+double element(int row, int col) { return row * 1000.0 + col; }
+
+Task<> worker(Cluster& cluster, int me, hw::Buffer* send, hw::Buffer* recv, bool* ok,
+              double* comm_us) {
+  co_await cluster.setup_mpi();
+  auto& rank = cluster.mpi_rank(me);
+  auto& mem = cluster.node(me).mem();
+
+  // Pack: block d holds my rows restricted to columns [d*kRows, ...),
+  // already transposed locally so the alltoall finishes the job.
+  for (int d = 0; d < kRanks; ++d) {
+    auto w = mem.window(send->addr() + static_cast<std::uint64_t>(d) * kBlockBytes,
+                        kBlockBytes);
+    for (int r = 0; r < kRows; ++r) {
+      for (int c = 0; c < kRows; ++c) {
+        const double v = element(me * kRows + r, d * kRows + c);
+        std::memcpy(w.data() + (c * kRows + r) * sizeof(double), &v, sizeof(double));
+      }
+    }
+  }
+
+  // Warmup exchange: pays the one-time registrations (pin-down caches
+  // warm up), so the timed pass reflects steady state.
+  co_await rank.alltoall(send->addr(), kBlockBytes, recv->addr());
+  co_await rank.barrier();
+  const double t0 = rank.wtime();
+  co_await rank.alltoall(send->addr(), kBlockBytes, recv->addr());
+  const double t1 = rank.wtime();
+
+  // Verify: after the exchange, block d holds transpose rows from rank d.
+  bool good = true;
+  for (int d = 0; d < kRanks; ++d) {
+    auto w = mem.window(recv->addr() + static_cast<std::uint64_t>(d) * kBlockBytes,
+                        kBlockBytes);
+    for (int r = 0; r < kRows && good; ++r) {
+      for (int c = 0; c < kRows && good; ++c) {
+        double got = 0;
+        std::memcpy(&got, w.data() + (r * kRows + c) * sizeof(double), sizeof(double));
+        // Transposed element: T[me*kRows+r][d*kRows+c] = A[d*kRows+c][me*kRows+r].
+        if (got != element(d * kRows + c, me * kRows + r)) good = false;
+      }
+    }
+  }
+  if (!good) *ok = false;
+  if (me == 0) *comm_us = (t1 - t0) * 1e6;
+}
+
+double run(Network network, bool* ok) {
+  Cluster cluster(kRanks, network);
+  std::vector<hw::Buffer*> send, recv;
+  for (int r = 0; r < kRanks; ++r) {
+    send.push_back(&cluster.node(r).mem().alloc(kBlockBytes * kRanks));
+    recv.push_back(&cluster.node(r).mem().alloc(kBlockBytes * kRanks));
+  }
+  double comm_us = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    cluster.engine().spawn(worker(cluster, r, send[static_cast<std::size_t>(r)],
+                                  recv[static_cast<std::size_t>(r)], ok, &comm_us));
+  }
+  cluster.engine().run();
+  return comm_us;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%dx%d double matrix transpose on %d ranks (alltoall of %u KB blocks):\n", kN,
+              kN, kRanks, kBlockBytes / 1024);
+  bool ok = true;
+  for (Network n : {Network::kIwarp, Network::kIb, Network::kMxoe, Network::kMxom}) {
+    const double us_taken = run(n, &ok);
+    std::printf("  %-6s  %8.1f us\n", network_name(n), us_taken);
+  }
+  if (!ok) {
+    std::printf("TRANSPOSE VERIFICATION FAILED\n");
+    return 1;
+  }
+  std::printf("transpose verified element-exact on all interconnects.\n");
+  return 0;
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build everything, run the full test suite, then regenerate every figure
+# into results/. Mirrors what CI would do.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for b in build/bench/*; do
+  name="$(basename "$b")"
+  echo "=== $name ==="
+  "$b" | tee "results/$name.txt"
+done

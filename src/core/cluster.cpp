@@ -1,0 +1,80 @@
+#include "core/cluster.hpp"
+
+#include <stdexcept>
+
+namespace fabsim::core {
+
+Cluster::Cluster(int nodes, NetworkProfile profile) : profile_(profile) {
+  fabric_ = std::make_unique<hw::Switch>(engine_, profile_.switch_cfg);
+  for (int i = 0; i < nodes; ++i) {
+    nodes_.push_back(std::make_unique<hw::Node>(engine_, i, profile_.pcie, profile_.cpu));
+    switch (profile_.network) {
+      case Network::kIwarp: {
+        iwarp::RnicConfig config = profile_.rnic;
+        config.rng_seed = 1000 + static_cast<std::uint64_t>(i);
+        rnics_.push_back(std::make_unique<iwarp::Rnic>(*nodes_.back(), *fabric_, config));
+        break;
+      }
+      case Network::kIb:
+        hcas_.push_back(std::make_unique<ib::Hca>(*nodes_.back(), *fabric_, profile_.hca));
+        break;
+      case Network::kMxoe:
+      case Network::kMxom:
+        endpoints_.push_back(std::make_unique<mx::Endpoint>(*nodes_.back(), *fabric_, profile_.mx));
+        break;
+    }
+  }
+}
+
+verbs::Device& Cluster::device(int i) {
+  switch (profile_.network) {
+    case Network::kIwarp: return *rnics_.at(static_cast<std::size_t>(i));
+    case Network::kIb: return *hcas_.at(static_cast<std::size_t>(i));
+    default: throw std::logic_error("device(): not a verbs network");
+  }
+}
+
+iwarp::Rnic& Cluster::rnic(int i) { return *rnics_.at(static_cast<std::size_t>(i)); }
+ib::Hca& Cluster::hca(int i) { return *hcas_.at(static_cast<std::size_t>(i)); }
+
+mx::Endpoint& Cluster::endpoint(int i) {
+  if (endpoints_.empty()) throw std::logic_error("endpoint(): not an MX network");
+  return *endpoints_.at(static_cast<std::size_t>(i));
+}
+
+Task<> Cluster::setup_mpi() {
+  if (!mpi_ready_event_) mpi_ready_event_ = std::make_unique<Event>(engine_);
+  if (mpi_ready_) {
+    // Another process is (or was) doing the setup; wait until it finishes.
+    co_await mpi_ready_event_->wait();
+    co_return;
+  }
+  mpi_ready_ = true;
+  const int n = num_nodes();
+  if (is_verbs()) {
+    std::vector<mpi::ChVerbs*> verbs_channels;
+    for (int i = 0; i < n; ++i) {
+      auto channel = std::make_unique<mpi::ChVerbs>(i, n, device(i), node(i), engine_,
+                                                    profile_.mpi);
+      verbs_channels.push_back(channel.get());
+      channels_.push_back(std::move(channel));
+    }
+    co_await mpi::ChVerbs::connect_mesh(verbs_channels);
+    if (profile_.mpi.async_progress) {
+      for (mpi::ChVerbs* channel : verbs_channels) channel->start_async_progress();
+    }
+  } else {
+    std::vector<int> ports;
+    for (int i = 0; i < n; ++i) ports.push_back(endpoint(i).port());
+    for (int i = 0; i < n; ++i) {
+      channels_.push_back(
+          std::make_unique<mpi::ChMx>(i, n, endpoint(i), profile_.mpi, ports));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    mpi_ranks_.push_back(std::make_unique<mpi::Rank>(*channels_[static_cast<std::size_t>(i)]));
+  }
+  mpi_ready_event_->trigger();
+}
+
+}  // namespace fabsim::core

@@ -1,0 +1,68 @@
+// Testbed builder: N nodes + switch + NICs + (optionally) a MiniMPI world
+// for a chosen network, mirroring the paper's four-node Dell PowerEdge
+// 2850 cluster.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "hw/fabric.hpp"
+#include "hw/node.hpp"
+#include "ib/hca.hpp"
+#include "iwarp/rnic.hpp"
+#include "mpi/ch_mx.hpp"
+#include "mpi/ch_verbs.hpp"
+#include "mpi/rank.hpp"
+#include "mx/endpoint.hpp"
+#include "sim/engine.hpp"
+#include "verbs/verbs.hpp"
+
+namespace fabsim::core {
+
+class Cluster {
+ public:
+  /// Build `nodes` nodes on the given network using its calibrated
+  /// profile (optionally customized by the caller).
+  Cluster(int nodes, NetworkProfile profile);
+  Cluster(int nodes, Network network) : Cluster(nodes, core::profile(network)) {}
+
+  Engine& engine() { return engine_; }
+  const NetworkProfile& profile() const { return profile_; }
+  Network network() const { return profile_.network; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  hw::Node& node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+  hw::Switch& fabric() { return *fabric_; }
+
+  /// Verbs device of node i (iWARP / IB networks only).
+  verbs::Device& device(int i);
+  iwarp::Rnic& rnic(int i);
+  ib::Hca& hca(int i);
+  /// MX endpoint of node i (MXoE / MXoM only).
+  mx::Endpoint& endpoint(int i);
+
+  bool is_verbs() const {
+    return profile_.network == Network::kIwarp || profile_.network == Network::kIb;
+  }
+
+  /// Build the MiniMPI world (idempotent); must be awaited inside the
+  /// simulation before using mpi_rank().
+  Task<> setup_mpi();
+  mpi::Rank& mpi_rank(int i) { return *mpi_ranks_.at(static_cast<std::size_t>(i)); }
+
+ private:
+  NetworkProfile profile_;
+  Engine engine_;
+  std::unique_ptr<hw::Switch> fabric_;
+  std::vector<std::unique_ptr<hw::Node>> nodes_;
+  std::vector<std::unique_ptr<iwarp::Rnic>> rnics_;
+  std::vector<std::unique_ptr<ib::Hca>> hcas_;
+  std::vector<std::unique_ptr<mx::Endpoint>> endpoints_;
+  std::vector<std::unique_ptr<mpi::Channel>> channels_;
+  std::vector<std::unique_ptr<mpi::Rank>> mpi_ranks_;
+  bool mpi_ready_ = false;
+  std::unique_ptr<Event> mpi_ready_event_;
+};
+
+}  // namespace fabsim::core

@@ -1,0 +1,73 @@
+// Fixed-width table / CSV reporting for benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fabsim::core {
+
+/// Column-oriented result table: first column is the x value (message
+/// size, #connections, queue depth, ...), one column per series.
+class Table {
+ public:
+  Table(std::string title, std::string x_label, std::vector<std::string> series)
+      : title_(std::move(title)), x_label_(std::move(x_label)), series_(std::move(series)) {}
+
+  void add_row(double x, std::vector<double> values) {
+    rows_.push_back(Row{x, std::move(values)});
+  }
+
+  void print(std::FILE* out = stdout) const {
+    std::fprintf(out, "\n## %s\n", title_.c_str());
+    std::fprintf(out, "%-12s", x_label_.c_str());
+    for (const std::string& s : series_) std::fprintf(out, " %14s", s.c_str());
+    std::fprintf(out, "\n");
+    for (const Row& row : rows_) {
+      print_x(out, row.x);
+      for (double v : row.values) std::fprintf(out, " %14.3f", v);
+      std::fprintf(out, "\n");
+    }
+  }
+
+  void print_csv(std::FILE* out = stdout) const {
+    std::fprintf(out, "# csv: %s\n%s", title_.c_str(), x_label_.c_str());
+    for (const std::string& s : series_) std::fprintf(out, ",%s", s.c_str());
+    std::fprintf(out, "\n");
+    for (const Row& row : rows_) {
+      std::fprintf(out, "%.0f", row.x);
+      for (double v : row.values) std::fprintf(out, ",%.4f", v);
+      std::fprintf(out, "\n");
+    }
+  }
+
+ private:
+  struct Row {
+    double x;
+    std::vector<double> values;
+  };
+
+  static void print_x(std::FILE* out, double x) {
+    if (x >= 1 << 20 && static_cast<long long>(x) % (1 << 20) == 0) {
+      std::fprintf(out, "%-12s", (std::to_string(static_cast<long long>(x) >> 20) + "M").c_str());
+    } else if (x >= 1024 && static_cast<long long>(x) % 1024 == 0) {
+      std::fprintf(out, "%-12s", (std::to_string(static_cast<long long>(x) >> 10) + "K").c_str());
+    } else {
+      std::fprintf(out, "%-12.0f", x);
+    }
+  }
+
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> series_;
+  std::vector<Row> rows_;
+};
+
+/// Power-of-two sweep helper.
+inline std::vector<std::uint32_t> pow2_sizes(std::uint32_t from, std::uint32_t to) {
+  std::vector<std::uint32_t> sizes;
+  for (std::uint32_t s = from; s <= to; s *= 2) sizes.push_back(s);
+  return sizes;
+}
+
+}  // namespace fabsim::core

@@ -1,0 +1,59 @@
+// Benchmark runners: one function per measurement the paper performs.
+//
+// Every runner builds a fresh Cluster (clean, deterministic state), runs
+// the paper's algorithm inside the simulation, and returns the metric.
+// Figure-by-figure mapping lives in DESIGN.md §3; the bench/ binaries
+// sweep these runners to print each figure's series.
+#pragma once
+
+#include <cstdint>
+
+#include "core/calibration.hpp"
+
+namespace fabsim::core {
+
+// --- Figure 1: user-level ping-pong (verbs RDMA Write / MX send-recv) ---
+double userlevel_pingpong_latency_us(const NetworkProfile& profile, std::uint32_t msg,
+                                     int iters = 30);
+double userlevel_bandwidth_mbps(const NetworkProfile& profile, std::uint32_t msg,
+                                int iters = 10);
+
+// --- Figure 2: multi-connection scalability (common verbs interface) ---
+double multiconn_normalized_latency_us(const NetworkProfile& profile, int connections,
+                                       std::uint32_t msg, int rounds = 16);
+double multiconn_throughput_mbps(const NetworkProfile& profile, int connections,
+                                 std::uint32_t msg, int rounds = 24);
+
+// --- Figure 3: MPI ping-pong latency ---
+double mpi_pingpong_latency_us(const NetworkProfile& profile, std::uint32_t msg, int iters = 30);
+
+// --- Figure 4: MPI bandwidth, three modes ---
+double mpi_unidir_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int window = 16,
+                          int windows = 6);
+double mpi_bidir_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int iters = 20);
+double mpi_bothway_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int window = 16,
+                           int windows = 6);
+
+// --- Figure 5: LogP parameters (Kielmann's fast measurement method) ---
+struct LogpPoint {
+  double gap_us = 0;  ///< g(m): saturation inter-message time
+  double os_us = 0;   ///< send overhead
+  double or_us = 0;   ///< receive overhead
+};
+LogpPoint logp_parameters(const NetworkProfile& profile, std::uint32_t msg, int iters = 24);
+
+// --- Figure 6: buffer re-use effect on ping-pong latency ---
+/// `reuse` = true: the same buffer every iteration (100% re-use);
+/// false: cycle through `nbufs` distinct buffers (0% re-use).
+double bufreuse_latency_us(const NetworkProfile& profile, std::uint32_t msg, bool reuse,
+                           int nbufs = 16, int iters = 32);
+
+// --- Figure 7: unexpected-message queue effect (synchronous sends) ---
+double unexpected_queue_latency_us(const NetworkProfile& profile, std::uint32_t msg, int depth,
+                                   int iters = 16);
+
+// --- Figure 8: receive (posted) queue effect ---
+double recv_queue_latency_us(const NetworkProfile& profile, std::uint32_t msg, int depth,
+                             int iters = 16);
+
+}  // namespace fabsim::core

@@ -1,0 +1,445 @@
+// MPI-level benchmark runners: Figures 3 through 8.
+//
+// Every runner spawns one process per rank (ranks only progress inside
+// MPI calls, like the MPICH derivatives under test) and reports averages
+// over `iters` measured iterations after warmup, as the paper does.
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/runners.hpp"
+
+namespace fabsim::core {
+
+namespace {
+
+constexpr int kTagData = 1;
+constexpr int kTagSync = 900001;
+constexpr int kTagFill = 900002;
+constexpr int kTagTraversed = 900003;
+constexpr int kWarmup = 4;
+
+/// Two 4 MB data-less buffers, one per node.
+struct TwoBuffers {
+  explicit TwoBuffers(Cluster& c, std::uint64_t size = 4u << 20)
+      : a(&c.node(0).mem().alloc(size, false)), b(&c.node(1).mem().alloc(size, false)) {}
+  hw::Buffer* a;
+  hw::Buffer* b;
+};
+
+/// 1-byte rank0 <-> rank1 synchronization (both directions).
+Task<> sync_pair(mpi::Rank& me, int peer, std::uint64_t scratch) {
+  if (me.rank() < peer) {
+    co_await me.send(peer, kTagSync, scratch, 1);
+    co_await me.recv(peer, kTagSync, scratch, 64);
+  } else {
+    co_await me.recv(peer, kTagSync, scratch, 64);
+    co_await me.send(peer, kTagSync, scratch, 1);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Figure 3: MPI ping-pong latency
+// ---------------------------------------------------------------------------
+
+double mpi_pingpong_latency_us(const NetworkProfile& profile, std::uint32_t msg, int iters) {
+  Cluster cluster(2, profile);
+  TwoBuffers bufs(cluster);
+  Time elapsed = 0;
+
+  cluster.engine().spawn([](Cluster& c, TwoBuffers b, std::uint32_t m, int it,
+                            Time* out) -> Task<> {
+    co_await c.setup_mpi();
+    auto& rank = c.mpi_rank(0);
+    Time start = 0;
+    for (int i = 0; i < kWarmup + it; ++i) {
+      if (i == kWarmup) start = c.engine().now();
+      co_await rank.send(1, kTagData, b.a->addr(), m);
+      co_await rank.recv(1, kTagData, b.a->addr(), b.a->size());
+    }
+    *out = c.engine().now() - start;
+  }(cluster, bufs, msg, iters, &elapsed));
+  cluster.engine().spawn([](Cluster& c, TwoBuffers b, std::uint32_t m, int total) -> Task<> {
+    co_await c.setup_mpi();
+    auto& rank = c.mpi_rank(1);
+    for (int i = 0; i < total; ++i) {
+      co_await rank.recv(0, kTagData, b.b->addr(), b.b->size());
+      co_await rank.send(0, kTagData, b.b->addr(), m);
+    }
+  }(cluster, bufs, msg, kWarmup + iters));
+  cluster.engine().run();
+  return to_us(elapsed) / iters / 2.0;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: MPI bandwidth (three modes)
+// ---------------------------------------------------------------------------
+
+double mpi_unidir_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int window,
+                          int windows) {
+  Cluster cluster(2, profile);
+  TwoBuffers bufs(cluster);
+  Time elapsed = 0;
+
+  cluster.engine().spawn([](Cluster& c, TwoBuffers b, std::uint32_t m, int w, int k,
+                            Time* out) -> Task<> {
+    co_await c.setup_mpi();
+    auto& rank = c.mpi_rank(0);
+    // Warmup window.
+    for (int i = 0; i < 2; ++i) co_await rank.send(1, kTagData, b.a->addr(), m);
+    co_await rank.recv(1, kTagSync, b.a->addr(), 64);
+    const Time start = c.engine().now();
+    for (int win = 0; win < k; ++win) {
+      std::vector<mpi::RequestPtr> reqs;
+      for (int i = 0; i < w; ++i) {
+        reqs.push_back(co_await rank.isend(1, kTagData, b.a->addr(), m));
+      }
+      co_await rank.waitall(std::move(reqs));
+    }
+    // Wait for the final acknowledgement.
+    co_await rank.recv(1, kTagSync, b.a->addr(), 64);
+    *out = c.engine().now() - start;
+  }(cluster, bufs, msg, window, windows, &elapsed));
+  cluster.engine().spawn([](Cluster& c, TwoBuffers b, int w, int k) -> Task<> {
+    co_await c.setup_mpi();
+    auto& rank = c.mpi_rank(1);
+    for (int i = 0; i < 2; ++i) co_await rank.recv(0, kTagData, b.b->addr(), b.b->size());
+    co_await rank.send(0, kTagSync, b.b->addr(), 1);
+    for (int win = 0; win < k; ++win) {
+      std::vector<mpi::RequestPtr> reqs;
+      for (int i = 0; i < w; ++i) {
+        reqs.push_back(co_await rank.irecv(0, kTagData, b.b->addr(), b.b->size()));
+      }
+      co_await rank.waitall(std::move(reqs));
+    }
+    co_await rank.send(0, kTagSync, b.b->addr(), 1);
+  }(cluster, bufs, window, windows));
+  cluster.engine().run();
+  const double bytes = static_cast<double>(msg) * window * windows;
+  return bytes / to_us(elapsed);
+}
+
+double mpi_bidir_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int iters) {
+  // Blocking ping-pong: 2 messages per round trip.
+  const double half_rtt_us = mpi_pingpong_latency_us(profile, msg, iters);
+  return static_cast<double>(msg) / half_rtt_us;
+}
+
+double mpi_bothway_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int window,
+                           int windows) {
+  Cluster cluster(2, profile);
+  TwoBuffers bufs(cluster);
+  std::vector<Time> done(2, 0);
+  Time start_common = 0;
+
+  for (int r = 0; r < 2; ++r) {
+    cluster.engine().spawn([](Cluster& c, TwoBuffers b, int me, std::uint32_t m, int w, int k,
+                              Time* fin, Time* start) -> Task<> {
+      co_await c.setup_mpi();
+      auto& rank = c.mpi_rank(me);
+      const std::uint64_t addr = me == 0 ? b.a->addr() : b.b->addr();
+      const std::uint64_t cap = me == 0 ? b.a->size() : b.b->size();
+      const int peer = 1 - me;
+      co_await sync_pair(rank, peer, addr);
+      if (me == 0) *start = c.engine().now();
+      for (int win = 0; win < k; ++win) {
+        // Both sides: a window of sends, then a window of receives.
+        std::vector<mpi::RequestPtr> reqs;
+        for (int i = 0; i < w; ++i) {
+          reqs.push_back(co_await rank.isend(peer, kTagData, addr, m));
+        }
+        for (int i = 0; i < w; ++i) {
+          reqs.push_back(co_await rank.irecv(peer, kTagData, addr, cap));
+        }
+        co_await rank.waitall(std::move(reqs));
+      }
+      *fin = c.engine().now();
+    }(cluster, bufs, r, msg, window, windows, &done[static_cast<std::size_t>(r)],
+      &start_common));
+  }
+  cluster.engine().run();
+  const Time end = std::max(done[0], done[1]);
+  const double bytes = 2.0 * static_cast<double>(msg) * window * windows;
+  return bytes / to_us(end - start_common);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: LogP parameters (Kielmann's method)
+// ---------------------------------------------------------------------------
+
+LogpPoint logp_parameters(const NetworkProfile& profile, std::uint32_t msg, int iters) {
+  LogpPoint point;
+
+  // g(m): saturation — stream many messages, gap = elapsed / count.
+  {
+    Cluster cluster(2, profile);
+    TwoBuffers bufs(cluster);
+    Time elapsed = 0;
+    const int count = iters * 4;
+    cluster.engine().spawn([](Cluster& c, TwoBuffers b, std::uint32_t m, int n,
+                              Time* out) -> Task<> {
+      co_await c.setup_mpi();
+      auto& rank = c.mpi_rank(0);
+      co_await sync_pair(rank, 1, b.a->addr());
+      const Time start = c.engine().now();
+      std::vector<mpi::RequestPtr> reqs;
+      for (int i = 0; i < n; ++i) {
+        reqs.push_back(co_await rank.isend(1, kTagData, b.a->addr(), m));
+      }
+      co_await rank.waitall(std::move(reqs));
+      // One final round trip so the stream is fully drained end-to-end.
+      co_await rank.recv(1, kTagSync, b.a->addr(), 64);
+      *out = c.engine().now() - start;
+    }(cluster, bufs, msg, count, &elapsed));
+    cluster.engine().spawn([](Cluster& c, TwoBuffers b, int n) -> Task<> {
+      co_await c.setup_mpi();
+      auto& rank = c.mpi_rank(1);
+      // Pre-post all receives so the flood measures the send path, not
+      // unexpected-queue buildup.
+      std::vector<mpi::RequestPtr> reqs;
+      for (int i = 0; i < n; ++i) {
+        reqs.push_back(co_await rank.irecv(0, kTagData, b.b->addr(), b.b->size()));
+      }
+      co_await sync_pair(rank, 0, b.b->addr());
+      co_await rank.waitall(std::move(reqs));
+      co_await rank.send(0, kTagSync, b.b->addr(), 1);
+    }(cluster, bufs, count));
+    cluster.engine().run();
+    point.gap_us = to_us(elapsed) / count;
+  }
+
+  // os(m): duration of the isend call itself, receiver consuming.
+  {
+    Cluster cluster(2, profile);
+    TwoBuffers bufs(cluster);
+    double total_us = 0;
+    cluster.engine().spawn([](Cluster& c, TwoBuffers b, std::uint32_t m, int n,
+                              double* out) -> Task<> {
+      co_await c.setup_mpi();
+      auto& rank = c.mpi_rank(0);
+      for (int i = 0; i < kWarmup + n; ++i) {
+        co_await sync_pair(rank, 1, b.a->addr());
+        const Time t0 = c.engine().now();
+        auto req = co_await rank.isend(1, kTagData, b.a->addr(), m);
+        if (i >= kWarmup) *out += to_us(c.engine().now() - t0);
+        co_await rank.wait(std::move(req));
+      }
+    }(cluster, bufs, msg, iters, &total_us));
+    cluster.engine().spawn([](Cluster& c, TwoBuffers b, int n) -> Task<> {
+      co_await c.setup_mpi();
+      auto& rank = c.mpi_rank(1);
+      for (int i = 0; i < kWarmup + n; ++i) {
+        co_await sync_pair(rank, 0, b.b->addr());
+        co_await rank.recv(0, kTagData, b.b->addr(), b.b->size());
+      }
+    }(cluster, bufs, iters));
+    cluster.engine().run();
+    point.os_us = total_us / iters;
+  }
+
+  // or(m): duration of the recv call issued after the message has had
+  // ample time to arrive (sender-side delay covers the transfer).
+  {
+    Cluster cluster(2, profile);
+    TwoBuffers bufs(cluster);
+    double total_us = 0;
+    // Generous upper bound on one-way time for the delay.
+    const Time settle = us(50) + Rate::mb_per_sec(500.0).bytes_time(msg);
+    cluster.engine().spawn([](Cluster& c, TwoBuffers b, std::uint32_t m, int n,
+                              Time pause) -> Task<> {
+      co_await c.setup_mpi();
+      auto& rank = c.mpi_rank(0);
+      for (int i = 0; i < kWarmup + n; ++i) {
+        co_await sync_pair(rank, 1, b.a->addr());
+        auto req = co_await rank.isend(1, kTagData, b.a->addr(), m);
+        co_await rank.wait(std::move(req));
+        // Keep the pair loosely in phase.
+        co_await c.engine().sleep(pause);
+      }
+    }(cluster, bufs, msg, iters, settle));
+    cluster.engine().spawn([](Cluster& c, TwoBuffers b, int n, Time pause,
+                              double* out) -> Task<> {
+      co_await c.setup_mpi();
+      auto& rank = c.mpi_rank(1);
+      for (int i = 0; i < kWarmup + n; ++i) {
+        // Kielmann's method: post the receive, "compute" long enough for
+        // the message to land, then time the completion call. A stack
+        // with autonomous progress (MX) finishes the transfer during the
+        // compute phase; MPICH-style synchronous progress performs the
+        // whole rendezvous inside the timed wait — the paper's Or jump.
+        auto rx = co_await rank.irecv(0, kTagData, b.b->addr(), b.b->size());
+        co_await sync_pair(rank, 0, b.b->addr());
+        co_await c.engine().sleep(pause);
+        const Time t0 = c.engine().now();
+        co_await rank.wait(std::move(rx));
+        if (i >= kWarmup) *out += to_us(c.engine().now() - t0);
+      }
+    }(cluster, bufs, iters, settle, &total_us));
+    cluster.engine().run();
+    point.or_us = total_us / iters;
+  }
+
+  return point;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: buffer re-use
+// ---------------------------------------------------------------------------
+
+double bufreuse_latency_us(const NetworkProfile& profile, std::uint32_t msg, bool reuse,
+                           int nbufs, int iters) {
+  Cluster cluster(2, profile);
+  // The paper statically allocates 16 separate buffers per message size;
+  // send and receive use disjoint sets so both sides of a rendezvous pay
+  // (or save) their registration independently.
+  struct BufferSets {
+    std::vector<hw::Buffer*> send, recv;
+  };
+  BufferSets sets0, sets1;
+  for (int i = 0; i < nbufs; ++i) {
+    sets0.send.push_back(&cluster.node(0).mem().alloc(msg, false));
+    sets0.recv.push_back(&cluster.node(0).mem().alloc(msg, false));
+    sets1.send.push_back(&cluster.node(1).mem().alloc(msg, false));
+    sets1.recv.push_back(&cluster.node(1).mem().alloc(msg, false));
+  }
+  auto& scratch0 = cluster.node(0).mem().alloc(64, false);
+  auto& scratch1 = cluster.node(1).mem().alloc(64, false);
+  Time elapsed = 0;
+
+  auto body = [](Cluster& c, int me, BufferSets& sets, std::uint64_t scratch, std::uint32_t m,
+                 bool re, int it, Time* out) -> Task<> {
+    co_await c.setup_mpi();
+    auto& rank = c.mpi_rank(me);
+    const int peer = 1 - me;
+    co_await sync_pair(rank, peer, scratch);
+    const Time start = c.engine().now();
+    for (int i = 0; i < it; ++i) {
+      const std::size_t pick = re ? 0 : static_cast<std::size_t>(i) % sets.send.size();
+      if (me == 0) {
+        co_await rank.send(peer, kTagData, sets.send[pick]->addr(), m);
+        co_await rank.recv(peer, kTagData, sets.recv[pick]->addr(), m);
+      } else {
+        co_await rank.recv(peer, kTagData, sets.recv[pick]->addr(), m);
+        co_await rank.send(peer, kTagData, sets.send[pick]->addr(), m);
+      }
+    }
+    if (me == 0) *out = c.engine().now() - start;
+  };
+
+  cluster.engine().spawn(body(cluster, 0, sets0, scratch0.addr(), msg, reuse, iters, &elapsed));
+  cluster.engine().spawn(body(cluster, 1, sets1, scratch1.addr(), msg, reuse, iters, &elapsed));
+  cluster.engine().run();
+  return to_us(elapsed) / iters / 2.0;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: unexpected-message queue
+// ---------------------------------------------------------------------------
+
+double unexpected_queue_latency_us(const NetworkProfile& profile, std::uint32_t msg, int depth,
+                                   int iters) {
+  Cluster cluster(2, profile);
+  TwoBuffers bufs(cluster);
+  auto& fill0 = cluster.node(0).mem().alloc(64, false);
+  auto& fill1 = cluster.node(1).mem().alloc(64, false);
+  Time elapsed = 0;
+
+  auto body = [](Cluster& c, int me, std::uint64_t addr, std::uint64_t cap, std::uint64_t fill,
+                 std::uint32_t m, int depth_, int it, Time* out) -> Task<> {
+    co_await c.setup_mpi();
+    auto& rank = c.mpi_rank(me);
+    const int peer = 1 - me;
+    // Fill the peer's unexpected queue with small messages nobody
+    // receives yet (standard-mode sends; the measured ping-pong below
+    // uses synchronous sends, as the paper modified the UB algorithm).
+    for (int q = 0; q < depth_; ++q) {
+      co_await rank.send(peer, kTagFill, fill, 8);
+    }
+    // Synchronize: this drains the fillers into the unexpected queue.
+    co_await sync_pair(rank, peer, fill);
+
+    Time start = 0;
+    for (int i = 0; i < kWarmup + it; ++i) {
+      if (i == kWarmup && me == 0) start = c.engine().now();
+      if (me == 0) {
+        co_await rank.ssend(peer, kTagData, addr, m);
+        co_await rank.recv(peer, kTagData, addr, cap);
+      } else {
+        co_await rank.recv(peer, kTagData, addr, cap);
+        co_await rank.ssend(peer, kTagData, addr, m);
+      }
+    }
+    if (me == 0) *out = c.engine().now() - start;
+
+    // Drain the fillers (untimed cleanup).
+    for (int q = 0; q < depth_; ++q) {
+      co_await rank.recv(peer, kTagFill, fill, 64);
+    }
+  };
+
+  cluster.engine().spawn(body(cluster, 0, bufs.a->addr(), bufs.a->size(), fill0.addr(), msg,
+                              depth, iters, &elapsed));
+  cluster.engine().spawn(body(cluster, 1, bufs.b->addr(), bufs.b->size(), fill1.addr(), msg,
+                              depth, iters, &elapsed));
+  cluster.engine().run();
+  return to_us(elapsed) / iters / 2.0;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: receive (posted) queue
+// ---------------------------------------------------------------------------
+
+double recv_queue_latency_us(const NetworkProfile& profile, std::uint32_t msg, int depth,
+                             int iters) {
+  Cluster cluster(2, profile);
+  TwoBuffers bufs(cluster);
+  auto& trav0 = cluster.node(0).mem().alloc(64, false);
+  auto& trav1 = cluster.node(1).mem().alloc(64, false);
+  Time elapsed = 0;
+
+  auto body = [](Cluster& c, int me, std::uint64_t addr, std::uint64_t cap, std::uint64_t trav,
+                 std::uint32_t m, int depth_, int it, Time* out) -> Task<> {
+    co_await c.setup_mpi();
+    auto& rank = c.mpi_rank(me);
+    const int peer = 1 - me;
+    // Pre-post `depth` receives with a tag that is matched only at the
+    // very end; they sit at the head of the posted-receive queue and are
+    // traversed (but not matched) by every measured message.
+    std::vector<mpi::RequestPtr> traversed;
+    for (int q = 0; q < depth_; ++q) {
+      traversed.push_back(co_await rank.irecv(peer, kTagTraversed, trav, 64));
+    }
+    co_await sync_pair(rank, peer, trav);
+
+    Time start = 0;
+    for (int i = 0; i < kWarmup + it; ++i) {
+      if (i == kWarmup && me == 0) start = c.engine().now();
+      if (me == 0) {
+        auto rx = co_await rank.irecv(peer, kTagData, addr, cap);
+        co_await rank.send(peer, kTagData, addr, m);
+        co_await rank.wait(std::move(rx));
+      } else {
+        auto rx = co_await rank.irecv(peer, kTagData, addr, cap);
+        co_await rank.wait(std::move(rx));
+        co_await rank.send(peer, kTagData, addr, m);
+      }
+    }
+    if (me == 0) *out = c.engine().now() - start;
+
+    // Fulfil the traversed receives (untimed cleanup).
+    for (int q = 0; q < depth_; ++q) {
+      co_await rank.send(peer, kTagTraversed, trav, 8);
+    }
+    co_await rank.waitall(std::move(traversed));
+  };
+
+  cluster.engine().spawn(body(cluster, 0, bufs.a->addr(), bufs.a->size(), trav0.addr(), msg,
+                              depth, iters, &elapsed));
+  cluster.engine().spawn(body(cluster, 1, bufs.b->addr(), bufs.b->size(), trav1.addr(), msg,
+                              depth, iters, &elapsed));
+  cluster.engine().run();
+  return to_us(elapsed) / iters / 2.0;
+}
+
+}  // namespace fabsim::core

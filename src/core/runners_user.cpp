@@ -1,0 +1,270 @@
+// User-level (verbs / MX) benchmark runners: Figures 1 and 2.
+#include <stdexcept>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/runners.hpp"
+
+namespace fabsim::core {
+
+namespace {
+
+/// Completion-detection cost of a polling loop iteration that hits.
+constexpr Time kPollDetect = ns(100);
+
+/// Half round-trip time of a verbs RDMA-Write ping-pong, polling the
+/// target buffer for completion (the paper's optimistic method, §5).
+Task<> verbs_pingpong_initiator(Cluster& c, verbs::QueuePair& qp, verbs::Device& local,
+                                std::uint64_t my_buf, std::uint64_t peer_buf, verbs::MrKey lkey,
+                                verbs::MrKey rkey, std::uint32_t msg, int iters, int warmup,
+                                Time* out) {
+  Time measured_start = 0;
+  for (int i = 0; i < warmup + iters; ++i) {
+    if (i == warmup) measured_start = c.engine().now();
+    auto reply = local.watch_placement(my_buf, msg);
+    co_await qp.post_send(verbs::SendWr{.wr_id = 1,
+                                        .opcode = verbs::Opcode::kRdmaWrite,
+                                        .sge = {peer_buf, msg, lkey},
+                                        .remote_addr = peer_buf,
+                                        .rkey = rkey});
+    co_await reply->wait();
+    co_await c.node(0).cpu().compute(kPollDetect);
+  }
+  *out = c.engine().now() - measured_start;
+}
+
+Task<> verbs_pingpong_responder(Cluster& c, verbs::QueuePair& qp, verbs::Device& local,
+                                std::uint64_t my_buf, std::uint64_t peer_buf, verbs::MrKey lkey,
+                                verbs::MrKey rkey, std::uint32_t msg, int total_iters) {
+  for (int i = 0; i < total_iters; ++i) {
+    auto incoming = local.watch_placement(my_buf, msg);
+    co_await incoming->wait();
+    co_await c.node(1).cpu().compute(kPollDetect);
+    co_await qp.post_send(verbs::SendWr{.wr_id = 2,
+                                        .opcode = verbs::Opcode::kRdmaWrite,
+                                        .sge = {peer_buf, msg, lkey},
+                                        .remote_addr = peer_buf,
+                                        .rkey = rkey});
+  }
+}
+
+double verbs_pingpong(const NetworkProfile& profile, std::uint32_t msg, int iters) {
+  Cluster cluster(2, profile);
+  auto& e = cluster.engine();
+  verbs::CompletionQueue cq0(e), cq1(e);
+  auto qp0 = cluster.device(0).create_qp(cq0, cq0);
+  auto qp1 = cluster.device(1).create_qp(cq1, cq1);
+  cluster.device(0).establish(*qp0, *qp1);
+
+  auto& buf0 = cluster.node(0).mem().alloc(msg, false);
+  auto& buf1 = cluster.node(1).mem().alloc(msg, false);
+  // Registration done up front (outside timing), as in the paper.
+  const auto key0 = cluster.device(0).registry().register_region(buf0.addr(), msg);
+  const auto key1 = cluster.device(1).registry().register_region(buf1.addr(), msg);
+
+  const int warmup = 4;
+  Time elapsed = 0;
+  e.spawn(verbs_pingpong_initiator(cluster, *qp0, cluster.device(0), buf0.addr(), buf1.addr(),
+                                   key0, key1, msg, iters, warmup, &elapsed));
+  e.spawn(verbs_pingpong_responder(cluster, *qp1, cluster.device(1), buf1.addr(), buf0.addr(),
+                                   key1, key0, msg, warmup + iters));
+  e.run();
+  return to_us(elapsed) / iters / 2.0;
+}
+
+/// MX ping-pong using isend/irecv and mx test/wait (paper §5).
+double mx_pingpong(const NetworkProfile& profile, std::uint32_t msg, int iters) {
+  Cluster cluster(2, profile);
+  auto& e = cluster.engine();
+  auto& buf0 = cluster.node(0).mem().alloc(msg, false);
+  auto& buf1 = cluster.node(1).mem().alloc(msg, false);
+
+  const int warmup = 4;
+  Time elapsed = 0;
+  e.spawn([](Cluster& c, std::uint64_t mine, std::uint32_t m, int it, int wu,
+             Time* out) -> Task<> {
+    auto& ep = c.endpoint(0);
+    const int peer = c.endpoint(1).port();
+    Time start = 0;
+    for (int i = 0; i < wu + it; ++i) {
+      if (i == wu) start = c.engine().now();
+      auto rx = co_await ep.irecv(mine, m, 1, ~0ull);
+      auto tx = co_await ep.isend(mine, m, peer, 1);
+      co_await ep.wait(rx);
+      co_await ep.wait(tx);
+    }
+    *out = c.engine().now() - start;
+  }(cluster, buf0.addr(), msg, iters, warmup, &elapsed));
+  e.spawn([](Cluster& c, std::uint64_t mine, std::uint32_t m, int total) -> Task<> {
+    auto& ep = c.endpoint(1);
+    const int peer = c.endpoint(0).port();
+    for (int i = 0; i < total; ++i) {
+      auto rx = co_await ep.irecv(mine, m, 1, ~0ull);
+      co_await ep.wait(rx);
+      auto tx = co_await ep.isend(mine, m, peer, 1);
+      co_await ep.wait(tx);
+    }
+  }(cluster, buf1.addr(), msg, iters + warmup));
+  e.run();
+  return to_us(elapsed) / iters / 2.0;
+}
+
+}  // namespace
+
+double userlevel_pingpong_latency_us(const NetworkProfile& profile, std::uint32_t msg,
+                                     int iters) {
+  if (profile.network == Network::kIwarp || profile.network == Network::kIb) {
+    return verbs_pingpong(profile, msg, iters);
+  }
+  return mx_pingpong(profile, msg, iters);
+}
+
+double userlevel_bandwidth_mbps(const NetworkProfile& profile, std::uint32_t msg, int iters) {
+  // The paper computes user-level bandwidth from the latency results.
+  const double latency_us = userlevel_pingpong_latency_us(profile, msg, iters);
+  return static_cast<double>(msg) / latency_us;  // bytes/us == MB/s
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: multi-connection scalability
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct MultiConnWorld {
+  explicit MultiConnWorld(const NetworkProfile& profile, int connections, std::uint32_t msg)
+      : cluster(2, profile) {
+    auto& e = cluster.engine();
+    cq0 = std::make_unique<verbs::CompletionQueue>(e);
+    cq1 = std::make_unique<verbs::CompletionQueue>(e);
+    for (int c = 0; c < connections; ++c) {
+      qps0.push_back(cluster.device(0).create_qp(*cq0, *cq0));
+      qps1.push_back(cluster.device(1).create_qp(*cq1, *cq1));
+      cluster.device(0).establish(*qps0.back(), *qps1.back());
+      bufs0.push_back(&cluster.node(0).mem().alloc(msg, false));
+      bufs1.push_back(&cluster.node(1).mem().alloc(msg, false));
+      keys0.push_back(cluster.device(0).registry().register_region(bufs0.back()->addr(), msg));
+      keys1.push_back(cluster.device(1).registry().register_region(bufs1.back()->addr(), msg));
+    }
+  }
+
+  Cluster cluster;
+  std::unique_ptr<verbs::CompletionQueue> cq0, cq1;
+  std::vector<std::unique_ptr<verbs::QueuePair>> qps0, qps1;
+  std::vector<hw::Buffer*> bufs0, bufs1;
+  std::vector<verbs::MrKey> keys0, keys1;
+};
+
+}  // namespace
+
+double multiconn_normalized_latency_us(const NetworkProfile& profile, int connections,
+                                       std::uint32_t msg, int rounds) {
+  if (profile.network != Network::kIwarp && profile.network != Network::kIb) {
+    throw std::invalid_argument("multi-connection test is a verbs-only comparison");
+  }
+  MultiConnWorld w(profile, connections, msg);
+  auto& e = w.cluster.engine();
+
+  // One responder process per connection on node 1.
+  for (int c = 0; c < connections; ++c) {
+    e.spawn([](MultiConnWorld& ww, int conn, std::uint32_t m, int r) -> Task<> {
+      for (int round = 0; round < r; ++round) {
+        auto incoming = ww.cluster.device(1).watch_placement(
+            ww.bufs1[static_cast<std::size_t>(conn)]->addr(), m);
+        co_await incoming->wait();
+        co_await ww.cluster.node(1).cpu().compute(kPollDetect);
+        co_await ww.qps1[static_cast<std::size_t>(conn)]->post_send(verbs::SendWr{
+            .wr_id = 2,
+            .opcode = verbs::Opcode::kRdmaWrite,
+            .sge = {ww.bufs0[static_cast<std::size_t>(conn)]->addr(), m,
+                    ww.keys1[static_cast<std::size_t>(conn)]},
+            .remote_addr = ww.bufs0[static_cast<std::size_t>(conn)]->addr(),
+            .rkey = ww.keys0[static_cast<std::size_t>(conn)]});
+      }
+    }(w, c, msg, rounds));
+  }
+
+  Time elapsed = 0;
+  e.spawn([](MultiConnWorld& ww, int conns, std::uint32_t m, int r, Time* out) -> Task<> {
+    const Time start = ww.cluster.engine().now();
+    for (int round = 0; round < r; ++round) {
+      std::vector<std::shared_ptr<Event>> replies;
+      for (int c = 0; c < conns; ++c) {
+        replies.push_back(ww.cluster.device(0).watch_placement(
+            ww.bufs0[static_cast<std::size_t>(c)]->addr(), m));
+      }
+      for (int c = 0; c < conns; ++c) {
+        co_await ww.qps0[static_cast<std::size_t>(c)]->post_send(verbs::SendWr{
+            .wr_id = 1,
+            .opcode = verbs::Opcode::kRdmaWrite,
+            .sge = {ww.bufs1[static_cast<std::size_t>(c)]->addr(), m,
+                    ww.keys0[static_cast<std::size_t>(c)]},
+            .remote_addr = ww.bufs1[static_cast<std::size_t>(c)]->addr(),
+            .rkey = ww.keys1[static_cast<std::size_t>(c)]});
+      }
+      for (auto& reply : replies) {
+        co_await reply->wait();
+      }
+      co_await ww.cluster.node(0).cpu().compute(kPollDetect);
+    }
+    *out = ww.cluster.engine().now() - start;
+  }(w, connections, msg, rounds, &elapsed));
+  e.run();
+
+  // Cumulative half-RTT divided by (#connections x #messages).
+  return to_us(elapsed) / 2.0 / (static_cast<double>(connections) * rounds);
+}
+
+double multiconn_throughput_mbps(const NetworkProfile& profile, int connections,
+                                 std::uint32_t msg, int rounds) {
+  if (profile.network != Network::kIwarp && profile.network != Network::kIb) {
+    throw std::invalid_argument("multi-connection test is a verbs-only comparison");
+  }
+  MultiConnWorld w(profile, connections, msg);
+  auto& e = w.cluster.engine();
+
+  // Both-way: each side streams `rounds` messages round-robin over all
+  // connections; completion is observed at the receiver via a watch on
+  // the last message of each connection.
+  auto streamer = [](MultiConnWorld& ww, bool forward, int conns, std::uint32_t m,
+                     int r) -> Task<> {
+    auto& qps = forward ? ww.qps0 : ww.qps1;
+    auto& dst_bufs = forward ? ww.bufs1 : ww.bufs0;
+    auto& lkeys = forward ? ww.keys0 : ww.keys1;
+    auto& rkeys = forward ? ww.keys1 : ww.keys0;
+    auto& cq = forward ? *ww.cq0 : *ww.cq1;
+    auto& cpu = ww.cluster.node(forward ? 0 : 1).cpu();
+    int outstanding = 0;
+    for (int round = 0; round < r; ++round) {
+      for (int c = 0; c < conns; ++c) {
+        co_await qps[static_cast<std::size_t>(c)]->post_send(verbs::SendWr{
+            .wr_id = 1,
+            .opcode = verbs::Opcode::kRdmaWrite,
+            .sge = {dst_bufs[static_cast<std::size_t>(c)]->addr(), m,
+                    lkeys[static_cast<std::size_t>(c)]},
+            .remote_addr = dst_bufs[static_cast<std::size_t>(c)]->addr(),
+            .rkey = rkeys[static_cast<std::size_t>(c)]});
+        ++outstanding;
+        // Bound in-flight work the way a real benchmark's send queue does.
+        while (outstanding > 4 * conns) {
+          co_await verbs::next_completion(cq, cpu, kPollDetect);
+          --outstanding;
+        }
+      }
+    }
+    while (outstanding > 0) {
+      co_await verbs::next_completion(cq, cpu, kPollDetect);
+      --outstanding;
+    }
+  };
+
+  e.spawn(streamer(w, true, connections, msg, rounds));
+  e.spawn(streamer(w, false, connections, msg, rounds));
+  e.run();
+
+  // All data has been placed when the event queue drains.
+  const double total_bytes = 2.0 * static_cast<double>(rounds) * connections * msg;
+  return total_bytes / to_us(w.cluster.engine().now());  // bytes/us == MB/s
+}
+
+}  // namespace fabsim::core

@@ -1,0 +1,94 @@
+// Switch fabric model.
+//
+// Topology: every NIC connects to one switch port by a full-duplex link.
+// The transmit-side serialization is booked by the *NIC* (its tx server),
+// so the switch model covers: ingress propagation -> cut-through latency ->
+// output-port serialization (contention point) -> egress propagation ->
+// delivery to the destination NIC's FrameSink.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/frame.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/time.hpp"
+
+namespace fabsim::hw {
+
+struct SwitchConfig {
+  Rate link_rate;        ///< per-direction link bandwidth
+  Time cut_through = 0;  ///< fixed switch traversal latency
+  Time propagation = 0;  ///< per-hop cable propagation delay
+  /// Per-output-port buffer in bytes; 0 = unbounded. Ethernet switches
+  /// tail-drop when the buffer overflows (the iWARP TCP recovers via
+  /// go-back-N); IB and Myrinet fabrics are modelled lossless, so their
+  /// profiles leave this at 0.
+  std::uint64_t max_queue_bytes = 0;
+};
+
+class Switch {
+ public:
+  Switch(Engine& engine, SwitchConfig config) : engine_(&engine), config_(config) {}
+
+  /// Attach a receive sink; returns the port number. The same port number
+  /// is used as the node's address on this fabric.
+  int attach(FrameSink& sink) {
+    ports_.push_back(Port{&sink, SerialServer{}});
+    return static_cast<int>(ports_.size()) - 1;
+  }
+
+  /// Frame handed over by the source NIC at the moment its last bit left
+  /// the NIC (the NIC booked tx serialization already).
+  void ingress(Frame frame) {
+    const int dst = frame.dst_node;
+    Port& out = ports_.at(static_cast<std::size_t>(dst));
+    const Time at_switch = engine_->now() + config_.propagation + config_.cut_through;
+
+    if (config_.max_queue_bytes > 0 && out.tx.busy_until() > at_switch) {
+      // Tail drop: the backlog already booked on this output port,
+      // expressed in bytes at the link rate.
+      const double backlog_bytes = static_cast<double>(out.tx.busy_until() - at_switch) /
+                                   config_.link_rate.ps_per_byte();
+      if (backlog_bytes + frame.wire_bytes > static_cast<double>(config_.max_queue_bytes)) {
+        ++out.drops;
+        return;
+      }
+    }
+
+    const Time serialization = config_.link_rate.bytes_time(frame.wire_bytes);
+    const Time sent = out.tx.book(at_switch, serialization);
+    const Time delivered = sent + config_.propagation;
+    engine_->post(delivered, [sink = out.sink, f = std::move(frame)]() mutable {
+      sink->deliver(std::move(f));
+    });
+  }
+
+  const SwitchConfig& config() const { return config_; }
+  std::size_t num_ports() const { return ports_.size(); }
+
+  /// Total bytes-time booked on an output port (for utilization checks).
+  Time output_busy_time(int port) const {
+    return ports_.at(static_cast<std::size_t>(port)).tx.busy_time();
+  }
+
+  /// Frames tail-dropped at an output port (bounded-buffer mode only).
+  std::uint64_t output_drops(int port) const {
+    return ports_.at(static_cast<std::size_t>(port)).drops;
+  }
+
+ private:
+  struct Port {
+    FrameSink* sink;
+    SerialServer tx;  // output-port serialization: the contention point
+    std::uint64_t drops = 0;
+  };
+
+  Engine* engine_;
+  SwitchConfig config_;
+  std::vector<Port> ports_;
+};
+
+}  // namespace fabsim::hw

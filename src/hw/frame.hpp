@@ -1,0 +1,28 @@
+// Wire-level frame and delivery interface shared by all fabrics.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <utility>
+
+namespace fabsim::hw {
+
+/// A frame in flight. `wire_bytes` is the full on-the-wire size including
+/// all headers (it determines serialization time); `payload` is a
+/// stack-specific struct (TCP segment, IB packet, MX frame, ...).
+struct Frame {
+  int src_node = -1;
+  int dst_node = -1;
+  std::uint32_t wire_bytes = 0;
+  std::any payload;
+};
+
+/// Anything that can accept a delivered frame (usually a NIC receive path).
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  /// Called at the simulated time the last bit of the frame arrives.
+  virtual void deliver(Frame frame) = 0;
+};
+
+}  // namespace fabsim::hw

@@ -1,0 +1,111 @@
+// Host memory: fake address space with optional real backing bytes, and a
+// page-granular registration (pinning) model.
+//
+// Buffers may carry real bytes (tests verify zero-copy placement end to
+// end) or be size-only (benchmarks avoid megabytes of memcpy per
+// simulated message). Registration cost — the dominant term of the
+// paper's buffer-re-use experiment (Fig 6) — is exposed so callers charge
+// it to the host CPU at registration time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fabsim::hw {
+
+class Buffer {
+ public:
+  Buffer(std::uint64_t addr, std::uint64_t size, bool with_data)
+      : addr_(addr), size_(size), data_(with_data ? size : 0) {}
+
+  std::uint64_t addr() const { return addr_; }
+  std::uint64_t size() const { return size_; }
+  bool has_data() const { return !data_.empty(); }
+  std::span<std::byte> bytes() { return data_; }
+  std::span<const std::byte> bytes() const { return data_; }
+
+ private:
+  std::uint64_t addr_;
+  std::uint64_t size_;
+  std::vector<std::byte> data_;
+};
+
+/// Per-node virtual address space: a bump allocator over fake addresses
+/// with an interval map for placement lookups.
+class AddressSpace {
+ public:
+  /// Allocate a buffer. `with_data` buffers carry real bytes.
+  Buffer& alloc(std::uint64_t size, bool with_data = true);
+  void free(const Buffer& buffer);
+
+  /// Buffer containing `addr`, or nullptr.
+  Buffer* find(std::uint64_t addr);
+
+  /// Copy `data` into the buffer covering [addr, addr+size). Size-only
+  /// target buffers accept the write without storing bytes.
+  void write(std::uint64_t addr, std::span<const std::byte> data);
+
+  /// View of [addr, addr+len) — requires a data-carrying buffer.
+  std::span<std::byte> window(std::uint64_t addr, std::uint64_t len);
+
+ private:
+  std::uint64_t next_addr_ = 0x1000;
+  std::map<std::uint64_t, std::unique_ptr<Buffer>> buffers_;  // keyed by start address
+};
+
+struct RegistrationConfig {
+  Time register_base = us(1.0);     ///< syscall + setup
+  Time register_per_page = us(1.0); ///< pin + translation entry, per 4 KB page
+  Time deregister_base = us(0.5);
+  Time deregister_per_page = us(0.2);
+  std::uint64_t page_size = 4096;
+};
+
+/// Memory region registry of one NIC. Registration is bookkeeping only;
+/// the caller charges `register_cost()` to the host CPU.
+class MemoryRegistry {
+ public:
+  using Key = std::uint32_t;
+
+  explicit MemoryRegistry(RegistrationConfig config = {}) : config_(config) {}
+
+  struct Region {
+    Key key;
+    std::uint64_t addr;
+    std::uint64_t len;
+  };
+
+  Key register_region(std::uint64_t addr, std::uint64_t len);
+  void deregister(Key key);
+
+  const Region* lookup(Key key) const;
+  /// True iff [addr, addr+len) lies inside the registered region `key`.
+  bool covers(Key key, std::uint64_t addr, std::uint64_t len) const;
+
+  std::uint64_t pages(std::uint64_t len) const {
+    return (len + config_.page_size - 1) / config_.page_size;
+  }
+  Time register_cost(std::uint64_t len) const {
+    return config_.register_base + config_.register_per_page * pages(len);
+  }
+  Time deregister_cost(std::uint64_t len) const {
+    return config_.deregister_base + config_.deregister_per_page * pages(len);
+  }
+
+  std::size_t active_regions() const { return regions_.size(); }
+  const RegistrationConfig& config() const { return config_; }
+
+ private:
+  RegistrationConfig config_;
+  Key next_key_ = 1;
+  std::map<Key, Region> regions_;
+};
+
+}  // namespace fabsim::hw

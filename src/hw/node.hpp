@@ -1,0 +1,32 @@
+// A compute node: CPU + memory + the PCIe slot NICs plug into.
+#pragma once
+
+#include <memory>
+
+#include "hw/cpu.hpp"
+#include "hw/memory.hpp"
+#include "hw/pci.hpp"
+#include "sim/engine.hpp"
+
+namespace fabsim::hw {
+
+class Node {
+ public:
+  Node(Engine& engine, int id, PciConfig pcie, CpuConfig cpu = {})
+      : engine_(&engine), id_(id), cpu_(engine, cpu), pcie_(pcie) {}
+
+  int id() const { return id_; }
+  Engine& engine() const { return *engine_; }
+  HostCpu& cpu() { return cpu_; }
+  AddressSpace& mem() { return mem_; }
+  PcieBus& pcie() { return pcie_; }
+
+ private:
+  Engine* engine_;
+  int id_;
+  HostCpu cpu_;
+  AddressSpace mem_;
+  PcieBus pcie_;
+};
+
+}  // namespace fabsim::hw

@@ -1,0 +1,71 @@
+// Host I/O bus models.
+//
+// PcieBus: full duplex — independent serializers per direction, with a
+// per-transaction setup latency and a payload efficiency factor (TLP
+// headers). PcixBus: a single half-duplex serializer shared by both
+// directions — this is the NetEffect NE010e's internal 64-bit/133 MHz
+// PCI-X bus, the bandwidth bottleneck the paper calls out (1064 MB/s raw,
+// shared between send and receive DMA).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/resource.hpp"
+#include "sim/time.hpp"
+
+namespace fabsim::hw {
+
+struct PciConfig {
+  Rate rate;                ///< effective payload bandwidth per direction
+  Time transaction = 0;     ///< fixed latency per DMA transaction
+};
+
+/// Full-duplex host bus (PCI Express).
+class PcieBus {
+ public:
+  explicit PcieBus(PciConfig config) : config_(config) {}
+
+  /// DMA read by the device from host memory (descriptor/data fetch).
+  /// Returns completion time of the full transfer.
+  Time dma_read(Time now, std::uint64_t bytes) { return dma(to_device_, now, bytes); }
+
+  /// DMA write by the device into host memory (data delivery, completions).
+  Time dma_write(Time now, std::uint64_t bytes) { return dma(from_device_, now, bytes); }
+
+  /// CPU-initiated posted write to the device (doorbell). Cheap and does
+  /// not occupy the DMA serializers.
+  Time doorbell(Time now) const { return now + config_.transaction; }
+
+  const PciConfig& config() const { return config_; }
+  Time read_busy_time() const { return to_device_.busy_time(); }
+  Time write_busy_time() const { return from_device_.busy_time(); }
+
+ private:
+  Time dma(SerialServer& dir, Time now, std::uint64_t bytes) {
+    return dir.book(now, config_.transaction + config_.rate.bytes_time(bytes));
+  }
+
+  PciConfig config_;
+  SerialServer to_device_;
+  SerialServer from_device_;
+};
+
+/// Half-duplex shared bus (PCI-X): both directions contend for one
+/// serializer.
+class PcixBus {
+ public:
+  explicit PcixBus(PciConfig config) : config_(config) {}
+
+  Time transfer(Time now, std::uint64_t bytes) {
+    return bus_.book(now, config_.transaction + config_.rate.bytes_time(bytes));
+  }
+
+  const PciConfig& config() const { return config_; }
+  Time busy_time() const { return bus_.busy_time(); }
+
+ private:
+  PciConfig config_;
+  SerialServer bus_;
+};
+
+}  // namespace fabsim::hw

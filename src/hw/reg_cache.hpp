@@ -1,0 +1,102 @@
+// LRU registration (pin-down) cache.
+//
+// Keyed by (address, length); bounded both by entry count and by total
+// pinned bytes. The byte bound is what makes the paper's buffer-re-use
+// experiment (Fig 6) size-dependent: sixteen 64 KB buffers fit and hit,
+// sixteen 1 MB buffers thrash. Used by the MX library internally and by
+// MiniMPI's ch_verbs rendezvous path.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+namespace fabsim::hw {
+
+class RegCache {
+ public:
+  RegCache(std::size_t max_entries, std::uint64_t max_bytes)
+      : max_entries_(max_entries), max_bytes_(max_bytes) {}
+
+  struct Evicted {
+    std::uint64_t addr = 0;
+    std::uint64_t len = 0;
+    std::uint64_t user = 0;  ///< caller-supplied value (e.g. an MR key)
+  };
+
+  struct LookupResult {
+    bool hit = false;
+    std::uint64_t user = 0;  ///< user value of the hit entry
+    /// Entries evicted to make room (caller pays deregistration).
+    std::vector<Evicted> evicted;
+  };
+
+  /// Look up (addr, len); on miss, insert it with `user` attached and
+  /// evict LRU entries until both bounds hold. The caller charges
+  /// registration cost on miss and deregistration cost per eviction.
+  LookupResult lookup(std::uint64_t addr, std::uint64_t len, std::uint64_t user = 0) {
+    LookupResult result;
+    const Key key{addr, len};
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      result.hit = true;
+      result.user = it->second->user;
+      return result;
+    }
+    lru_.push_front(Entry{key, len, user});
+    index_[key] = lru_.begin();
+    bytes_ += len;
+    while (lru_.size() > max_entries_ || bytes_ > max_bytes_) {
+      if (lru_.size() == 1) break;  // never evict the entry just inserted
+      const Entry& victim = lru_.back();
+      bytes_ -= victim.len;
+      result.evicted.push_back(Evicted{victim.key.addr, victim.len, victim.user});
+      index_.erase(victim.key);
+      lru_.pop_back();
+    }
+    return result;
+  }
+
+  /// Update the user value of the most recently inserted/hit entry.
+  void set_front_user(std::uint64_t user) {
+    if (!lru_.empty()) lru_.front().user = user;
+  }
+
+  /// Drop everything (cache disabled / teardown); returns the entries.
+  std::vector<Evicted> flush() {
+    std::vector<Evicted> out;
+    for (const Entry& entry : lru_) out.push_back(Evicted{entry.key.addr, entry.len, entry.user});
+    lru_.clear();
+    index_.clear();
+    bytes_ = 0;
+    return out;
+  }
+
+  std::size_t entries() const { return lru_.size(); }
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  struct Key {
+    std::uint64_t addr;
+    std::uint64_t len;
+    bool operator<(const Key& other) const {
+      if (addr != other.addr) return addr < other.addr;
+      return len < other.len;
+    }
+  };
+  struct Entry {
+    Key key;
+    std::uint64_t len;
+    std::uint64_t user;
+  };
+
+  std::size_t max_entries_;
+  std::uint64_t max_bytes_;
+  std::list<Entry> lru_;
+  std::map<Key, std::list<Entry>::iterator> index_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace fabsim::hw

@@ -1,0 +1,52 @@
+// Mellanox MHEA28-XT-class InfiniBand HCA parameters.
+//
+// Defaults are placeholders; the calibrated set lives in
+// core/calibration.hpp. The two architectural choices that distinguish
+// this HCA from the iWARP RNIC (DESIGN.md §1):
+//   * processor-based engine: WQE/packet processing is serialized
+//     (occupancy == the whole processing time, no pipelining across
+//     connections), and
+//   * MemFree card: QP contexts live in host memory behind a small
+//     on-chip cache; a miss costs a PCIe round trip.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/memory.hpp"
+#include "sim/time.hpp"
+
+namespace fabsim::ib {
+
+struct HcaConfig {
+  // --- Processing engine (shared by both directions) ---
+  Time tx_packet_proc = ns(350);  ///< per outbound packet
+  Time rx_packet_proc = ns(350);  ///< per inbound packet
+  Time tx_message_proc = ns(500); ///< extra, first packet of a message (WQE)
+  Time rx_message_proc = ns(300); ///< extra, first packet of a message
+  Time engine_latency_pad = ns(300);  ///< fixed pipeline fill per packet
+  /// Per-byte engine throughput (header/CRC processing paths).
+  Rate engine_byte_rate = Rate::mb_per_sec(4000.0);
+
+  // --- QP context cache (MemFree card) ---
+  int context_cache_entries = 8;
+  Time context_miss_penalty = us(1.3);  ///< PCIe fetch of the QP context
+
+  // --- Host interface ---
+  Time post_send_cpu = ns(300);
+  Time post_recv_cpu = ns(250);
+  Time poll_cpu = ns(200);
+  Time doorbell = ns(200);
+  /// NIC-side DMA engine: serializes all host-memory traffic (both
+  /// directions). This is what caps both-way MPI bandwidth at ~89% of
+  /// 2 GB/s in the paper.
+  Rate dma_rate = Rate::mb_per_sec(1780.0);
+  Time dma_transaction = ns(150);
+
+  // --- Link / transport ---
+  std::uint32_t mtu = 2048;
+  std::uint32_t packet_overhead = 30;  ///< LRH+BTH+ICRC+VCRC bytes
+
+  hw::RegistrationConfig reg{us(2.0), us(13.0), us(1.0), us(1.0), 4096};
+};
+
+}  // namespace fabsim::ib

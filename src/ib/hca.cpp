@@ -1,0 +1,355 @@
+#include "ib/hca.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fabsim::ib {
+
+namespace {
+constexpr std::uint32_t kReadRequestBytes = 28;
+}
+
+// ---------------------------------------------------------------------------
+// Qp
+// ---------------------------------------------------------------------------
+
+Task<> Qp::post_send(verbs::SendWr wr) { return nic_->post_send_impl(*this, wr); }
+
+Task<> Qp::post_recv(verbs::RecvWr wr) { return nic_->post_recv_impl(*this, wr); }
+
+// ---------------------------------------------------------------------------
+// Hca: construction / verbs surface
+// ---------------------------------------------------------------------------
+
+Hca::Hca(hw::Node& node, hw::Switch& fabric, HcaConfig config)
+    : node_(&node),
+      fabric_(&fabric),
+      config_(config),
+      port_(fabric.attach(*this)),
+      registry_(config.reg) {}
+
+Task<verbs::MrKey> Hca::reg_mr(std::uint64_t addr, std::uint64_t len) {
+  co_await node_->cpu().compute(registry_.register_cost(len));
+  co_return registry_.register_region(addr, len);
+}
+
+Task<> Hca::dereg_mr(verbs::MrKey key) {
+  const auto* region = registry_.lookup(key);
+  if (region == nullptr) throw std::invalid_argument("ib: dereg_mr of unknown key");
+  const Time cost = registry_.deregister_cost(region->len);
+  registry_.deregister(key);
+  co_await node_->cpu().compute(cost);
+}
+
+std::unique_ptr<verbs::QueuePair> Hca::create_qp(verbs::CompletionQueue& send_cq,
+                                                 verbs::CompletionQueue& recv_cq) {
+  return std::unique_ptr<Qp>(new Qp(*this, next_qp_num_++, send_cq, recv_cq));
+}
+
+std::shared_ptr<Event> Hca::watch_placement(std::uint64_t addr, std::uint64_t len) {
+  auto event = std::make_shared<Event>(engine());
+  watches_.push_back(Watch{addr, len, event});
+  return event;
+}
+
+void Hca::connect(verbs::QueuePair& a, verbs::QueuePair& b) {
+  auto& qa = dynamic_cast<Qp&>(a);
+  auto& qb = dynamic_cast<Qp&>(b);
+  if (qa.connected() || qb.connected()) throw std::logic_error("ib: QP already connected");
+  const int ca = qa.nic_->new_conn(qa);
+  const int cb = qb.nic_->new_conn(qb);
+  Conn& conn_a = *qa.nic_->conns_[static_cast<std::size_t>(ca)];
+  Conn& conn_b = *qb.nic_->conns_[static_cast<std::size_t>(cb)];
+  conn_a.peer = qb.nic_;
+  conn_a.peer_conn_id = cb;
+  conn_b.peer = qa.nic_;
+  conn_b.peer_conn_id = ca;
+  qa.conn_id_ = ca;
+  qb.conn_id_ = cb;
+}
+
+int Hca::new_conn(Qp& qp) {
+  conns_.push_back(std::make_unique<Conn>());
+  conns_.back()->qp = &qp;
+  return static_cast<int>(conns_.size()) - 1;
+}
+
+std::shared_ptr<std::vector<std::byte>> Hca::snapshot(hw::AddressSpace& mem, std::uint64_t addr,
+                                                      std::uint32_t len) {
+  hw::Buffer* buffer = mem.find(addr);
+  if (buffer == nullptr || addr + len > buffer->addr() + buffer->size()) {
+    throw std::out_of_range("ib: source outside any buffer");
+  }
+  if (!buffer->has_data()) return nullptr;
+  auto view = mem.window(addr, len);
+  return std::make_shared<std::vector<std::byte>>(view.begin(), view.end());
+}
+
+// ---------------------------------------------------------------------------
+// Host-facing post paths
+// ---------------------------------------------------------------------------
+
+Task<> Hca::post_send_impl(Qp& qp, verbs::SendWr wr) {
+  if (!qp.connected()) throw std::logic_error("ib: post_send on unconnected QP");
+  if (wr.sge.length == 0) throw std::invalid_argument("ib: zero-length work request");
+  if (!registry_.covers(wr.sge.lkey, wr.sge.addr, wr.sge.length)) {
+    throw std::invalid_argument("ib: sge not covered by lkey");
+  }
+  co_await node_->cpu().compute(config_.post_send_cpu);
+
+  OutMsg msg{};
+  msg.wr_id = wr.wr_id;
+  msg.signaled = wr.signaled;
+  switch (wr.opcode) {
+    case verbs::Opcode::kSend:
+      msg.kind = MsgKind::kUntagged;
+      msg.len = wr.sge.length;
+      break;
+    case verbs::Opcode::kRdmaWrite:
+      msg.kind = MsgKind::kTaggedWrite;
+      msg.len = wr.sge.length;
+      msg.remote_addr = wr.remote_addr;
+      msg.rkey = wr.rkey;
+      break;
+    case verbs::Opcode::kRdmaRead:
+      msg.kind = MsgKind::kReadRequest;
+      msg.len = kReadRequestBytes;
+      msg.remote_addr = wr.remote_addr;
+      msg.rkey = wr.rkey;
+      msg.read_sink_addr = wr.sge.addr;
+      msg.read_sink_key = wr.sge.lkey;
+      msg.read_len = wr.sge.length;
+      break;
+  }
+  if (wr.opcode != verbs::Opcode::kRdmaRead) {
+    msg.data = snapshot(node_->mem(), wr.sge.addr, wr.sge.length);
+  }
+
+  const int conn_id = qp.conn_id_;
+  engine().post(engine().now() + config_.doorbell, [this, conn_id, msg = std::move(msg)]() mutable {
+    send_message(*conns_[static_cast<std::size_t>(conn_id)], std::move(msg));
+  });
+}
+
+Task<> Hca::post_recv_impl(Qp& qp, verbs::RecvWr wr) {
+  if (!qp.connected()) throw std::logic_error("ib: post_recv on unconnected QP");
+  if (!registry_.covers(wr.sge.lkey, wr.sge.addr, wr.sge.length)) {
+    throw std::invalid_argument("ib: recv sge not covered by lkey");
+  }
+  co_await node_->cpu().compute(config_.post_recv_cpu);
+  conns_[static_cast<std::size_t>(qp.conn_id_)]->recv_queue.push_back(wr);
+}
+
+// ---------------------------------------------------------------------------
+// Transmit path
+// ---------------------------------------------------------------------------
+
+Time Hca::context_access(int conn_id) {
+  auto it = std::find(context_lru_.begin(), context_lru_.end(), conn_id);
+  if (it != context_lru_.end()) {
+    context_lru_.erase(it);
+    context_lru_.push_front(conn_id);
+    ++context_hits_;
+    return 0;
+  }
+  context_lru_.push_front(conn_id);
+  if (static_cast<int>(context_lru_.size()) > config_.context_cache_entries) {
+    context_lru_.pop_back();
+  }
+  ++context_misses_;
+  return config_.context_miss_penalty;
+}
+
+Time Hca::engine_process(Time ready, const Packet& packet, bool transmit_side,
+                         int local_conn_id) {
+  Time occupancy = (transmit_side ? config_.tx_packet_proc : config_.rx_packet_proc) +
+                   config_.engine_byte_rate.bytes_time(packet.payload_len);
+  if (packet.first_of_message) {
+    occupancy += transmit_side ? config_.tx_message_proc : config_.rx_message_proc;
+    occupancy += context_access(local_conn_id);
+  }
+  return proc_.book(ready, occupancy) + config_.engine_latency_pad;
+}
+
+void Hca::send_message(Conn& conn, OutMsg msg) {
+  const std::uint64_t msg_id = conn.next_msg_id++;
+  std::uint32_t offset = 0;
+  while (offset < msg.len) {
+    const std::uint32_t chunk = std::min(config_.mtu, msg.len - offset);
+
+    Packet packet{};
+    packet.dst_conn_id = conn.peer_conn_id;
+    packet.kind = msg.kind;
+    packet.msg_id = msg_id;
+    packet.msg_len = msg.len;
+    packet.msg_offset = offset;
+    packet.payload_len = chunk;
+    packet.rkey = msg.rkey;
+    packet.wr_id = msg.wr_id;
+    packet.signaled = msg.signaled;
+    packet.first_of_message = (offset == 0);
+    packet.read_sink_addr = msg.read_sink_addr;
+    packet.read_sink_key = msg.read_sink_key;
+    packet.read_len = msg.read_len;
+    if (msg.kind == MsgKind::kTaggedWrite || msg.kind == MsgKind::kReadResponse) {
+      packet.place_addr = msg.remote_addr + offset;
+    } else if (msg.kind == MsgKind::kReadRequest) {
+      packet.place_addr = msg.remote_addr;
+    }
+    if (msg.data != nullptr) {
+      packet.data = std::make_shared<std::vector<std::byte>>(
+          msg.data->begin() + offset, msg.data->begin() + offset + chunk);
+    }
+    offset += chunk;
+    packet.last_of_message = (offset == msg.len);
+
+    ++packets_sent_;
+    // Fetch payload from host memory through the NIC DMA engine.
+    const bool carries_data = msg.kind != MsgKind::kReadRequest;
+    Time ready = engine().now();
+    if (carries_data) {
+      ready = dma_.book(ready, config_.dma_transaction +
+                                   config_.dma_rate.bytes_time(packet.payload_len + 64));
+    }
+    const Time processed =
+        engine_process(ready, packet, /*transmit_side=*/true, conn.qp->conn_id_);
+    const Time sent = tx_link_.book(
+        processed,
+        fabric_->config().link_rate.bytes_time(packet.payload_len + config_.packet_overhead));
+
+    const bool completes =
+        packet.last_of_message && packet.signaled &&
+        (msg.kind == MsgKind::kUntagged || msg.kind == MsgKind::kTaggedWrite);
+    Qp* qp = conn.qp;
+    Hca* peer = conn.peer;
+    const int src = port_;
+    engine().post(sent, [this, packet = std::move(packet), completes, qp, peer, src]() mutable {
+      if (completes) {
+        const auto type = packet.kind == MsgKind::kUntagged
+                              ? verbs::Completion::Type::kSend
+                              : verbs::Completion::Type::kRdmaWrite;
+        qp->send_cq_->push(verbs::Completion{packet.wr_id, type, packet.msg_len, qp->qp_num()});
+      }
+      fabric_->ingress(hw::Frame{src, peer->port_,
+                                 packet.payload_len + config_.packet_overhead,
+                                 std::move(packet)});
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+void Hca::deliver(hw::Frame frame) {
+  Packet packet = std::any_cast<Packet>(std::move(frame.payload));
+  conns_.at(static_cast<std::size_t>(packet.dst_conn_id));  // validate conn id
+
+  // On the receive side the packet's destination connection id is local.
+  const Time processed =
+      engine_process(engine().now(), packet, /*transmit_side=*/false, packet.dst_conn_id);
+
+  if (packet.kind == MsgKind::kReadRequest) {
+    // Read-after-write ordering: the responder must observe all earlier
+    // placements from this stream before snapshotting the source, so the
+    // request rides through the same FIFO DMA stage the data uses.
+    const Time ordered = dma_.book(processed, config_.dma_transaction);
+    const int conn_id = packet.dst_conn_id;
+    engine().post(ordered, [this, conn_id, packet = std::move(packet)] {
+      handle_read_request(*conns_[static_cast<std::size_t>(conn_id)], packet);
+    });
+    return;
+  }
+
+  const Time placed = dma_.book(
+      processed, config_.dma_transaction + config_.dma_rate.bytes_time(packet.payload_len + 64));
+  const int conn_id = packet.dst_conn_id;
+  engine().post(placed, [this, conn_id, packet = std::move(packet)]() mutable {
+    complete_placement(*conns_[static_cast<std::size_t>(conn_id)], packet);
+  });
+}
+
+void Hca::handle_read_request(Conn& conn, const Packet& request) {
+  if (!registry_.covers(request.rkey, request.place_addr, request.read_len)) {
+    throw std::invalid_argument("ib: RDMA read source not covered by rkey");
+  }
+  OutMsg response{};
+  response.kind = MsgKind::kReadResponse;
+  response.wr_id = request.wr_id;
+  response.signaled = true;
+  response.len = request.read_len;
+  response.remote_addr = request.read_sink_addr;
+  response.rkey = request.read_sink_key;
+  response.data = snapshot(node_->mem(), request.place_addr, request.read_len);
+  send_message(conn, std::move(response));
+}
+
+void Hca::complete_placement(Conn& conn, const Packet& packet) {
+  RxMsg& rx = conn.rx_msgs[packet.msg_id];
+
+  std::uint64_t addr = 0;
+  if (packet.kind == MsgKind::kUntagged) {
+    if (packet.msg_offset == 0) {
+      if (conn.recv_queue.empty()) {
+        throw std::logic_error("ib: untagged message with no posted receive (RNR)");
+      }
+      const verbs::RecvWr wr = conn.recv_queue.front();
+      conn.recv_queue.pop_front();
+      if (wr.sge.length < packet.msg_len) {
+        throw std::length_error("ib: posted receive buffer too small");
+      }
+      rx.target_addr = wr.sge.addr;
+      rx.recv_wr_id = wr.wr_id;
+    }
+    addr = rx.target_addr + packet.msg_offset;
+  } else {
+    if (!registry_.covers(packet.rkey, packet.place_addr, packet.payload_len)) {
+      throw std::invalid_argument("ib: tagged placement not covered by rkey");
+    }
+    addr = packet.place_addr;
+    if (packet.msg_offset == 0) rx.target_addr = packet.place_addr;
+  }
+
+  if (packet.data != nullptr) {
+    node_->mem().write(addr, *packet.data);
+  } else if (hw::Buffer* buffer = node_->mem().find(addr);
+             buffer == nullptr || addr + packet.payload_len > buffer->addr() + buffer->size()) {
+    throw std::out_of_range("ib: placement outside any buffer");
+  }
+
+  rx.placed += packet.payload_len;
+  if (rx.placed < packet.msg_len) return;
+
+  const std::uint64_t base = rx.target_addr;
+  const std::uint64_t recv_wr_id = rx.recv_wr_id;
+  conn.rx_msgs.erase(packet.msg_id);
+  switch (packet.kind) {
+    case MsgKind::kUntagged:
+      conn.qp->recv_cq_->push(verbs::Completion{recv_wr_id, verbs::Completion::Type::kRecv,
+                                                packet.msg_len, conn.qp->qp_num()});
+      break;
+    case MsgKind::kReadResponse:
+      conn.qp->send_cq_->push(verbs::Completion{packet.wr_id, verbs::Completion::Type::kRdmaRead,
+                                                packet.msg_len, conn.qp->qp_num()});
+      check_watches(base, packet.msg_len);
+      break;
+    case MsgKind::kTaggedWrite:
+      check_watches(base, packet.msg_len);
+      break;
+    case MsgKind::kReadRequest:
+      break;
+  }
+}
+
+void Hca::check_watches(std::uint64_t addr, std::uint32_t len) {
+  for (auto it = watches_.begin(); it != watches_.end();) {
+    if (it->addr >= addr && it->addr + it->len <= addr + len) {
+      it->event->trigger();
+      it = watches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace fabsim::ib

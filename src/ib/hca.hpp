@@ -1,0 +1,175 @@
+// InfiniBand Host Channel Adapter (HCA), Reliable Connection transport.
+//
+// Verbs work requests become messages segmented into MTU packets on a 4X
+// SDR link (1 GB/s data rate per direction). The fabric is lossless
+// (credit-based link-level flow control), so there is no retransmission
+// machinery; per-QP packet order is preserved end to end.
+//
+// The processing engine is processor-based: one packet at a time,
+// occupancy == full processing time (contrast with the iWARP RNIC's
+// pipeline). QP contexts live in host memory (MemFree) behind a small
+// LRU cache; the miss penalty is what serializes multi-connection
+// traffic past 8 connections in the paper's Figure 2.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hw/fabric.hpp"
+#include "hw/node.hpp"
+#include "ib/config.hpp"
+#include "verbs/verbs.hpp"
+
+namespace fabsim::ib {
+
+class Hca;
+
+class Qp final : public verbs::QueuePair {
+ public:
+  Task<> post_send(verbs::SendWr wr) override;
+  Task<> post_recv(verbs::RecvWr wr) override;
+  int qp_num() const override { return qp_num_; }
+  bool connected() const override { return conn_id_ >= 0; }
+
+ private:
+  friend class Hca;
+  Qp(Hca& nic, int qp_num, verbs::CompletionQueue& send_cq, verbs::CompletionQueue& recv_cq)
+      : nic_(&nic), qp_num_(qp_num), send_cq_(&send_cq), recv_cq_(&recv_cq) {}
+
+  Hca* nic_;
+  int qp_num_;
+  int conn_id_ = -1;
+  verbs::CompletionQueue* send_cq_;
+  verbs::CompletionQueue* recv_cq_;
+};
+
+class Hca final : public verbs::Device, public hw::FrameSink {
+ public:
+  Hca(hw::Node& node, hw::Switch& fabric, HcaConfig config);
+
+  // --- verbs::Device ---
+  Task<verbs::MrKey> reg_mr(std::uint64_t addr, std::uint64_t len) override;
+  Task<> dereg_mr(verbs::MrKey key) override;
+  std::unique_ptr<verbs::QueuePair> create_qp(verbs::CompletionQueue& send_cq,
+                                              verbs::CompletionQueue& recv_cq) override;
+  std::shared_ptr<Event> watch_placement(std::uint64_t addr, std::uint64_t len) override;
+  hw::MemoryRegistry& registry() override { return registry_; }
+  void establish(verbs::QueuePair& local, verbs::QueuePair& remote) override {
+    connect(local, remote);
+  }
+
+  // --- hw::FrameSink ---
+  void deliver(hw::Frame frame) override;
+
+  /// Out-of-band RC connection establishment.
+  static void connect(verbs::QueuePair& a, verbs::QueuePair& b);
+
+  hw::Node& node() { return *node_; }
+  const HcaConfig& config() const { return config_; }
+  int fabric_port() const { return port_; }
+
+  // Statistics for tests and utilization studies.
+  Time proc_busy_time() const { return proc_.busy_time(); }
+  Time dma_busy_time() const { return dma_.busy_time(); }
+  Time tx_link_busy_time() const { return tx_link_.busy_time(); }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t context_misses() const { return context_misses_; }
+  std::uint64_t context_hits() const { return context_hits_; }
+
+ private:
+  friend class Qp;
+
+  enum class MsgKind : std::uint8_t { kUntagged, kTaggedWrite, kReadRequest, kReadResponse };
+
+  struct Packet {
+    int dst_conn_id = -1;
+    MsgKind kind = MsgKind::kUntagged;
+    std::uint64_t msg_id = 0;
+    std::uint32_t msg_len = 0;
+    std::uint32_t msg_offset = 0;
+    std::uint32_t payload_len = 0;
+    std::uint64_t place_addr = 0;  ///< tagged target / read source
+    verbs::MrKey rkey = 0;
+    std::uint64_t wr_id = 0;
+    bool signaled = true;
+    bool first_of_message = false;
+    bool last_of_message = false;
+    std::uint64_t read_sink_addr = 0;
+    verbs::MrKey read_sink_key = 0;
+    std::uint32_t read_len = 0;
+    std::shared_ptr<std::vector<std::byte>> data;
+  };
+
+  struct OutMsg {
+    MsgKind kind = MsgKind::kUntagged;
+    std::uint64_t wr_id = 0;
+    bool signaled = true;
+    std::uint32_t len = 0;
+    std::uint64_t remote_addr = 0;
+    verbs::MrKey rkey = 0;
+    std::uint64_t read_sink_addr = 0;
+    verbs::MrKey read_sink_key = 0;
+    std::uint32_t read_len = 0;
+    std::shared_ptr<std::vector<std::byte>> data;
+  };
+
+  struct RxMsg {
+    std::uint32_t placed = 0;
+    std::uint64_t target_addr = 0;
+    std::uint64_t recv_wr_id = 0;
+  };
+
+  struct Conn {
+    Qp* qp = nullptr;
+    Hca* peer = nullptr;
+    int peer_conn_id = -1;
+    std::uint64_t next_msg_id = 1;
+    std::map<std::uint64_t, RxMsg> rx_msgs;
+    std::deque<verbs::RecvWr> recv_queue;
+  };
+
+  struct Watch {
+    std::uint64_t addr;
+    std::uint64_t len;
+    std::shared_ptr<Event> event;
+  };
+
+  Task<> post_send_impl(Qp& qp, verbs::SendWr wr);
+  Task<> post_recv_impl(Qp& qp, verbs::RecvWr wr);
+  static std::shared_ptr<std::vector<std::byte>> snapshot(hw::AddressSpace& mem,
+                                                          std::uint64_t addr, std::uint32_t len);
+
+  int new_conn(Qp& qp);
+  void send_message(Conn& conn, OutMsg msg);
+  /// Charge engine time for one packet; returns its completion time.
+  /// Accesses the QP context cache for first-of-message packets.
+  Time engine_process(Time ready, const Packet& packet, bool transmit_side, int local_conn_id);
+  Time context_access(int conn_id);
+  void handle_read_request(Conn& conn, const Packet& request);
+  void complete_placement(Conn& conn, const Packet& packet);
+  void check_watches(std::uint64_t addr, std::uint32_t len);
+
+  Engine& engine() { return node_->engine(); }
+
+  hw::Node* node_;
+  hw::Switch* fabric_;
+  HcaConfig config_;
+  int port_;
+  hw::MemoryRegistry registry_;
+  SerialServer dma_;     ///< NIC DMA engine, shared by both directions
+  SerialServer proc_;    ///< processor-based protocol engine, shared
+  SerialServer tx_link_;
+  std::list<int> context_lru_;  ///< most-recent at front; values are conn ids
+  int next_qp_num_ = 1;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::vector<Watch> watches_;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t context_misses_ = 0;
+  std::uint64_t context_hits_ = 0;
+};
+
+}  // namespace fabsim::ib

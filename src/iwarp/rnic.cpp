@@ -1,0 +1,505 @@
+#include "iwarp/rnic.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace fabsim::iwarp {
+
+namespace {
+/// Stream bytes consumed by an RDMA Read Request control message.
+constexpr std::uint32_t kReadRequestBytes = 28;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Qp
+// ---------------------------------------------------------------------------
+
+Task<> Qp::post_send(verbs::SendWr wr) { return nic_->post_send_impl(*this, wr); }
+
+Task<> Qp::post_recv(verbs::RecvWr wr) { return nic_->post_recv_impl(*this, wr); }
+
+// ---------------------------------------------------------------------------
+// Rnic: construction / verbs surface
+// ---------------------------------------------------------------------------
+
+Rnic::Rnic(hw::Node& node, hw::Switch& fabric, RnicConfig config)
+    : node_(&node),
+      fabric_(&fabric),
+      config_(config),
+      port_(fabric.attach(*this)),
+      registry_(config.reg),
+      pcix_(config.pcix),
+      rng_(config.rng_seed) {}
+
+Task<verbs::MrKey> Rnic::reg_mr(std::uint64_t addr, std::uint64_t len) {
+  co_await node_->cpu().compute(registry_.register_cost(len));
+  co_return registry_.register_region(addr, len);
+}
+
+Task<> Rnic::dereg_mr(verbs::MrKey key) {
+  const auto* region = registry_.lookup(key);
+  if (region == nullptr) throw std::invalid_argument("iwarp: dereg_mr of unknown key");
+  const Time cost = registry_.deregister_cost(region->len);
+  registry_.deregister(key);
+  co_await node_->cpu().compute(cost);
+}
+
+std::unique_ptr<verbs::QueuePair> Rnic::create_qp(verbs::CompletionQueue& send_cq,
+                                                  verbs::CompletionQueue& recv_cq) {
+  return std::unique_ptr<Qp>(new Qp(*this, next_qp_num_++, send_cq, recv_cq));
+}
+
+std::shared_ptr<Event> Rnic::watch_placement(std::uint64_t addr, std::uint64_t len) {
+  auto event = std::make_shared<Event>(engine());
+  watches_.push_back(Watch{addr, len, event});
+  return event;
+}
+
+void Rnic::connect(verbs::QueuePair& a, verbs::QueuePair& b) {
+  auto& qa = dynamic_cast<Qp&>(a);
+  auto& qb = dynamic_cast<Qp&>(b);
+  if (qa.connected() || qb.connected()) throw std::logic_error("iwarp: QP already connected");
+  const int ca = qa.nic_->new_conn(qa);
+  const int cb = qb.nic_->new_conn(qb);
+  Conn& conn_a = *qa.nic_->conns_[static_cast<std::size_t>(ca)];
+  Conn& conn_b = *qb.nic_->conns_[static_cast<std::size_t>(cb)];
+  conn_a.peer = qb.nic_;
+  conn_a.peer_conn_id = cb;
+  conn_b.peer = qa.nic_;
+  conn_b.peer_conn_id = ca;
+  qa.conn_id_ = ca;
+  qb.conn_id_ = cb;
+}
+
+int Rnic::new_conn(Qp& qp) {
+  conns_.push_back(std::make_unique<Conn>());
+  conns_.back()->qp = &qp;
+  return static_cast<int>(conns_.size()) - 1;
+}
+
+// ---------------------------------------------------------------------------
+// Host-facing post paths
+// ---------------------------------------------------------------------------
+
+Task<> Rnic::post_send_impl(Qp& qp, verbs::SendWr wr) {
+  if (!qp.connected()) throw std::logic_error("iwarp: post_send on unconnected QP");
+  if (wr.sge.length == 0) throw std::invalid_argument("iwarp: zero-length work request");
+  if (!registry_.covers(wr.sge.lkey, wr.sge.addr, wr.sge.length)) {
+    throw std::invalid_argument("iwarp: sge not covered by lkey");
+  }
+  co_await node_->cpu().compute(config_.post_send_cpu);
+
+  OutMsg msg{};
+  msg.wr_id = wr.wr_id;
+  msg.signaled = wr.signaled;
+  switch (wr.opcode) {
+    case verbs::Opcode::kSend:
+      msg.kind = MsgKind::kUntagged;
+      msg.len = wr.sge.length;
+      break;
+    case verbs::Opcode::kRdmaWrite:
+      msg.kind = MsgKind::kTaggedWrite;
+      msg.len = wr.sge.length;
+      msg.remote_addr = wr.remote_addr;
+      msg.rkey = wr.rkey;
+      break;
+    case verbs::Opcode::kRdmaRead:
+      msg.kind = MsgKind::kReadRequest;
+      msg.len = kReadRequestBytes;
+      msg.remote_addr = wr.remote_addr;  // remote source
+      msg.rkey = wr.rkey;
+      msg.read_sink_addr = wr.sge.addr;  // local sink
+      msg.read_sink_key = wr.sge.lkey;
+      msg.read_len = wr.sge.length;
+      break;
+  }
+  if (wr.opcode != verbs::Opcode::kRdmaRead) {
+    msg.data = snapshot(node_->mem(), wr.sge.addr, wr.sge.length);
+  }
+
+  const int conn_id = qp.conn_id_;
+  // Doorbell: the NIC picks the WQE up `doorbell` later; the host call
+  // returns immediately after ringing it.
+  engine().post(engine().now() + config_.doorbell, [this, conn_id, msg = std::move(msg)]() mutable {
+    Conn& conn = *conns_[static_cast<std::size_t>(conn_id)];
+    msg.msg_id = conn.next_msg_id++;
+    conn.sendq.push_back(std::move(msg));
+    pump(conn);
+  });
+}
+
+Task<> Rnic::post_recv_impl(Qp& qp, verbs::RecvWr wr) {
+  if (!qp.connected()) throw std::logic_error("iwarp: post_recv on unconnected QP");
+  if (!registry_.covers(wr.sge.lkey, wr.sge.addr, wr.sge.length)) {
+    throw std::invalid_argument("iwarp: recv sge not covered by lkey");
+  }
+  co_await node_->cpu().compute(config_.post_recv_cpu);
+  conns_[static_cast<std::size_t>(qp.conn_id_)]->recv_queue.push_back(wr);
+}
+
+std::shared_ptr<std::vector<std::byte>> Rnic::snapshot(hw::AddressSpace& mem, std::uint64_t addr,
+                                                       std::uint32_t len) {
+  hw::Buffer* buffer = mem.find(addr);
+  if (buffer == nullptr || addr + len > buffer->addr() + buffer->size()) {
+    throw std::out_of_range("iwarp: source outside any buffer");
+  }
+  if (!buffer->has_data()) return nullptr;
+  auto view = mem.window(addr, len);
+  return std::make_shared<std::vector<std::byte>>(view.begin(), view.end());
+}
+
+// ---------------------------------------------------------------------------
+// Transmit path
+// ---------------------------------------------------------------------------
+
+void Rnic::pump(Conn& conn) {
+  while (!conn.sendq.empty()) {
+    OutMsg& msg = conn.sendq.front();
+    while (msg.offset < msg.len) {
+      const std::uint32_t chunk = std::min<std::uint32_t>(config_.mss, msg.len - msg.offset);
+      if (conn.snd_nxt - conn.snd_una + chunk > config_.window) return;  // window closed
+      emit_segment(conn, msg, chunk);
+    }
+    conn.sendq.pop_front();
+  }
+}
+
+void Rnic::emit_segment(Conn& conn, OutMsg& msg, std::uint32_t chunk) {
+  Segment segment{};
+  segment.dst_conn_id = conn.peer_conn_id;
+  segment.seq = conn.snd_nxt;
+  segment.payload_len = chunk;
+  segment.ack = conn.rcv_nxt;  // piggybacked cumulative ack
+  segment.kind = msg.kind;
+  segment.msg_id = msg.msg_id;
+  segment.msg_len = msg.len;
+  segment.msg_offset = msg.offset;
+  segment.rkey = msg.rkey;
+  segment.wr_id = msg.wr_id;
+  segment.signaled = msg.signaled;
+  segment.read_sink_addr = msg.read_sink_addr;
+  segment.read_sink_key = msg.read_sink_key;
+  segment.read_len = msg.read_len;
+  segment.first_of_message = msg.first_segment_pending;
+  if (msg.kind == MsgKind::kTaggedWrite || msg.kind == MsgKind::kReadResponse) {
+    segment.place_addr = msg.remote_addr + msg.offset;
+  } else if (msg.kind == MsgKind::kReadRequest) {
+    segment.place_addr = msg.remote_addr;  // remote source (see remote_source_addr())
+  }
+  if (msg.data != nullptr) {
+    segment.data = std::make_shared<std::vector<std::byte>>(
+        msg.data->begin() + msg.offset, msg.data->begin() + msg.offset + chunk);
+  }
+  msg.offset += chunk;
+  msg.first_segment_pending = false;
+  segment.last_of_message = (msg.offset == msg.len);
+  conn.snd_nxt += chunk;
+  conn.inflight.push_back(segment);
+  transmit(conn, std::move(segment), /*retransmit=*/false);
+  arm_timer(conn);
+}
+
+namespace {
+const char* kind_name(int k) {
+  switch (k) {
+    case 0: return "untagged";
+    case 1: return "tagged-write";
+    case 2: return "read-req";
+    case 3: return "read-resp";
+  }
+  return "?";
+}
+}  // namespace
+
+void Rnic::transmit(Conn& conn, Segment segment, bool retransmit) {
+  ++segments_sent_;
+  if (retransmit) ++retransmits_;
+  if (engine().tracer() != nullptr) {
+    engine().trace(TraceCategory::kProto, node_->id(),
+                   std::string(retransmit ? "TCP retransmit " : "TCP segment ") +
+                       kind_name(static_cast<int>(segment.kind)) + " seq=" +
+                       std::to_string(segment.seq) + " len=" +
+                       std::to_string(segment.payload_len) +
+                       (segment.last_of_message ? " [last]" : ""));
+  }
+
+  const bool carries_data =
+      segment.kind == MsgKind::kUntagged || segment.kind == MsgKind::kTaggedWrite ||
+      segment.kind == MsgKind::kReadResponse;
+
+  // Stage 1: fetch payload (and descriptor, for the first segment of a
+  // message) from host memory across PCIe and the internal PCI-X bus.
+  // Read responses are fetched by the NIC autonomously — same path.
+  Time ready = engine().now();
+  if (segment.first_of_message && !retransmit) ready += config_.wqe_fetch;
+  if (carries_data) {
+    const Time pcie_done = node_->pcie().dma_read(ready, segment.payload_len + 64);
+    ready = pcix_.transfer(pcie_done, segment.payload_len + 32);
+  }
+
+  // Stage 2: protocol engine (TCP/IP + MPA + DDP + RDMAP processing).
+  const Time occupancy = config_.tx_occupancy +
+                         config_.engine_byte_rate.bytes_time(segment.payload_len) +
+                         (segment.first_of_message ? config_.per_message_overhead : 0);
+  const Time engine_done = tx_engine_.book(ready, occupancy, config_.tx_latency);
+
+  // Stage 3: Ethernet serialization onto the NIC->switch link.
+  const std::uint32_t wire_bytes = segment.payload_len + config_.seg_overhead;
+  const Time sent = tx_link_.book(engine_done, fabric_->config().link_rate.bytes_time(wire_bytes));
+
+  const bool drop = config_.loss_rate > 0.0 && rng_.bernoulli(config_.loss_rate);
+  const bool completes = segment.last_of_message && segment.signaled &&
+                         (segment.kind == MsgKind::kUntagged ||
+                          segment.kind == MsgKind::kTaggedWrite) &&
+                         !retransmit;
+  Qp* qp = conn.qp;
+  Rnic* peer = conn.peer;
+  const int src = port_;
+  const int dst = peer->port_;
+  engine().post(sent, [this, segment = std::move(segment), drop, completes, qp, peer, src,
+                       dst]() mutable {
+    if (completes) {
+      const auto type = segment.kind == MsgKind::kUntagged ? verbs::Completion::Type::kSend
+                                                           : verbs::Completion::Type::kRdmaWrite;
+      qp->send_cq_->push(verbs::Completion{segment.wr_id, type, segment.msg_len, qp->qp_num()});
+    }
+    if (!drop) {
+      fabric_->ingress(hw::Frame{src, dst, segment.payload_len + config_.seg_overhead,
+                                 std::move(segment)});
+    }
+  });
+}
+
+void Rnic::send_pure_ack(Conn& conn) {
+  ++acks_sent_;
+  conn.segs_since_ack = 0;
+  Segment ack{};
+  ack.dst_conn_id = conn.peer_conn_id;
+  ack.payload_len = 0;
+  ack.ack = conn.rcv_nxt;
+  const Time sent = tx_link_.book(engine().now(),
+                                  fabric_->config().link_rate.bytes_time(config_.ack_wire_bytes));
+  const bool drop = config_.loss_rate > 0.0 && rng_.bernoulli(config_.loss_rate);
+  Rnic* peer = conn.peer;
+  const int src = port_;
+  engine().post(sent, [this, ack = std::move(ack), drop, peer, src]() mutable {
+    if (!drop) {
+      fabric_->ingress(hw::Frame{src, peer->port_, config_.ack_wire_bytes, std::move(ack)});
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Reliability: cumulative acks + go-back-N
+// ---------------------------------------------------------------------------
+
+void Rnic::handle_ack(Conn& conn, std::uint64_t ack) {
+  if (ack <= conn.snd_una) return;
+  conn.snd_una = ack;
+  while (!conn.inflight.empty() &&
+         conn.inflight.front().seq + conn.inflight.front().payload_len <= conn.snd_una) {
+    conn.inflight.pop_front();
+  }
+  ++conn.timer_gen;  // invalidate the running timer
+  conn.timer_armed = false;
+  if (conn.snd_una < conn.snd_nxt) arm_timer(conn);
+  pump(conn);  // window may have opened
+}
+
+void Rnic::arm_timer(Conn& conn) {
+  // Timers only matter when frames can vanish: injected loss or a
+  // bounded (tail-dropping) switch buffer.
+  const bool lossy = config_.loss_rate > 0.0 || fabric_->config().max_queue_bytes > 0;
+  if (conn.timer_armed || !lossy) return;
+  conn.timer_armed = true;
+  const std::uint64_t gen = conn.timer_gen;
+  const int conn_id = conn_index(conn);
+  engine().post(engine().now() + config_.rto, [this, conn_id, gen] { on_timeout(conn_id, gen); });
+}
+
+int Rnic::conn_index(const Conn& conn) const {
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i].get() == &conn) return static_cast<int>(i);
+  }
+  throw std::logic_error("iwarp: unknown connection");
+}
+
+void Rnic::on_timeout(int conn_id, std::uint64_t gen) {
+  Conn& conn = *conns_[static_cast<std::size_t>(conn_id)];
+  if (gen != conn.timer_gen || conn.snd_una >= conn.snd_nxt) return;
+  conn.timer_armed = false;
+  engine().trace(TraceCategory::kProto, node_->id(),
+                 "TCP RTO fired: go-back-N from seq=" + std::to_string(conn.snd_una));
+  // Go-back-N: resend everything outstanding.
+  for (const Segment& segment : conn.inflight) {
+    Segment copy = segment;
+    copy.ack = conn.rcv_nxt;
+    transmit(conn, std::move(copy), /*retransmit=*/true);
+  }
+  ++conn.timer_gen;
+  arm_timer(conn);
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+void Rnic::deliver(hw::Frame frame) {
+  Segment segment = std::any_cast<Segment>(std::move(frame.payload));
+  Conn& conn = *conns_.at(static_cast<std::size_t>(segment.dst_conn_id));
+
+  handle_ack(conn, segment.ack);
+  if (segment.payload_len == 0) {
+    // Pure ack: account engine occupancy for throughput fidelity only.
+    rx_engine_.book(engine().now(), config_.ack_occupancy, config_.ack_occupancy);
+    return;
+  }
+
+  if (segment.seq != conn.rcv_nxt) {
+    // Out of order (a preceding frame was dropped): go-back-N receiver
+    // drops the segment and re-asserts the cumulative ack.
+    send_pure_ack(conn);
+    return;
+  }
+  conn.rcv_nxt += segment.payload_len;
+  ++conn.segs_since_ack;
+
+  const Time occupancy = config_.rx_occupancy +
+                         config_.engine_byte_rate.bytes_time(segment.payload_len) +
+                         (segment.first_of_message ? config_.per_message_overhead : 0);
+  const Time engine_done = rx_engine_.book(engine().now(), occupancy, config_.rx_latency);
+
+  const bool ack_now = conn.segs_since_ack >= config_.ack_every || segment.last_of_message;
+  if (ack_now) {
+    send_pure_ack(conn);
+  } else if (!conn.delack_armed) {
+    // Classic delayed-ACK timer: the withheld ack goes out soon even if
+    // no further segment arrives (otherwise a sender whose window closed
+    // mid-quota would stall forever).
+    conn.delack_armed = true;
+    const int conn_id = segment.dst_conn_id;
+    engine().post(engine().now() + config_.delayed_ack_timeout, [this, conn_id] {
+      Conn& c = *conns_[static_cast<std::size_t>(conn_id)];
+      c.delack_armed = false;
+      if (c.segs_since_ack > 0) send_pure_ack(c);
+    });
+  }
+
+  if (segment.kind == MsgKind::kReadRequest) {
+    // Read-after-write ordering: ride through the same placement FIFO
+    // (PCI-X then PCIe) that earlier tagged writes use, so the snapshot
+    // sees every preceding byte of this stream.
+    const Time pcix_done = pcix_.transfer(engine_done, 8);
+    const Time ordered = node_->pcie().dma_write(pcix_done, 8);
+    const int conn_id = segment.dst_conn_id;
+    engine().post(ordered, [this, conn_id, segment = std::move(segment)] {
+      handle_read_request(*conns_[static_cast<std::size_t>(conn_id)], segment);
+    });
+    return;
+  }
+
+  // Direct data placement: engine -> PCI-X -> PCIe write into user memory.
+  const Time pcix_done = pcix_.transfer(engine_done, segment.payload_len + 32);
+  const Time placed = node_->pcie().dma_write(pcix_done, segment.payload_len + 64);
+  const int conn_id = segment.dst_conn_id;
+  engine().post(placed, [this, conn_id, segment = std::move(segment)]() mutable {
+    complete_placement(*conns_[static_cast<std::size_t>(conn_id)], segment);
+  });
+}
+
+void Rnic::handle_read_request(Conn& conn, const Segment& request) {
+  if (!registry_.covers(request.rkey, request.remote_source_addr(), request.read_len)) {
+    throw std::invalid_argument("iwarp: RDMA read source not covered by rkey");
+  }
+  OutMsg response{};
+  response.kind = MsgKind::kReadResponse;
+  response.wr_id = request.wr_id;
+  response.signaled = true;
+  response.len = request.read_len;
+  response.remote_addr = request.read_sink_addr;
+  response.rkey = request.read_sink_key;
+  response.data = snapshot(node_->mem(), request.remote_source_addr(), request.read_len);
+  response.msg_id = conn.next_msg_id++;
+  conn.sendq.push_back(std::move(response));
+  pump(conn);
+}
+
+void Rnic::complete_placement(Conn& conn, const Segment& segment) {
+  RxMsg& rx = conn.rx_msgs[segment.msg_id];
+
+  std::uint64_t addr = 0;
+  if (segment.kind == MsgKind::kUntagged) {
+    if (segment.msg_offset == 0) {
+      if (conn.recv_queue.empty()) {
+        throw std::logic_error("iwarp: untagged message with no posted receive");
+      }
+      const verbs::RecvWr wr = conn.recv_queue.front();
+      conn.recv_queue.pop_front();
+      if (wr.sge.length < segment.msg_len) {
+        throw std::length_error("iwarp: posted receive buffer too small");
+      }
+      rx.target_addr = wr.sge.addr;
+      rx.recv_wr_id = wr.wr_id;
+    }
+    addr = rx.target_addr + segment.msg_offset;
+  } else {  // tagged: kTaggedWrite or kReadResponse
+    if (!registry_.covers(segment.rkey, segment.place_addr, segment.payload_len)) {
+      throw std::invalid_argument("iwarp: tagged placement not covered by rkey");
+    }
+    addr = segment.place_addr;
+    if (segment.msg_offset == 0) rx.target_addr = segment.place_addr;
+  }
+
+  if (segment.data != nullptr) {
+    node_->mem().write(addr, *segment.data);
+  } else if (hw::Buffer* buffer = node_->mem().find(addr);
+             buffer == nullptr ||
+             addr + segment.payload_len > buffer->addr() + buffer->size()) {
+    throw std::out_of_range("iwarp: placement outside any buffer");
+  }
+
+  rx.placed += segment.payload_len;
+  if (rx.placed < segment.msg_len) return;
+
+  // Message complete.
+  if (engine().tracer() != nullptr) {
+    engine().trace(TraceCategory::kNic, node_->id(),
+                   std::string("DDP placement complete: ") +
+                       kind_name(static_cast<int>(segment.kind)) + " " +
+                       std::to_string(segment.msg_len) + "B at 0x" +
+                       std::to_string(rx.target_addr));
+  }
+  const std::uint64_t base = rx.target_addr;
+  const std::uint64_t recv_wr_id = rx.recv_wr_id;
+  conn.rx_msgs.erase(segment.msg_id);
+  switch (segment.kind) {
+    case MsgKind::kUntagged:
+      conn.qp->recv_cq_->push(verbs::Completion{recv_wr_id, verbs::Completion::Type::kRecv,
+                                                segment.msg_len, conn.qp->qp_num()});
+      break;
+    case MsgKind::kReadResponse:
+      conn.qp->send_cq_->push(verbs::Completion{segment.wr_id, verbs::Completion::Type::kRdmaRead,
+                                                segment.msg_len, conn.qp->qp_num()});
+      check_watches(base, segment.msg_len);
+      break;
+    case MsgKind::kTaggedWrite:
+      check_watches(base, segment.msg_len);
+      break;
+    case MsgKind::kReadRequest:
+      break;  // handled elsewhere
+  }
+}
+
+void Rnic::check_watches(std::uint64_t addr, std::uint32_t len) {
+  for (auto it = watches_.begin(); it != watches_.end();) {
+    if (it->addr >= addr && it->addr + it->len <= addr + len) {
+      it->event->trigger();
+      it = watches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace fabsim::iwarp

@@ -1,0 +1,122 @@
+#include "mpi/ch_mx.hpp"
+
+#include <stdexcept>
+
+namespace fabsim::mpi {
+
+ChMx::ChMx(int rank, int world_size, mx::Endpoint& endpoint, MpiConfig config,
+           std::vector<int> rank_ports)
+    : rank_(rank),
+      world_size_(world_size),
+      endpoint_(&endpoint),
+      config_(config),
+      rank_ports_(std::move(rank_ports)) {
+  ack_scratch_send_ = endpoint_->node().mem().alloc(64).addr();
+  ack_scratch_recv_ = endpoint_->node().mem().alloc(64).addr();
+}
+
+Task<RequestPtr> ChMx::isend(int dst, int tag, std::uint64_t addr, std::uint32_t len,
+                             bool synchronous) {
+  if (dst < 0 || dst >= world_size_ || dst == rank_) {
+    throw std::invalid_argument("mpi: bad destination rank");
+  }
+  co_await endpoint_->node().cpu().compute(config_.send_call_cpu);
+
+  auto request = std::make_shared<MxRequest>(endpoint_->node().engine());
+  request->tag = tag;
+  std::uint64_t bits = bits_for(rank_, tag);
+  if (synchronous) {
+    bits |= kSyncBit;
+    // Expect the ack: exact-match receive keyed on the peer's rank + tag.
+    request->ack = co_await endpoint_->irecv(ack_scratch_recv_, 64,
+                                             kAckBit | bits_for(dst, tag), ~kSyncBit);
+  }
+  request->inner = co_await endpoint_->isend(addr, len, rank_ports_[static_cast<std::size_t>(dst)],
+                                             bits);
+  co_return request;
+}
+
+Task<RequestPtr> ChMx::irecv(int src, int tag, std::uint64_t addr, std::uint32_t capacity) {
+  co_await endpoint_->node().cpu().compute(config_.recv_call_cpu);
+
+  auto request = std::make_shared<MxRequest>(endpoint_->node().engine());
+  request->is_recv = true;
+  request->tag = tag;
+  // Receives must see sync-flagged messages (mask out bit 63) but never
+  // ack messages (keep bit 62 in the mask; our bits have 0 there).
+  std::uint64_t bits = 0;
+  std::uint64_t mask = kAckBit;
+  if (src != kAnySource) {
+    bits |= bits_for(src, 0);
+    mask |= kRankMask;
+  }
+  if (tag != kAnyTag) {
+    bits |= static_cast<std::uint32_t>(tag) & kTagMask;
+    mask |= kTagMask;
+  }
+  request->inner = co_await endpoint_->irecv(addr, capacity, bits, mask);
+  co_return request;
+}
+
+Task<> ChMx::finalize(MxRequest& request) {
+  if (request.done()) co_return;
+  const std::uint64_t bits = request.inner->match_bits();
+  if (request.is_recv) {
+    if ((bits & kSyncBit) != 0 && !request.ack_sent) {
+      request.ack_sent = true;
+      const int src = static_cast<int>((bits & kRankMask) >> kRankShift);
+      const int tag = static_cast<int>(bits & kTagMask);
+      // Fire-and-forget 8-byte ack; completion is the sender's concern.
+      co_await endpoint_->isend(ack_scratch_send_, 8,
+                                rank_ports_[static_cast<std::size_t>(src)],
+                                kAckBit | bits_for(rank_, tag));
+    }
+    const int src = static_cast<int>((bits & kRankMask) >> kRankShift);
+    request.complete(Status{src, static_cast<int>(bits & kTagMask), request.inner->length()});
+  } else {
+    request.complete(Status{rank_, request.tag, request.inner->length()});
+  }
+}
+
+Task<> ChMx::wait(RequestPtr request) {
+  auto& mx_request = dynamic_cast<MxRequest&>(*request);
+  co_await endpoint_->node().cpu().compute(config_.wait_poll_cpu);
+  co_await endpoint_->wait(mx_request.inner);
+  if (mx_request.ack != nullptr) co_await endpoint_->wait(mx_request.ack);
+  co_await finalize(mx_request);
+}
+
+Task<Status> ChMx::probe(int src, int tag) {
+  std::uint64_t bits = 0;
+  std::uint64_t mask = kAckBit;
+  if (src != kAnySource) {
+    bits |= bits_for(src, 0);
+    mask |= kRankMask;
+  }
+  if (tag != kAnyTag) {
+    bits |= static_cast<std::uint32_t>(tag) & kTagMask;
+    mask |= kTagMask;
+  }
+  for (;;) {
+    const auto result = co_await endpoint_->iprobe(bits, mask);
+    if (result.found) {
+      const int from = static_cast<int>((result.match_bits & kRankMask) >> kRankShift);
+      co_return Status{from, static_cast<int>(result.match_bits & kTagMask), result.length};
+    }
+    // Block until a new unexpected message arrives, then re-probe. (A
+    // polling loop would keep the event queue alive forever when nothing
+    // is coming; waiting on the notifier lets the simulation drain.)
+    co_await endpoint_->unexpected_activity().wait();
+  }
+}
+
+Task<bool> ChMx::test(RequestPtr request) {
+  auto& mx_request = dynamic_cast<MxRequest&>(*request);
+  const bool inner_done = co_await endpoint_->test(mx_request.inner);
+  if (!inner_done) co_return false;
+  if (mx_request.ack != nullptr && !mx_request.ack->done()) co_return false;
+  co_await finalize(mx_request);
+  co_return true;
+}
+
+}  // namespace fabsim::mpi

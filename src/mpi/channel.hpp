@@ -1,0 +1,54 @@
+// Transport channel interface of MiniMPI.
+//
+// Two implementations: ChVerbs (iWARP and InfiniBand, eager ring +
+// RDMA-write rendezvous, host-side matching) and ChMx (MPICH-MX-style
+// thin shim, matching delegated to the MX NIC).
+#pragma once
+
+#include <cstdint>
+
+#include "hw/node.hpp"
+#include "mpi/request.hpp"
+#include "sim/task.hpp"
+
+namespace fabsim::mpi {
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  virtual Task<RequestPtr> isend(int dst, int tag, std::uint64_t addr, std::uint32_t len,
+                                 bool synchronous) = 0;
+  virtual Task<RequestPtr> irecv(int src, int tag, std::uint64_t addr,
+                                 std::uint32_t capacity) = 0;
+  /// Block until the request completes, driving progress.
+  virtual Task<> wait(RequestPtr request) = 0;
+  /// Probe for completion, driving progress without blocking.
+  virtual Task<bool> test(RequestPtr request) = 0;
+
+  /// Blocking MPI_Probe: wait until a message matching (src, tag) is
+  /// available (without consuming it) and return its envelope.
+  virtual Task<Status> probe(int src, int tag) = 0;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+  virtual hw::Node& node() = 0;
+
+  /// Introspection for the queue-usage experiments (Figs 7, 8).
+  virtual std::size_t unexpected_queue_depth() const = 0;
+  virtual std::size_t posted_queue_depth() const = 0;
+
+  /// Communicator-context allocation. Processes that perform the same
+  /// sequence of collective split operations (an MPI requirement) draw
+  /// the same ids.
+  int allocate_contexts(int n) {
+    const int base = next_context_id_;
+    next_context_id_ += n;
+    return base;
+  }
+
+ private:
+  int next_context_id_ = 1;
+};
+
+}  // namespace fabsim::mpi

@@ -1,0 +1,118 @@
+// MiniMPI public per-rank API: point-to-point convenience wrappers,
+// collective operations built on them, and communicators.
+//
+// A Rank is "this process's view of one communicator": the world Rank is
+// built over a Channel; Rank::split (MPI_Comm_split) derives
+// sub-communicators whose messages are isolated from the parent's by a
+// context id embedded in the high bits of the wire tag. ANY_TAG is only
+// supported on the world communicator (sub-communicator wildcard-tag
+// matching would need mask-based matching in the channels).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mpi/channel.hpp"
+#include "mpi/request.hpp"
+
+namespace fabsim::mpi {
+
+class Rank {
+ public:
+  explicit Rank(Channel& channel);
+
+  /// Communicator-local rank / size.
+  int rank() const { return my_index_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  int context() const { return context_; }
+  /// World rank of communicator-local rank r.
+  int world_rank(int r) const { return members_.at(static_cast<std::size_t>(r)); }
+
+  /// MPI_Comm_split: collective over this communicator. Members with the
+  /// same color form a new communicator ordered by (key, world rank).
+  /// `scratch` must provide 64 + 16*size() bytes of workspace.
+  Task<std::unique_ptr<Rank>> split(int color, int key, std::uint64_t scratch);
+  Channel& channel() { return *channel_; }
+  hw::Node& node() { return channel_->node(); }
+  Engine& engine() { return channel_->node().engine(); }
+
+  /// Wall clock in seconds of simulated time (MPI_Wtime).
+  double wtime() const { return to_sec(channel_->node().engine().now()); }
+
+  // --- Point-to-point (ranks and tags are communicator-local) ---
+  Task<RequestPtr> isend(int dst, int tag, std::uint64_t addr, std::uint32_t len) {
+    return channel_->isend(to_world(dst), wire_tag(tag), addr, len, /*synchronous=*/false);
+  }
+  Task<RequestPtr> issend(int dst, int tag, std::uint64_t addr, std::uint32_t len) {
+    return channel_->isend(to_world(dst), wire_tag(tag), addr, len, /*synchronous=*/true);
+  }
+  Task<RequestPtr> irecv(int src, int tag, std::uint64_t addr, std::uint32_t capacity) {
+    return channel_->irecv(src == kAnySource ? kAnySource : to_world(src), wire_tag(tag), addr,
+                           capacity);
+  }
+  Task<> wait(RequestPtr request) { return channel_->wait(std::move(request)); }
+  Task<bool> test(RequestPtr request) { return channel_->test(std::move(request)); }
+  Task<> waitall(std::vector<RequestPtr> requests);
+  /// MPI_Waitany: block until one request completes; returns its index.
+  Task<std::size_t> waitany(std::vector<RequestPtr>& requests);
+  /// MPI_Testall: true iff every request has completed (drives progress).
+  Task<bool> testall(std::vector<RequestPtr>& requests);
+
+  Task<> send(int dst, int tag, std::uint64_t addr, std::uint32_t len);
+  Task<> ssend(int dst, int tag, std::uint64_t addr, std::uint32_t len);
+  Task<Status> recv(int src, int tag, std::uint64_t addr, std::uint32_t capacity);
+  /// MPI_Probe: block until a matching message is available.
+  Task<Status> probe(int src, int tag);
+  /// MPI_Sendrecv: simultaneous send and receive (deadlock-free).
+  Task<Status> sendrecv(int dst, int send_tag, std::uint64_t send_addr, std::uint32_t send_len,
+                        int src, int recv_tag, std::uint64_t recv_addr,
+                        std::uint32_t capacity);
+
+  // --- Collectives (tags above kCollectiveTagBase are reserved) ---
+  static constexpr int kCollectiveTagBase = 0x1000000;
+  /// User + collective tags live below this; contexts above.
+  static constexpr int kContextStride = 1 << 26;
+
+  /// Dissemination barrier.
+  Task<> barrier();
+  /// Binomial-tree broadcast of [addr, addr+len).
+  Task<> bcast(int root, std::uint64_t addr, std::uint32_t len);
+  /// Allreduce (sum) over `count` doubles at `addr`: recursive doubling
+  /// with MPICH-style fold-in for non-power-of-two worlds; `scratch`
+  /// must hold `count` doubles for incoming contributions.
+  Task<> allreduce_sum(std::uint64_t addr, std::uint64_t scratch, std::uint32_t count);
+  /// Ring allgather: each rank contributes [send_addr, +len); results land
+  /// at recv_addr + r*len for every rank r.
+  Task<> allgather(std::uint64_t send_addr, std::uint32_t len, std::uint64_t recv_addr);
+  /// Pairwise-exchange alltoall: block r of [send_addr] goes to rank r;
+  /// block r of [recv_addr] arrives from rank r. Both sized len * size().
+  Task<> alltoall(std::uint64_t send_addr, std::uint32_t len, std::uint64_t recv_addr);
+  /// Reduce (sum of doubles) to `root`: binomial tree; `scratch` holds one
+  /// incoming contribution.
+  Task<> reduce_sum(int root, std::uint64_t addr, std::uint64_t scratch, std::uint32_t count);
+  /// Gather fixed-size blocks to `root` (recv_addr used by root only,
+  /// sized len * size()).
+  Task<> gather(int root, std::uint64_t send_addr, std::uint32_t len, std::uint64_t recv_addr);
+  /// Scatter fixed-size blocks from `root` (send_addr used by root only,
+  /// sized len * size()); everyone receives into recv_addr.
+  Task<> scatter(int root, std::uint64_t send_addr, std::uint32_t len, std::uint64_t recv_addr);
+
+ private:
+  Rank(Channel& channel, std::vector<int> members, int my_index, int context);
+
+  void reduce_into(std::uint64_t dst_addr, std::uint64_t src_addr, std::uint32_t count);
+  int wire_tag(int tag) const;
+  int to_world(int comm_rank) const;
+  int from_world(int world_rank) const;
+  Status translate(Status status) const;
+
+  Channel* channel_;
+  std::vector<int> members_;  ///< world rank of each communicator rank
+  int my_index_;
+  int context_;
+  std::uint64_t barrier_scratch_;  ///< small buffers for zero-payload sync
+  int barrier_epoch_ = 0;
+};
+
+}  // namespace fabsim::mpi

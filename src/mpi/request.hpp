@@ -1,0 +1,44 @@
+// MPI request objects and status.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/sync.hpp"
+
+namespace fabsim::mpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Status {
+  int source = -1;
+  int tag = -1;
+  std::uint32_t length = 0;
+};
+
+class Request {
+ public:
+  explicit Request(Engine& engine) : done_event_(engine) {}
+  virtual ~Request() = default;
+
+  bool done() const { return done_; }
+  const Status& status() const { return status_; }
+  Event& done_event() { return done_event_; }
+
+  void complete(Status status) {
+    if (done_) return;
+    done_ = true;
+    status_ = status;
+    done_event_.trigger();
+  }
+
+ private:
+  bool done_ = false;
+  Status status_;
+  Event done_event_;
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+}  // namespace fabsim::mpi

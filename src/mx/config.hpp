@@ -1,0 +1,58 @@
+// Myricom Myri-10G / MX-10G parameters.
+//
+// One config drives both personalities: MXoM (Myrinet data link: tiny
+// headers, cut-through switch) and MXoE (same NIC speaking Ethernet
+// framing through a 10GbE switch). The NIC is forced to PCIe x4 in the
+// paper's testbed (Intel E7520 chipset workaround, §4) — that is modelled
+// in the cluster builder, not here.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/memory.hpp"
+#include "sim/time.hpp"
+
+namespace fabsim::mx {
+
+struct MxConfig {
+  // --- NIC engine (Lanai-class firmware, pipelined) ---
+  Time tx_occupancy = ns(300);
+  Time tx_latency = us(0.9);
+  Time rx_occupancy = ns(300);
+  Time rx_latency = us(0.9);
+  Time per_message_overhead = ns(200);
+  /// Per-byte engine throughput (Lanai firmware data path).
+  Rate engine_byte_rate = Rate::mb_per_sec(5000.0);
+
+  // --- NIC-resident matching (the MX differentiator) ---
+  Time match_posted_item = ns(250);      ///< per posted-receive item traversed
+  Time match_unexpected_item = ns(40);   ///< per unexpected item traversed
+
+  // --- Host interface ---
+  Time isend_cpu = ns(250);
+  Time irecv_cpu = ns(250);
+  Time test_cpu = ns(100);
+  Time doorbell = ns(200);
+
+  // --- NIC DMA engine (shared by both directions) ---
+  Rate dma_rate = Rate::mb_per_sec(1400.0);
+  Time dma_transaction = ns(150);
+
+  // --- Protocol ---
+  std::uint32_t eager_max = 32 * 1024;  ///< MX internal eager/rendezvous switch
+  std::uint32_t mtu = 4096;
+  std::uint32_t frame_overhead = 16;  ///< MXoM: Myrinet framing; MXoE uses ~60
+  std::uint32_t control_bytes = 32;   ///< RTS/CTS frame size
+
+  // --- Registration (rendezvous path), internal cache ---
+  hw::RegistrationConfig reg{us(1.0), us(2.9), us(0.5), us(0.3), 4096};
+  bool reg_cache_enabled = true;
+  std::size_t reg_cache_entries = 1024;
+  std::uint64_t reg_cache_bytes = 8ull << 20;
+};
+
+/// Personality helpers.
+MxConfig mxom_defaults();
+MxConfig mxoe_defaults();
+
+}  // namespace fabsim::mx

@@ -1,0 +1,485 @@
+#include "mx/endpoint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fabsim::mx {
+
+MxConfig mxom_defaults() {
+  return MxConfig{};  // Myrinet framing is the baseline
+}
+
+MxConfig mxoe_defaults() {
+  MxConfig config;
+  config.frame_overhead = 60;  // Ethernet preamble+header+CRC+IFG+MX header
+  return config;
+}
+
+namespace {
+
+std::shared_ptr<std::vector<std::byte>> snapshot(hw::AddressSpace& mem, std::uint64_t addr,
+                                                 std::uint32_t len) {
+  hw::Buffer* buffer = mem.find(addr);
+  if (buffer == nullptr || addr + len > buffer->addr() + buffer->size()) {
+    throw std::out_of_range("mx: source outside any buffer");
+  }
+  if (!buffer->has_data()) return nullptr;
+  auto view = mem.window(addr, len);
+  return std::make_shared<std::vector<std::byte>>(view.begin(), view.end());
+}
+
+}  // namespace
+
+Endpoint::Endpoint(hw::Node& node, hw::Switch& fabric, MxConfig config)
+    : node_(&node),
+      fabric_(&fabric),
+      config_(config),
+      unexpected_activity_(node.engine()),
+      port_(fabric.attach(*this)),
+      reg_cache_(config.reg_cache_entries, config.reg_cache_bytes),
+      registry_(config.reg) {}
+
+// ---------------------------------------------------------------------------
+// Host API
+// ---------------------------------------------------------------------------
+
+Task<RequestPtr> Endpoint::isend(std::uint64_t addr, std::uint32_t len, int dest,
+                                 std::uint64_t match_bits) {
+  if (len == 0) throw std::invalid_argument("mx: zero-length send");
+  co_await node_->cpu().compute(config_.isend_cpu);
+
+  auto request = std::make_shared<Request>(engine());
+  SendOp op;
+  op.request = request;
+  op.dest = dest;
+  op.addr = addr;
+  op.len = len;
+  op.match_bits = match_bits;
+  op.eager = len <= config_.eager_max;
+
+  if (op.eager) {
+    // Copy into the pinned send ring (the single send-side copy of MX's
+    // eager protocol); the user buffer is reusable immediately after.
+    co_await node_->cpu().copy(addr, len);
+    op.data = snapshot(node_->mem(), addr, len);
+    engine().post(engine().now() + config_.doorbell,
+                  [this, op = std::move(op)]() mutable { send_eager(std::move(op)); });
+  } else {
+    // Rendezvous: pin the source through the registration cache (cost
+    // shows up in the send overhead on a miss), then advertise with RTS.
+    const Time pinned = pin(engine().now(), addr, len);
+    co_await engine().sleep_until(pinned);
+    engine().post(engine().now() + config_.doorbell,
+                  [this, op = std::move(op)]() mutable { send_rts(std::move(op)); });
+  }
+  co_return request;
+}
+
+Task<RequestPtr> Endpoint::irecv(std::uint64_t addr, std::uint32_t capacity,
+                                 std::uint64_t match_bits, std::uint64_t match_mask) {
+  co_await node_->cpu().compute(config_.irecv_cpu);
+
+  auto request = std::make_shared<Request>(engine());
+  PostedRecv recv{request, addr, capacity, match_bits & match_mask, match_mask};
+
+  // The NIC walks its unexpected queue looking for a match; traversal
+  // costs NIC engine time per item inspected. The scan and the dispatch
+  // (or posted-queue insertion) happen atomically once the traversal
+  // completes — otherwise a message arriving mid-traversal could miss
+  // both queues and strand the rendezvous.
+  const Time handoff = engine().now() + config_.doorbell;
+  const Time traversal = config_.match_unexpected_item * (unexpected_.size() + 1);
+  const Time matched_at = rx_engine_.book(handoff, traversal, traversal);
+  co_await engine().sleep_until(matched_at);
+
+  auto it = unexpected_.begin();
+  for (; it != unexpected_.end(); ++it) {
+    if (!it->has_match && (it->match_bits & match_mask) == recv.match_bits) break;
+  }
+  if (it == unexpected_.end()) {
+    posted_.push_back(std::move(recv));
+    co_return request;
+  }
+
+  if (it->kind == FrameKind::kEager) {
+    it->matched = recv;
+    it->has_match = true;
+    if (it->complete) {
+      Unexpected taken = std::move(*it);
+      unexpected_.erase(it);
+      finish_eager_delivery(taken);
+    }
+    // else: the matching receive is attached; delivery finishes when the
+    // last eager frame lands.
+  } else {  // kRts
+    Unexpected taken = std::move(*it);
+    unexpected_.erase(it);
+    start_rendezvous(recv, taken.src_port, taken.msg_id, taken.match_bits, taken.msg_len);
+  }
+  co_return request;
+}
+
+Task<> Endpoint::wait(const RequestPtr& request) {
+  if (!request->done()) co_await request->done_event().wait();
+}
+
+Task<bool> Endpoint::test(const RequestPtr& request) {
+  co_await node_->cpu().compute(config_.test_cpu);
+  co_return request->done();
+}
+
+Task<Endpoint::ProbeResult> Endpoint::iprobe(std::uint64_t match_bits,
+                                             std::uint64_t match_mask) {
+  co_await node_->cpu().compute(config_.test_cpu);
+  // The NIC walks the unexpected queue, same cost model as a receive.
+  const Time traversal = config_.match_unexpected_item * (unexpected_.size() + 1);
+  const Time done = rx_engine_.book(engine().now() + config_.doorbell, traversal, traversal);
+  co_await engine().sleep_until(done);
+  for (const Unexpected& u : unexpected_) {
+    if (!u.has_match && (u.match_bits & match_mask) == (match_bits & match_mask)) {
+      // Eager messages are probe-visible only once fully buffered.
+      if (u.kind == FrameKind::kEager && !u.complete) continue;
+      co_return ProbeResult{true, u.match_bits, u.msg_len};
+    }
+  }
+  co_return ProbeResult{};
+}
+
+// ---------------------------------------------------------------------------
+// Transmit paths
+// ---------------------------------------------------------------------------
+
+void Endpoint::enqueue_tx(PendingTx tx) {
+  txq_.push_back(std::move(tx));
+  if (!pump_armed_) {
+    pump_armed_ = true;
+    pump_tx();
+  }
+}
+
+// The transmit pump paces frame emission at the rate the DMA engine
+// actually frees up: one frame's fetch completes before the next is
+// booked. Booking a whole message up front would let a large send
+// head-of-line-block receive traffic on the shared DMA engine — real
+// NIC firmware interleaves both directions.
+void Endpoint::pump_tx() {
+  if (txq_.empty()) {
+    pump_armed_ = false;
+    return;
+  }
+  PendingTx tx = std::move(txq_.front());
+  txq_.pop_front();
+  ++frames_sent_;
+
+  Time ready = engine().now();
+  if (tx.carries_data) {
+    // Fetch from host memory across PCIe (x4 in the paper's testbed),
+    // then through the NIC's shared DMA engine. The next frame enters the
+    // pipeline as soon as this one's PCIe fetch completes, so the stages
+    // overlap across frames while the shared DMA engine still serves
+    // receive traffic interleaved at its real arrival rate.
+    const Time fetched = node_->pcie().dma_read(ready, tx.frame.payload_len + 64);
+    ready = dma_.book(fetched, config_.dma_transaction +
+                                   config_.dma_rate.bytes_time(tx.frame.payload_len + 64));
+    engine().post(fetched, [this] { pump_tx(); });
+  } else {
+    engine().post(ready, [this] { pump_tx(); });
+  }
+
+  const Time occupancy = config_.tx_occupancy +
+                         config_.engine_byte_rate.bytes_time(tx.frame.payload_len) +
+                         (tx.frame.first_of_message ? config_.per_message_overhead : 0);
+  const Time processed = tx_engine_.book(ready, occupancy, config_.tx_latency);
+  const std::uint32_t wire_bytes =
+      std::max<std::uint32_t>(tx.frame.payload_len, config_.control_bytes) +
+      config_.frame_overhead;
+  const Time sent = tx_link_.book(processed, fabric_->config().link_rate.bytes_time(wire_bytes));
+  const int src = port_;
+  engine().post(sent, [this, tx = std::move(tx), src, wire_bytes]() mutable {
+    if (tx.complete != nullptr) {
+      tx.complete->complete(tx.complete_len, tx.complete_match);
+    }
+    fabric_->ingress(hw::Frame{src, tx.dest, wire_bytes, std::move(tx.frame)});
+  });
+}
+
+void Endpoint::send_eager(SendOp op) {
+  const std::uint64_t msg_id = next_msg_id_++;
+  std::uint32_t offset = 0;
+  while (offset < op.len) {
+    const std::uint32_t chunk = std::min(config_.mtu, op.len - offset);
+    MxFrame frame;
+    frame.kind = FrameKind::kEager;
+    frame.src_port = port_;
+    frame.msg_id = msg_id;
+    frame.match_bits = op.match_bits;
+    frame.msg_len = op.len;
+    frame.offset = offset;
+    frame.payload_len = chunk;
+    frame.first_of_message = (offset == 0);
+    if (op.data != nullptr) {
+      frame.data = std::make_shared<std::vector<std::byte>>(op.data->begin() + offset,
+                                                            op.data->begin() + offset + chunk);
+    }
+    offset += chunk;
+    frame.last_of_message = (offset == op.len);
+    PendingTx tx{std::move(frame), op.dest, /*carries_data=*/true, nullptr, 0, 0};
+    if (tx.frame.last_of_message) {
+      tx.complete = op.request;
+      tx.complete_len = op.len;
+      tx.complete_match = op.match_bits;
+    }
+    enqueue_tx(std::move(tx));
+  }
+}
+
+void Endpoint::send_rts(SendOp op) {
+  const std::uint64_t msg_id = next_msg_id_++;
+  op.data = snapshot(node_->mem(), op.addr, op.len);
+  send_control(FrameKind::kRts, op.dest, msg_id, 0, op.match_bits, op.len);
+  pending_sends_.emplace(msg_id, std::move(op));
+}
+
+void Endpoint::send_control(FrameKind kind, int dest, std::uint64_t msg_id,
+                            std::uint64_t peer_msg_id, std::uint64_t match_bits,
+                            std::uint32_t msg_len) {
+  MxFrame frame;
+  frame.kind = kind;
+  frame.src_port = port_;
+  frame.msg_id = msg_id;
+  frame.peer_msg_id = peer_msg_id;
+  frame.match_bits = match_bits;
+  frame.msg_len = msg_len;
+  frame.payload_len = 0;
+  frame.first_of_message = true;
+  frame.last_of_message = true;
+  enqueue_tx(PendingTx{std::move(frame), dest, /*carries_data=*/false, nullptr, 0, 0});
+}
+
+void Endpoint::stream_data(std::uint64_t msg_id, std::uint64_t receiver_handle) {
+  auto it = pending_sends_.find(msg_id);
+  if (it == pending_sends_.end()) throw std::logic_error("mx: CTS for unknown send");
+  SendOp op = std::move(it->second);
+  pending_sends_.erase(it);
+
+  std::uint32_t offset = 0;
+  while (offset < op.len) {
+    const std::uint32_t chunk = std::min(config_.mtu, op.len - offset);
+    MxFrame frame;
+    frame.kind = FrameKind::kData;
+    frame.src_port = port_;
+    frame.msg_id = msg_id;
+    frame.peer_msg_id = receiver_handle;
+    frame.match_bits = op.match_bits;
+    frame.msg_len = op.len;
+    frame.offset = offset;
+    frame.payload_len = chunk;
+    frame.first_of_message = (offset == 0);
+    if (op.data != nullptr) {
+      frame.data = std::make_shared<std::vector<std::byte>>(op.data->begin() + offset,
+                                                            op.data->begin() + offset + chunk);
+    }
+    offset += chunk;
+    frame.last_of_message = (offset == op.len);
+    PendingTx tx{std::move(frame), op.dest, /*carries_data=*/true, nullptr, 0, 0};
+    if (tx.frame.last_of_message) {
+      tx.complete = op.request;
+      tx.complete_len = op.len;
+      tx.complete_match = op.match_bits;
+    }
+    enqueue_tx(std::move(tx));
+  }
+}
+
+Time Endpoint::pin(Time ready, std::uint64_t addr, std::uint32_t len) {
+  if (!config_.reg_cache_enabled) {
+    ++reg_misses_;
+    const Time cost = registry_.register_cost(len) + registry_.deregister_cost(len);
+    return node_->cpu().charge(ready, cost);
+  }
+  auto result = reg_cache_.lookup(addr, len);
+  if (result.hit) {
+    ++reg_hits_;
+    return ready;
+  }
+  ++reg_misses_;
+  Time cost = registry_.register_cost(len);
+  for (const auto& evicted : result.evicted) cost += registry_.deregister_cost(evicted.len);
+  return node_->cpu().charge(ready, cost);
+}
+
+// ---------------------------------------------------------------------------
+// Receive paths
+// ---------------------------------------------------------------------------
+
+void Endpoint::deliver(hw::Frame raw) {
+  MxFrame frame = std::any_cast<MxFrame>(std::move(raw.payload));
+
+  Time occupancy =
+      (frame.kind == FrameKind::kData || frame.kind == FrameKind::kEager ? config_.rx_occupancy
+                                                                         : config_.rx_occupancy / 2) +
+      config_.engine_byte_rate.bytes_time(frame.payload_len) +
+      (frame.first_of_message ? config_.per_message_overhead : 0);
+
+  // NIC-resident matching: the first frame of an eager message or an RTS
+  // walks the posted-receive queue; each item inspected costs engine time.
+  if ((frame.kind == FrameKind::kEager && frame.first_of_message) ||
+      frame.kind == FrameKind::kRts) {
+    std::size_t scanned = 0;
+    for (const PostedRecv& recv : posted_) {
+      ++scanned;
+      if (matches(recv, frame.match_bits)) break;
+    }
+    occupancy += config_.match_posted_item * (scanned == 0 ? 1 : scanned);
+  }
+
+  const Time processed = rx_engine_.book(engine().now(), occupancy, config_.rx_latency);
+
+  switch (frame.kind) {
+    case FrameKind::kEager: {
+      Time landed = dma_.book(processed, config_.dma_transaction +
+                                             config_.dma_rate.bytes_time(frame.payload_len + 64));
+      landed = node_->pcie().dma_write(landed, frame.payload_len + 64);
+      engine().post(landed, [this, frame = std::move(frame)]() mutable {
+        handle_eager_arrival(std::move(frame));
+      });
+      break;
+    }
+    case FrameKind::kRts:
+      engine().post(processed,
+                    [this, frame = std::move(frame)]() mutable { handle_rts(frame); });
+      break;
+    case FrameKind::kCts:
+      engine().post(processed,
+                    [this, frame = std::move(frame)]() mutable { handle_cts(frame); });
+      break;
+    case FrameKind::kData: {
+      Time placed = dma_.book(processed, config_.dma_transaction +
+                                             config_.dma_rate.bytes_time(frame.payload_len + 64));
+      placed = node_->pcie().dma_write(placed, frame.payload_len + 64);
+      engine().post(placed, [this, frame = std::move(frame)]() mutable { handle_data(frame); });
+      break;
+    }
+  }
+}
+
+void Endpoint::handle_eager_arrival(MxFrame frame) {
+  Unexpected* entry = nullptr;
+  if (frame.first_of_message) {
+    // Try to match a posted receive right away.
+    auto it = std::find_if(posted_.begin(), posted_.end(), [&](const PostedRecv& recv) {
+      return matches(recv, frame.match_bits);
+    });
+    Unexpected u;
+    u.kind = FrameKind::kEager;
+    u.src_port = frame.src_port;
+    u.msg_id = frame.msg_id;
+    u.match_bits = frame.match_bits;
+    u.msg_len = frame.msg_len;
+    u.data = frame.msg_len > 0 && frame.data != nullptr
+                 ? std::make_shared<std::vector<std::byte>>(frame.msg_len)
+                 : nullptr;
+    if (it != posted_.end()) {
+      u.matched = *it;
+      u.has_match = true;
+      posted_.erase(it);
+    }
+    unexpected_.push_back(std::move(u));
+    entry = &unexpected_.back();
+    if (!entry->has_match) unexpected_activity_.notify_all();
+  } else {
+    auto it = std::find_if(unexpected_.begin(), unexpected_.end(), [&](const Unexpected& u) {
+      return u.src_port == frame.src_port && u.msg_id == frame.msg_id;
+    });
+    if (it == unexpected_.end()) throw std::logic_error("mx: eager continuation without head");
+    entry = &*it;
+  }
+
+  if (entry->data != nullptr && frame.data != nullptr) {
+    std::copy(frame.data->begin(), frame.data->end(), entry->data->begin() + frame.offset);
+  }
+  entry->buffered += frame.payload_len;
+  if (entry->buffered < entry->msg_len) return;
+
+  entry->complete = true;
+  if (entry->has_match) {
+    Unexpected taken = std::move(*entry);
+    unexpected_.erase(std::find_if(
+        unexpected_.begin(), unexpected_.end(), [&](const Unexpected& u) {
+          return u.src_port == taken.src_port && u.msg_id == taken.msg_id;
+        }));
+    finish_eager_delivery(taken);
+  }
+  // else: stays buffered in the unexpected queue until a receive matches.
+}
+
+void Endpoint::finish_eager_delivery(Unexpected& u) {
+  const PostedRecv& recv = u.matched;
+  if (recv.capacity < u.msg_len) throw std::length_error("mx: receive buffer too small");
+  // The single receive-side copy: unexpected/ring buffer -> user buffer,
+  // done by the host.
+  const Time copied = node_->cpu().charge_copy(engine().now(), recv.addr, u.msg_len);
+  if (u.data != nullptr) node_->mem().write(recv.addr, *u.data);
+  engine().post(copied, [request = recv.request, len = u.msg_len, match = u.match_bits] {
+    request->complete(len, match);
+  });
+}
+
+void Endpoint::handle_rts(const MxFrame& frame) {
+  engine().trace(TraceCategory::kProto, node_->id(),
+                 "MX RTS arrived: match=" + std::to_string(frame.match_bits) + " len=" +
+                     std::to_string(frame.msg_len));
+  auto it = std::find_if(posted_.begin(), posted_.end(), [&](const PostedRecv& recv) {
+    return matches(recv, frame.match_bits);
+  });
+  if (it == posted_.end()) {
+    Unexpected u;
+    u.kind = FrameKind::kRts;
+    u.src_port = frame.src_port;
+    u.msg_id = frame.msg_id;
+    u.match_bits = frame.match_bits;
+    u.msg_len = frame.msg_len;
+    u.complete = true;
+    unexpected_.push_back(std::move(u));
+    unexpected_activity_.notify_all();
+    return;
+  }
+  PostedRecv recv = *it;
+  posted_.erase(it);
+  start_rendezvous(recv, frame.src_port, frame.msg_id, frame.match_bits, frame.msg_len);
+}
+
+void Endpoint::start_rendezvous(const PostedRecv& recv, int src_port,
+                                std::uint64_t sender_msg_id, std::uint64_t match_bits,
+                                std::uint32_t msg_len) {
+  if (recv.capacity < msg_len) throw std::length_error("mx: receive buffer too small");
+  const std::uint64_t handle = next_recv_handle_++;
+  rndv_recvs_.emplace(handle, RndvRecv{recv, msg_len, 0});
+  // Pin the target buffer (cache hit is free; a miss charges the host),
+  // then grant the sender the go-ahead.
+  const Time pinned = pin(engine().now(), recv.addr, msg_len);
+  engine().post(pinned, [this, src_port, sender_msg_id, handle, match_bits, msg_len] {
+    send_control(FrameKind::kCts, src_port, sender_msg_id, handle, match_bits, msg_len);
+  });
+}
+
+void Endpoint::handle_cts(const MxFrame& frame) {
+  engine().trace(TraceCategory::kProto, node_->id(),
+                 "MX CTS arrived: streaming msg " + std::to_string(frame.msg_id));
+  stream_data(frame.msg_id, frame.peer_msg_id);
+}
+
+void Endpoint::handle_data(const MxFrame& frame) {
+  auto it = rndv_recvs_.find(frame.peer_msg_id);
+  if (it == rndv_recvs_.end()) throw std::logic_error("mx: data for unknown rendezvous");
+  RndvRecv& rr = it->second;
+  if (frame.data != nullptr) {
+    node_->mem().write(rr.recv.addr + frame.offset, *frame.data);
+  }
+  rr.placed += frame.payload_len;
+  if (rr.placed < rr.msg_len) return;
+  rr.recv.request->complete(rr.msg_len, frame.match_bits);
+  rndv_recvs_.erase(it);
+}
+
+}  // namespace fabsim::mx

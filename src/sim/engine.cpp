@@ -1,0 +1,92 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fabsim {
+
+namespace detail {
+
+void Driver::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) const noexcept {
+  Engine* engine = h.promise().engine;
+  engine->drivers_.erase(h.address());
+  h.destroy();
+}
+
+}  // namespace detail
+
+Engine::~Engine() {
+  // Destroy any still-suspended processes. Driver frames own their Task
+  // parameter, whose destructor recursively destroys child frames.
+  for (void* address : drivers_) {
+    std::coroutine_handle<>::from_address(address).destroy();
+  }
+}
+
+void Engine::post(Time at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  queue_.push(Item{at, next_seq_++, std::move(fn)});
+}
+
+void Engine::post_resume(Time at, std::coroutine_handle<> h) {
+  post(at, [h] { h.resume(); });
+}
+
+detail::Driver Engine::drive(Engine* engine, Task<> task,
+                             std::shared_ptr<detail::ProcessState> state) {
+  try {
+    co_await std::move(task);
+  } catch (...) {
+    engine->note_exception(std::current_exception());
+  }
+  state->done = true;
+  for (std::coroutine_handle<> joiner : state->joiners) {
+    engine->post_resume(engine->now(), joiner);
+  }
+  state->joiners.clear();
+}
+
+Process Engine::spawn(Task<> task) {
+  auto state = std::make_shared<detail::ProcessState>();
+  detail::Driver driver = drive(this, std::move(task), state);
+  driver.handle.promise().engine = this;
+  drivers_.insert(driver.handle.address());
+  driver.handle.resume();  // run to first suspension point
+  check_exception();
+  return Process{std::move(state)};
+}
+
+void Engine::check_exception() {
+  if (pending_exception_) {
+    std::exception_ptr e = std::exchange(pending_exception_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    // Item::fn may schedule more events; copy out before popping.
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    assert(item.at >= now_);
+    now_ = item.at;
+    ++events_processed_;
+    item.fn();
+    check_exception();
+  }
+}
+
+void Engine::run_until(Time t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    now_ = item.at;
+    ++events_processed_;
+    item.fn();
+    check_exception();
+  }
+  if (t > now_) now_ = t;
+}
+
+}  // namespace fabsim

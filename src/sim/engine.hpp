@@ -1,0 +1,175 @@
+// Discrete-event simulation engine.
+//
+// The Engine owns a monotone event queue keyed by (time, sequence number),
+// which makes every run fully deterministic: ties are broken by insertion
+// order. Coroutine processes (Task<void>) are spawned as top-level
+// "drivers"; all suspension points (sleep, Event, Semaphore, resources)
+// resume through the queue, never inline, so no process can starve another
+// at the same timestamp.
+//
+// The Engine must outlive every process spawned on it. Destroying an Engine
+// with live processes destroys their coroutine frames (stack unwinding via
+// RAII still runs inside each frame).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace fabsim {
+
+class Engine;
+
+namespace detail {
+
+/// Shared completion state for a spawned process.
+struct ProcessState {
+  bool done = false;
+  std::vector<std::coroutine_handle<>> joiners;
+};
+
+/// Self-destroying top-level coroutine that drives a Task to completion.
+struct Driver {
+  struct promise_type {
+    Engine* engine = nullptr;
+
+    Driver get_return_object() {
+      return Driver{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) const noexcept;
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    // drive() catches everything itself; anything reaching here is fatal.
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+
+  std::coroutine_handle<promise_type> handle;
+};
+
+}  // namespace detail
+
+/// Handle to a spawned process; join() suspends until it completes.
+class Process {
+ public:
+  Process() = default;
+  explicit Process(std::shared_ptr<detail::ProcessState> state) : state_(std::move(state)) {}
+
+  bool done() const { return !state_ || state_->done; }
+
+  auto join() const {
+    struct Awaiter {
+      std::shared_ptr<detail::ProcessState> state;
+      bool await_ready() const noexcept { return !state || state->done; }
+      void await_suspend(std::coroutine_handle<> h) const { state->joiners.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  std::shared_ptr<detail::ProcessState> state_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedule a callback at absolute time `at` (must be >= now()).
+  void post(Time at, std::function<void()> fn);
+
+  /// Schedule a coroutine resumption at absolute time `at`.
+  void post_resume(Time at, std::coroutine_handle<> h);
+
+  /// Awaitable: suspend for duration `d`.
+  auto sleep(Time d) { return SleepAwaiter{this, now_ + d}; }
+
+  /// Awaitable: suspend until absolute time `t` (no-op if in the past).
+  auto sleep_until(Time t) { return SleepAwaiter{this, t < now_ ? now_ : t}; }
+
+  /// Awaitable: re-queue at the current time, letting same-time events run.
+  auto yield() { return SleepAwaiter{this, now_}; }
+
+  /// Start a coroutine as a top-level process. Runs until its first
+  /// suspension point immediately.
+  Process spawn(Task<> task);
+
+  /// Run until the event queue drains. Rethrows the first exception that
+  /// escaped any process.
+  void run();
+
+  /// Run events with timestamp <= t, then set now() = t.
+  void run_until(Time t);
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t live_processes() const { return drivers_.size(); }
+
+  /// Optional structured tracer (null when disabled). Emission sites
+  /// guard on this pointer, so tracing costs one branch when off.
+  Tracer* tracer() { return tracer_; }
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Convenience: emit at the current time if tracing is enabled.
+  void trace(TraceCategory category, int node, std::string label) {
+    if (tracer_ != nullptr) tracer_->emit(now_, category, node, std::move(label));
+  }
+
+  struct SleepAwaiter {
+    Engine* engine;
+    Time at;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const { engine->post_resume(at, h); }
+    void await_resume() const noexcept {}
+  };
+
+ private:
+  friend struct detail::Driver::promise_type::FinalAwaiter;
+
+  struct Item {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Item& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  static detail::Driver drive(Engine* engine, Task<> task,
+                              std::shared_ptr<detail::ProcessState> state);
+
+  void note_exception(std::exception_ptr e) {
+    if (!pending_exception_) pending_exception_ = std::move(e);
+  }
+  void check_exception();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+  std::unordered_set<void*> drivers_;
+  std::exception_ptr pending_exception_;
+  Tracer* tracer_ = nullptr;
+};
+
+}  // namespace fabsim

@@ -1,0 +1,80 @@
+// Timed service resources.
+//
+// Because all users of a resource book service in call order and nothing
+// preempts, FIFO resources reduce to arithmetic on a "busy until" horizon:
+// no waiter queues are needed. A process books its completion time and
+// sleeps until it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace fabsim {
+
+/// Serial FIFO server: one job at a time, back-to-back.
+/// Models half-duplex buses, single-ported DMA engines, link directions.
+class SerialServer {
+ public:
+  /// Book `duration` of service starting no earlier than `now`.
+  /// Returns the completion time.
+  Time book(Time now, Time duration) {
+    const Time start = std::max(now, busy_until_);
+    busy_until_ = start + duration;
+    busy_time_ += duration;
+    ++jobs_;
+    return busy_until_;
+  }
+
+  /// Time at which the server next becomes free.
+  Time busy_until() const { return busy_until_; }
+  /// Total service time booked (for utilization reporting).
+  Time busy_time() const { return busy_time_; }
+  std::uint64_t jobs() const { return jobs_; }
+
+ private:
+  Time busy_until_ = 0;
+  Time busy_time_ = 0;
+  std::uint64_t jobs_ = 0;
+};
+
+/// Pipelined server: a new job may start every `occupancy` (the initiation
+/// interval) but each job takes `latency` end-to-end (latency >= occupancy).
+/// Models pipelined NIC protocol engines: throughput 1/occupancy, with
+/// multiple jobs in flight. A processor-based (serial) engine is the special
+/// case occupancy == latency.
+class PipelinedServer {
+ public:
+  /// Book a job arriving at `now`; returns its completion time.
+  Time book(Time now, Time occupancy, Time latency) {
+    const Time start = std::max(now, next_start_);
+    next_start_ = start + occupancy;
+    busy_time_ += occupancy;
+    ++jobs_;
+    return start + latency;
+  }
+
+  Time next_start() const { return next_start_; }
+  Time busy_time() const { return busy_time_; }
+  std::uint64_t jobs() const { return jobs_; }
+
+ private:
+  Time next_start_ = 0;
+  Time busy_time_ = 0;
+  std::uint64_t jobs_ = 0;
+};
+
+/// Awaitable helper: book on a SerialServer and suspend until completion.
+inline Engine::SleepAwaiter serve(Engine& engine, SerialServer& server, Time duration) {
+  return engine.sleep_until(server.book(engine.now(), duration));
+}
+
+/// Awaitable helper: book on a PipelinedServer and suspend until completion.
+inline Engine::SleepAwaiter serve(Engine& engine, PipelinedServer& server, Time occupancy,
+                                  Time latency) {
+  return engine.sleep_until(server.book(engine.now(), occupancy, latency));
+}
+
+}  // namespace fabsim

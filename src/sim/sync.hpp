@@ -1,0 +1,173 @@
+// Coroutine synchronization primitives.
+//
+// All wake-ups are routed through the Engine's event queue (never resumed
+// inline), so the relative order of same-time resumptions is the order the
+// wake-ups were issued — deterministic across runs.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace fabsim {
+
+/// One-shot event: wait() suspends until trigger(); afterwards wait() is
+/// a no-op. Multiple waiters allowed.
+class Event {
+ public:
+  explicit Event(Engine& engine) : engine_(&engine) {}
+
+  bool triggered() const { return triggered_; }
+
+  void trigger() {
+    if (triggered_) return;
+    triggered_ = true;
+    for (std::coroutine_handle<> h : waiters_) engine_->post_resume(engine_->now(), h);
+    waiters_.clear();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Event* event;
+      bool await_ready() const noexcept { return event->triggered_; }
+      void await_suspend(std::coroutine_handle<> h) { event->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine* engine_;
+  bool triggered_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Repeating notification: every notify_all() wakes all current waiters.
+class Notifier {
+ public:
+  explicit Notifier(Engine& engine) : engine_(&engine) {}
+
+  void notify_all() {
+    for (std::coroutine_handle<> h : waiters_) engine_->post_resume(engine_->now(), h);
+    waiters_.clear();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Notifier* notifier;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { notifier->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine* engine_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with FIFO wake order.
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, std::int64_t initial) : engine_(&engine), count_(initial) {}
+
+  std::int64_t count() const { return count_; }
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore* sem;
+      bool await_ready() const noexcept {
+        if (sem->count_ > 0 && sem->waiters_.empty()) {
+          --sem->count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { sem->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void release() {
+    if (!waiters_.empty()) {
+      // Ownership transfers directly to the first waiter.
+      std::coroutine_handle<> h = waiters_.front();
+      waiters_.pop_front();
+      engine_->post_resume(engine_->now(), h);
+    } else {
+      ++count_;
+    }
+  }
+
+ private:
+  Engine* engine_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded FIFO channel with direct value handoff to waiting receivers.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Engine& engine) : engine_(&engine) {}
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  void send(T value) {
+    if (!waiters_.empty()) {
+      Waiter* waiter = waiters_.front();
+      waiters_.pop_front();
+      waiter->value = std::move(value);
+      engine_->post_resume(engine_->now(), waiter->handle);
+    } else {
+      items_.push_back(std::move(value));
+    }
+  }
+
+  auto recv() {
+    struct Awaiter : Waiter {
+      Mailbox* box;
+      explicit Awaiter(Mailbox* b) : box(b) {}
+      bool await_ready() noexcept {
+        if (!box->items_.empty()) {
+          this->value = std::move(box->items_.front());
+          box->items_.pop_front();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        this->handle = h;
+        box->waiters_.push_back(this);
+      }
+      T await_resume() { return std::move(*this->value); }
+    };
+    return Awaiter{this};
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::optional<T> value;
+  };
+
+  Engine* engine_;
+  std::deque<T> items_;
+  std::deque<Waiter*> waiters_;
+};
+
+}  // namespace fabsim

@@ -1,0 +1,71 @@
+// Simulated time: 64-bit unsigned picoseconds.
+//
+// Picosecond resolution lets us express multi-GB/s link rates exactly
+// (1 byte at 10 Gb/s = 800 ps) while still covering ~213 days of simulated
+// time, far beyond any experiment in this repository.
+#pragma once
+
+#include <cstdint>
+
+namespace fabsim {
+
+/// Simulated time / duration, in picoseconds.
+using Time = std::uint64_t;
+
+inline constexpr Time kPicosecond = 1;
+inline constexpr Time kNanosecond = 1'000;
+inline constexpr Time kMicrosecond = 1'000'000;
+inline constexpr Time kMillisecond = 1'000'000'000;
+inline constexpr Time kSecond = 1'000'000'000'000ULL;
+
+/// Construct a duration from nanoseconds (fractional allowed).
+constexpr Time ns(double v) { return static_cast<Time>(v * static_cast<double>(kNanosecond)); }
+/// Construct a duration from microseconds (fractional allowed).
+constexpr Time us(double v) { return static_cast<Time>(v * static_cast<double>(kMicrosecond)); }
+/// Construct a duration from milliseconds (fractional allowed).
+constexpr Time ms(double v) { return static_cast<Time>(v * static_cast<double>(kMillisecond)); }
+/// Construct a duration from seconds (fractional allowed).
+constexpr Time sec(double v) { return static_cast<Time>(v * static_cast<double>(kSecond)); }
+
+/// Convert a duration to microseconds as a double (for reporting).
+constexpr double to_us(Time t) { return static_cast<double>(t) / static_cast<double>(kMicrosecond); }
+/// Convert a duration to seconds as a double (for reporting).
+constexpr double to_sec(Time t) { return static_cast<double>(t) / static_cast<double>(kSecond); }
+
+/// A transfer rate. Stored as picoseconds-per-byte to make the common
+/// operation (bytes -> duration) a single multiply.
+class Rate {
+ public:
+  constexpr Rate() = default;
+
+  /// Rate from megabytes (1e6 bytes) per second.
+  static constexpr Rate mb_per_sec(double mbps) {
+    return Rate{static_cast<double>(kSecond) / (mbps * 1e6)};
+  }
+  /// Rate from gigabits per second (1e9 bits).
+  static constexpr Rate gbit_per_sec(double gbps) {
+    return Rate{static_cast<double>(kSecond) / (gbps * 1e9 / 8.0)};
+  }
+  /// Rate from bytes per second.
+  static constexpr Rate bytes_per_sec(double bps) {
+    return Rate{static_cast<double>(kSecond) / bps};
+  }
+
+  /// Serialization time for `bytes` at this rate.
+  constexpr Time bytes_time(std::uint64_t bytes) const {
+    return static_cast<Time>(ps_per_byte_ * static_cast<double>(bytes));
+  }
+
+  constexpr double ps_per_byte() const { return ps_per_byte_; }
+  constexpr double mb_per_sec_value() const {
+    return static_cast<double>(kSecond) / ps_per_byte_ / 1e6;
+  }
+
+  constexpr bool is_zero() const { return ps_per_byte_ == 0.0; }
+
+ private:
+  explicit constexpr Rate(double ps_per_byte) : ps_per_byte_(ps_per_byte) {}
+  double ps_per_byte_ = 0.0;  // 0 == infinitely fast
+};
+
+}  // namespace fabsim

@@ -1,0 +1,87 @@
+// Structured event tracing.
+//
+// A Tracer attached to the Engine records timestamped, categorized
+// events emitted by the stacks (segment transmissions, protocol
+// handshakes, MPI matching decisions, retransmissions). Off by default —
+// emission sites guard on `engine.tracer()` so the cost is one branch
+// when disabled. Used by the protocol_trace example and by tests that
+// assert on event sequences.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fabsim {
+
+enum class TraceCategory : std::uint8_t {
+  kHost,   ///< syscalls, MPI library work, copies
+  kNic,    ///< NIC engine / DMA activity
+  kWire,   ///< frames entering / leaving the fabric
+  kProto,  ///< protocol state transitions (RTS/CTS/FIN, acks, retransmits)
+};
+
+inline const char* trace_category_name(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kHost: return "host";
+    case TraceCategory::kNic: return "nic";
+    case TraceCategory::kWire: return "wire";
+    case TraceCategory::kProto: return "proto";
+  }
+  return "?";
+}
+
+class Tracer {
+ public:
+  struct Entry {
+    Time at;
+    TraceCategory category;
+    int node;
+    std::string label;
+  };
+
+  void emit(Time at, TraceCategory category, int node, std::string label) {
+    if (entries_.size() < max_entries_) {
+      entries_.push_back(Entry{at, category, node, std::move(label)});
+    } else {
+      ++dropped_;
+    }
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t dropped() const { return dropped_; }
+  void clear() {
+    entries_.clear();
+    dropped_ = 0;
+  }
+  void set_capacity(std::size_t max_entries) { max_entries_ = max_entries; }
+
+  /// Human-readable timeline, one line per event.
+  void dump(std::FILE* out = stdout) const {
+    for (const Entry& entry : entries_) {
+      std::fprintf(out, "%11.3f us  [node %d] %-5s  %s\n", to_us(entry.at), entry.node,
+                   trace_category_name(entry.category), entry.label.c_str());
+    }
+    if (dropped_ > 0) {
+      std::fprintf(out, "(... %zu events dropped at capacity %zu)\n", dropped_, max_entries_);
+    }
+  }
+
+  /// Count of entries whose label contains `needle` (for tests).
+  std::size_t count_containing(const std::string& needle) const {
+    std::size_t n = 0;
+    for (const Entry& entry : entries_) {
+      if (entry.label.find(needle) != std::string::npos) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+  std::size_t max_entries_ = 100'000;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace fabsim

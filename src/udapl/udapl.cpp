@@ -1,0 +1,88 @@
+#include "udapl/udapl.hpp"
+
+#include <stdexcept>
+
+namespace fabsim::udapl {
+
+// ---------------------------------------------------------------------------
+// EventDispatcher
+// ---------------------------------------------------------------------------
+
+EventType EventDispatcher::map_type(verbs::Completion::Type type) {
+  switch (type) {
+    case verbs::Completion::Type::kSend: return EventType::kSendCompletion;
+    case verbs::Completion::Type::kRecv: return EventType::kRecvCompletion;
+    case verbs::Completion::Type::kRdmaWrite: return EventType::kRdmaWriteCompletion;
+    case verbs::Completion::Type::kRdmaRead: return EventType::kRdmaReadCompletion;
+  }
+  throw std::logic_error("udapl: unknown completion type");
+}
+
+Task<Event> EventDispatcher::wait() {
+  const verbs::Completion completion =
+      co_await verbs::next_completion(cq_, *cpu_, config_.wait_overhead);
+  co_return Event{map_type(completion.type), completion.wr_id, completion.byte_len};
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint
+// ---------------------------------------------------------------------------
+
+Task<> Endpoint::post_send(const Lmr& lmr, std::uint32_t len, std::uint64_t cookie) {
+  co_await cpu_->compute(config_.post_overhead);
+  co_await qp_->post_send(verbs::SendWr{.wr_id = cookie,
+                                        .opcode = verbs::Opcode::kSend,
+                                        .sge = {lmr.addr(), len, lmr.context()}});
+}
+
+Task<> Endpoint::post_recv(const Lmr& lmr, std::uint32_t len, std::uint64_t cookie) {
+  co_await cpu_->compute(config_.post_overhead);
+  co_await qp_->post_recv(verbs::RecvWr{cookie, {lmr.addr(), len, lmr.context()}});
+}
+
+Task<> Endpoint::post_rdma_write(const Lmr& local, std::uint32_t len, const Rmr& remote,
+                                 std::uint64_t cookie) {
+  if (len > remote.length) throw std::length_error("udapl: write exceeds rmr bounds");
+  co_await cpu_->compute(config_.post_overhead);
+  co_await qp_->post_send(verbs::SendWr{.wr_id = cookie,
+                                        .opcode = verbs::Opcode::kRdmaWrite,
+                                        .sge = {local.addr(), len, local.context()},
+                                        .remote_addr = remote.addr,
+                                        .rkey = remote.context});
+}
+
+Task<> Endpoint::post_rdma_read(const Lmr& sink, std::uint32_t len, const Rmr& remote,
+                                std::uint64_t cookie) {
+  if (len > remote.length) throw std::length_error("udapl: read exceeds rmr bounds");
+  co_await cpu_->compute(config_.post_overhead);
+  co_await qp_->post_send(verbs::SendWr{.wr_id = cookie,
+                                        .opcode = verbs::Opcode::kRdmaRead,
+                                        .sge = {sink.addr(), len, sink.context()},
+                                        .remote_addr = remote.addr,
+                                        .rkey = remote.context});
+}
+
+// ---------------------------------------------------------------------------
+// InterfaceAdapter
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<EventDispatcher> InterfaceAdapter::create_evd() {
+  return std::make_unique<EventDispatcher>(node_->engine(), node_->cpu(), config_);
+}
+
+std::unique_ptr<Endpoint> InterfaceAdapter::create_endpoint(EventDispatcher& evd) {
+  return std::unique_ptr<Endpoint>(
+      new Endpoint(device_->create_qp(evd.cq(), evd.cq()), node_->cpu(), config_));
+}
+
+void InterfaceAdapter::connect(InterfaceAdapter& ia_a, Endpoint& a, Endpoint& b) {
+  ia_a.device_->establish(*a.qp_, *b.qp_);
+}
+
+Task<Lmr> InterfaceAdapter::create_lmr(std::uint64_t addr, std::uint64_t length) {
+  co_await node_->cpu().compute(config_.reg_overhead);
+  const verbs::MrKey key = co_await device_->reg_mr(addr, length);
+  co_return Lmr{addr, length, key};
+}
+
+}  // namespace fabsim::udapl

@@ -1,0 +1,148 @@
+// uDAPL — user Direct Access Programming Library (DAT Collaborative).
+//
+// The paper's future work names uDAPL as the next interface to evaluate
+// (Sec. 7; the NetEffect RNIC shipped a uDAPL provider, Sec. 2.3.1).
+// This is a working subset of the DAT 1.2 semantics layered over any
+// verbs::Device — interface adapters, endpoints, event dispatchers, and
+// local/remote memory regions — enough to run the paper's microbenchmark
+// style workloads and measure what the extra abstraction costs over raw
+// verbs.
+//
+// DAT-to-verbs mapping implemented here:
+//   dat_ia_open            -> InterfaceAdapter over a verbs::Device
+//   dat_evd_create         -> EventDispatcher wrapping a CompletionQueue
+//   dat_ep_create/connect  -> Endpoint wrapping a QueuePair
+//   dat_lmr_create         -> Lmr (registers with the device)
+//   dat_rmr_bind           -> Rmr (exposes an rkey-equivalent context)
+//   dat_ep_post_send/recv/rdma_write/rdma_read -> post_*
+//   dat_evd_wait           -> EventDispatcher::wait
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "hw/cpu.hpp"
+#include "hw/node.hpp"
+#include "verbs/verbs.hpp"
+
+namespace fabsim::udapl {
+
+/// Library-layer overheads on top of the provider (per DAT call).
+struct DaplConfig {
+  Time post_overhead = ns(180);  ///< argument marshalling + provider dispatch
+  Time wait_overhead = ns(150);  ///< evd de-multiplexing per reaped event
+  Time reg_overhead = us(0.6);   ///< lmr bookkeeping on top of verbs reg_mr
+};
+
+enum class EventType : std::uint8_t {
+  kSendCompletion,
+  kRecvCompletion,
+  kRdmaWriteCompletion,
+  kRdmaReadCompletion,
+};
+
+struct Event {
+  EventType type;
+  std::uint64_t cookie = 0;  ///< DAT user context
+  std::uint32_t length = 0;
+};
+
+/// Event dispatcher: DAT's completion channel.
+class EventDispatcher {
+ public:
+  EventDispatcher(Engine& engine, hw::HostCpu& cpu, DaplConfig config)
+      : cq_(engine), cpu_(&cpu), config_(config) {}
+
+  /// Block until an event is available (dat_evd_wait).
+  Task<Event> wait();
+
+  verbs::CompletionQueue& cq() { return cq_; }
+
+ private:
+  static EventType map_type(verbs::Completion::Type type);
+
+  verbs::CompletionQueue cq_;
+  hw::HostCpu* cpu_;
+  DaplConfig config_;
+};
+
+/// Local memory region (dat_lmr): registered, usable as a send/recv
+/// buffer source.
+class Lmr {
+ public:
+  std::uint64_t addr() const { return addr_; }
+  std::uint64_t length() const { return length_; }
+  verbs::MrKey context() const { return key_; }
+
+ private:
+  friend class InterfaceAdapter;
+  Lmr(std::uint64_t addr, std::uint64_t length, verbs::MrKey key)
+      : addr_(addr), length_(length), key_(key) {}
+  std::uint64_t addr_;
+  std::uint64_t length_;
+  verbs::MrKey key_;
+};
+
+/// Remote memory region context (dat_rmr after bind): what a peer needs
+/// to address this memory.
+struct Rmr {
+  std::uint64_t addr = 0;
+  std::uint64_t length = 0;
+  verbs::MrKey context = 0;
+};
+
+/// Endpoint (dat_ep): a connected communication channel.
+class Endpoint {
+ public:
+  /// dat_ep_post_send: two-sided send of [lmr.addr+offset, +len).
+  Task<> post_send(const Lmr& lmr, std::uint32_t len, std::uint64_t cookie);
+  /// dat_ep_post_recv: receive buffer for inbound sends.
+  Task<> post_recv(const Lmr& lmr, std::uint32_t len, std::uint64_t cookie);
+  /// dat_ep_post_rdma_write.
+  Task<> post_rdma_write(const Lmr& local, std::uint32_t len, const Rmr& remote,
+                         std::uint64_t cookie);
+  /// dat_ep_post_rdma_read.
+  Task<> post_rdma_read(const Lmr& sink, std::uint32_t len, const Rmr& remote,
+                        std::uint64_t cookie);
+
+ private:
+  friend class InterfaceAdapter;
+  Endpoint(std::unique_ptr<verbs::QueuePair> qp, hw::HostCpu& cpu, DaplConfig config)
+      : qp_(std::move(qp)), cpu_(&cpu), config_(config) {}
+
+  std::unique_ptr<verbs::QueuePair> qp_;
+  hw::HostCpu* cpu_;
+  DaplConfig config_;
+};
+
+/// Interface adapter (dat_ia): the root object, bound to one RNIC/HCA.
+class InterfaceAdapter {
+ public:
+  InterfaceAdapter(verbs::Device& device, hw::Node& node, DaplConfig config = {})
+      : device_(&device), node_(&node), config_(config) {}
+
+  /// dat_evd_create.
+  std::unique_ptr<EventDispatcher> create_evd();
+
+  /// dat_ep_create: endpoint whose completions land on `evd`.
+  std::unique_ptr<Endpoint> create_endpoint(EventDispatcher& evd);
+
+  /// dat_ep_connect between two adapters' endpoints (out of band).
+  static void connect(InterfaceAdapter& ia_a, Endpoint& a, Endpoint& b);
+
+  /// dat_lmr_create: register local memory.
+  Task<Lmr> create_lmr(std::uint64_t addr, std::uint64_t length);
+
+  /// dat_rmr_bind: expose an lmr for remote access.
+  Rmr bind_rmr(const Lmr& lmr) const { return Rmr{lmr.addr(), lmr.length(), lmr.context()}; }
+
+  verbs::Device& device() { return *device_; }
+  hw::Node& node() { return *node_; }
+
+ private:
+  verbs::Device* device_;
+  hw::Node* node_;
+  DaplConfig config_;
+};
+
+}  // namespace fabsim::udapl

@@ -1,0 +1,15 @@
+#include "verbs/verbs.hpp"
+
+namespace fabsim::verbs {
+
+Task<Completion> next_completion(CompletionQueue& cq, hw::HostCpu& cpu, Time poll_cost) {
+  for (;;) {
+    if (auto completion = cq.poll()) {
+      co_await cpu.compute(poll_cost);
+      co_return *completion;
+    }
+    co_await cq.notifier().wait();
+  }
+}
+
+}  // namespace fabsim::verbs

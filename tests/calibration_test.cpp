@@ -1,0 +1,226 @@
+// Calibration lock-in: every headline number the paper quotes, plus the
+// qualitative shapes of each figure. These tests are the contract between
+// the simulator's mechanisms and the paper's findings — if a refactor
+// breaks one, the reproduction has drifted.
+#include <gtest/gtest.h>
+
+#include "core/runners.hpp"
+
+namespace fabsim::core {
+namespace {
+
+void expect_near_pct(double measured, double target, double pct, const char* what) {
+  EXPECT_NEAR(measured, target, target * pct / 100.0) << what;
+}
+
+// ---------------------------------------------------------------------------
+// Headline user-level numbers (paper Sec. 5 / abstract)
+// ---------------------------------------------------------------------------
+
+TEST(Calibration, UserLevelShortMessageLatency) {
+  expect_near_pct(userlevel_pingpong_latency_us(iwarp_profile(), 4), 9.78, 4, "iWARP");
+  expect_near_pct(userlevel_pingpong_latency_us(ib_profile(), 4), 4.53, 4, "IB");
+  expect_near_pct(userlevel_pingpong_latency_us(mxoe_profile(), 4), 3.45, 4, "MXoE");
+  expect_near_pct(userlevel_pingpong_latency_us(mxom_profile(), 4), 3.05, 4, "MXoM");
+}
+
+TEST(Calibration, UserLevelLatencyOrdering) {
+  const double iw = userlevel_pingpong_latency_us(iwarp_profile(), 4);
+  const double ib = userlevel_pingpong_latency_us(ib_profile(), 4);
+  const double moe = userlevel_pingpong_latency_us(mxoe_profile(), 4);
+  const double mom = userlevel_pingpong_latency_us(mxom_profile(), 4);
+  // Myrinet wins latency; iWARP trails (paper conclusions).
+  EXPECT_LT(mom, moe);
+  EXPECT_LT(moe, ib);
+  EXPECT_LT(ib, iw);
+}
+
+TEST(Calibration, UserLevelBandwidth) {
+  const double iw = userlevel_bandwidth_mbps(iwarp_profile(), 4 << 20, 4);
+  const double ib = userlevel_bandwidth_mbps(ib_profile(), 4 << 20, 4);
+  const double mom = userlevel_bandwidth_mbps(mxom_profile(), 4 << 20, 4);
+  expect_near_pct(iw, 880, 5, "iWARP ~83% of internal PCI-X");
+  expect_near_pct(ib, 970, 3, "IB ~97% of 4X SDR");
+  expect_near_pct(mom, 930, 5, "Myri-10G on forced PCIe x4");
+  // InfiniBand is the bandwidth winner; iWARP is PCI-X-capped below MX.
+  EXPECT_GT(ib, mom);
+  EXPECT_GT(mom, iw);
+  // Nothing beats its own physical ceiling.
+  EXPECT_LT(iw, 1064.0);
+  EXPECT_LT(ib, 1000.0);
+  EXPECT_LT(mom, 1250.0);
+}
+
+// ---------------------------------------------------------------------------
+// Headline MPI numbers (paper Sec. 6)
+// ---------------------------------------------------------------------------
+
+TEST(Calibration, MpiShortMessageLatency) {
+  expect_near_pct(mpi_pingpong_latency_us(iwarp_profile(), 4), 10.7, 5, "iWARP MPI");
+  expect_near_pct(mpi_pingpong_latency_us(ib_profile(), 4), 4.8, 6, "MVAPICH/IB");
+  expect_near_pct(mpi_pingpong_latency_us(mxoe_profile(), 4), 3.6, 5, "MPICH-MX/E");
+  expect_near_pct(mpi_pingpong_latency_us(mxom_profile(), 4), 3.3, 5, "MPICH-MX/M");
+}
+
+TEST(Calibration, MpiPeakBandwidths) {
+  expect_near_pct(mpi_bidir_bw_mbps(iwarp_profile(), 1 << 20, 8), 856, 4, "iWARP bidi");
+  expect_near_pct(mpi_bothway_bw_mbps(iwarp_profile(), 1 << 20, 12, 3), 950, 4,
+                  "iWARP both-way: 89% of internal PCI-X");
+  expect_near_pct(mpi_bothway_bw_mbps(ib_profile(), 1 << 20, 12, 3), 1780, 5,
+                  "IB both-way: ~89% of 2 GB/s");
+  const double mx_both = mpi_bothway_bw_mbps(mxom_profile(), 1 << 20, 12, 3);
+  EXPECT_GT(mx_both, 1250.0) << "Myri both-way well above its one-way rate";
+  EXPECT_LT(mx_both, 1550.0) << "~70% of 2 GB/s class";
+}
+
+TEST(Calibration, EagerRendezvousSwitchArtifacts) {
+  // The protocol switch must be visible in the bandwidth curves at each
+  // MPI's threshold (paper Sec. 6.2). iWARP shows the classic dip
+  // between 4 and 8 KB; InfiniBand shows the "steeper slope at the
+  // switching point"; MX switches inside the library at 32 KB (our eager
+  // model charges the full copy up front, so the switch appears as an
+  // upward step rather than a dip — see EXPERIMENTS.md).
+  auto uni = [](const NetworkProfile& p, std::uint32_t m) {
+    return mpi_unidir_bw_mbps(p, m, 16, 4);
+  };
+  EXPECT_LT(uni(iwarp_profile(), 8192), uni(iwarp_profile(), 4096))
+      << "iWARP dips crossing its 4 KB threshold";
+
+  const double ib_slope = uni(ib_profile(), 16384) / uni(ib_profile(), 8192);
+  const double iw_slope = uni(iwarp_profile(), 16384) / uni(iwarp_profile(), 8192);
+  const double mx_slope = uni(mxom_profile(), 16384) / uni(mxom_profile(), 8192);
+  EXPECT_GT(ib_slope, iw_slope) << "IB: steeper slope at the switching point";
+  EXPECT_GT(ib_slope, mx_slope);
+
+  const double mx_step =
+      userlevel_bandwidth_mbps(mxom_profile(), 65536, 8) /
+      userlevel_bandwidth_mbps(mxom_profile(), 32768, 8);
+  EXPECT_GT(mx_step, 1.2) << "MX 32 KB internal switch visible at user level";
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: multi-connection shapes
+// ---------------------------------------------------------------------------
+
+TEST(Calibration, MultiConnIwarpKeepsScaling) {
+  const auto p = iwarp_profile();
+  const double c1 = multiconn_normalized_latency_us(p, 1, 1024);
+  const double c8 = multiconn_normalized_latency_us(p, 8, 1024);
+  const double c64 = multiconn_normalized_latency_us(p, 64, 1024);
+  EXPECT_LT(c8, c1 / 2.0) << "pipelined RNIC parallelizes connections";
+  EXPECT_LT(c64, c8) << "still improving at 64 connections";
+}
+
+TEST(Calibration, MultiConnIbSerializesPastContextCache) {
+  const auto p = ib_profile();
+  const double c1 = multiconn_normalized_latency_us(p, 1, 1024);
+  const double c8 = multiconn_normalized_latency_us(p, 8, 1024);
+  const double c16 = multiconn_normalized_latency_us(p, 16, 1024);
+  const double c64 = multiconn_normalized_latency_us(p, 64, 1024);
+  EXPECT_LT(c8, c1) << "IB improves up to the 8-entry context cache";
+  EXPECT_GT(c16, c8 * 1.1) << "knee: context misses past 8 connections";
+  EXPECT_NEAR(c64, c16, c16 * 0.25) << "then stays relatively constant";
+}
+
+TEST(Calibration, MultiConnThroughputShapes) {
+  const double ib8 = multiconn_throughput_mbps(ib_profile(), 8, 1024);
+  const double ib32 = multiconn_throughput_mbps(ib_profile(), 32, 1024);
+  EXPECT_LT(ib32, ib8 * 0.85) << "IB small-message throughput drops past 8 conns";
+  const double iw8 = multiconn_throughput_mbps(iwarp_profile(), 8, 1024);
+  const double iw32 = multiconn_throughput_mbps(iwarp_profile(), 32, 1024);
+  EXPECT_GE(iw32, iw8 * 0.98) << "iWARP sustains throughput at any connection count";
+  // Beyond 4 KB the two behave the same way (both near their ceilings).
+  const double ib_large_8 = multiconn_throughput_mbps(ib_profile(), 8, 16384);
+  const double ib_large_64 = multiconn_throughput_mbps(ib_profile(), 64, 16384);
+  EXPECT_NEAR(ib_large_64, ib_large_8, ib_large_8 * 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: LogP shapes
+// ---------------------------------------------------------------------------
+
+TEST(Calibration, LogpGapOrdering) {
+  const double iw = logp_parameters(iwarp_profile(), 1, 12).gap_us;
+  const double ib = logp_parameters(ib_profile(), 1, 12).gap_us;
+  const double mom = logp_parameters(mxom_profile(), 1, 12).gap_us;
+  // Paper: ~1 us for iWARP and Myrinet, ~3 us for IB.
+  EXPECT_NEAR(iw, 1.1, 0.5);
+  EXPECT_NEAR(mom, 0.9, 0.5);
+  EXPECT_GT(ib, 2.0);
+  EXPECT_LT(ib, 3.5);
+}
+
+TEST(Calibration, LogpReceiverOverheadJumpsAtRendezvousExceptMx) {
+  // Receiver overhead explodes at the eager/rendezvous switch for the
+  // host-progressed MPIs, but not for MX (autonomous progression).
+  const auto iw_small = logp_parameters(iwarp_profile(), 1024, 8);
+  const auto iw_rndv = logp_parameters(iwarp_profile(), 16 * 1024, 8);
+  EXPECT_GT(iw_rndv.or_us, iw_small.or_us * 10) << "iWARP Or jump";
+
+  const auto ib_small = logp_parameters(ib_profile(), 1024, 8);
+  const auto ib_rndv = logp_parameters(ib_profile(), 32 * 1024, 8);
+  EXPECT_GT(ib_rndv.or_us, ib_small.or_us * 10) << "IB Or jump";
+
+  const auto mx_rndv = logp_parameters(mxom_profile(), 64 * 1024, 8);
+  EXPECT_LT(mx_rndv.or_us, 5.0) << "MX progresses the rendezvous during compute";
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: buffer re-use
+// ---------------------------------------------------------------------------
+
+TEST(Calibration, BufferReuseRatios) {
+  auto ratio = [](const NetworkProfile& p, std::uint32_t m) {
+    return bufreuse_latency_us(p, m, false, 16, 24) / bufreuse_latency_us(p, m, true, 16, 24);
+  };
+  // Small messages: < 10% impact (paper).
+  EXPECT_LT(ratio(iwarp_profile(), 256), 1.10);
+  EXPECT_LT(ratio(ib_profile(), 256), 1.10);
+  // Rendezvous peaks: 4.3 (IB, 128 KB) > 2.4 (Myri, 1 MB) > 2.0 (iWARP, 256 KB).
+  const double ib = ratio(ib_profile(), 128 << 10);
+  const double mom = ratio(mxom_profile(), 1 << 20);
+  const double iw = ratio(iwarp_profile(), 256 << 10);
+  expect_near_pct(ib, 4.3, 15, "IB peak");
+  expect_near_pct(mom, 2.4, 15, "Myri peak");
+  expect_near_pct(iw, 2.0, 15, "iWARP peak");
+  EXPECT_GT(ib, mom);
+  EXPECT_GT(mom, iw);
+  // iWARP performs best for very large messages (paper Sec. 6.4).
+  EXPECT_LT(ratio(iwarp_profile(), 1 << 20), ratio(ib_profile(), 1 << 20));
+}
+
+// ---------------------------------------------------------------------------
+// Figures 7 & 8: queue usage
+// ---------------------------------------------------------------------------
+
+TEST(Calibration, UnexpectedQueueMxBestLargeMessagesUnaffected) {
+  auto ratio = [](const NetworkProfile& p, std::uint32_t m, int depth) {
+    return unexpected_queue_latency_us(p, m, depth, 10) /
+           unexpected_queue_latency_us(p, m, 0, 10);
+  };
+  const double iw = ratio(iwarp_profile(), 16, 256);
+  const double ib = ratio(ib_profile(), 16, 256);
+  const double moe = ratio(mxoe_profile(), 16, 256);
+  const double mom = ratio(mxom_profile(), 16, 256);
+  EXPECT_GT(iw, 1.5) << "small messages considerably affected";
+  EXPECT_LT(mom, iw) << "MPICH-MX best (NIC-offloaded unexpected handling)";
+  EXPECT_LT(moe, iw);
+  EXPECT_GT(ib, iw) << "MVAPICH worst in queue usage (paper conclusions)";
+  EXPECT_LT(ratio(iwarp_profile(), 65536, 256), 1.2)
+      << "large messages insignificant, especially iWARP";
+}
+
+TEST(Calibration, ReceiveQueueMyrinetWorstIwarpBest) {
+  auto ratio = [](const NetworkProfile& p, std::uint32_t m, int depth) {
+    return recv_queue_latency_us(p, m, depth, 10) / recv_queue_latency_us(p, m, 0, 10);
+  };
+  const double iw = ratio(iwarp_profile(), 16, 256);
+  const double ib = ratio(ib_profile(), 16, 256);
+  const double mom = ratio(mxom_profile(), 16, 256);
+  EXPECT_LT(iw, ib) << "iWARP best in receive-queue usage";
+  EXPECT_GT(mom, ib) << "Myrinet worst: NIC-resident posted-queue traversal";
+  EXPECT_GT(mom, 2.0) << "receive-queue impact is large for small messages";
+}
+
+}  // namespace
+}  // namespace fabsim::core

@@ -1,0 +1,160 @@
+// Collective-operation correctness swept over networks and world sizes,
+// including non-power-of-two worlds for the tree/ring algorithms.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+namespace fabsim::core {
+namespace {
+
+class Collectives : public ::testing::TestWithParam<std::tuple<Network, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Collectives,
+    ::testing::Combine(::testing::Values(Network::kIwarp, Network::kIb, Network::kMxoe,
+                                         Network::kMxom),
+                       ::testing::Values(2, 3, 4, 5, 8)),
+    [](const auto& info) {
+      return std::string(network_name(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param)) + "ranks";
+    });
+
+TEST_P(Collectives, BarrierSynchronizesEveryone) {
+  const auto [network, ranks] = GetParam();
+  NetworkProfile p = profile(network);
+  p.mpi.eager_buffers = 128;  // keep the N^2 mesh light
+  Cluster cluster(ranks, p);
+
+  std::vector<Time> released(static_cast<std::size_t>(ranks), 0);
+  std::vector<Time> arrived(static_cast<std::size_t>(ranks), 0);
+  for (int r = 0; r < ranks; ++r) {
+    cluster.engine().spawn([](Cluster& c, int me, std::vector<Time>& in,
+                              std::vector<Time>& out) -> Task<> {
+      co_await c.setup_mpi();
+      // Stagger arrivals: rank r shows up r*50us late.
+      co_await c.engine().sleep(us(50.0 * me));
+      in[static_cast<std::size_t>(me)] = c.engine().now();
+      co_await c.mpi_rank(me).barrier();
+      out[static_cast<std::size_t>(me)] = c.engine().now();
+    }(cluster, r, arrived, released));
+  }
+  cluster.engine().run();
+  ASSERT_EQ(cluster.engine().live_processes(), 0u) << "barrier deadlock";
+
+  // Nobody leaves the barrier before the last rank arrived.
+  Time last_arrival = 0;
+  for (Time t : arrived) last_arrival = std::max(last_arrival, t);
+  for (int r = 0; r < ranks; ++r) {
+    EXPECT_GE(released[static_cast<std::size_t>(r)], last_arrival)
+        << "rank " << r << " escaped the barrier early";
+  }
+}
+
+TEST_P(Collectives, BcastFromEveryRoot) {
+  const auto [network, ranks] = GetParam();
+  NetworkProfile p = profile(network);
+  p.mpi.eager_buffers = 128;
+  for (int root : {0, ranks - 1}) {
+    Cluster cluster(ranks, p);
+    std::vector<hw::Buffer*> bufs;
+    for (int r = 0; r < ranks; ++r) bufs.push_back(&cluster.node(r).mem().alloc(512));
+    int checked = 0;
+    for (int r = 0; r < ranks; ++r) {
+      cluster.engine().spawn([](Cluster& c, int me, int rt, std::vector<hw::Buffer*>& b,
+                                int& ok) -> Task<> {
+        co_await c.setup_mpi();
+        auto w = c.node(me).mem().window(b[static_cast<std::size_t>(me)]->addr(), 512);
+        std::memset(w.data(), me == rt ? 0x77 : 0x00, 512);
+        co_await c.mpi_rank(me).bcast(rt, b[static_cast<std::size_t>(me)]->addr(), 512);
+        EXPECT_EQ(std::to_integer<int>(w[0]), 0x77);
+        EXPECT_EQ(std::to_integer<int>(w[511]), 0x77);
+        ++ok;
+      }(cluster, r, root, bufs, checked));
+    }
+    cluster.engine().run();
+    EXPECT_EQ(checked, ranks) << "root " << root;
+    EXPECT_EQ(cluster.engine().live_processes(), 0u);
+  }
+}
+
+TEST_P(Collectives, AllgatherAssemblesAllBlocks) {
+  const auto [network, ranks] = GetParam();
+  NetworkProfile p = profile(network);
+  p.mpi.eager_buffers = 128;
+  Cluster cluster(ranks, p);
+  constexpr std::uint32_t kBlock = 1024;
+  std::vector<hw::Buffer*> mine, all;
+  for (int r = 0; r < ranks; ++r) {
+    mine.push_back(&cluster.node(r).mem().alloc(kBlock));
+    all.push_back(&cluster.node(r).mem().alloc(kBlock * static_cast<std::uint32_t>(ranks)));
+  }
+  int checked = 0;
+  for (int r = 0; r < ranks; ++r) {
+    cluster.engine().spawn([](Cluster& c, int me, int n, std::vector<hw::Buffer*>& m,
+                              std::vector<hw::Buffer*>& a, int& ok) -> Task<> {
+      co_await c.setup_mpi();
+      auto w = c.node(me).mem().window(m[static_cast<std::size_t>(me)]->addr(), kBlock);
+      std::memset(w.data(), 0x40 + me, kBlock);
+      co_await c.mpi_rank(me).allgather(m[static_cast<std::size_t>(me)]->addr(), kBlock,
+                                        a[static_cast<std::size_t>(me)]->addr());
+      for (int src = 0; src < n; ++src) {
+        auto block = c.node(me).mem().window(
+            a[static_cast<std::size_t>(me)]->addr() + static_cast<std::uint64_t>(src) * kBlock,
+            kBlock);
+        EXPECT_EQ(std::to_integer<int>(block[0]), 0x40 + src)
+            << "rank " << me << " block " << src;
+        EXPECT_EQ(std::to_integer<int>(block[kBlock - 1]), 0x40 + src);
+      }
+      ++ok;
+    }(cluster, r, ranks, mine, all, checked));
+  }
+  cluster.engine().run();
+  EXPECT_EQ(checked, ranks);
+  EXPECT_EQ(cluster.engine().live_processes(), 0u);
+}
+
+TEST_P(Collectives, AllreduceSumsAnyWorldSize) {
+  const auto [network, ranks] = GetParam();
+  NetworkProfile p = profile(network);
+  p.mpi.eager_buffers = 128;
+  Cluster cluster(ranks, p);
+  constexpr int kCount = 16;
+  std::vector<hw::Buffer*> data, scratch;
+  for (int r = 0; r < ranks; ++r) {
+    data.push_back(&cluster.node(r).mem().alloc(kCount * sizeof(double)));
+    scratch.push_back(&cluster.node(r).mem().alloc(kCount * sizeof(double)));
+  }
+  int checked = 0;
+  for (int r = 0; r < ranks; ++r) {
+    cluster.engine().spawn([](Cluster& c, int me, int n, std::vector<hw::Buffer*>& d,
+                              std::vector<hw::Buffer*>& s, int& ok) -> Task<> {
+      co_await c.setup_mpi();
+      auto w = c.node(me).mem().window(d[static_cast<std::size_t>(me)]->addr(),
+                                       kCount * sizeof(double));
+      for (int i = 0; i < kCount; ++i) {
+        const double v = (me + 1) * 1000.0 + i;
+        std::memcpy(w.data() + i * sizeof(double), &v, sizeof(double));
+      }
+      co_await c.mpi_rank(me).allreduce_sum(d[static_cast<std::size_t>(me)]->addr(),
+                                            s[static_cast<std::size_t>(me)]->addr(), kCount);
+      for (int i = 0; i < kCount; ++i) {
+        double got = 0;
+        std::memcpy(&got, w.data() + i * sizeof(double), sizeof(double));
+        double want = 0;
+        for (int rr = 0; rr < n; ++rr) want += (rr + 1) * 1000.0 + i;
+        EXPECT_DOUBLE_EQ(got, want) << "rank " << me << " element " << i;
+      }
+      ++ok;
+    }(cluster, r, ranks, data, scratch, checked));
+  }
+  cluster.engine().run();
+  EXPECT_EQ(checked, ranks);
+  EXPECT_EQ(cluster.engine().live_processes(), 0u);
+}
+
+}  // namespace
+}  // namespace fabsim::core

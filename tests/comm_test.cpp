@@ -1,0 +1,165 @@
+// Communicator (MPI_Comm_split) tests: grouping, key ordering, context
+// isolation between sibling communicators, and collectives inside a
+// sub-communicator — across all four networks.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+namespace fabsim::core {
+namespace {
+
+class CommSplit : public ::testing::TestWithParam<Network> {};
+
+INSTANTIATE_TEST_SUITE_P(Networks, CommSplit,
+                         ::testing::Values(Network::kIwarp, Network::kIb, Network::kMxoe,
+                                           Network::kMxom),
+                         [](const auto& info) { return network_name(info.param); });
+
+TEST_P(CommSplit, OddEvenGroupsWithReversedKeys) {
+  constexpr int kRanks = 4;
+  NetworkProfile p = profile(GetParam());
+  p.mpi.eager_buffers = 128;
+  Cluster cluster(kRanks, p);
+  std::vector<hw::Buffer*> scratch;
+  for (int r = 0; r < kRanks; ++r) scratch.push_back(&cluster.node(r).mem().alloc(512));
+
+  int checked = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    cluster.engine().spawn([](Cluster& c, int me, std::vector<hw::Buffer*>& s,
+                              int& ok) -> Task<> {
+      co_await c.setup_mpi();
+      auto& world = c.mpi_rank(me);
+      // Odd/even split with key = -world_rank: order inside each group
+      // is reversed relative to world order.
+      auto comm = co_await world.split(me % 2, /*key=*/-me,
+                                       s[static_cast<std::size_t>(me)]->addr());
+      EXPECT_EQ(comm->size(), 2);
+      // Members sorted by key ascending: higher world rank first.
+      const int expected_index = me < 2 ? 1 : 0;
+      EXPECT_EQ(comm->rank(), expected_index) << "world rank " << me;
+      EXPECT_EQ(comm->world_rank(0), me % 2 + 2);
+      EXPECT_EQ(comm->world_rank(1), me % 2);
+      ++ok;
+    }(cluster, r, scratch, checked));
+  }
+  cluster.engine().run();
+  EXPECT_EQ(checked, kRanks);
+  EXPECT_EQ(cluster.engine().live_processes(), 0u);
+}
+
+TEST_P(CommSplit, SiblingCommunicatorsAreIsolated) {
+  // Both sub-communicators exchange on THE SAME local ranks and tag; the
+  // context id must keep the traffic apart.
+  constexpr int kRanks = 4;
+  NetworkProfile p = profile(GetParam());
+  p.mpi.eager_buffers = 128;
+  Cluster cluster(kRanks, p);
+  std::vector<hw::Buffer*> bufs;
+  for (int r = 0; r < kRanks; ++r) bufs.push_back(&cluster.node(r).mem().alloc(1024));
+
+  int checked = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    cluster.engine().spawn([](Cluster& c, int me, std::vector<hw::Buffer*>& b,
+                              int& ok) -> Task<> {
+      co_await c.setup_mpi();
+      auto& world = c.mpi_rank(me);
+      const auto idx = static_cast<std::size_t>(me);
+      // Groups {0,1} and {2,3}, world order preserved (key = world rank).
+      auto comm = co_await world.split(me / 2, me, b[idx]->addr());
+      EXPECT_EQ(comm->size(), 2);
+      if (comm->size() != 2) co_return;
+
+      auto w = c.node(me).mem().window(b[idx]->addr() + 256, 8);
+      const std::uint64_t token = 0xfeed0000u + static_cast<std::uint64_t>(me);
+      std::memcpy(w.data(), &token, 8);
+
+      // Everyone: comm-rank 0 sends to comm-rank 1 and vice versa, SAME
+      // tag 5 in both groups simultaneously.
+      const int peer = 1 - comm->rank();
+      const auto status = co_await comm->sendrecv(peer, 5, b[idx]->addr() + 256, 8, peer, 5,
+                                                  b[idx]->addr() + 512, 64);
+      EXPECT_EQ(status.source, peer);
+      std::uint64_t got = 0;
+      std::memcpy(&got, c.node(me).mem().window(b[idx]->addr() + 512, 8).data(), 8);
+      const int expected_world_peer = comm->world_rank(peer);
+      EXPECT_EQ(got, 0xfeed0000u + static_cast<std::uint64_t>(expected_world_peer))
+          << "cross-communicator leakage at world rank " << me;
+      ++ok;
+    }(cluster, r, bufs, checked));
+  }
+  cluster.engine().run();
+  EXPECT_EQ(checked, kRanks);
+  EXPECT_EQ(cluster.engine().live_processes(), 0u);
+}
+
+TEST_P(CommSplit, CollectivesInsideSubCommunicator) {
+  constexpr int kRanks = 4;
+  NetworkProfile p = profile(GetParam());
+  p.mpi.eager_buffers = 128;
+  Cluster cluster(kRanks, p);
+  std::vector<hw::Buffer*> bufs;
+  for (int r = 0; r < kRanks; ++r) bufs.push_back(&cluster.node(r).mem().alloc(2048));
+
+  int checked = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    cluster.engine().spawn([](Cluster& c, int me, std::vector<hw::Buffer*>& b,
+                              int& ok) -> Task<> {
+      co_await c.setup_mpi();
+      auto& world = c.mpi_rank(me);
+      const auto idx = static_cast<std::size_t>(me);
+      auto comm = co_await world.split(me % 2, me, b[idx]->addr());
+
+      // allreduce of one double inside each sub-communicator: even group
+      // sums world ranks {0, 2} = 2; odd group sums {1, 3} = 4.
+      auto w = c.node(me).mem().window(b[idx]->addr() + 512, sizeof(double));
+      const double mine = me;
+      std::memcpy(w.data(), &mine, sizeof(double));
+      co_await comm->allreduce_sum(b[idx]->addr() + 512, b[idx]->addr() + 1024, 1);
+      double got = 0;
+      std::memcpy(&got, w.data(), sizeof(double));
+      EXPECT_DOUBLE_EQ(got, me % 2 == 0 ? 2.0 : 4.0);
+
+      // bcast from sub-communicator root.
+      auto flag = c.node(me).mem().window(b[idx]->addr() + 1536, 4);
+      std::memset(flag.data(), comm->rank() == 0 ? 0x6b : 0, 4);
+      co_await comm->bcast(0, b[idx]->addr() + 1536, 4);
+      EXPECT_EQ(std::to_integer<int>(flag[0]), 0x6b);
+
+      co_await comm->barrier();
+      ++ok;
+    }(cluster, r, bufs, checked));
+  }
+  cluster.engine().run();
+  EXPECT_EQ(checked, kRanks);
+  EXPECT_EQ(cluster.engine().live_processes(), 0u);
+}
+
+TEST(CommSplitDetails, AnyTagRejectedOffWorld) {
+  Cluster cluster(2, Network::kIwarp);
+  auto& scratch0 = cluster.node(0).mem().alloc(512);
+  auto& scratch1 = cluster.node(1).mem().alloc(512);
+  bool threw = false;
+  cluster.engine().spawn([](Cluster& c, std::uint64_t s, bool* out) -> Task<> {
+    co_await c.setup_mpi();
+    auto comm = co_await c.mpi_rank(0).split(0, 0, s);
+    try {
+      (void)co_await comm->irecv(mpi::kAnySource, mpi::kAnyTag, s, 64);
+    } catch (const std::invalid_argument&) {
+      *out = true;
+    }
+  }(cluster, scratch0.addr(), &threw));
+  cluster.engine().spawn([](Cluster& c, std::uint64_t s) -> Task<> {
+    co_await c.setup_mpi();
+    auto comm = co_await c.mpi_rank(1).split(0, 0, s);
+    (void)comm;
+  }(cluster, scratch1.addr()));
+  cluster.engine().run();
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace fabsim::core

@@ -1,0 +1,160 @@
+// Second batch of detail tests: rendezvous-size synchronous sends, eager
+// slot exhaustion under ssend floods, cache-model partial touches, rate
+// conversions, MX probe liveness, and sockets available().
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/cluster.hpp"
+#include "hw/cpu.hpp"
+#include "sockets/host_tcp.hpp"
+
+namespace fabsim::core {
+namespace {
+
+class Details2 : public ::testing::TestWithParam<Network> {};
+
+INSTANTIATE_TEST_SUITE_P(Networks, Details2,
+                         ::testing::Values(Network::kIwarp, Network::kIb, Network::kMxoe,
+                                           Network::kMxom),
+                         [](const auto& info) { return network_name(info.param); });
+
+TEST_P(Details2, RendezvousSsendIsInherentlySynchronous) {
+  Cluster cluster(2, GetParam());
+  const std::uint32_t len = 256 * 1024;  // rendezvous everywhere
+  auto& src = cluster.node(0).mem().alloc(len, false);
+  auto& dst = cluster.node(1).mem().alloc(len, false);
+
+  Time recv_posted_at = 0;
+  cluster.engine().spawn([](Cluster& c, std::uint64_t s, std::uint32_t n,
+                            Time* posted_at) -> Task<> {
+    co_await c.setup_mpi();
+    co_await c.mpi_rank(0).ssend(1, 2, s, n);
+    EXPECT_GT(c.engine().now(), *posted_at)
+        << "rendezvous ssend completed before the receive was posted";
+  }(cluster, src.addr(), len, &recv_posted_at));
+  cluster.engine().spawn([](Cluster& c, std::uint64_t d, std::uint32_t n,
+                            Time* posted_at) -> Task<> {
+    co_await c.setup_mpi();
+    co_await c.engine().sleep(us(400));
+    *posted_at = c.engine().now();
+    co_await c.mpi_rank(1).recv(0, 2, d, n);
+  }(cluster, dst.addr(), len, &recv_posted_at));
+  cluster.engine().run();
+  EXPECT_EQ(cluster.engine().live_processes(), 0u);
+}
+
+TEST_P(Details2, SsendFloodWithLateReceiverDoesNotDeadlock) {
+  // Many synchronous sends queued as unexpected; each needs an ack that
+  // only flows when the receiver finally posts. Control-slot headroom
+  // and credit accounting must survive the pile-up.
+  NetworkProfile p = profile(GetParam());
+  Cluster cluster(2, p);
+  auto& src = cluster.node(0).mem().alloc(4096, false);
+  auto& dst = cluster.node(1).mem().alloc(4096, false);
+  constexpr int kFlood = 24;
+
+  int acked = 0;
+  cluster.engine().spawn([](Cluster& c, std::uint64_t s, int n, int* done) -> Task<> {
+    co_await c.setup_mpi();
+    std::vector<mpi::RequestPtr> reqs;
+    for (int i = 0; i < n; ++i) {
+      reqs.push_back(co_await c.mpi_rank(0).issend(1, 3, s, 64));
+    }
+    co_await c.mpi_rank(0).waitall(std::move(reqs));
+    *done = n;
+  }(cluster, src.addr(), kFlood, &acked));
+  cluster.engine().spawn([](Cluster& c, std::uint64_t d, int n) -> Task<> {
+    co_await c.setup_mpi();
+    co_await c.engine().sleep(us(500));
+    for (int i = 0; i < n; ++i) {
+      co_await c.mpi_rank(1).recv(0, 3, d, 4096);
+    }
+  }(cluster, dst.addr(), kFlood));
+  cluster.engine().run();
+  EXPECT_EQ(acked, kFlood);
+  EXPECT_EQ(cluster.engine().live_processes(), 0u);
+}
+
+TEST(Details2Mx, ProbeWithNoTrafficLetsTheEngineDrain) {
+  // A blocked MPI_Probe must not keep the event queue alive by polling.
+  Cluster cluster(2, Network::kMxom);
+  cluster.engine().spawn([](Cluster& c) -> Task<> {
+    co_await c.setup_mpi();
+    (void)co_await c.mpi_rank(1).probe(0, 9);  // never satisfied
+    ADD_FAILURE() << "probe must not return";
+  }(cluster));
+  cluster.engine().spawn([](Cluster& c) -> Task<> { co_await c.setup_mpi(); }(cluster));
+  cluster.engine().run();  // must return (queue drained), probe suspended
+  EXPECT_EQ(cluster.engine().live_processes(), 1u);
+}
+
+TEST(Details2Hw, CacheModelPartialResidency) {
+  hw::CacheModel cache(4 * 4096, 4096);
+  // Touch 3 pages; a 2-page window inside them is warm, a window
+  // extending past them is not.
+  EXPECT_FALSE(cache.touch(0x10000, 3 * 4096));
+  EXPECT_TRUE(cache.touch(0x10000, 2 * 4096));
+  EXPECT_FALSE(cache.touch(0x10000, 5 * 4096));
+}
+
+TEST(Details2Hw, RateConversions) {
+  EXPECT_NEAR(Rate::gbit_per_sec(8.0).mb_per_sec_value(), 1000.0, 1e-9);
+  EXPECT_EQ(Rate::bytes_per_sec(1e9).bytes_time(1000), us(1));
+  EXPECT_TRUE(Rate().is_zero());
+  EXPECT_EQ(Rate().bytes_time(123456), 0u);
+}
+
+TEST(Details2Sockets, AvailableTracksBufferedBytes) {
+  Engine engine;
+  hw::Switch fabric(engine, iwarp_profile().switch_cfg);
+  hw::Node n0(engine, 0, iwarp_profile().pcie), n1(engine, 1, iwarp_profile().pcie);
+  sockets::HostTcp t0(n0, fabric), t1(n1, fabric);
+  auto [s0, s1] = sockets::HostTcp::connect(t0, t1);
+  auto& buf = n0.mem().alloc(10000, false);
+  auto& sink = n1.mem().alloc(10000, false);
+
+  engine.spawn([](sockets::Socket& s, std::uint64_t a) -> Task<> {
+    co_await s.send(a, 10000);
+  }(*s0, buf.addr()));
+  engine.run();
+  EXPECT_EQ(s1->available(), 10000u);
+
+  std::uint32_t got = 0;
+  engine.spawn([](sockets::Socket& s, std::uint64_t a, std::uint32_t* out) -> Task<> {
+    *out = co_await s.recv(a, 4000);
+  }(*s1, sink.addr(), &got));
+  engine.run();
+  EXPECT_EQ(got, 4000u);
+  EXPECT_EQ(s1->available(), 6000u);
+}
+
+TEST(Details2Mpi, CollectiveTagsNeverColldeWithUserTags) {
+  // A user ping-pong on a high tag must survive interleaved barriers.
+  Cluster cluster(2, Network::kIb);
+  auto& b0 = cluster.node(0).mem().alloc(256, false);
+  auto& b1 = cluster.node(1).mem().alloc(256, false);
+  int rounds_done = 0;
+  for (int r = 0; r < 2; ++r) {
+    cluster.engine().spawn([](Cluster& c, int me, std::uint64_t addr, int* done) -> Task<> {
+      co_await c.setup_mpi();
+      auto& rank = c.mpi_rank(me);
+      for (int i = 0; i < 3; ++i) {
+        co_await rank.barrier();
+        if (me == 0) {
+          co_await rank.send(1, mpi::Rank::kCollectiveTagBase - 1, addr, 32);
+        } else {
+          co_await rank.recv(0, mpi::Rank::kCollectiveTagBase - 1, addr, 256);
+        }
+        co_await rank.barrier();
+      }
+      if (me == 0) *done = 3;
+    }(cluster, r, (r == 0 ? b0 : b1).addr(), &rounds_done));
+  }
+  cluster.engine().run();
+  EXPECT_EQ(rounds_done, 3);
+  EXPECT_EQ(cluster.engine().live_processes(), 0u);
+}
+
+}  // namespace
+}  // namespace fabsim::core

@@ -1,0 +1,243 @@
+// Unit tests for the hardware models: fabric, PCI buses, CPU cost model,
+// address space, and memory registration.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "hw/cpu.hpp"
+#include "hw/fabric.hpp"
+#include "hw/memory.hpp"
+#include "hw/node.hpp"
+#include "hw/pci.hpp"
+#include "sim/engine.hpp"
+
+namespace fabsim::hw {
+namespace {
+
+class RecordingSink : public FrameSink {
+ public:
+  explicit RecordingSink(Engine& engine) : engine_(&engine) {}
+  void deliver(Frame frame) override {
+    deliveries.emplace_back(engine_->now(), std::move(frame));
+  }
+  std::vector<std::pair<Time, Frame>> deliveries;
+
+ private:
+  Engine* engine_;
+};
+
+SwitchConfig test_switch_config() {
+  return SwitchConfig{
+      .link_rate = Rate::gbit_per_sec(10.0),  // 0.8 ns/byte
+      .cut_through = ns(400),
+      .propagation = ns(100),
+  };
+}
+
+TEST(Switch, DeliversWithCutThroughAndSerialization) {
+  Engine engine;
+  Switch fabric(engine, test_switch_config());
+  RecordingSink a(engine), b(engine);
+  const int pa = fabric.attach(a);
+  const int pb = fabric.attach(b);
+  ASSERT_EQ(pa, 0);
+  ASSERT_EQ(pb, 1);
+
+  engine.post(0, [&] { fabric.ingress(Frame{pa, pb, 1000, {}}); });
+  engine.run();
+
+  ASSERT_EQ(b.deliveries.size(), 1u);
+  // prop(100) + cut-through(400) + serialization(800) + prop(100)
+  EXPECT_EQ(b.deliveries[0].first, ns(1400));
+  EXPECT_TRUE(a.deliveries.empty());
+}
+
+TEST(Switch, OutputPortIsTheContentionPoint) {
+  Engine engine;
+  Switch fabric(engine, test_switch_config());
+  RecordingSink a(engine), b(engine), c(engine);
+  const int pa = fabric.attach(a);
+  const int pb = fabric.attach(b);
+  const int pc = fabric.attach(c);
+
+  // Two sources send to the same destination at t=0: second frame queues
+  // behind the first on the output port.
+  engine.post(0, [&] {
+    fabric.ingress(Frame{pa, pc, 1000, {}});
+    fabric.ingress(Frame{pb, pc, 1000, {}});
+  });
+  engine.run();
+
+  ASSERT_EQ(c.deliveries.size(), 2u);
+  EXPECT_EQ(c.deliveries[0].first, ns(1400));
+  EXPECT_EQ(c.deliveries[1].first, ns(2200));  // +800ns serialization
+}
+
+TEST(Switch, DistinctDestinationsDoNotContend) {
+  Engine engine;
+  Switch fabric(engine, test_switch_config());
+  RecordingSink a(engine), b(engine), c(engine);
+  const int pa = fabric.attach(a);
+  const int pb = fabric.attach(b);
+  const int pc = fabric.attach(c);
+
+  engine.post(0, [&] {
+    fabric.ingress(Frame{pa, pb, 1000, {}});
+    fabric.ingress(Frame{pc, pa, 1000, {}});
+  });
+  engine.run();
+
+  ASSERT_EQ(b.deliveries.size(), 1u);
+  ASSERT_EQ(a.deliveries.size(), 1u);
+  EXPECT_EQ(b.deliveries[0].first, ns(1400));
+  EXPECT_EQ(a.deliveries[0].first, ns(1400));
+}
+
+TEST(PcieBus, DirectionsAreIndependent) {
+  PcieBus bus(PciConfig{Rate::mb_per_sec(2000.0), ns(250)});
+  // 2000 MB/s => 0.5 ns/byte; 1 MB => 500 us.
+  const Time r = bus.dma_read(0, 1'000'000);
+  const Time w = bus.dma_write(0, 1'000'000);
+  EXPECT_EQ(r, ns(250) + us(500));
+  EXPECT_EQ(w, ns(250) + us(500));  // not queued behind the read
+  const Time r2 = bus.dma_read(0, 1'000'000);
+  EXPECT_EQ(r2, 2 * (ns(250) + us(500)));  // queued behind first read
+}
+
+TEST(PcixBus, HalfDuplexSharesOneServer) {
+  PcixBus bus(PciConfig{Rate::mb_per_sec(1000.0), 0});
+  const Time a = bus.transfer(0, 1'000'000);  // 1 ms
+  const Time b = bus.transfer(0, 1'000'000);
+  EXPECT_EQ(a, ms(1));
+  EXPECT_EQ(b, ms(2));  // both directions contend
+}
+
+TEST(HostCpu, ComputeSerializes) {
+  Engine engine;
+  HostCpu cpu(engine);
+  std::vector<Time> done;
+  for (int i = 0; i < 2; ++i) {
+    engine.spawn([](HostCpu& c, std::vector<Time>& d, Engine& e) -> Task<> {
+      co_await c.compute(us(4));
+      d.push_back(e.now());
+    }(cpu, done, engine));
+  }
+  engine.run();
+  EXPECT_EQ(done, (std::vector<Time>{us(4), us(8)}));
+}
+
+TEST(HostCpu, CopyCostScalesWithSizeAndWarmth) {
+  Engine engine;
+  CpuConfig config;
+  config.memcpy_base = ns(60);
+  config.memcpy_warm_rate = Rate::mb_per_sec(4000.0);
+  config.memcpy_cold_rate = Rate::mb_per_sec(1000.0);
+  config.cache_bytes = 64 * 1024;
+  HostCpu cpu(engine, config);
+  // First touch is cold: 1000 MB/s => 1 ns/byte.
+  EXPECT_EQ(cpu.copy_cost(0x10000, 4000), ns(60) + ns(4000));
+  // Second touch of the same buffer is warm: 4000 MB/s => 0.25 ns/byte.
+  EXPECT_EQ(cpu.copy_cost(0x10000, 4000), ns(60) + ns(1000));
+}
+
+TEST(HostCpu, CacheEvictionMakesBuffersColdAgain) {
+  Engine engine;
+  CpuConfig config;
+  config.cache_bytes = 16 * 4096;  // 16 pages
+  HostCpu cpu(engine, config);
+  const Time cold = cpu.copy_cost(0x100000, 4096);
+  const Time warm = cpu.copy_cost(0x100000, 4096);
+  EXPECT_LT(warm, cold);
+  // Sweep 32 other pages to evict it.
+  for (int i = 0; i < 32; ++i) cpu.copy_cost(0x200000 + 4096ull * i, 4096);
+  EXPECT_EQ(cpu.copy_cost(0x100000, 4096), cold);
+}
+
+TEST(HostCpu, ChargeBooksSerially) {
+  Engine engine;
+  HostCpu cpu(engine);
+  EXPECT_EQ(cpu.charge(us(1), us(2)), us(3));
+  EXPECT_EQ(cpu.charge(us(1), us(2)), us(5));
+}
+
+TEST(AddressSpace, AllocWriteWindowRoundTrip) {
+  AddressSpace mem;
+  Buffer& buffer = mem.alloc(256);
+  const std::uint64_t addr = buffer.addr();
+
+  std::vector<std::byte> payload(64);
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<std::byte>(i * 3);
+  mem.write(addr + 16, payload);
+
+  auto view = mem.window(addr + 16, 64);
+  EXPECT_EQ(std::memcmp(view.data(), payload.data(), payload.size()), 0);
+}
+
+TEST(AddressSpace, BuffersDoNotSharePages) {
+  AddressSpace mem;
+  Buffer& a = mem.alloc(100);
+  Buffer& b = mem.alloc(100);
+  EXPECT_NE(a.addr() / 4096, b.addr() / 4096);
+}
+
+TEST(AddressSpace, OutOfBoundsWriteThrows) {
+  AddressSpace mem;
+  Buffer& buffer = mem.alloc(32);
+  std::vector<std::byte> payload(64);
+  EXPECT_THROW(mem.write(buffer.addr(), payload), std::out_of_range);
+  EXPECT_THROW(mem.write(0xdeadbeef, payload), std::out_of_range);
+}
+
+TEST(AddressSpace, SizeOnlyBufferAcceptsWrites) {
+  AddressSpace mem;
+  Buffer& buffer = mem.alloc(1 << 20, /*with_data=*/false);
+  std::vector<std::byte> payload(4096);
+  mem.write(buffer.addr(), payload);  // no throw, no storage
+  EXPECT_FALSE(buffer.has_data());
+  EXPECT_THROW(mem.window(buffer.addr(), 16), std::logic_error);
+}
+
+TEST(AddressSpace, FindByInteriorAddress) {
+  AddressSpace mem;
+  Buffer& buffer = mem.alloc(4096);
+  EXPECT_EQ(mem.find(buffer.addr() + 4095), &buffer);
+  EXPECT_EQ(mem.find(buffer.addr() + 4096), nullptr);
+}
+
+TEST(MemoryRegistry, RegisterLookupDeregister) {
+  MemoryRegistry registry;
+  const auto key = registry.register_region(0x1000, 8192);
+  const auto* region = registry.lookup(key);
+  ASSERT_NE(region, nullptr);
+  EXPECT_EQ(region->addr, 0x1000u);
+  EXPECT_TRUE(registry.covers(key, 0x1000, 8192));
+  EXPECT_TRUE(registry.covers(key, 0x1800, 1024));
+  EXPECT_FALSE(registry.covers(key, 0x1800, 8192));
+  registry.deregister(key);
+  EXPECT_EQ(registry.lookup(key), nullptr);
+  EXPECT_THROW(registry.deregister(key), std::invalid_argument);
+}
+
+TEST(MemoryRegistry, CostModelIsPageGranular) {
+  RegistrationConfig config;
+  config.register_base = us(1);
+  config.register_per_page = us(2);
+  MemoryRegistry registry(config);
+  EXPECT_EQ(registry.pages(1), 1u);
+  EXPECT_EQ(registry.pages(4096), 1u);
+  EXPECT_EQ(registry.pages(4097), 2u);
+  EXPECT_EQ(registry.register_cost(4096), us(3));
+  EXPECT_EQ(registry.register_cost(128 * 1024), us(1) + 32 * us(2));
+}
+
+TEST(Node, Assembles) {
+  Engine engine;
+  Node node(engine, 3, PciConfig{Rate::mb_per_sec(2000.0), ns(250)});
+  EXPECT_EQ(node.id(), 3);
+  Buffer& buffer = node.mem().alloc(64);
+  EXPECT_EQ(node.mem().find(buffer.addr()), &buffer);
+}
+
+}  // namespace
+}  // namespace fabsim::hw

@@ -1,0 +1,277 @@
+// End-to-end tests of the InfiniBand stack: RC transport, RDMA
+// write/read, send/recv, and the MemFree QP-context cache.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "hw/fabric.hpp"
+#include "hw/node.hpp"
+#include "ib/hca.hpp"
+#include "verbs/verbs.hpp"
+
+namespace fabsim::ib {
+namespace {
+
+hw::SwitchConfig ib_switch() {
+  // 4X SDR: 1 GB/s data rate per direction after 8b/10b.
+  return hw::SwitchConfig{Rate::mb_per_sec(1000.0), ns(200), ns(100)};
+}
+
+hw::PciConfig pcie_x8() { return hw::PciConfig{Rate::mb_per_sec(2000.0), ns(250)}; }
+
+struct World {
+  explicit World(HcaConfig config = {})
+      : fabric(engine, ib_switch()),
+        node0(engine, 0, pcie_x8()),
+        node1(engine, 1, pcie_x8()),
+        nic0(node0, fabric, config),
+        nic1(node1, fabric, config),
+        send_cq0(engine),
+        recv_cq0(engine),
+        send_cq1(engine),
+        recv_cq1(engine) {
+    qp0 = nic0.create_qp(send_cq0, recv_cq0);
+    qp1 = nic1.create_qp(send_cq1, recv_cq1);
+    Hca::connect(*qp0, *qp1);
+  }
+
+  Engine engine;
+  hw::Switch fabric;
+  hw::Node node0, node1;
+  Hca nic0, nic1;
+  verbs::CompletionQueue send_cq0, recv_cq0, send_cq1, recv_cq1;
+  std::unique_ptr<verbs::QueuePair> qp0, qp1;
+};
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed = 5) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::byte>((i * 37 + seed) & 0xff);
+  return v;
+}
+
+TEST(IbRdmaWrite, PlacesDataWithLowLatency) {
+  World w;
+  auto& src = w.node0.mem().alloc(4096);
+  auto& dst = w.node1.mem().alloc(4096);
+  const auto payload = pattern(512);
+  std::memcpy(w.node0.mem().window(src.addr(), 512).data(), payload.data(), 512);
+
+  Time issued = 0, placed_at = 0;
+  w.engine.spawn([](World& world, hw::Buffer& s, hw::Buffer& d, Time& t0, Time& t1) -> Task<> {
+    auto lkey = co_await world.nic0.reg_mr(s.addr(), s.size());
+    auto rkey = co_await world.nic1.reg_mr(d.addr(), d.size());
+    auto watch = world.nic1.watch_placement(d.addr(), 512);
+    t0 = world.engine.now();
+    co_await world.qp0->post_send(verbs::SendWr{
+        .wr_id = 3, .opcode = verbs::Opcode::kRdmaWrite,
+        .sge = {s.addr(), 512, lkey}, .remote_addr = d.addr(), .rkey = rkey});
+    co_await watch->wait();
+    t1 = world.engine.now();
+  }(w, src, dst, issued, placed_at));
+  w.engine.run();
+
+  // One-way latency class for IB verbs: single-digit microseconds.
+  EXPECT_LT(placed_at - issued, us(12));
+  EXPECT_GT(placed_at - issued, us(1));
+  auto view = w.node1.mem().window(dst.addr(), 512);
+  EXPECT_EQ(std::memcmp(view.data(), payload.data(), 512), 0);
+}
+
+TEST(IbSendRecv, DeliversAndCompletesInOrder) {
+  World w;
+  auto& src = w.node0.mem().alloc(16384);
+  auto& dst = w.node1.mem().alloc(16384);
+  const auto payload = pattern(10000);
+  std::memcpy(w.node0.mem().window(src.addr(), 10000).data(), payload.data(), 10000);
+
+  w.engine.spawn([](World& world, hw::Buffer& s, hw::Buffer& d) -> Task<> {
+    auto lkey = co_await world.nic0.reg_mr(s.addr(), s.size());
+    auto rkey = co_await world.nic1.reg_mr(d.addr(), d.size());
+    co_await world.qp1->post_recv(verbs::RecvWr{55, {d.addr(), 16384, rkey}});
+    co_await world.qp0->post_send(verbs::SendWr{
+        .wr_id = 9, .opcode = verbs::Opcode::kSend, .sge = {s.addr(), 10000, lkey}});
+    auto rc = co_await verbs::next_completion(world.recv_cq1, world.node1.cpu(), ns(200));
+    EXPECT_EQ(rc.wr_id, 55u);
+    EXPECT_EQ(rc.byte_len, 10000u);
+    auto sc = co_await verbs::next_completion(world.send_cq0, world.node0.cpu(), ns(200));
+    EXPECT_EQ(sc.wr_id, 9u);
+  }(w, src, dst));
+  w.engine.run();
+
+  auto view = w.node1.mem().window(dst.addr(), 10000);
+  EXPECT_EQ(std::memcmp(view.data(), payload.data(), 10000), 0);
+}
+
+TEST(IbRdmaRead, FetchesRemoteData) {
+  World w;
+  auto& remote = w.node1.mem().alloc(65536);
+  auto& sink = w.node0.mem().alloc(65536);
+  const auto payload = pattern(40000, 2);
+  std::memcpy(w.node1.mem().window(remote.addr(), 40000).data(), payload.data(), 40000);
+
+  w.engine.spawn([](World& world, hw::Buffer& rem, hw::Buffer& snk) -> Task<> {
+    auto sink_key = co_await world.nic0.reg_mr(snk.addr(), snk.size());
+    auto rkey = co_await world.nic1.reg_mr(rem.addr(), rem.size());
+    co_await world.qp0->post_send(verbs::SendWr{
+        .wr_id = 4, .opcode = verbs::Opcode::kRdmaRead,
+        .sge = {snk.addr(), 40000, sink_key}, .remote_addr = rem.addr(), .rkey = rkey});
+    auto completion = co_await verbs::next_completion(world.send_cq0, world.node0.cpu(), ns(200));
+    EXPECT_EQ(completion.type, verbs::Completion::Type::kRdmaRead);
+  }(w, remote, sink));
+  w.engine.run();
+
+  auto view = w.node0.mem().window(sink.addr(), 40000);
+  EXPECT_EQ(std::memcmp(view.data(), payload.data(), 40000), 0);
+}
+
+TEST(IbThroughput, OneWayApproachesLinkRate) {
+  World w;
+  const std::uint32_t len = 8 << 20;
+  auto& src = w.node0.mem().alloc(len, false);
+  auto& dst = w.node1.mem().alloc(len, false);
+  Time elapsed = 0;
+  w.engine.spawn([](World& world, hw::Buffer& s, hw::Buffer& d, std::uint32_t n,
+                    Time& dt) -> Task<> {
+    auto lkey = co_await world.nic0.reg_mr(s.addr(), s.size());
+    auto rkey = co_await world.nic1.reg_mr(d.addr(), d.size());
+    auto watch = world.nic1.watch_placement(d.addr(), n);
+    const Time start = world.engine.now();
+    co_await world.qp0->post_send(verbs::SendWr{
+        .wr_id = 1, .opcode = verbs::Opcode::kRdmaWrite,
+        .sge = {s.addr(), n, lkey}, .remote_addr = d.addr(), .rkey = rkey});
+    co_await watch->wait();
+    dt = world.engine.now() - start;
+  }(w, src, dst, len, elapsed));
+  w.engine.run();
+
+  const double mbps = static_cast<double>(len) / to_sec(elapsed) / 1e6;
+  EXPECT_GT(mbps, 850.0);
+  EXPECT_LT(mbps, 1000.0);  // cannot beat the 1 GB/s data rate
+}
+
+TEST(IbContextCache, HitsWithinCapacityMissesBeyond) {
+  // Round-robin messages over N QPs; with N <= cache entries everything
+  // hits after warmup, with N > entries every access misses (LRU worst
+  // case) — the paper's Figure 2 serialization knee.
+  auto run = [](int num_qps, int rounds) {
+    World w;
+    std::vector<std::unique_ptr<verbs::QueuePair>> qps0, qps1;
+    for (int i = 0; i < num_qps; ++i) {
+      qps0.push_back(w.nic0.create_qp(w.send_cq0, w.recv_cq0));
+      qps1.push_back(w.nic1.create_qp(w.send_cq1, w.recv_cq1));
+      Hca::connect(*qps0.back(), *qps1.back());
+    }
+    auto& src = w.node0.mem().alloc(4096, false);
+    auto& dst = w.node1.mem().alloc(4096, false);
+    w.engine.spawn([](World& world, std::vector<std::unique_ptr<verbs::QueuePair>>& qps,
+                      hw::Buffer& s, hw::Buffer& d, int r) -> Task<> {
+      auto lkey = co_await world.nic0.reg_mr(s.addr(), s.size());
+      auto rkey = co_await world.nic1.reg_mr(d.addr(), d.size());
+      for (int round = 0; round < r; ++round) {
+        for (auto& qp : qps) {
+          co_await qp->post_send(verbs::SendWr{
+              .wr_id = 1, .opcode = verbs::Opcode::kRdmaWrite,
+              .sge = {s.addr(), 64, lkey}, .remote_addr = d.addr(), .rkey = rkey});
+        }
+      }
+      // Drain completions.
+      for (int i = 0; i < r * static_cast<int>(qps.size()); ++i) {
+        co_await verbs::next_completion(world.send_cq0, world.node0.cpu(), ns(200));
+      }
+    }(w, qps0, src, dst, rounds));
+    w.engine.run();
+    return std::pair{w.nic0.context_hits(), w.nic0.context_misses()};
+  };
+
+  // World{} itself creates one extra (unused) QP pair, so cache pressure
+  // comes only from the QPs we drive.
+  auto [hits_small, misses_small] = run(4, 10);
+  EXPECT_EQ(misses_small, 4u) << "only compulsory misses within capacity";
+  EXPECT_EQ(hits_small, 36u);
+
+  auto [hits_large, misses_large] = run(12, 10);
+  EXPECT_EQ(hits_large, 0u) << "LRU round-robin beyond capacity always misses";
+  EXPECT_EQ(misses_large, 120u);
+}
+
+TEST(IbContextCache, MissPenaltySlowsSmallMessages) {
+  // Measured per-message gap with 12 active QPs must exceed the gap with
+  // 4 QPs by roughly the context-miss penalty.
+  auto run = [](int num_qps) {
+    World w;
+    std::vector<std::unique_ptr<verbs::QueuePair>> qps0, qps1;
+    for (int i = 0; i < num_qps; ++i) {
+      qps0.push_back(w.nic0.create_qp(w.send_cq0, w.recv_cq0));
+      qps1.push_back(w.nic1.create_qp(w.send_cq1, w.recv_cq1));
+      Hca::connect(*qps0.back(), *qps1.back());
+    }
+    auto& src = w.node0.mem().alloc(4096, false);
+    auto& dst = w.node1.mem().alloc(4096, false);
+    Time elapsed = 0;
+    const int rounds = 20;
+    w.engine.spawn([](World& world, std::vector<std::unique_ptr<verbs::QueuePair>>& qps,
+                      hw::Buffer& s, hw::Buffer& d, int r, Time& dt) -> Task<> {
+      auto lkey = co_await world.nic0.reg_mr(s.addr(), s.size());
+      auto rkey = co_await world.nic1.reg_mr(d.addr(), d.size());
+      const Time start = world.engine.now();
+      for (int round = 0; round < r; ++round) {
+        for (auto& qp : qps) {
+          co_await qp->post_send(verbs::SendWr{
+              .wr_id = 1, .opcode = verbs::Opcode::kRdmaWrite,
+              .sge = {s.addr(), 64, lkey}, .remote_addr = d.addr(), .rkey = rkey});
+        }
+      }
+      for (int i = 0; i < r * static_cast<int>(qps.size()); ++i) {
+        co_await verbs::next_completion(world.send_cq0, world.node0.cpu(), ns(200));
+      }
+      dt = world.engine.now() - start;
+    }(w, qps0, src, dst, rounds, elapsed));
+    w.engine.run();
+    return to_us(elapsed) / (20.0 * num_qps);  // per message
+  };
+
+  const double per_msg_4 = run(4);
+  const double per_msg_12 = run(12);
+  EXPECT_GT(per_msg_12, per_msg_4 + 0.5)
+      << "context misses must add visible per-message cost";
+}
+
+TEST(IbProtection, ChecksMirrorIwarp) {
+  World w;
+  auto& src = w.node0.mem().alloc(4096);
+  EXPECT_THROW(
+      {
+        w.engine.spawn([](World& world, hw::Buffer& s) -> Task<> {
+          co_await world.qp0->post_send(verbs::SendWr{
+              .wr_id = 1, .opcode = verbs::Opcode::kSend, .sge = {s.addr(), 64, 12345}});
+        }(w, src));
+        w.engine.run();
+      },
+      std::invalid_argument);
+}
+
+TEST(IbDeterminism, RepeatedRunsMatch) {
+  auto run_once = [] {
+    World w;
+    auto& src = w.node0.mem().alloc(1 << 20, false);
+    auto& dst = w.node1.mem().alloc(1 << 20, false);
+    Time done = 0;
+    w.engine.spawn([](World& world, hw::Buffer& s, hw::Buffer& d, Time& fin) -> Task<> {
+      auto lkey = co_await world.nic0.reg_mr(s.addr(), s.size());
+      auto rkey = co_await world.nic1.reg_mr(d.addr(), d.size());
+      auto watch = world.nic1.watch_placement(d.addr(), 1 << 20);
+      co_await world.qp0->post_send(verbs::SendWr{
+          .wr_id = 1, .opcode = verbs::Opcode::kRdmaWrite,
+          .sge = {s.addr(), 1 << 20, lkey}, .remote_addr = d.addr(), .rkey = rkey});
+      co_await watch->wait();
+      fin = world.engine.now();
+    }(w, src, dst, done));
+    w.engine.run();
+    return std::pair{done, w.engine.events_processed()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace fabsim::ib

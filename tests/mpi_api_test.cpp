@@ -1,0 +1,234 @@
+// Tests for the wider MiniMPI API surface: probe, sendrecv, and the
+// rooted collectives (reduce, gather, scatter) across all networks.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+namespace fabsim::core {
+namespace {
+
+class MpiApi : public ::testing::TestWithParam<Network> {};
+
+INSTANTIATE_TEST_SUITE_P(Networks, MpiApi,
+                         ::testing::Values(Network::kIwarp, Network::kIb, Network::kMxoe,
+                                           Network::kMxom),
+                         [](const auto& info) { return network_name(info.param); });
+
+TEST_P(MpiApi, ProbeSeesEnvelopeWithoutConsuming) {
+  Cluster cluster(2, GetParam());
+  auto& src = cluster.node(0).mem().alloc(4096, false);
+  auto& dst = cluster.node(1).mem().alloc(4096, false);
+
+  cluster.engine().spawn([](Cluster& c, std::uint64_t s) -> Task<> {
+    co_await c.setup_mpi();
+    co_await c.mpi_rank(0).send(1, 77, s, 1234);
+  }(cluster, src.addr()));
+  cluster.engine().spawn([](Cluster& c, std::uint64_t d) -> Task<> {
+    co_await c.setup_mpi();
+    auto& rank = c.mpi_rank(1);
+    const auto envelope = co_await rank.probe(0, 77);
+    EXPECT_EQ(envelope.source, 0);
+    EXPECT_EQ(envelope.tag, 77);
+    EXPECT_EQ(envelope.length, 1234u);
+    // The message must still be receivable afterwards.
+    const auto status = co_await rank.recv(0, 77, d, 4096);
+    EXPECT_EQ(status.length, 1234u);
+  }(cluster, dst.addr()));
+  cluster.engine().run();
+  EXPECT_EQ(cluster.engine().live_processes(), 0u);
+}
+
+TEST_P(MpiApi, ProbeWithWildcardsReportsTrueEnvelope) {
+  Cluster cluster(2, GetParam());
+  auto& src = cluster.node(0).mem().alloc(256, false);
+  auto& dst = cluster.node(1).mem().alloc(256, false);
+
+  cluster.engine().spawn([](Cluster& c, std::uint64_t s) -> Task<> {
+    co_await c.setup_mpi();
+    co_await c.mpi_rank(0).send(1, 4242, s, 99);
+  }(cluster, src.addr()));
+  cluster.engine().spawn([](Cluster& c, std::uint64_t d) -> Task<> {
+    co_await c.setup_mpi();
+    const auto envelope = co_await c.mpi_rank(1).probe(mpi::kAnySource, mpi::kAnyTag);
+    EXPECT_EQ(envelope.source, 0);
+    EXPECT_EQ(envelope.tag, 4242);
+    EXPECT_EQ(envelope.length, 99u);
+    co_await c.mpi_rank(1).recv(envelope.source, envelope.tag, d, 256);
+  }(cluster, dst.addr()));
+  cluster.engine().run();
+  EXPECT_EQ(cluster.engine().live_processes(), 0u);
+}
+
+TEST_P(MpiApi, SendrecvShiftsRing) {
+  constexpr int kRanks = 4;
+  NetworkProfile p = profile(GetParam());
+  p.mpi.eager_buffers = 128;
+  Cluster cluster(kRanks, p);
+  std::vector<hw::Buffer*> bufs;
+  for (int r = 0; r < kRanks; ++r) bufs.push_back(&cluster.node(r).mem().alloc(256));
+
+  int checked = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    cluster.engine().spawn([](Cluster& c, int me, std::vector<hw::Buffer*>& b,
+                              int& ok) -> Task<> {
+      co_await c.setup_mpi();
+      auto& rank = c.mpi_rank(me);
+      const auto idx = static_cast<std::size_t>(me);
+      auto w = c.node(me).mem().window(b[idx]->addr(), 8);
+      const std::uint64_t token = 0xc0ffee00u + static_cast<std::uint64_t>(me);
+      std::memcpy(w.data(), &token, 8);
+      // Shift right around the ring: send to me+1, receive from me-1.
+      const auto status = co_await rank.sendrecv(
+          (me + 1) % kRanks, 9, b[idx]->addr(), 8, (me - 1 + kRanks) % kRanks, 9,
+          b[idx]->addr() + 64, 64);
+      EXPECT_EQ(status.source, (me - 1 + kRanks) % kRanks);
+      std::uint64_t got = 0;
+      std::memcpy(&got, c.node(me).mem().window(b[idx]->addr() + 64, 8).data(), 8);
+      EXPECT_EQ(got, 0xc0ffee00u + static_cast<std::uint64_t>((me - 1 + kRanks) % kRanks));
+      ++ok;
+    }(cluster, r, bufs, checked));
+  }
+  cluster.engine().run();
+  EXPECT_EQ(checked, kRanks);
+  EXPECT_EQ(cluster.engine().live_processes(), 0u);
+}
+
+TEST_P(MpiApi, ReduceGatherScatterRoundTrip) {
+  constexpr int kRanks = 4;
+  constexpr int kRoot = 2;
+  NetworkProfile p = profile(GetParam());
+  p.mpi.eager_buffers = 128;
+  Cluster cluster(kRanks, p);
+  constexpr std::uint32_t kBlock = 512;
+  std::vector<hw::Buffer*> data, scratch, big;
+  for (int r = 0; r < kRanks; ++r) {
+    data.push_back(&cluster.node(r).mem().alloc(kBlock));
+    scratch.push_back(&cluster.node(r).mem().alloc(kBlock));
+    big.push_back(&cluster.node(r).mem().alloc(kBlock * kRanks));
+  }
+
+  int checked = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    cluster.engine().spawn([](Cluster& c, int me, std::vector<hw::Buffer*>& d,
+                              std::vector<hw::Buffer*>& s, std::vector<hw::Buffer*>& g,
+                              int& ok) -> Task<> {
+      co_await c.setup_mpi();
+      auto& rank = c.mpi_rank(me);
+      const auto idx = static_cast<std::size_t>(me);
+
+      // reduce_sum to root: contribute (me+1) in each of 8 doubles.
+      {
+        auto w = c.node(me).mem().window(d[idx]->addr(), 8 * sizeof(double));
+        for (int i = 0; i < 8; ++i) {
+          const double v = me + 1;
+          std::memcpy(w.data() + i * sizeof(double), &v, sizeof(double));
+        }
+        co_await rank.reduce_sum(kRoot, d[idx]->addr(), s[idx]->addr(), 8);
+        if (me == kRoot) {
+          double got = 0;
+          std::memcpy(&got, w.data(), sizeof(double));
+          EXPECT_DOUBLE_EQ(got, 1 + 2 + 3 + 4);
+        }
+      }
+
+      // gather to root, then scatter back, stamped per rank.
+      {
+        auto w = c.node(me).mem().window(d[idx]->addr(), kBlock);
+        std::memset(w.data(), 0x20 + me, kBlock);
+        co_await rank.gather(kRoot, d[idx]->addr(), kBlock, g[idx]->addr());
+        if (me == kRoot) {
+          for (int src = 0; src < kRanks; ++src) {
+            auto block = c.node(me).mem().window(
+                g[idx]->addr() + static_cast<std::uint64_t>(src) * kBlock, kBlock);
+            EXPECT_EQ(std::to_integer<int>(block[0]), 0x20 + src) << "gather block " << src;
+          }
+        }
+        co_await rank.scatter(kRoot, g[idx]->addr(), kBlock, s[idx]->addr());
+        auto back = c.node(me).mem().window(s[idx]->addr(), kBlock);
+        EXPECT_EQ(std::to_integer<int>(back[0]), 0x20 + me) << "scatter returned wrong block";
+      }
+      ++ok;
+    }(cluster, r, data, scratch, big, checked));
+  }
+  cluster.engine().run();
+  EXPECT_EQ(checked, kRanks);
+  EXPECT_EQ(cluster.engine().live_processes(), 0u);
+}
+
+TEST_P(MpiApi, AlltoallTransposesBlocks) {
+  constexpr int kRanks = 4;
+  NetworkProfile p = profile(GetParam());
+  p.mpi.eager_buffers = 128;
+  Cluster cluster(kRanks, p);
+  constexpr std::uint32_t kBlock = 256;
+  std::vector<hw::Buffer*> send, recv;
+  for (int r = 0; r < kRanks; ++r) {
+    send.push_back(&cluster.node(r).mem().alloc(kBlock * kRanks));
+    recv.push_back(&cluster.node(r).mem().alloc(kBlock * kRanks));
+  }
+  int checked = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    cluster.engine().spawn([](Cluster& c, int me, std::vector<hw::Buffer*>& s_,
+                              std::vector<hw::Buffer*>& r_, int& ok) -> Task<> {
+      co_await c.setup_mpi();
+      const auto idx = static_cast<std::size_t>(me);
+      // Block d carries the byte (0x80 | me << 3 | d).
+      for (int d = 0; d < kRanks; ++d) {
+        auto w = c.node(me).mem().window(
+            s_[idx]->addr() + static_cast<std::uint64_t>(d) * kBlock, kBlock);
+        std::memset(w.data(), 0x80 | (me << 3) | d, kBlock);
+      }
+      co_await c.mpi_rank(me).alltoall(s_[idx]->addr(), kBlock, r_[idx]->addr());
+      for (int from = 0; from < kRanks; ++from) {
+        auto w = c.node(me).mem().window(
+            r_[idx]->addr() + static_cast<std::uint64_t>(from) * kBlock, kBlock);
+        EXPECT_EQ(std::to_integer<int>(w[0]), 0x80 | (from << 3) | me)
+            << "rank " << me << " block from " << from;
+        EXPECT_EQ(std::to_integer<int>(w[kBlock - 1]), 0x80 | (from << 3) | me);
+      }
+      ++ok;
+    }(cluster, r, send, recv, checked));
+  }
+  cluster.engine().run();
+  EXPECT_EQ(checked, kRanks);
+  EXPECT_EQ(cluster.engine().live_processes(), 0u);
+}
+
+TEST_P(MpiApi, WaitanyReturnsACompletedRequest) {
+  Cluster cluster(2, GetParam());
+  auto& src = cluster.node(0).mem().alloc(4096, false);
+  auto& dst = cluster.node(1).mem().alloc(3 * 4096, false);
+
+  cluster.engine().spawn([](Cluster& c, std::uint64_t s) -> Task<> {
+    co_await c.setup_mpi();
+    // Tag 1 first; the tag-0 requests stay pending until much later.
+    co_await c.engine().sleep(us(200));
+    co_await c.mpi_rank(0).send(1, 1, s, 128);
+    co_await c.engine().sleep(us(400));
+    co_await c.mpi_rank(0).send(1, 0, s, 8);
+    co_await c.mpi_rank(0).send(1, 0, s, 8);
+  }(cluster, src.addr()));
+  cluster.engine().spawn([](Cluster& c, std::uint64_t d) -> Task<> {
+    co_await c.setup_mpi();
+    auto& rank = c.mpi_rank(1);
+    std::vector<mpi::RequestPtr> reqs;
+    reqs.push_back(co_await rank.irecv(0, 0, d, 4096));
+    reqs.push_back(co_await rank.irecv(0, 1, d + 4096, 4096));
+    reqs.push_back(co_await rank.irecv(0, 0, d + 8192, 4096));
+    EXPECT_FALSE(co_await rank.testall(reqs));
+    const std::size_t which = co_await rank.waitany(reqs);
+    EXPECT_EQ(which, 1u) << "only the tag-1 receive can complete first";
+    EXPECT_TRUE(reqs[1]->done());
+    co_await rank.wait(reqs[0]);
+    co_await rank.wait(reqs[2]);
+    EXPECT_TRUE(co_await rank.testall(reqs));
+  }(cluster, dst.addr()));
+  cluster.engine().run();
+  EXPECT_EQ(cluster.engine().live_processes(), 0u);
+}
+
+}  // namespace
+}  // namespace fabsim::core

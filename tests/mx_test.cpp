@@ -1,0 +1,298 @@
+// Tests of the MX-10G library: matching semantics, eager vs rendezvous,
+// unexpected messages, registration cache, and the MXoE/MXoM split.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "hw/fabric.hpp"
+#include "hw/node.hpp"
+#include "hw/reg_cache.hpp"
+#include "mx/endpoint.hpp"
+
+namespace fabsim::mx {
+namespace {
+
+hw::SwitchConfig myrinet_switch() {
+  return hw::SwitchConfig{Rate::gbit_per_sec(10.0), ns(100), ns(100)};
+}
+
+hw::PciConfig pcie_x4() { return hw::PciConfig{Rate::mb_per_sec(1000.0), ns(250)}; }
+
+struct World {
+  explicit World(MxConfig config = mxom_defaults())
+      : fabric(engine, myrinet_switch()),
+        node0(engine, 0, pcie_x4()),
+        node1(engine, 1, pcie_x4()),
+        ep0(node0, fabric, config),
+        ep1(node1, fabric, config) {}
+
+  Engine engine;
+  hw::Switch fabric;
+  hw::Node node0, node1;
+  Endpoint ep0, ep1;
+};
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed = 11) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::byte>((i * 73 + seed) & 0xff);
+  return v;
+}
+
+void fill(World& w, hw::AddressSpace& mem, std::uint64_t addr,
+          const std::vector<std::byte>& bytes) {
+  std::memcpy(mem.window(addr, bytes.size()).data(), bytes.data(), bytes.size());
+  (void)w;
+}
+
+TEST(MxEager, SendRecvSmallMessage) {
+  World w;
+  auto& src = w.node0.mem().alloc(4096);
+  auto& dst = w.node1.mem().alloc(4096);
+  const auto payload = pattern(1000);
+  fill(w, w.node0.mem(), src.addr(), payload);
+
+  Time latency = 0;
+  w.engine.spawn([](World& world, hw::Buffer& s, hw::Buffer& d, Time& lat) -> Task<> {
+    auto recv = co_await world.ep1.irecv(d.addr(), 4096, 42, ~0ull);
+    const Time start = world.engine.now();
+    auto send = co_await world.ep0.isend(s.addr(), 1000, world.ep1.port(), 42);
+    co_await world.ep1.wait(recv);
+    lat = world.engine.now() - start;
+    co_await world.ep0.wait(send);
+    EXPECT_EQ(recv->length(), 1000u);
+    EXPECT_EQ(recv->match_bits(), 42u);
+  }(w, src, dst, latency));
+  w.engine.run();
+
+  EXPECT_GT(latency, us(1));
+  EXPECT_LT(latency, us(15));
+  auto view = w.node1.mem().window(dst.addr(), 1000);
+  EXPECT_EQ(std::memcmp(view.data(), payload.data(), 1000), 0);
+}
+
+TEST(MxMatching, MaskAndFifoOrder) {
+  World w;
+  auto& src = w.node0.mem().alloc(4096);
+  auto& dst = w.node1.mem().alloc(16384);
+  const auto payload = pattern(64);
+  fill(w, w.node0.mem(), src.addr(), payload);
+
+  std::vector<std::uint64_t> completed_matches;
+  w.engine.spawn([](World& world, hw::Buffer& s, hw::Buffer& d,
+                    std::vector<std::uint64_t>& out) -> Task<> {
+    // Receive matching only the high byte (mask), two receives.
+    auto r1 = co_await world.ep1.irecv(d.addr(), 4096, 0x0100, 0xff00);
+    auto r2 = co_await world.ep1.irecv(d.addr() + 4096, 4096, 0x0200, 0xff00);
+    // Send in the reverse match order: 0x02xx first, then 0x01xx.
+    auto s1 = co_await world.ep0.isend(s.addr(), 64, world.ep1.port(), 0x0207);
+    auto s2 = co_await world.ep0.isend(s.addr(), 64, world.ep1.port(), 0x0103);
+    co_await world.ep1.wait(r1);
+    co_await world.ep1.wait(r2);
+    co_await world.ep0.wait(s1);
+    co_await world.ep0.wait(s2);
+    out.push_back(r1->match_bits());
+    out.push_back(r2->match_bits());
+  }(w, src, dst, completed_matches));
+  w.engine.run();
+
+  EXPECT_EQ(completed_matches, (std::vector<std::uint64_t>{0x0103, 0x0207}));
+}
+
+TEST(MxUnexpected, EagerBuffersThenMatches) {
+  World w;
+  auto& src = w.node0.mem().alloc(8192);
+  auto& dst = w.node1.mem().alloc(8192);
+  const auto payload = pattern(5000, 3);
+  fill(w, w.node0.mem(), src.addr(), payload);
+
+  w.engine.spawn([](World& world, hw::Buffer& s, hw::Buffer& d) -> Task<> {
+    // Send with no receive posted: message must be buffered as unexpected.
+    auto send = co_await world.ep0.isend(s.addr(), 5000, world.ep1.port(), 9);
+    co_await world.ep0.wait(send);
+    co_await world.engine.sleep(us(50));
+    EXPECT_EQ(world.ep1.unexpected_depth(), 1u);
+    auto recv = co_await world.ep1.irecv(d.addr(), 8192, 9, ~0ull);
+    co_await world.ep1.wait(recv);
+    EXPECT_EQ(recv->length(), 5000u);
+    EXPECT_EQ(world.ep1.unexpected_depth(), 0u);
+  }(w, src, dst));
+  w.engine.run();
+
+  auto view = w.node1.mem().window(dst.addr(), 5000);
+  EXPECT_EQ(std::memcmp(view.data(), payload.data(), 5000), 0);
+}
+
+TEST(MxRendezvous, LargeMessageZeroCopy) {
+  World w;
+  const std::uint32_t len = 256 * 1024;
+  auto& src = w.node0.mem().alloc(len);
+  auto& dst = w.node1.mem().alloc(len);
+  const auto payload = pattern(len, 17);
+  fill(w, w.node0.mem(), src.addr(), payload);
+
+  w.engine.spawn([](World& world, hw::Buffer& s, hw::Buffer& d, std::uint32_t n) -> Task<> {
+    auto recv = co_await world.ep1.irecv(d.addr(), n, 5, ~0ull);
+    auto send = co_await world.ep0.isend(s.addr(), n, world.ep1.port(), 5);
+    co_await world.ep1.wait(recv);
+    co_await world.ep0.wait(send);
+  }(w, src, dst, len));
+  w.engine.run();
+
+  auto view = w.node1.mem().window(dst.addr(), len);
+  EXPECT_EQ(std::memcmp(view.data(), payload.data(), len), 0);
+  // Rendezvous pins both sides: 1 miss each on first use.
+  EXPECT_EQ(w.ep0.reg_cache_misses(), 1u);
+  EXPECT_EQ(w.ep1.reg_cache_misses(), 1u);
+}
+
+TEST(MxRendezvous, UnexpectedRtsWaitsForReceive) {
+  World w;
+  const std::uint32_t len = 128 * 1024;
+  auto& src = w.node0.mem().alloc(len);
+  auto& dst = w.node1.mem().alloc(len);
+  const auto payload = pattern(len, 23);
+  fill(w, w.node0.mem(), src.addr(), payload);
+
+  w.engine.spawn([](World& world, hw::Buffer& s, hw::Buffer& d, std::uint32_t n) -> Task<> {
+    auto send = co_await world.ep0.isend(s.addr(), n, world.ep1.port(), 77);
+    co_await world.engine.sleep(us(100));
+    EXPECT_FALSE(send->done()) << "rendezvous send must stall until the receive arrives";
+    auto recv = co_await world.ep1.irecv(d.addr(), n, 77, ~0ull);
+    co_await world.ep1.wait(recv);
+    co_await world.ep0.wait(send);
+  }(w, src, dst, len));
+  w.engine.run();
+
+  auto view = w.node1.mem().window(dst.addr(), len);
+  EXPECT_EQ(std::memcmp(view.data(), payload.data(), len), 0);
+}
+
+TEST(MxRegCache, HitsOnReuseThrashesOnByteOverflow) {
+  MxConfig config = mxom_defaults();
+  config.reg_cache_bytes = 1 << 20;  // 1 MB of pinnable bytes
+  World w(config);
+  const std::uint32_t len = 256 * 1024;
+  std::vector<hw::Buffer*> srcs;
+  for (int i = 0; i < 8; ++i) srcs.push_back(&w.node0.mem().alloc(len, false));
+  auto& dst = w.node1.mem().alloc(len, false);
+
+  w.engine.spawn([](World& world, std::vector<hw::Buffer*>& bufs, hw::Buffer& d,
+                    std::uint32_t n) -> Task<> {
+    // Full re-use: same buffer 6 times -> 1 miss, 5 hits.
+    for (int i = 0; i < 6; ++i) {
+      auto recv = co_await world.ep1.irecv(d.addr(), n, 1, ~0ull);
+      auto send = co_await world.ep0.isend(bufs[0]->addr(), n, world.ep1.port(), 1);
+      co_await world.ep1.wait(recv);
+      co_await world.ep0.wait(send);
+    }
+    EXPECT_EQ(world.ep0.reg_cache_misses(), 1u);
+    EXPECT_EQ(world.ep0.reg_cache_hits(), 5u);
+    // No re-use: cycle 8 distinct 256 KB buffers through a 1 MB cache ->
+    // everything except the still-cached bufs[0] misses.
+    for (int i = 0; i < 8; ++i) {
+      auto recv = co_await world.ep1.irecv(d.addr(), n, 1, ~0ull);
+      auto send = co_await world.ep0.isend(bufs[static_cast<std::size_t>(i)]->addr(), n,
+                                           world.ep1.port(), 1);
+      co_await world.ep1.wait(recv);
+      co_await world.ep0.wait(send);
+    }
+    EXPECT_EQ(world.ep0.reg_cache_misses(), 8u);
+    // A second no-re-use sweep misses on every buffer: the cache only
+    // holds the last 4 of the previous sweep and LRU order defeats it.
+    for (int i = 0; i < 8; ++i) {
+      auto recv = co_await world.ep1.irecv(d.addr(), n, 1, ~0ull);
+      auto send = co_await world.ep0.isend(bufs[static_cast<std::size_t>(i)]->addr(), n,
+                                           world.ep1.port(), 1);
+      co_await world.ep1.wait(recv);
+      co_await world.ep0.wait(send);
+    }
+    EXPECT_EQ(world.ep0.reg_cache_misses(), 16u);
+  }(w, srcs, dst, len));
+  w.engine.run();
+}
+
+TEST(MxPersonalities, MxoeHasHigherLatencyThanMxom) {
+  auto measure = [](MxConfig config, hw::SwitchConfig sw) {
+    Engine engine;
+    hw::Switch fabric(engine, sw);
+    hw::Node n0(engine, 0, pcie_x4()), n1(engine, 1, pcie_x4());
+    Endpoint e0(n0, fabric, config), e1(n1, fabric, config);
+    auto& src = n0.mem().alloc(64, false);
+    auto& dst = n1.mem().alloc(64, false);
+    Time latency = 0;
+    engine.spawn([](Engine& eng, Endpoint& a, Endpoint& b, hw::Buffer& s, hw::Buffer& d,
+                    Time& lat) -> Task<> {
+      auto recv = co_await b.irecv(d.addr(), 64, 1, ~0ull);
+      const Time start = eng.now();
+      auto send = co_await a.isend(s.addr(), 8, b.port(), 1);
+      co_await b.wait(recv);
+      lat = eng.now() - start;
+      co_await a.wait(send);
+    }(engine, e0, e1, src, dst, latency));
+    engine.run();
+    return latency;
+  };
+
+  const Time mxom = measure(mxom_defaults(), myrinet_switch());
+  const Time mxoe =
+      measure(mxoe_defaults(), hw::SwitchConfig{Rate::gbit_per_sec(10.0), ns(450), ns(100)});
+  EXPECT_GT(mxoe, mxom) << "Ethernet framing + switch must cost more than Myrinet";
+}
+
+TEST(MxTruncation, TooSmallReceiveThrows) {
+  World w;
+  auto& src = w.node0.mem().alloc(4096, false);
+  auto& dst = w.node1.mem().alloc(4096, false);
+  w.engine.spawn([](World& world, hw::Buffer& s, hw::Buffer& d) -> Task<> {
+    auto recv = co_await world.ep1.irecv(d.addr(), 16, 4, ~0ull);
+    auto send = co_await world.ep0.isend(s.addr(), 4000, world.ep1.port(), 4);
+    co_await world.ep1.wait(recv);
+    co_await world.ep0.wait(send);
+  }(w, src, dst));
+  EXPECT_THROW(w.engine.run(), std::length_error);
+}
+
+TEST(RegCacheUnit, EntryAndByteBounds) {
+  hw::RegCache cache(3, 10'000);
+  EXPECT_FALSE(cache.lookup(0x1000, 4000).hit);
+  EXPECT_FALSE(cache.lookup(0x2000, 4000).hit);
+  EXPECT_TRUE(cache.lookup(0x1000, 4000).hit);
+  // Third insert busts the byte bound: LRU (0x2000) evicted.
+  auto r = cache.lookup(0x3000, 4000);
+  EXPECT_FALSE(r.hit);
+  ASSERT_EQ(r.evicted.size(), 1u);
+  EXPECT_EQ(r.evicted[0].len, 4000u);
+  EXPECT_FALSE(cache.lookup(0x2000, 4000).hit);
+  // Entry bound.
+  hw::RegCache small(2, 1 << 30);
+  small.lookup(1, 10);
+  small.lookup(2, 10);
+  auto r2 = small.lookup(3, 10);
+  EXPECT_EQ(r2.evicted.size(), 1u);
+  EXPECT_EQ(small.entries(), 2u);
+}
+
+TEST(MxDeterminism, RepeatedRunsMatch) {
+  auto run_once = [] {
+    World w;
+    auto& src = w.node0.mem().alloc(1 << 20, false);
+    auto& dst = w.node1.mem().alloc(1 << 20, false);
+    Time done = 0;
+    w.engine.spawn([](World& world, hw::Buffer& s, hw::Buffer& d, Time& fin) -> Task<> {
+      for (int i = 0; i < 3; ++i) {
+        auto recv = co_await world.ep1.irecv(d.addr(), 1 << 20, 1, ~0ull);
+        auto send = co_await world.ep0.isend(s.addr(), 1 << 20, world.ep1.port(), 1);
+        co_await world.ep1.wait(recv);
+        co_await world.ep0.wait(send);
+      }
+      fin = world.engine.now();
+    }(w, src, dst, done));
+    w.engine.run();
+    return std::pair{done, w.engine.events_processed()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace fabsim::mx

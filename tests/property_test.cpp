@@ -1,0 +1,273 @@
+// Property suites swept over (network x message size) matrices:
+// payload integrity end to end, conservation, determinism, and
+// monotonicity of transfer time. These are the invariants every stack
+// must hold regardless of calibration.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+namespace fabsim::core {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 167 + seed * 31 + (i >> 11)) & 0xff);
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// MPI payload integrity: every byte, every boundary, every network.
+// ---------------------------------------------------------------------------
+
+class MpiIntegrity : public ::testing::TestWithParam<std::tuple<Network, std::uint32_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MpiIntegrity,
+    ::testing::Combine(::testing::Values(Network::kIwarp, Network::kIb, Network::kMxoe,
+                                         Network::kMxom),
+                       // Sizes straddling every protocol boundary: eager
+                       // thresholds (4K iWARP, 8K IB, 32K MX), segment
+                       // sizes (1408 TCP MSS, 2048 IB MTU, 4096 MX MTU).
+                       ::testing::Values(1u, 7u, 1024u, 1407u, 1408u, 1409u, 2048u, 4096u,
+                                         4097u, 8192u, 8193u, 32768u, 32769u, 262144u)),
+    [](const auto& info) {
+      return std::string(network_name(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param)) + "B";
+    });
+
+TEST_P(MpiIntegrity, PayloadSurvivesTheStack) {
+  const auto [network, len] = GetParam();
+  Cluster cluster(2, network);
+  auto& src = cluster.node(0).mem().alloc(len);
+  auto& dst = cluster.node(1).mem().alloc(len + 64);
+  const auto payload = pattern(len, static_cast<unsigned>(len));
+  std::memcpy(cluster.node(0).mem().window(src.addr(), len).data(), payload.data(), len);
+
+  cluster.engine().spawn([](Cluster& c, std::uint64_t s, std::uint32_t n) -> Task<> {
+    co_await c.setup_mpi();
+    co_await c.mpi_rank(0).send(1, 5, s, n);
+  }(cluster, src.addr(), len));
+  cluster.engine().spawn([](Cluster& c, std::uint64_t d, std::uint64_t cap,
+                            std::uint32_t n) -> Task<> {
+    co_await c.setup_mpi();
+    const auto status = co_await c.mpi_rank(1).recv(0, 5, d, static_cast<std::uint32_t>(cap));
+    EXPECT_EQ(status.length, n);
+    EXPECT_EQ(status.source, 0);
+  }(cluster, dst.addr(), dst.size(), len));
+  cluster.engine().run();
+
+  ASSERT_EQ(cluster.engine().live_processes(), 0u) << "transfer did not complete";
+  auto view = cluster.node(1).mem().window(dst.addr(), len);
+  EXPECT_EQ(std::memcmp(view.data(), payload.data(), len), 0);
+}
+
+TEST_P(MpiIntegrity, DeterministicTimeline) {
+  const auto [network, len] = GetParam();
+  auto run_once = [network = network, len = len] {
+    Cluster cluster(2, network);
+    auto& src = cluster.node(0).mem().alloc(len, false);
+    auto& dst = cluster.node(1).mem().alloc(len + 64, false);
+    cluster.engine().spawn([](Cluster& c, std::uint64_t s, std::uint32_t n) -> Task<> {
+      co_await c.setup_mpi();
+      co_await c.mpi_rank(0).send(1, 5, s, n);
+    }(cluster, src.addr(), len));
+    cluster.engine().spawn([](Cluster& c, std::uint64_t d, std::uint64_t cap) -> Task<> {
+      co_await c.setup_mpi();
+      co_await c.mpi_rank(1).recv(0, 5, d, static_cast<std::uint32_t>(cap));
+    }(cluster, dst.addr(), dst.size()));
+    cluster.engine().run();
+    return std::pair{cluster.engine().now(), cluster.engine().events_processed()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// ---------------------------------------------------------------------------
+// Verbs-level integrity for the RDMA-capable stacks.
+// ---------------------------------------------------------------------------
+
+class VerbsIntegrity : public ::testing::TestWithParam<std::tuple<Network, std::uint32_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VerbsIntegrity,
+    ::testing::Combine(::testing::Values(Network::kIwarp, Network::kIb),
+                       ::testing::Values(1u, 1408u, 1409u, 2048u, 2049u, 65536u, 1u << 20)),
+    [](const auto& info) {
+      return std::string(network_name(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param)) + "B";
+    });
+
+TEST_P(VerbsIntegrity, RdmaWritePlacesEveryByte) {
+  const auto [network, len] = GetParam();
+  Cluster cluster(2, network);
+  verbs::CompletionQueue cq0(cluster.engine()), cq1(cluster.engine());
+  auto qp0 = cluster.device(0).create_qp(cq0, cq0);
+  auto qp1 = cluster.device(1).create_qp(cq1, cq1);
+  cluster.device(0).establish(*qp0, *qp1);
+  auto& src = cluster.node(0).mem().alloc(len);
+  auto& dst = cluster.node(1).mem().alloc(len);
+  const auto payload = pattern(len, 99);
+  std::memcpy(cluster.node(0).mem().window(src.addr(), len).data(), payload.data(), len);
+
+  cluster.engine().spawn([](Cluster& c, verbs::QueuePair& qp, std::uint64_t s, std::uint64_t d,
+                            std::uint32_t n) -> Task<> {
+    auto lkey = co_await c.device(0).reg_mr(s, n);
+    auto rkey = co_await c.device(1).reg_mr(d, n);
+    auto watch = c.device(1).watch_placement(d, n);
+    co_await qp.post_send(verbs::SendWr{.wr_id = 1,
+                                        .opcode = verbs::Opcode::kRdmaWrite,
+                                        .sge = {s, n, lkey},
+                                        .remote_addr = d,
+                                        .rkey = rkey});
+    co_await watch->wait();
+  }(cluster, *qp0, src.addr(), dst.addr(), len));
+  cluster.engine().run();
+
+  auto view = cluster.node(1).mem().window(dst.addr(), len);
+  EXPECT_EQ(std::memcmp(view.data(), payload.data(), len), 0);
+}
+
+TEST_P(VerbsIntegrity, RdmaReadFetchesEveryByte) {
+  const auto [network, len] = GetParam();
+  Cluster cluster(2, network);
+  verbs::CompletionQueue cq0(cluster.engine()), cq1(cluster.engine());
+  auto qp0 = cluster.device(0).create_qp(cq0, cq0);
+  auto qp1 = cluster.device(1).create_qp(cq1, cq1);
+  cluster.device(0).establish(*qp0, *qp1);
+  auto& remote = cluster.node(1).mem().alloc(len);
+  auto& sink = cluster.node(0).mem().alloc(len);
+  const auto payload = pattern(len, 123);
+  std::memcpy(cluster.node(1).mem().window(remote.addr(), len).data(), payload.data(), len);
+
+  cluster.engine().spawn([](Cluster& c, verbs::QueuePair& qp, verbs::CompletionQueue& cq,
+                            std::uint64_t snk, std::uint64_t rem, std::uint32_t n) -> Task<> {
+    auto sink_key = co_await c.device(0).reg_mr(snk, n);
+    auto rkey = co_await c.device(1).reg_mr(rem, n);
+    co_await qp.post_send(verbs::SendWr{.wr_id = 2,
+                                        .opcode = verbs::Opcode::kRdmaRead,
+                                        .sge = {snk, n, sink_key},
+                                        .remote_addr = rem,
+                                        .rkey = rkey});
+    const auto completion = co_await verbs::next_completion(cq, c.node(0).cpu(), ns(200));
+    EXPECT_EQ(completion.type, verbs::Completion::Type::kRdmaRead);
+    EXPECT_EQ(completion.byte_len, n);
+  }(cluster, *qp0, cq0, sink.addr(), remote.addr(), len));
+  cluster.engine().run();
+
+  auto view = cluster.node(0).mem().window(sink.addr(), len);
+  EXPECT_EQ(std::memcmp(view.data(), payload.data(), len), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Transfer-time monotonicity: more bytes never arrive sooner.
+// ---------------------------------------------------------------------------
+
+class Monotonicity : public ::testing::TestWithParam<Network> {};
+
+INSTANTIATE_TEST_SUITE_P(Networks, Monotonicity,
+                         ::testing::Values(Network::kIwarp, Network::kIb, Network::kMxoe,
+                                           Network::kMxom),
+                         [](const auto& info) { return network_name(info.param); });
+
+TEST_P(Monotonicity, MpiLatencyNonDecreasingWithinProtocolRegion) {
+  // Within one protocol region (all-eager or all-rendezvous), half-RTT
+  // must be non-decreasing in message size.
+  auto latency = [&](std::uint32_t len) {
+    Cluster cluster(2, GetParam());
+    auto& b0 = cluster.node(0).mem().alloc(len, false);
+    auto& b1 = cluster.node(1).mem().alloc(len, false);
+    Time elapsed = 0;
+    cluster.engine().spawn([](Cluster& c, std::uint64_t a, std::uint32_t n,
+                              Time* out) -> Task<> {
+      co_await c.setup_mpi();
+      for (int i = 0; i < 3; ++i) {  // warmup
+        co_await c.mpi_rank(0).send(1, 1, a, n);
+        co_await c.mpi_rank(0).recv(1, 1, a, n);
+      }
+      const Time t0 = c.engine().now();
+      for (int i = 0; i < 6; ++i) {
+        co_await c.mpi_rank(0).send(1, 1, a, n);
+        co_await c.mpi_rank(0).recv(1, 1, a, n);
+      }
+      *out = c.engine().now() - t0;
+    }(cluster, b0.addr(), len, &elapsed));
+    cluster.engine().spawn([](Cluster& c, std::uint64_t a, std::uint32_t n) -> Task<> {
+      co_await c.setup_mpi();
+      for (int i = 0; i < 9; ++i) {
+        co_await c.mpi_rank(1).recv(0, 1, a, n);
+        co_await c.mpi_rank(1).send(0, 1, a, n);
+      }
+    }(cluster, b1.addr(), len));
+    cluster.engine().run();
+    return elapsed;
+  };
+  // Eager region (all four networks are eager at these sizes).
+  EXPECT_LE(latency(64), latency(512));
+  EXPECT_LE(latency(512), latency(2048));
+  // Rendezvous region.
+  EXPECT_LE(latency(65536), latency(262144));
+  EXPECT_LE(latency(262144), latency(1 << 20));
+}
+
+// ---------------------------------------------------------------------------
+// Hotspot conservation: a contended port can never beat its link rate.
+// ---------------------------------------------------------------------------
+
+TEST(Contention, AggregateGoodputBoundedByServerLink) {
+  for (Network network : {Network::kIwarp, Network::kIb}) {
+    Cluster cluster(4, network);
+    verbs::CompletionQueue server_cq(cluster.engine());
+    std::vector<std::unique_ptr<verbs::CompletionQueue>> cqs;
+    std::vector<std::unique_ptr<verbs::QueuePair>> sqps, cqps;
+    std::vector<hw::Buffer*> sbufs, cbufs;
+    std::vector<verbs::MrKey> skeys, ckeys;
+    constexpr std::uint32_t kChunk = 128 * 1024;
+    constexpr int kChunks = 6;
+    for (int c = 0; c < 3; ++c) {
+      cqs.push_back(std::make_unique<verbs::CompletionQueue>(cluster.engine()));
+      sqps.push_back(cluster.device(0).create_qp(server_cq, server_cq));
+      cqps.push_back(cluster.device(c + 1).create_qp(*cqs.back(), *cqs.back()));
+      cluster.device(0).establish(*sqps.back(), *cqps.back());
+      sbufs.push_back(&cluster.node(0).mem().alloc(kChunk, false));
+      cbufs.push_back(&cluster.node(c + 1).mem().alloc(kChunk, false));
+      skeys.push_back(
+          cluster.device(0).registry().register_region(sbufs.back()->addr(), kChunk));
+      ckeys.push_back(
+          cluster.device(c + 1).registry().register_region(cbufs.back()->addr(), kChunk));
+    }
+    Time last_placed = 0;
+    for (int c = 0; c < 3; ++c) {
+      cluster.engine().spawn([](Cluster& cl, verbs::QueuePair& qp, std::uint64_t src,
+                                verbs::MrKey lk, std::uint64_t dst, verbs::MrKey rk,
+                                Time* end) -> Task<> {
+        for (int i = 0; i < kChunks; ++i) {
+          auto placed = cl.device(0).watch_placement(dst, kChunk);
+          co_await qp.post_send(verbs::SendWr{.wr_id = 1,
+                                              .opcode = verbs::Opcode::kRdmaWrite,
+                                              .sge = {src, kChunk, lk},
+                                              .remote_addr = dst,
+                                              .rkey = rk});
+          co_await placed->wait();
+          *end = std::max(*end, cl.engine().now());
+        }
+      }(cluster, *cqps[static_cast<std::size_t>(c)], cbufs[static_cast<std::size_t>(c)]->addr(),
+        ckeys[static_cast<std::size_t>(c)], sbufs[static_cast<std::size_t>(c)]->addr(),
+        skeys[static_cast<std::size_t>(c)], &last_placed));
+    }
+    cluster.engine().run();
+    const double total_bytes = 3.0 * kChunks * kChunk;
+    const double aggregate = total_bytes / to_us(last_placed);
+    const double link = cluster.profile().switch_cfg.link_rate.mb_per_sec_value();
+    EXPECT_LT(aggregate, link * 1.0001)
+        << network_name(network) << ": goodput through one port exceeded the link rate";
+    EXPECT_GT(aggregate, link * 0.5) << network_name(network) << ": contention collapsed";
+  }
+}
+
+}  // namespace
+}  // namespace fabsim::core

@@ -1,0 +1,206 @@
+// Edge-case tests for the simulation core: task lifetimes, exception
+// paths, same-time ordering, resource fairness, engine re-entry.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/sync.hpp"
+
+namespace fabsim {
+namespace {
+
+TEST(EngineEdge, ExceptionBeforeFirstSuspensionSurfacesAtSpawn) {
+  Engine engine;
+  EXPECT_THROW(engine.spawn([]() -> Task<> {
+                 throw std::runtime_error("early");
+                 co_return;  // unreachable; makes this a coroutine
+               }()),
+               std::runtime_error);
+  EXPECT_EQ(engine.live_processes(), 0u);
+  engine.run();  // must be reusable afterwards
+}
+
+TEST(EngineEdge, NestedTaskExceptionPropagatesThroughAwaitChain) {
+  Engine engine;
+  bool caught = false;
+  auto inner = [](Engine& e) -> Task<int> {
+    co_await e.sleep(us(1));
+    throw std::logic_error("deep");
+  };
+  auto middle = [inner](Engine& e) -> Task<int> {
+    const int v = co_await inner(e);
+    co_return v + 1;
+  };
+  engine.spawn([](Engine& e, auto mid, bool& flag) -> Task<> {
+    try {
+      (void)co_await mid(e);
+    } catch (const std::logic_error&) {
+      flag = true;
+    }
+  }(engine, middle, caught));
+  engine.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(EngineEdge, DestroyEngineWithSuspendedProcesses) {
+  // RAII inside suspended frames must still run when the engine dies.
+  struct Sentinel {
+    bool* flag;
+    ~Sentinel() { *flag = true; }
+  };
+  bool destroyed = false;
+  {
+    Engine engine;
+    engine.spawn([](Engine& e, bool* flag) -> Task<> {
+      Sentinel sentinel{flag};
+      co_await e.sleep(sec(100));  // never resumed
+      ADD_FAILURE() << "must not resume";
+    }(engine, &destroyed));
+    engine.run_until(us(1));
+    EXPECT_EQ(engine.live_processes(), 1u);
+  }
+  EXPECT_TRUE(destroyed) << "suspended frame was not destroyed with the engine";
+}
+
+TEST(EngineEdge, JoinAfterCompletionIsImmediate) {
+  Engine engine;
+  Process p = engine.spawn([](Engine& e) -> Task<> { co_await e.sleep(us(1)); }(engine));
+  engine.run();
+  ASSERT_TRUE(p.done());
+  Time at = 1;
+  engine.spawn([](Engine& e, Process proc, Time& t) -> Task<> {
+    co_await proc.join();
+    t = e.now();
+  }(engine, p, at));
+  engine.run();
+  EXPECT_EQ(at, us(1));  // no extra delay
+}
+
+TEST(EngineEdge, YieldPreservesFifoAmongPeers) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    engine.spawn([](Engine& e, std::vector<int>& out, int id) -> Task<> {
+      for (int round = 0; round < 3; ++round) {
+        out.push_back(id);
+        co_await e.yield();
+      }
+    }(engine, order, i));
+  }
+  engine.run();
+  // Every round interleaves all four in spawn order.
+  ASSERT_EQ(order.size(), 12u);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(order[static_cast<std::size_t>(round * 4 + i)], i)
+          << "round " << round << " position " << i;
+    }
+  }
+}
+
+TEST(EngineEdge, RunUntilIsResumable) {
+  Engine engine;
+  std::vector<Time> fired;
+  for (int i = 1; i <= 5; ++i) {
+    engine.post(us(i), [&fired, &engine] { fired.push_back(engine.now()); });
+  }
+  engine.run_until(us(2));
+  EXPECT_EQ(fired.size(), 2u);
+  engine.run_until(us(2));  // idempotent
+  EXPECT_EQ(fired.size(), 2u);
+  engine.run_until(us(10));
+  EXPECT_EQ(fired.size(), 5u);
+  EXPECT_EQ(engine.now(), us(10));
+}
+
+TEST(SemaphoreEdge, FifoFairnessUnderContention) {
+  Engine engine;
+  Semaphore sem(engine, 2);
+  std::vector<int> completion_order;
+  for (int i = 0; i < 6; ++i) {
+    engine.spawn([](Engine& e, Semaphore& s, std::vector<int>& out, int id) -> Task<> {
+      // Stagger arrival so the queue order is well defined.
+      co_await e.sleep(ns(id));
+      co_await s.acquire();
+      co_await e.sleep(us(5));
+      out.push_back(id);
+      s.release();
+    }(engine, sem, completion_order, i));
+  }
+  engine.run();
+  EXPECT_EQ(completion_order, (std::vector<int>{0, 1, 2, 3, 4, 5}))
+      << "semaphore must serve waiters in arrival order";
+}
+
+TEST(MailboxEdge, MultipleBlockedReceiversServedInOrder) {
+  Engine engine;
+  Mailbox<int> box(engine);
+  std::vector<std::pair<int, int>> got;  // (receiver, value)
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn([](Engine& e, Mailbox<int>& b, std::vector<std::pair<int, int>>& out,
+                    int id) -> Task<> {
+      co_await e.sleep(ns(id));  // deterministic wait order
+      const int value = co_await b.recv();
+      out.emplace_back(id, value);
+    }(engine, box, got, i));
+  }
+  engine.spawn([](Engine& e, Mailbox<int>& b) -> Task<> {
+    co_await e.sleep(us(1));
+    b.send(100);
+    b.send(200);
+    b.send(300);
+  }(engine, box));
+  engine.run();
+  EXPECT_EQ(got, (std::vector<std::pair<int, int>>{{0, 100}, {1, 200}, {2, 300}}));
+}
+
+TEST(PipelinedServerEdge, IdlePeriodsResetTheInterval) {
+  PipelinedServer server;
+  EXPECT_EQ(server.book(0, us(1), us(5)), us(5));
+  // Arrive long after the pipeline drained: full latency again, no credit
+  // from the idle gap.
+  EXPECT_EQ(server.book(us(100), us(1), us(5)), us(105));
+  EXPECT_EQ(server.book(us(100), us(1), us(5)), us(106));
+}
+
+TEST(SerialServerEdge, ZeroDurationJobsPreserveOrderAccounting) {
+  SerialServer server;
+  EXPECT_EQ(server.book(us(3), 0), us(3));
+  EXPECT_EQ(server.book(us(1), us(2)), us(5));  // still behind the horizon
+  EXPECT_EQ(server.jobs(), 2u);
+}
+
+TEST(TaskEdge, MoveSemantics) {
+  Engine engine;
+  auto make = [](Engine& e, int& out) -> Task<> {
+    co_await e.sleep(us(1));
+    out = 42;
+  };
+  int result = 0;
+  Task<> task = make(engine, result);
+  Task<> moved = std::move(task);
+  EXPECT_FALSE(task.valid());  // NOLINT(bugprone-use-after-move): explicitly testing
+  EXPECT_TRUE(moved.valid());
+  engine.spawn(std::move(moved));
+  engine.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(TaskEdge, UnstartedTaskDestroysCleanly) {
+  bool touched = false;
+  {
+    Engine engine;
+    auto task = [](Engine& e, bool& flag) -> Task<> {
+      flag = true;  // must never run: the task is lazy
+      co_await e.sleep(us(1));
+    }(engine, touched);
+    // falls out of scope without being awaited or spawned
+  }
+  EXPECT_FALSE(touched);
+}
+
+}  // namespace
+}  // namespace fabsim

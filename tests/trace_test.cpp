@@ -1,0 +1,122 @@
+// Tracer tests: capacity, filtering helpers, zero-cost-when-off, and
+// event sequences emitted by the stacks.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "sim/trace.hpp"
+
+namespace fabsim {
+namespace {
+
+TEST(Tracer, RecordsAndCounts) {
+  Tracer tracer;
+  tracer.emit(us(1), TraceCategory::kHost, 0, "alpha one");
+  tracer.emit(us(2), TraceCategory::kNic, 1, "beta two");
+  tracer.emit(us(3), TraceCategory::kProto, 0, "alpha three");
+  EXPECT_EQ(tracer.entries().size(), 3u);
+  EXPECT_EQ(tracer.count_containing("alpha"), 2u);
+  EXPECT_EQ(tracer.count_containing("beta"), 1u);
+  EXPECT_EQ(tracer.count_containing("gamma"), 0u);
+  tracer.clear();
+  EXPECT_TRUE(tracer.entries().empty());
+}
+
+TEST(Tracer, CapacityBoundsAndDropCount) {
+  Tracer tracer;
+  tracer.set_capacity(5);
+  for (int i = 0; i < 12; ++i) tracer.emit(us(i), TraceCategory::kWire, 0, "x");
+  EXPECT_EQ(tracer.entries().size(), 5u);
+  EXPECT_EQ(tracer.dropped(), 7u);
+}
+
+TEST(Tracer, EngineEmitsNothingWhenDisabled) {
+  core::Cluster cluster(2, core::Network::kIwarp);
+  auto& src = cluster.node(0).mem().alloc(4096, false);
+  auto& dst = cluster.node(1).mem().alloc(4096, false);
+  EXPECT_EQ(cluster.engine().tracer(), nullptr);
+  cluster.engine().spawn([](core::Cluster& c, std::uint64_t s) -> Task<> {
+    co_await c.setup_mpi();
+    co_await c.mpi_rank(0).send(1, 1, s, 64);
+  }(cluster, src.addr()));
+  cluster.engine().spawn([](core::Cluster& c, std::uint64_t d) -> Task<> {
+    co_await c.setup_mpi();
+    co_await c.mpi_rank(1).recv(0, 1, d, 4096);
+  }(cluster, dst.addr()));
+  cluster.engine().run();  // must not crash with tracer == nullptr
+}
+
+TEST(Tracer, RendezvousEmitsProtocolSequence) {
+  core::Cluster cluster(2, core::Network::kIwarp);
+  Tracer tracer;
+  cluster.engine().set_tracer(&tracer);
+  const std::uint32_t len = 32 * 1024;
+  auto& src = cluster.node(0).mem().alloc(len, false);
+  auto& dst = cluster.node(1).mem().alloc(len, false);
+
+  cluster.engine().spawn([](core::Cluster& c, std::uint64_t s, std::uint32_t n) -> Task<> {
+    co_await c.setup_mpi();
+    co_await c.mpi_rank(0).send(1, 1, s, n);
+  }(cluster, src.addr(), len));
+  cluster.engine().spawn([](core::Cluster& c, std::uint64_t d, std::uint32_t n) -> Task<> {
+    co_await c.setup_mpi();
+    co_await c.mpi_rank(1).recv(0, 1, d, n);
+  }(cluster, dst.addr(), len));
+  cluster.engine().run();
+
+  EXPECT_EQ(tracer.count_containing("rendezvous RTS"), 1u);
+  EXPECT_EQ(tracer.count_containing("rendezvous CTS"), 1u);
+  EXPECT_EQ(tracer.count_containing("pin-down cache miss"), 2u) << "both sides pin once";
+  EXPECT_GE(tracer.count_containing("TCP segment tagged-write"),
+            static_cast<std::size_t>(len / 1408))
+      << "the RDMA write's data segments must appear";
+  EXPECT_EQ(tracer.count_containing("retransmit"), 0u) << "no loss injected";
+
+  // The protocol order must hold: RTS before CTS before the data.
+  std::size_t rts_at = 0, cts_at = 0, first_data = 0;
+  for (std::size_t i = 0; i < tracer.entries().size(); ++i) {
+    const auto& label = tracer.entries()[i].label;
+    if (rts_at == 0 && label.find("rendezvous RTS") != std::string::npos) rts_at = i + 1;
+    if (cts_at == 0 && label.find("rendezvous CTS") != std::string::npos) cts_at = i + 1;
+    if (first_data == 0 && label.find("TCP segment tagged-write") != std::string::npos) {
+      first_data = i + 1;
+    }
+  }
+  EXPECT_LT(rts_at, cts_at);
+  EXPECT_LT(cts_at, first_data);
+}
+
+TEST(Tracer, LossInjectionEmitsRetransmits) {
+  core::NetworkProfile p = core::iwarp_profile();
+  p.rnic.loss_rate = 0.05;
+  p.rnic.rto = us(200);
+  core::Cluster cluster(2, p);
+  Tracer tracer;
+  cluster.engine().set_tracer(&tracer);
+  const std::uint32_t len = 256 * 1024;
+  auto& src = cluster.node(0).mem().alloc(len, false);
+  auto& dst = cluster.node(1).mem().alloc(len, false);
+
+  cluster.engine().spawn([](core::Cluster& c, std::uint64_t s, std::uint64_t d,
+                            std::uint32_t n) -> Task<> {
+    verbs::CompletionQueue cq(c.engine());
+    auto qp0 = c.device(0).create_qp(cq, cq);
+    auto qp1 = c.device(1).create_qp(cq, cq);
+    c.device(0).establish(*qp0, *qp1);
+    auto lkey = co_await c.device(0).reg_mr(s, n);
+    auto rkey = co_await c.device(1).reg_mr(d, n);
+    auto watch = c.device(1).watch_placement(d, n);
+    co_await qp0->post_send(verbs::SendWr{.wr_id = 1,
+                                          .opcode = verbs::Opcode::kRdmaWrite,
+                                          .sge = {s, n, lkey},
+                                          .remote_addr = d,
+                                          .rkey = rkey});
+    co_await watch->wait();
+  }(cluster, src.addr(), dst.addr(), len));
+  cluster.engine().run();
+
+  EXPECT_GT(tracer.count_containing("RTO fired"), 0u);
+  EXPECT_GT(tracer.count_containing("retransmit"), 0u);
+}
+
+}  // namespace
+}  // namespace fabsim

@@ -1,0 +1,169 @@
+// uDAPL layer tests: DAT-style objects over both verbs providers, full
+// round trips for all four transfer types, bounds checking, and the
+// abstraction cost relative to raw verbs.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/runners.hpp"
+#include "udapl/udapl.hpp"
+
+namespace fabsim::udapl {
+namespace {
+
+using core::Cluster;
+using core::Network;
+using core::network_name;
+
+class UdaplOnVerbs : public ::testing::TestWithParam<Network> {};
+
+INSTANTIATE_TEST_SUITE_P(Providers, UdaplOnVerbs,
+                         ::testing::Values(Network::kIwarp, Network::kIb),
+                         [](const auto& info) { return network_name(info.param); });
+
+struct DatWorld {
+  explicit DatWorld(Network network) : cluster(2, network) {
+    ia0 = std::make_unique<InterfaceAdapter>(cluster.device(0), cluster.node(0));
+    ia1 = std::make_unique<InterfaceAdapter>(cluster.device(1), cluster.node(1));
+    evd0 = ia0->create_evd();
+    evd1 = ia1->create_evd();
+    ep0 = ia0->create_endpoint(*evd0);
+    ep1 = ia1->create_endpoint(*evd1);
+    InterfaceAdapter::connect(*ia0, *ep0, *ep1);
+  }
+  Engine& engine() { return cluster.engine(); }
+
+  Cluster cluster;
+  std::unique_ptr<InterfaceAdapter> ia0, ia1;
+  std::unique_ptr<EventDispatcher> evd0, evd1;
+  std::unique_ptr<Endpoint> ep0, ep1;
+};
+
+std::vector<std::byte> pattern(std::size_t n) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::byte>((i * 71 + 9) & 0xff);
+  return v;
+}
+
+TEST_P(UdaplOnVerbs, SendRecvRoundTrip) {
+  DatWorld w(GetParam());
+  auto& src = w.cluster.node(0).mem().alloc(8192);
+  auto& dst = w.cluster.node(1).mem().alloc(8192);
+  const auto payload = pattern(6000);
+  std::memcpy(w.cluster.node(0).mem().window(src.addr(), 6000).data(), payload.data(), 6000);
+
+  w.engine().spawn([](DatWorld& world, std::uint64_t s, std::uint64_t d) -> Task<> {
+    const Lmr src_lmr = co_await world.ia0->create_lmr(s, 8192);
+    const Lmr dst_lmr = co_await world.ia1->create_lmr(d, 8192);
+    co_await world.ep1->post_recv(dst_lmr, 8192, /*cookie=*/71);
+    co_await world.ep0->post_send(src_lmr, 6000, /*cookie=*/17);
+
+    const Event recv_event = co_await world.evd1->wait();
+    EXPECT_EQ(recv_event.type, EventType::kRecvCompletion);
+    EXPECT_EQ(recv_event.cookie, 71u);
+    EXPECT_EQ(recv_event.length, 6000u);
+    const Event send_event = co_await world.evd0->wait();
+    EXPECT_EQ(send_event.type, EventType::kSendCompletion);
+    EXPECT_EQ(send_event.cookie, 17u);
+  }(w, src.addr(), dst.addr()));
+  w.engine().run();
+
+  auto view = w.cluster.node(1).mem().window(dst.addr(), 6000);
+  EXPECT_EQ(std::memcmp(view.data(), payload.data(), 6000), 0);
+}
+
+TEST_P(UdaplOnVerbs, RdmaWriteAndReadRoundTrip) {
+  DatWorld w(GetParam());
+  auto& local = w.cluster.node(0).mem().alloc(65536);
+  auto& remote = w.cluster.node(1).mem().alloc(65536);
+  const auto payload = pattern(40000);
+  std::memcpy(w.cluster.node(0).mem().window(local.addr(), 40000).data(), payload.data(),
+              40000);
+
+  w.engine().spawn([](DatWorld& world, std::uint64_t l, std::uint64_t r) -> Task<> {
+    const Lmr local_lmr = co_await world.ia0->create_lmr(l, 65536);
+    const Lmr remote_lmr = co_await world.ia1->create_lmr(r, 65536);
+    const Rmr rmr = world.ia1->bind_rmr(remote_lmr);
+
+    co_await world.ep0->post_rdma_write(local_lmr, 40000, rmr, 1);
+    Event event = co_await world.evd0->wait();
+    EXPECT_EQ(event.type, EventType::kRdmaWriteCompletion);
+
+    // Scribble locally, then read the remote copy back.
+    auto w0 = world.cluster.node(0).mem().window(l, 40000);
+    std::memset(w0.data(), 0, 40000);
+    co_await world.ep0->post_rdma_read(local_lmr, 40000, rmr, 2);
+    event = co_await world.evd0->wait();
+    EXPECT_EQ(event.type, EventType::kRdmaReadCompletion);
+    EXPECT_EQ(event.cookie, 2u);
+  }(w, local.addr(), remote.addr()));
+  w.engine().run();
+
+  auto view = w.cluster.node(0).mem().window(local.addr(), 40000);
+  EXPECT_EQ(std::memcmp(view.data(), payload.data(), 40000), 0)
+      << "RDMA read must restore the scribbled local buffer";
+}
+
+TEST_P(UdaplOnVerbs, RmrBoundsAreEnforced) {
+  DatWorld w(GetParam());
+  auto& local = w.cluster.node(0).mem().alloc(4096);
+  auto& remote = w.cluster.node(1).mem().alloc(4096);
+  EXPECT_THROW(
+      {
+        w.engine().spawn([](DatWorld& world, std::uint64_t l, std::uint64_t r) -> Task<> {
+          const Lmr local_lmr = co_await world.ia0->create_lmr(l, 4096);
+          const Lmr remote_lmr = co_await world.ia1->create_lmr(r, 64);
+          const Rmr rmr = world.ia1->bind_rmr(remote_lmr);
+          co_await world.ep0->post_rdma_write(local_lmr, 4096, rmr, 1);  // too big
+        }(w, local.addr(), remote.addr()));
+        w.engine().run();
+      },
+      std::length_error);
+}
+
+TEST_P(UdaplOnVerbs, AbstractionCostIsSmallButNonzero) {
+  // A uDAPL RDMA-write ping-pong must cost slightly more than raw verbs
+  // (library dispatch overheads) but stay within ~1.5 us of it.
+  const double raw = core::userlevel_pingpong_latency_us(core::profile(GetParam()), 64);
+
+  DatWorld w(GetParam());
+  auto& b0 = w.cluster.node(0).mem().alloc(64, false);
+  auto& b1 = w.cluster.node(1).mem().alloc(64, false);
+  Time elapsed = 0;
+  const int iters = 20;
+
+  w.engine().spawn([](DatWorld& world, std::uint64_t a0, std::uint64_t a1, int n,
+                      Time* out) -> Task<> {
+    const Lmr lmr0 = co_await world.ia0->create_lmr(a0, 64);
+    const Lmr lmr1 = co_await world.ia1->create_lmr(a1, 64);
+    const Rmr rmr1 = world.ia1->bind_rmr(lmr1);
+    const Rmr rmr0 = world.ia0->bind_rmr(lmr0);
+
+    // Responder process.
+    world.engine().spawn([](DatWorld& ww, Lmr l1, Rmr r0, int count) -> Task<> {
+      for (int i = 0; i < count; ++i) {
+        auto incoming = ww.cluster.device(1).watch_placement(l1.addr(), 64);
+        co_await incoming->wait();
+        co_await ww.ep1->post_rdma_write(l1, 64, r0, 2);
+      }
+    }(world, lmr1, rmr0, n));
+
+    const Time start = world.engine().now();
+    for (int i = 0; i < n; ++i) {
+      auto reply = world.cluster.device(0).watch_placement(lmr0.addr(), 64);
+      co_await world.ep0->post_rdma_write(lmr0, 64, rmr1, 1);
+      co_await reply->wait();
+    }
+    *out = world.engine().now() - start;
+  }(w, b0.addr(), b1.addr(), iters, &elapsed));
+  w.engine().run();
+
+  const double dapl = to_us(elapsed) / iters / 2.0;
+  EXPECT_GT(dapl, raw) << "the extra layer cannot be free";
+  EXPECT_LT(dapl, raw + 1.5) << "but it should stay thin";
+}
+
+}  // namespace
+}  // namespace fabsim::udapl
