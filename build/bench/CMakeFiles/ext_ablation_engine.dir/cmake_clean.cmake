@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ablation_engine.dir/ext_ablation_engine.cpp.o"
+  "CMakeFiles/ext_ablation_engine.dir/ext_ablation_engine.cpp.o.d"
+  "ext_ablation_engine"
+  "ext_ablation_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ablation_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ablation_regcache.dir/ext_ablation_regcache.cpp.o"
+  "CMakeFiles/ext_ablation_regcache.dir/ext_ablation_regcache.cpp.o.d"
+  "ext_ablation_regcache"
+  "ext_ablation_regcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ablation_regcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

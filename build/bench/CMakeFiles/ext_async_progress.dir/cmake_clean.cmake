@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_async_progress.dir/ext_async_progress.cpp.o"
+  "CMakeFiles/ext_async_progress.dir/ext_async_progress.cpp.o.d"
+  "ext_async_progress"
+  "ext_async_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_async_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

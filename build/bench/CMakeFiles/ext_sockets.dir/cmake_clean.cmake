@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sockets.dir/ext_sockets.cpp.o"
+  "CMakeFiles/ext_sockets.dir/ext_sockets.cpp.o.d"
+  "ext_sockets"
+  "ext_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_udapl.dir/ext_udapl.cpp.o"
+  "CMakeFiles/ext_udapl.dir/ext_udapl.cpp.o.d"
+  "ext_udapl"
+  "ext_udapl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_udapl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_utilization.dir/ext_utilization.cpp.o"
+  "CMakeFiles/ext_utilization.dir/ext_utilization.cpp.o.d"
+  "ext_utilization"
+  "ext_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

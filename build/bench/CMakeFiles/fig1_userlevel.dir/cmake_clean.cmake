@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_userlevel.dir/fig1_userlevel.cpp.o"
+  "CMakeFiles/fig1_userlevel.dir/fig1_userlevel.cpp.o.d"
+  "fig1_userlevel"
+  "fig1_userlevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_userlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

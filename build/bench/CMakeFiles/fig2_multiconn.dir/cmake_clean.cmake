@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_multiconn.dir/fig2_multiconn.cpp.o"
+  "CMakeFiles/fig2_multiconn.dir/fig2_multiconn.cpp.o.d"
+  "fig2_multiconn"
+  "fig2_multiconn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_multiconn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mpi_latency.dir/fig3_mpi_latency.cpp.o"
+  "CMakeFiles/fig3_mpi_latency.dir/fig3_mpi_latency.cpp.o.d"
+  "fig3_mpi_latency"
+  "fig3_mpi_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mpi_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

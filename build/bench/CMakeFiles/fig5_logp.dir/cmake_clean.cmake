@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_logp.dir/fig5_logp.cpp.o"
+  "CMakeFiles/fig5_logp.dir/fig5_logp.cpp.o.d"
+  "fig5_logp"
+  "fig5_logp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_logp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_buffer_reuse.dir/fig6_buffer_reuse.cpp.o"
+  "CMakeFiles/fig6_buffer_reuse.dir/fig6_buffer_reuse.cpp.o.d"
+  "fig6_buffer_reuse"
+  "fig6_buffer_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_buffer_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_unexpected_queue.dir/fig7_unexpected_queue.cpp.o"
+  "CMakeFiles/fig7_unexpected_queue.dir/fig7_unexpected_queue.cpp.o.d"
+  "fig7_unexpected_queue"
+  "fig7_unexpected_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_unexpected_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

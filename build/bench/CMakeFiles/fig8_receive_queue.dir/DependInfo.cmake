@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_receive_queue.cpp" "bench/CMakeFiles/fig8_receive_queue.dir/fig8_receive_queue.cpp.o" "gcc" "bench/CMakeFiles/fig8_receive_queue.dir/fig8_receive_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fabsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/fabsim_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/iwarp/CMakeFiles/fabsim_iwarp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/fabsim_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/mx/CMakeFiles/fabsim_mx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sockets/CMakeFiles/fabsim_sockets.dir/DependInfo.cmake"
+  "/root/repo/build/src/udapl/CMakeFiles/fabsim_udapl.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/fabsim_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/fabsim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fabsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_receive_queue.dir/fig8_receive_queue.cpp.o"
+  "CMakeFiles/fig8_receive_queue.dir/fig8_receive_queue.cpp.o.d"
+  "fig8_receive_queue"
+  "fig8_receive_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_receive_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_headline.dir/tab_headline.cpp.o"
+  "CMakeFiles/tab_headline.dir/tab_headline.cpp.o.d"
+  "tab_headline"
+  "tab_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

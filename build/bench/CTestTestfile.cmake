@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_fig2_multiconn "/root/repo/build/bench/fig2_multiconn" "quick")
+set_tests_properties(bench_smoke_fig2_multiconn PROPERTIES  LABELS "smoke" TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig4_mpi_bandwidth "/root/repo/build/bench/fig4_mpi_bandwidth" "quick")
+set_tests_properties(bench_smoke_fig4_mpi_bandwidth PROPERTIES  LABELS "smoke" TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig5_logp "/root/repo/build/bench/fig5_logp" "quick")
+set_tests_properties(bench_smoke_fig5_logp PROPERTIES  LABELS "smoke" TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig6_buffer_reuse "/root/repo/build/bench/fig6_buffer_reuse" "quick")
+set_tests_properties(bench_smoke_fig6_buffer_reuse PROPERTIES  LABELS "smoke" TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig7_unexpected_queue "/root/repo/build/bench/fig7_unexpected_queue" "quick")
+set_tests_properties(bench_smoke_fig7_unexpected_queue PROPERTIES  LABELS "smoke" TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig8_receive_queue "/root/repo/build/bench/fig8_receive_queue" "quick")
+set_tests_properties(bench_smoke_fig8_receive_queue PROPERTIES  LABELS "smoke" TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_tab_headline "/root/repo/build/bench/tab_headline")
+set_tests_properties(bench_smoke_tab_headline PROPERTIES  LABELS "smoke" TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")

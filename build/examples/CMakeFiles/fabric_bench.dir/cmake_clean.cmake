@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_bench.dir/fabric_bench.cpp.o"
+  "CMakeFiles/fabric_bench.dir/fabric_bench.cpp.o.d"
+  "fabric_bench"
+  "fabric_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

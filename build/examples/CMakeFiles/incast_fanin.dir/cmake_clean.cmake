@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incast_fanin.dir/incast_fanin.cpp.o"
+  "CMakeFiles/incast_fanin.dir/incast_fanin.cpp.o.d"
+  "incast_fanin"
+  "incast_fanin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incast_fanin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_link.dir/lossy_link.cpp.o"
+  "CMakeFiles/lossy_link.dir/lossy_link.cpp.o.d"
+  "lossy_link"
+  "lossy_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpose.dir/transpose.cpp.o"
+  "CMakeFiles/transpose.dir/transpose.cpp.o.d"
+  "transpose"
+  "transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabsim_core.dir/cluster.cpp.o"
+  "CMakeFiles/fabsim_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/fabsim_core.dir/runners_mpi.cpp.o"
+  "CMakeFiles/fabsim_core.dir/runners_mpi.cpp.o.d"
+  "CMakeFiles/fabsim_core.dir/runners_user.cpp.o"
+  "CMakeFiles/fabsim_core.dir/runners_user.cpp.o.d"
+  "libfabsim_core.a"
+  "libfabsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabsim_hw.dir/memory.cpp.o"
+  "CMakeFiles/fabsim_hw.dir/memory.cpp.o.d"
+  "libfabsim_hw.a"
+  "libfabsim_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabsim_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

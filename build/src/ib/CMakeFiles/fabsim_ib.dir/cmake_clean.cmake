@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabsim_ib.dir/hca.cpp.o"
+  "CMakeFiles/fabsim_ib.dir/hca.cpp.o.d"
+  "libfabsim_ib.a"
+  "libfabsim_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabsim_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabsim_iwarp.dir/rnic.cpp.o"
+  "CMakeFiles/fabsim_iwarp.dir/rnic.cpp.o.d"
+  "libfabsim_iwarp.a"
+  "libfabsim_iwarp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabsim_iwarp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

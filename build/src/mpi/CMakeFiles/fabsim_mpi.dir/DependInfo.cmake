@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/ch_mx.cpp" "src/mpi/CMakeFiles/fabsim_mpi.dir/ch_mx.cpp.o" "gcc" "src/mpi/CMakeFiles/fabsim_mpi.dir/ch_mx.cpp.o.d"
+  "/root/repo/src/mpi/ch_verbs.cpp" "src/mpi/CMakeFiles/fabsim_mpi.dir/ch_verbs.cpp.o" "gcc" "src/mpi/CMakeFiles/fabsim_mpi.dir/ch_verbs.cpp.o.d"
+  "/root/repo/src/mpi/rank.cpp" "src/mpi/CMakeFiles/fabsim_mpi.dir/rank.cpp.o" "gcc" "src/mpi/CMakeFiles/fabsim_mpi.dir/rank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verbs/CMakeFiles/fabsim_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mx/CMakeFiles/fabsim_mx.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/fabsim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fabsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

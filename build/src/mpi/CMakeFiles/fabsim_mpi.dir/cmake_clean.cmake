@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabsim_mpi.dir/ch_mx.cpp.o"
+  "CMakeFiles/fabsim_mpi.dir/ch_mx.cpp.o.d"
+  "CMakeFiles/fabsim_mpi.dir/ch_verbs.cpp.o"
+  "CMakeFiles/fabsim_mpi.dir/ch_verbs.cpp.o.d"
+  "CMakeFiles/fabsim_mpi.dir/rank.cpp.o"
+  "CMakeFiles/fabsim_mpi.dir/rank.cpp.o.d"
+  "libfabsim_mpi.a"
+  "libfabsim_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabsim_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

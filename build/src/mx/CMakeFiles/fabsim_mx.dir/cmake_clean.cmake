@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabsim_mx.dir/endpoint.cpp.o"
+  "CMakeFiles/fabsim_mx.dir/endpoint.cpp.o.d"
+  "libfabsim_mx.a"
+  "libfabsim_mx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabsim_mx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fabsim_mx.
+# This may be replaced when dependencies are built.

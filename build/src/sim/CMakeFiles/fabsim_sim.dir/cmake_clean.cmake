@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabsim_sim.dir/engine.cpp.o"
+  "CMakeFiles/fabsim_sim.dir/engine.cpp.o.d"
+  "libfabsim_sim.a"
+  "libfabsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabsim_sockets.dir/host_tcp.cpp.o"
+  "CMakeFiles/fabsim_sockets.dir/host_tcp.cpp.o.d"
+  "libfabsim_sockets.a"
+  "libfabsim_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabsim_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabsim_udapl.dir/udapl.cpp.o"
+  "CMakeFiles/fabsim_udapl.dir/udapl.cpp.o.d"
+  "libfabsim_udapl.a"
+  "libfabsim_udapl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabsim_udapl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabsim_verbs.dir/verbs.cpp.o"
+  "CMakeFiles/fabsim_verbs.dir/verbs.cpp.o.d"
+  "libfabsim_verbs.a"
+  "libfabsim_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabsim_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/details2_test.dir/details2_test.cpp.o"
+  "CMakeFiles/details2_test.dir/details2_test.cpp.o.d"
+  "details2_test"
+  "details2_test.pdb"
+  "details2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/details2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

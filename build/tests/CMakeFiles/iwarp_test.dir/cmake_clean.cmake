@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iwarp_test.dir/iwarp_test.cpp.o"
+  "CMakeFiles/iwarp_test.dir/iwarp_test.cpp.o.d"
+  "iwarp_test"
+  "iwarp_test.pdb"
+  "iwarp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iwarp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

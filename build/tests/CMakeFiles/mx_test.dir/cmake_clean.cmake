@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mx_test.dir/mx_test.cpp.o"
+  "CMakeFiles/mx_test.dir/mx_test.cpp.o.d"
+  "mx_test"
+  "mx_test.pdb"
+  "mx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sockets_test.dir/sockets_test.cpp.o"
+  "CMakeFiles/sockets_test.dir/sockets_test.cpp.o.d"
+  "sockets_test"
+  "sockets_test.pdb"
+  "sockets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sockets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_details_test.dir/stack_details_test.cpp.o"
+  "CMakeFiles/stack_details_test.dir/stack_details_test.cpp.o.d"
+  "stack_details_test"
+  "stack_details_test.pdb"
+  "stack_details_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_details_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

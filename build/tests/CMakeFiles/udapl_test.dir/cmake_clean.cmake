@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udapl_test.dir/udapl_test.cpp.o"
+  "CMakeFiles/udapl_test.dir/udapl_test.cpp.o.d"
+  "udapl_test"
+  "udapl_test.pdb"
+  "udapl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udapl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

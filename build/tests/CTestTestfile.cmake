@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/iwarp_test[1]_include.cmake")
+include("/root/repo/build/tests/ib_test[1]_include.cmake")
+include("/root/repo/build/tests/mx_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/sockets_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_loss_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/udapl_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_api_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/congestion_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/stack_details_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_test[1]_include.cmake")
+include("/root/repo/build/tests/verbs_test[1]_include.cmake")
+include("/root/repo/build/tests/details2_test[1]_include.cmake")
