@@ -1,0 +1,203 @@
+// Extension X11 — bandwidth degradation under injected frame loss.
+//
+// A seeded FaultPlan on the engine drops a fraction of all frames at the
+// switch, and each stack's recovery machinery pays for the repair: iWARP
+// re-runs its TCP go-back-N, the IB HCA its RC end-to-end retransmission
+// (PSN/ack/timeout), and the MX firmware its resend queue. The sweep
+// (loss rate x message size, per stack) charts how gracefully each
+// recovery scheme degrades: sliding-window protocols with NAK-driven
+// repair keep the pipe fuller than the MX RTO-only scheme, and large
+// messages amortize a retransmission round far better than small ones.
+//
+// Results land in results/ext_faults.csv and results/ext_faults.json in
+// addition to the stdout tables (run_all.sh captures those separately).
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/report.hpp"
+#include "fault/plan.hpp"
+
+using namespace fabsim;
+using namespace fabsim::core;
+
+namespace {
+
+struct Sample {
+  std::string stack;
+  double loss = 0.0;
+  std::uint32_t bytes = 0;
+  double mbps = 0.0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t retransmits = 0;  ///< resends for MX
+};
+
+constexpr std::uint64_t kSeed = 42;
+
+/// `iters` back-to-back RDMA Writes of `len` bytes, node 0 -> node 1,
+/// completion observed by polling the target buffer (watch_placement).
+Sample run_verbs(NetworkProfile profile, double loss, std::uint32_t len, int iters) {
+  Cluster cluster(2, profile);
+  fault::FaultPlan plan(kSeed);
+  if (loss > 0.0) plan.drop_probability(loss);
+  cluster.engine().set_fault_injector(&plan);
+  auto& src = cluster.node(0).mem().alloc(len, false);
+  auto& dst = cluster.node(1).mem().alloc(len, false);
+
+  verbs::CompletionQueue cq(cluster.engine());
+  std::vector<std::unique_ptr<verbs::QueuePair>> qps;
+  Time start = 0, end = 0;
+  cluster.engine().spawn([](Cluster& c, verbs::CompletionQueue& wcq,
+                            std::vector<std::unique_ptr<verbs::QueuePair>>& pairs,
+                            std::uint64_t s, std::uint64_t d, std::uint32_t n, int reps,
+                            Time* t0, Time* t1) -> Task<> {
+    pairs.push_back(c.device(0).create_qp(wcq, wcq));
+    pairs.push_back(c.device(1).create_qp(wcq, wcq));
+    c.device(0).establish(*pairs[0], *pairs[1]);
+    auto lkey = co_await c.device(0).reg_mr(s, n);
+    auto rkey = co_await c.device(1).reg_mr(d, n);
+    *t0 = c.engine().now();
+    for (int i = 0; i < reps; ++i) {
+      auto watch = c.device(1).watch_placement(d, n);
+      co_await pairs[0]->post_send(verbs::SendWr{.wr_id = 1,
+                                                 .opcode = verbs::Opcode::kRdmaWrite,
+                                                 .sge = {s, n, lkey},
+                                                 .remote_addr = d,
+                                                 .rkey = rkey});
+      co_await watch->wait();
+    }
+    *t1 = c.engine().now();
+  }(cluster, cq, qps, src.addr(), dst.addr(), len, iters, &start, &end));
+  cluster.engine().run();
+
+  Sample sample;
+  sample.stack = network_name(profile.network);
+  sample.loss = loss;
+  sample.bytes = len;
+  sample.mbps = static_cast<double>(iters) * len / to_us(end - start);
+  sample.frames_dropped = plan.frames_dropped();
+  sample.retransmits = profile.network == Network::kIb ? cluster.hca(0).retransmits()
+                                                       : cluster.rnic(0).retransmits();
+  return sample;
+}
+
+/// `iters` back-to-back MX messages of `len` bytes, node 0 -> node 1.
+Sample run_mx(double loss, std::uint32_t len, int iters) {
+  NetworkProfile profile = mxoe_profile();
+  Cluster cluster(2, profile);
+  fault::FaultPlan plan(kSeed);
+  if (loss > 0.0) plan.drop_probability(loss);
+  cluster.engine().set_fault_injector(&plan);
+  auto& src = cluster.node(0).mem().alloc(len, false);
+  auto& dst = cluster.node(1).mem().alloc(len, false);
+
+  Time start = 0, end = 0;
+  cluster.engine().spawn([](Cluster& c, std::uint64_t s, std::uint32_t n, int reps,
+                            Time* t0) -> Task<> {
+    *t0 = c.engine().now();
+    for (int i = 0; i < reps; ++i) {
+      auto request = co_await c.endpoint(0).isend(s, n, c.endpoint(1).port(), 7);
+      co_await c.endpoint(0).wait(request);
+    }
+  }(cluster, src.addr(), len, iters, &start));
+  cluster.engine().spawn([](Cluster& c, std::uint64_t d, std::uint32_t n, int reps,
+                            Time* t1) -> Task<> {
+    for (int i = 0; i < reps; ++i) {
+      auto request = co_await c.endpoint(1).irecv(d, n, 7, ~0ull);
+      co_await c.endpoint(1).wait(request);
+    }
+    *t1 = c.engine().now();
+  }(cluster, dst.addr(), len, iters, &end));
+  cluster.engine().run();
+
+  Sample sample;
+  sample.stack = network_name(Network::kMxoe);
+  sample.loss = loss;
+  sample.bytes = len;
+  sample.mbps = static_cast<double>(iters) * len / to_us(end - start);
+  sample.frames_dropped = plan.frames_dropped();
+  sample.retransmits = cluster.endpoint(0).resends() + cluster.endpoint(1).resends();
+  return sample;
+}
+
+void write_outputs(const std::vector<Sample>& samples) {
+  std::filesystem::create_directories("results");
+
+  if (std::FILE* csv = std::fopen("results/ext_faults.csv", "w")) {
+    std::fprintf(csv, "stack,loss_rate,bytes,bandwidth_mbps,frames_dropped,retransmits\n");
+    for (const Sample& s : samples) {
+      std::fprintf(csv, "%s,%.4f,%u,%.3f,%llu,%llu\n", s.stack.c_str(), s.loss, s.bytes, s.mbps,
+                   static_cast<unsigned long long>(s.frames_dropped),
+                   static_cast<unsigned long long>(s.retransmits));
+    }
+    std::fclose(csv);
+  }
+
+  if (std::FILE* json = std::fopen("results/ext_faults.json", "w")) {
+    std::fprintf(json, "{\n  \"seed\": %llu,\n  \"samples\": [\n",
+                 static_cast<unsigned long long>(kSeed));
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const Sample& s = samples[i];
+      std::fprintf(json,
+                   "    {\"stack\": \"%s\", \"loss_rate\": %.4f, \"bytes\": %u, "
+                   "\"bandwidth_mbps\": %.3f, \"frames_dropped\": %llu, \"retransmits\": %llu}%s\n",
+                   s.stack.c_str(), s.loss, s.bytes, s.mbps,
+                   static_cast<unsigned long long>(s.frames_dropped),
+                   static_cast<unsigned long long>(s.retransmits),
+                   i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+  }
+  std::printf("\nwrote results/ext_faults.csv and results/ext_faults.json\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "quick";
+  std::printf("=== Extension X11: bandwidth degradation under frame loss ===\n");
+
+  const std::vector<double> losses =
+      quick ? std::vector<double>{0.0, 0.01}
+            : std::vector<double>{0.0, 0.0005, 0.002, 0.01, 0.05};
+  const std::vector<std::uint32_t> sizes =
+      quick ? std::vector<std::uint32_t>{64 * 1024}
+            : std::vector<std::uint32_t>{4 * 1024, 64 * 1024, 1024 * 1024};
+  const int iters = quick ? 4 : 8;
+
+  std::vector<Sample> samples;
+  for (const char* stack : {"iWARP", "IB", "MXoE"}) {
+    std::vector<std::string> columns;
+    for (double loss : losses) columns.push_back("loss " + std::to_string(loss));
+    Table table(std::string(stack) + " bandwidth MB/s vs loss rate", "msg_bytes", columns);
+    for (std::uint32_t size : sizes) {
+      std::vector<double> row;
+      for (double loss : losses) {
+        Sample s = std::string(stack) == "iWARP" ? run_verbs(iwarp_profile(), loss, size, iters)
+                   : std::string(stack) == "IB"  ? run_verbs(ib_profile(), loss, size, iters)
+                                                 : run_mx(loss, size, iters);
+        row.push_back(s.mbps);
+        samples.push_back(std::move(s));
+      }
+      table.add_row(size, std::move(row));
+    }
+    table.print();
+  }
+
+  std::printf(
+      "\nExpected shape: at zero loss every stack matches its lossless\n"
+      "bandwidth exactly (the fault plan is inert and the recovery machinery\n"
+      "stays cold). Under loss, go-back-N punishes large in-flight windows:\n"
+      "IB RC keeps a whole message outstanding and retransmits all of it per\n"
+      "gap, so its 1M curve collapses fastest; iWARP's 256K TCP window bounds\n"
+      "each repair round; MX pays an RTO per first-in-window loss but resends\n"
+      "only what is unacked. Small messages ride below the loss rate's\n"
+      "per-message frame budget and barely notice.\n");
+
+  write_outputs(samples);
+  return 0;
+}

@@ -54,7 +54,7 @@ void run(double loss_rate) {
       break;
     }
   }
-  std::printf("\n");
+  std::printf("(%s)\n\n", tracer.summary().c_str());
 }
 
 }  // namespace

@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
 # Build everything, run the full test suite, then regenerate every figure
 # into results/. Mirrors what CI would do.
+#
+# With --sanitize, additionally build under ASan+UBSan (build-asan/) and
+# run the test suite instrumented before the figure regeneration.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+  cmake -B build-asan -G Ninja -DFABSIM_SANITIZE=ON
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+fi
 
 cmake -B build -G Ninja
 cmake --build build
@@ -10,6 +19,7 @@ ctest --test-dir build --output-on-failure
 
 mkdir -p results
 for b in build/bench/*; do
+  [[ -f "$b" && -x "$b" ]] || continue  # skip CMakeFiles/ and cmake litter
   name="$(basename "$b")"
   echo "=== $name ==="
   "$b" | tee "results/$name.txt"

@@ -1,0 +1,65 @@
+// Fault-injection surface shared by every fabric.
+//
+// A FaultInjector is attached to the Engine (like the Tracer) and is
+// consulted once per frame at each injection point: hw::Switch::ingress
+// for switch-side faults, and NIC transmit paths that model adapter-local
+// loss (the iWARP RNIC's `loss_rate`). The injector decides the frame's
+// fate — deliver, drop, corrupt (delivered but discarded by the
+// receiver's CRC check), or delay — and the recovery machinery in each
+// stack (iWARP go-back-N, IB RC retransmission, MX resend queue) earns
+// its keep against those decisions.
+//
+// Stacks arm their recovery machinery only when `faults_armed()` is true,
+// so an absent or inert injector leaves every lossless run byte-identical
+// in timing to the unhooked simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace fabsim::fault {
+
+/// One frame crossing an injection point.
+struct FaultSite {
+  Time now = 0;
+  int src_node = -1;
+  int dst_node = -1;
+  std::uint32_t wire_bytes = 0;
+};
+
+enum class FaultAction : std::uint8_t {
+  kDeliver,  ///< pass through untouched
+  kDrop,     ///< frame vanishes on the wire
+  kCorrupt,  ///< delivered, but the receiver's CRC check discards it
+  kDelay,    ///< delivered late by `FaultDecision::delay`
+};
+
+struct FaultDecision {
+  FaultAction action = FaultAction::kDeliver;
+  Time delay = 0;  ///< extra latency when action == kDelay
+};
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Decide the fate of one frame. Called in simulation-event order, so
+  /// any internal PRNG consumption is deterministic for a given seed.
+  virtual FaultDecision on_frame(const FaultSite& site) = 0;
+
+  /// True when this injector could ever perturb a frame. Stacks use it
+  /// to decide whether to arm acks/timers/retransmit state; an inert
+  /// (zero-fault) plan must leave timing untouched.
+  virtual bool active() const = 0;
+};
+
+/// True when the engine carries an injector that can actually perturb
+/// frames — the stacks' cue to arm their recovery machinery.
+inline bool faults_armed(Engine& engine) {
+  FaultInjector* injector = engine.fault_injector();
+  return injector != nullptr && injector->active();
+}
+
+}  // namespace fabsim::fault

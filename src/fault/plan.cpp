@@ -1,0 +1,61 @@
+#include "fault/plan.hpp"
+
+namespace fabsim::fault {
+
+FaultDecision FaultPlan::count(FaultDecision decision) {
+  switch (decision.action) {
+    case FaultAction::kDrop: ++frames_dropped_; break;
+    case FaultAction::kCorrupt: ++frames_corrupted_; break;
+    case FaultAction::kDelay: ++frames_delayed_; break;
+    case FaultAction::kDeliver: break;
+  }
+  return decision;
+}
+
+FaultDecision FaultPlan::on_frame(const FaultSite& site) {
+  ++frames_seen_;
+
+  // Explicit schedule first: one-shot entries are the precision tools
+  // tests use to kill exactly one frame, so they must not be preempted
+  // by a probabilistic draw.
+  for (Nth& entry : nth_) {
+    if (!entry.applied && frames_seen_ == entry.n) {
+      entry.applied = true;
+      return count(FaultDecision{entry.action, entry.delay});
+    }
+  }
+  for (Scheduled& entry : scheduled_) {
+    if (!entry.applied && site.now >= entry.at && touches(entry.node, site)) {
+      entry.applied = true;
+      return count(FaultDecision{entry.action, entry.delay});
+    }
+  }
+
+  // Windows.
+  for (const Window& flap : flaps_) {
+    if (touches(flap.node, site) && site.now >= flap.start && site.now < flap.end) {
+      return count(FaultDecision{FaultAction::kDrop, 0});
+    }
+  }
+  for (const Window& stall : stalls_) {
+    if (touches(stall.node, site) && site.now >= stall.start && site.now < stall.end) {
+      return count(FaultDecision{FaultAction::kDelay, stall.end - site.now});
+    }
+  }
+
+  // Probabilistic faults. Each armed probability consumes exactly one
+  // draw per frame, so the decision stream for a seed is independent of
+  // which *other* probabilities are armed on a different plan.
+  if (drop_prob_ > 0.0 && rng_.bernoulli(drop_prob_)) {
+    return count(FaultDecision{FaultAction::kDrop, 0});
+  }
+  if (corrupt_prob_ > 0.0 && rng_.bernoulli(corrupt_prob_)) {
+    return count(FaultDecision{FaultAction::kCorrupt, 0});
+  }
+  if (delay_prob_ > 0.0 && rng_.bernoulli(delay_prob_)) {
+    return count(FaultDecision{FaultAction::kDelay, delay_time_});
+  }
+  return FaultDecision{};
+}
+
+}  // namespace fabsim::fault

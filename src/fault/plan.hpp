@@ -1,0 +1,129 @@
+// FaultPlan: the deterministic, seedable FaultInjector implementation.
+//
+// A plan composes four kinds of faults, all reproducible from the seed:
+//   * probabilistic drop / corrupt / delay (one Bernoulli draw per armed
+//     probability per frame, consumed in simulation-event order),
+//   * an explicit one-shot schedule: "the first frame at/after time T
+//     touching node N", or "the Nth frame observed overall",
+//   * link flap windows: every frame touching a node inside [start, end)
+//     is dropped (both directions — the cable is out),
+//   * NIC stall windows: frames touching a node inside [start, end) are
+//     held until the window closes (the adapter stopped responding, then
+//     resumed).
+//
+// Determinism guarantee: the same seed and the same plan produce the same
+// decision for the Kth frame presented to the plan, for every K. Because
+// the Engine's event queue is itself deterministic, a whole run (drop
+// schedule, retry counts, final timings) replays exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace fabsim::fault {
+
+class FaultPlan final : public FaultInjector {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 1) : rng_(seed) {}
+
+  // --- Probabilistic faults (per frame) ---
+  FaultPlan& drop_probability(double p) {
+    drop_prob_ = p;
+    return *this;
+  }
+  FaultPlan& corrupt_probability(double p) {
+    corrupt_prob_ = p;
+    return *this;
+  }
+  FaultPlan& delay_probability(double p, Time delay) {
+    delay_prob_ = p;
+    delay_time_ = delay;
+    return *this;
+  }
+
+  // --- Explicit schedule (one-shot entries) ---
+  /// Apply `action` to the first frame at or after `at` whose source or
+  /// destination is `node` (node < 0 matches any frame).
+  FaultPlan& at(Time when, int node, FaultAction action, Time delay = 0) {
+    scheduled_.push_back(Scheduled{when, node, action, delay, false});
+    return *this;
+  }
+  /// Apply `action` to the Nth frame observed by this plan (1-based).
+  FaultPlan& nth_frame(std::uint64_t n, FaultAction action, Time delay = 0) {
+    nth_.push_back(Nth{n, action, delay, false});
+    return *this;
+  }
+
+  // --- Windows ---
+  /// Link flap: every frame touching `node` inside [start, end) is lost.
+  FaultPlan& link_flap(int node, Time start, Time end) {
+    flaps_.push_back(Window{node, start, end});
+    return *this;
+  }
+  /// NIC stall: frames touching `node` inside [start, end) are delayed
+  /// until the window closes.
+  FaultPlan& nic_stall(int node, Time start, Time end) {
+    stalls_.push_back(Window{node, start, end});
+    return *this;
+  }
+
+  // --- FaultInjector ---
+  FaultDecision on_frame(const FaultSite& site) override;
+  bool active() const override {
+    return drop_prob_ > 0.0 || corrupt_prob_ > 0.0 || delay_prob_ > 0.0 ||
+           !scheduled_.empty() || !nth_.empty() || !flaps_.empty() || !stalls_.empty();
+  }
+
+  // --- Statistics ---
+  std::uint64_t frames_seen() const { return frames_seen_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+  std::uint64_t frames_corrupted() const { return frames_corrupted_; }
+  std::uint64_t frames_delayed() const { return frames_delayed_; }
+
+ private:
+  struct Scheduled {
+    Time at;
+    int node;  ///< matches src or dst; < 0 matches any
+    FaultAction action;
+    Time delay;
+    bool applied;
+  };
+  struct Nth {
+    std::uint64_t n;  ///< 1-based frame ordinal
+    FaultAction action;
+    Time delay;
+    bool applied;
+  };
+  struct Window {
+    int node;
+    Time start;
+    Time end;  ///< exclusive
+  };
+
+  static bool touches(int node, const FaultSite& site) {
+    return node < 0 || site.src_node == node || site.dst_node == node;
+  }
+
+  FaultDecision count(FaultDecision decision);
+
+  Xoshiro256 rng_;
+  double drop_prob_ = 0.0;
+  double corrupt_prob_ = 0.0;
+  double delay_prob_ = 0.0;
+  Time delay_time_ = 0;
+  std::vector<Scheduled> scheduled_;
+  std::vector<Nth> nth_;
+  std::vector<Window> flaps_;
+  std::vector<Window> stalls_;
+
+  std::uint64_t frames_seen_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t frames_corrupted_ = 0;
+  std::uint64_t frames_delayed_ = 0;
+};
+
+}  // namespace fabsim::fault

@@ -9,8 +9,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "hw/frame.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -45,7 +47,38 @@ class Switch {
   void ingress(Frame frame) {
     const int dst = frame.dst_node;
     Port& out = ports_.at(static_cast<std::size_t>(dst));
-    const Time at_switch = engine_->now() + config_.propagation + config_.cut_through;
+    Time at_switch = engine_->now() + config_.propagation + config_.cut_through;
+
+    if (fault::FaultInjector* injector = engine_->fault_injector()) {
+      const fault::FaultDecision decision = injector->on_frame(
+          fault::FaultSite{engine_->now(), frame.src_node, frame.dst_node, frame.wire_bytes});
+      switch (decision.action) {
+        case fault::FaultAction::kDrop:
+          ++fault_drops_;
+          engine_->trace(TraceCategory::kWire, frame.src_node,
+                         "FAULT drop " + std::to_string(frame.src_node) + "->" +
+                             std::to_string(frame.dst_node) + " " +
+                             std::to_string(frame.wire_bytes) + "B");
+          return;
+        case fault::FaultAction::kCorrupt:
+          ++fault_corruptions_;
+          engine_->trace(TraceCategory::kWire, frame.src_node,
+                         "FAULT corrupt " + std::to_string(frame.src_node) + "->" +
+                             std::to_string(frame.dst_node));
+          frame.corrupted = true;
+          break;
+        case fault::FaultAction::kDelay:
+          ++fault_delays_;
+          engine_->trace(TraceCategory::kWire, frame.src_node,
+                         "FAULT delay " + std::to_string(frame.src_node) + "->" +
+                             std::to_string(frame.dst_node) + " +" +
+                             std::to_string(to_us(decision.delay)) + "us");
+          at_switch += decision.delay;
+          break;
+        case fault::FaultAction::kDeliver:
+          break;
+      }
+    }
 
     if (config_.max_queue_bytes > 0 && out.tx.busy_until() > at_switch) {
       // Tail drop: the backlog already booked on this output port,
@@ -79,6 +112,11 @@ class Switch {
     return ports_.at(static_cast<std::size_t>(port)).drops;
   }
 
+  // Frames perturbed by the attached fault injector at this switch.
+  std::uint64_t fault_drops() const { return fault_drops_; }
+  std::uint64_t fault_corruptions() const { return fault_corruptions_; }
+  std::uint64_t fault_delays() const { return fault_delays_; }
+
  private:
   struct Port {
     FrameSink* sink;
@@ -89,6 +127,9 @@ class Switch {
   Engine* engine_;
   SwitchConfig config_;
   std::vector<Port> ports_;
+  std::uint64_t fault_drops_ = 0;
+  std::uint64_t fault_corruptions_ = 0;
+  std::uint64_t fault_delays_ = 0;
 };
 
 }  // namespace fabsim::hw

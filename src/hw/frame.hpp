@@ -15,6 +15,9 @@ struct Frame {
   int dst_node = -1;
   std::uint32_t wire_bytes = 0;
   std::any payload;
+  /// Set by fault injection: the frame is delivered, but its CRC is bad.
+  /// Every receiver must discard it before parsing the payload.
+  bool corrupted = false;
 };
 
 /// Anything that can accept a delivered frame (usually a NIC receive path).

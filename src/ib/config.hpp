@@ -46,6 +46,17 @@ struct HcaConfig {
   std::uint32_t mtu = 2048;
   std::uint32_t packet_overhead = 30;  ///< LRH+BTH+ICRC+VCRC bytes
 
+  // --- RC end-to-end reliability ---
+  // Armed only when a fault injector is active on the engine; on a
+  // lossless fabric the credit-based link-level flow control makes the
+  // machinery unreachable and it costs nothing (matching the paper's
+  // testbed). Timeout backs off as rto << min(retry, 6).
+  Time rto = us(100);             ///< base transport retry timeout
+  int retry_limit = 7;            ///< RTO rounds before the QP errors out
+  std::uint32_t ack_every = 4;    ///< coalesced ack: one per this many packets
+  Time ack_proc = ns(80);         ///< engine time to emit/absorb an ACK/NAK
+  std::uint32_t ack_wire_bytes = 34;  ///< LRH+BTH+AETH+CRCs on the wire
+
   hw::RegistrationConfig reg{us(2.0), us(13.0), us(1.0), us(1.0), 4096};
 };
 

@@ -71,7 +71,8 @@ void Hca::connect(verbs::QueuePair& a, verbs::QueuePair& b) {
 int Hca::new_conn(Qp& qp) {
   conns_.push_back(std::make_unique<Conn>());
   conns_.back()->qp = &qp;
-  return static_cast<int>(conns_.size()) - 1;
+  conns_.back()->id = static_cast<int>(conns_.size()) - 1;
+  return conns_.back()->id;
 }
 
 std::shared_ptr<std::vector<std::byte>> Hca::snapshot(hw::AddressSpace& mem, std::uint64_t addr,
@@ -91,6 +92,7 @@ std::shared_ptr<std::vector<std::byte>> Hca::snapshot(hw::AddressSpace& mem, std
 
 Task<> Hca::post_send_impl(Qp& qp, verbs::SendWr wr) {
   if (!qp.connected()) throw std::logic_error("ib: post_send on unconnected QP");
+  if (qp.in_error_) throw std::runtime_error("ib: post_send on QP in error state");
   if (wr.sge.length == 0) throw std::invalid_argument("ib: zero-length work request");
   if (!registry_.covers(wr.sge.lkey, wr.sge.addr, wr.sge.length)) {
     throw std::invalid_argument("ib: sge not covered by lkey");
@@ -133,6 +135,7 @@ Task<> Hca::post_send_impl(Qp& qp, verbs::SendWr wr) {
 
 Task<> Hca::post_recv_impl(Qp& qp, verbs::RecvWr wr) {
   if (!qp.connected()) throw std::logic_error("ib: post_recv on unconnected QP");
+  if (qp.in_error_) throw std::runtime_error("ib: post_recv on QP in error state");
   if (!registry_.covers(wr.sge.lkey, wr.sge.addr, wr.sge.length)) {
     throw std::invalid_argument("ib: recv sge not covered by lkey");
   }
@@ -203,38 +206,186 @@ void Hca::send_message(Conn& conn, OutMsg msg) {
     offset += chunk;
     packet.last_of_message = (offset == msg.len);
 
-    ++packets_sent_;
-    // Fetch payload from host memory through the NIC DMA engine.
-    const bool carries_data = msg.kind != MsgKind::kReadRequest;
-    Time ready = engine().now();
-    if (carries_data) {
-      ready = dma_.book(ready, config_.dma_transaction +
-                                   config_.dma_rate.bytes_time(packet.payload_len + 64));
-    }
-    const Time processed =
-        engine_process(ready, packet, /*transmit_side=*/true, conn.qp->conn_id_);
-    const Time sent = tx_link_.book(
-        processed,
-        fabric_->config().link_rate.bytes_time(packet.payload_len + config_.packet_overhead));
-
-    const bool completes =
-        packet.last_of_message && packet.signaled &&
-        (msg.kind == MsgKind::kUntagged || msg.kind == MsgKind::kTaggedWrite);
-    Qp* qp = conn.qp;
-    Hca* peer = conn.peer;
-    const int src = port_;
-    engine().post(sent, [this, packet = std::move(packet), completes, qp, peer, src]() mutable {
-      if (completes) {
-        const auto type = packet.kind == MsgKind::kUntagged
-                              ? verbs::Completion::Type::kSend
-                              : verbs::Completion::Type::kRdmaWrite;
-        qp->send_cq_->push(verbs::Completion{packet.wr_id, type, packet.msg_len, qp->qp_num()});
-      }
-      fabric_->ingress(hw::Frame{src, peer->port_,
-                                 packet.payload_len + config_.packet_overhead,
-                                 std::move(packet)});
-    });
+    transmit_packet(conn, std::move(packet), /*retransmit=*/false);
   }
+}
+
+void Hca::transmit_packet(Conn& conn, Packet packet, bool retransmit) {
+  const bool rel = reliable();
+  if (rel && !retransmit) {
+    // Requester side: stamp the PSN, keep a copy for retransmission, and
+    // make sure a retry timer covers the (possibly new) head of line.
+    packet.psn = conn.snd_psn++;
+    conn.inflight.push_back(packet);
+    arm_timer(conn);
+  }
+  if (retransmit) ++retransmits_;
+  ++packets_sent_;
+
+  // Fetch payload from host memory through the NIC DMA engine (retransmits
+  // re-fetch: the card does not buffer payloads past the wire handoff).
+  const bool carries_data = packet.kind != MsgKind::kReadRequest;
+  Time ready = engine().now();
+  if (carries_data) {
+    ready = dma_.book(ready, config_.dma_transaction +
+                                 config_.dma_rate.bytes_time(packet.payload_len + 64));
+  }
+  const Time processed = engine_process(ready, packet, /*transmit_side=*/true, conn.id);
+  const Time sent = tx_link_.book(
+      processed,
+      fabric_->config().link_rate.bytes_time(packet.payload_len + config_.packet_overhead));
+
+  // On the lossless fabric the send completion can be pushed at wire
+  // handoff; with reliability armed it is deferred until the ack frees the
+  // packet from the inflight queue (handle_ack_packet).
+  const bool completes =
+      !rel && packet.last_of_message && packet.signaled &&
+      (packet.kind == MsgKind::kUntagged || packet.kind == MsgKind::kTaggedWrite);
+  Qp* qp = conn.qp;
+  Hca* peer = conn.peer;
+  const int src = port_;
+  engine().post(sent, [this, packet = std::move(packet), completes, qp, peer, src]() mutable {
+    if (completes) {
+      const auto type = packet.kind == MsgKind::kUntagged
+                            ? verbs::Completion::Type::kSend
+                            : verbs::Completion::Type::kRdmaWrite;
+      qp->send_cq_->push(verbs::Completion{packet.wr_id, type, packet.msg_len, qp->qp_num()});
+    }
+    fabric_->ingress(hw::Frame{src, peer->port_,
+                               packet.payload_len + config_.packet_overhead,
+                               std::move(packet)});
+  });
+}
+
+// ---------------------------------------------------------------------------
+// RC end-to-end reliability (armed only under a fault injector)
+// ---------------------------------------------------------------------------
+
+void Hca::send_ack(Conn& conn, bool nak) {
+  Packet ack{};
+  ack.dst_conn_id = conn.peer_conn_id;
+  ack.is_ack = !nak;
+  ack.is_nak = nak;
+  ack.ack_psn = conn.exp_psn;
+  conn.pkts_since_ack = 0;
+  ++acks_sent_;
+  if (nak) {
+    engine().trace(TraceCategory::kProto, node_->id(),
+                   "IB RC NAK: expected psn " + std::to_string(conn.exp_psn));
+  }
+
+  // Acks share the protocol engine and the tx link with data, and ride the
+  // fabric like any other frame — so they too can be dropped or delayed.
+  const Time processed = proc_.book(engine().now(), config_.ack_proc);
+  const Time sent =
+      tx_link_.book(processed, fabric_->config().link_rate.bytes_time(config_.ack_wire_bytes));
+  Hca* peer = conn.peer;
+  const int src = port_;
+  const std::uint32_t wire = config_.ack_wire_bytes;
+  engine().post(sent, [this, ack, peer, src, wire]() mutable {
+    fabric_->ingress(hw::Frame{src, peer->port_, wire, std::move(ack)});
+  });
+}
+
+void Hca::handle_ack_packet(Conn& conn, const Packet& ack) {
+  if (conn.qp->in_error_) return;
+  bool advanced = false;
+  while (!conn.inflight.empty() && conn.inflight.front().psn < ack.ack_psn) {
+    const Packet done = std::move(conn.inflight.front());
+    conn.inflight.pop_front();
+    advanced = true;
+    const bool completes = done.last_of_message && done.signaled &&
+                           (done.kind == MsgKind::kUntagged || done.kind == MsgKind::kTaggedWrite);
+    if (completes) {
+      const auto type = done.kind == MsgKind::kUntagged ? verbs::Completion::Type::kSend
+                                                        : verbs::Completion::Type::kRdmaWrite;
+      conn.qp->send_cq_->push(verbs::Completion{done.wr_id, type, done.msg_len,
+                                                conn.qp->qp_num()});
+    }
+  }
+  if (advanced) conn.retry_count = 0;
+  // Any timer now covers the wrong head of line; cancel it (generation
+  // bump) and re-arm if packets remain outstanding.
+  conn.timer_armed = false;
+  ++conn.timer_gen;
+  if (ack.is_nak) {
+    retransmit_inflight(conn);  // go-back-N from the requested PSN
+  } else if (!conn.inflight.empty()) {
+    arm_timer(conn);
+  }
+}
+
+void Hca::retransmit_inflight(Conn& conn) {
+  if (conn.qp->in_error_) return;
+  // Go-back-N: resend everything outstanding, oldest first, preserving the
+  // original PSNs so the responder sees an in-order stream again.
+  const std::size_t outstanding = conn.inflight.size();
+  engine().trace(TraceCategory::kProto, node_->id(),
+                 "IB RC retransmit from psn " + std::to_string(conn.inflight.front().psn) + ": " +
+                     std::to_string(outstanding) + " packets");
+  for (std::size_t i = 0; i < outstanding; ++i) {
+    transmit_packet(conn, conn.inflight[i], /*retransmit=*/true);
+  }
+  arm_timer(conn);
+}
+
+void Hca::arm_timer(Conn& conn) {
+  if (conn.timer_armed) return;
+  conn.timer_armed = true;
+  const std::uint64_t gen = ++conn.timer_gen;
+  const Time timeout = config_.rto * (1ULL << std::min(conn.retry_count, 6));
+  const int conn_id = conn.id;
+  engine().post(engine().now() + timeout, [this, conn_id, gen] { on_timeout(conn_id, gen); });
+}
+
+void Hca::on_timeout(int conn_id, std::uint64_t gen) {
+  Conn& conn = *conns_[static_cast<std::size_t>(conn_id)];
+  if (!conn.timer_armed || gen != conn.timer_gen) return;  // superseded
+  conn.timer_armed = false;
+  if (conn.inflight.empty()) return;
+  ++conn.retry_count;
+  engine().trace(TraceCategory::kProto, node_->id(),
+                 "IB RC RTO fired: retry " + std::to_string(conn.retry_count) + "/" +
+                     std::to_string(config_.retry_limit));
+  if (conn.retry_count > config_.retry_limit) {
+    enter_error(conn);
+    return;
+  }
+  retransmit_inflight(conn);
+}
+
+void Hca::enter_error(Conn& conn) {
+  conn.qp->in_error_ = true;
+  conn.timer_armed = false;
+  ++conn.timer_gen;
+  engine().trace(TraceCategory::kProto, node_->id(),
+                 "IB RC retry limit exhausted: QP " + std::to_string(conn.qp->qp_num()) +
+                     " -> error state");
+  // Flush outstanding signaled work requests with an error completion —
+  // the RC contract when the transport retry counter is exhausted.
+  for (const Packet& packet : conn.inflight) {
+    if (!packet.last_of_message || !packet.signaled) continue;
+    verbs::Completion completion{};
+    completion.wr_id = packet.wr_id;
+    completion.byte_len = packet.msg_len;
+    completion.qp_num = conn.qp->qp_num();
+    completion.status = verbs::Completion::Status::kRetryExceeded;
+    switch (packet.kind) {
+      case MsgKind::kUntagged:
+        completion.type = verbs::Completion::Type::kSend;
+        break;
+      case MsgKind::kTaggedWrite:
+        completion.type = verbs::Completion::Type::kRdmaWrite;
+        break;
+      case MsgKind::kReadRequest:
+        completion.type = verbs::Completion::Type::kRdmaRead;
+        break;
+      case MsgKind::kReadResponse:
+        continue;  // responder-generated; no local work request to flush
+    }
+    conn.qp->send_cq_->push(completion);
+  }
+  conn.inflight.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -242,8 +393,45 @@ void Hca::send_message(Conn& conn, OutMsg msg) {
 // ---------------------------------------------------------------------------
 
 void Hca::deliver(hw::Frame frame) {
+  if (frame.corrupted) {
+    // Failed ICRC/VCRC: the packet is silently discarded and recovered (if
+    // at all) by the requester's retry timer, exactly like a drop.
+    ++corrupt_discards_;
+    return;
+  }
   Packet packet = std::any_cast<Packet>(std::move(frame.payload));
-  conns_.at(static_cast<std::size_t>(packet.dst_conn_id));  // validate conn id
+  Conn& conn = *conns_.at(static_cast<std::size_t>(packet.dst_conn_id));
+
+  if (packet.is_ack || packet.is_nak) {
+    const Time done = proc_.book(engine().now(), config_.ack_proc);
+    const int conn_id = packet.dst_conn_id;
+    engine().post(done, [this, conn_id, packet] {
+      handle_ack_packet(*conns_[static_cast<std::size_t>(conn_id)], packet);
+    });
+    return;
+  }
+
+  if (reliable()) {
+    if (packet.psn != conn.exp_psn) {
+      if (packet.psn < conn.exp_psn) {
+        // Duplicate (our ack was lost or a retransmit raced it): discard
+        // and re-assert the cumulative ack so the requester can advance.
+        send_ack(conn, /*nak=*/false);
+      } else if (!conn.nak_outstanding) {
+        // Sequence gap: NAK once per gap; the go-back-N retransmission
+        // restarts the stream at exp_psn.
+        conn.nak_outstanding = true;
+        send_ack(conn, /*nak=*/true);
+      }
+      return;
+    }
+    conn.exp_psn = packet.psn + 1;
+    conn.nak_outstanding = false;
+    ++conn.pkts_since_ack;
+    if (packet.last_of_message || conn.pkts_since_ack >= config_.ack_every) {
+      send_ack(conn, /*nak=*/false);
+    }
+  }
 
   // On the receive side the packet's destination connection id is local.
   const Time processed =

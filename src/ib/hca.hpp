@@ -10,6 +10,13 @@
 // pipeline). QP contexts live in host memory (MemFree) behind a small
 // LRU cache; the miss penalty is what serializes multi-connection
 // traffic past 8 connections in the paper's Figure 2.
+//
+// When a fault injector is armed on the engine, the RC transport's
+// end-to-end reliability becomes reachable and is modelled: packets carry
+// PSNs, the responder acks cumulatively (coalesced, NAK on a sequence
+// gap), and the requester keeps a retransmit queue with a backed-off
+// retry timer. Exhausting the retry counter moves the QP to the error
+// state and surfaces error completions — the real RC failure contract.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "hw/fabric.hpp"
 #include "hw/node.hpp"
 #include "ib/config.hpp"
@@ -34,6 +42,7 @@ class Qp final : public verbs::QueuePair {
   Task<> post_recv(verbs::RecvWr wr) override;
   int qp_num() const override { return qp_num_; }
   bool connected() const override { return conn_id_ >= 0; }
+  bool in_error() const override { return in_error_; }
 
  private:
   friend class Hca;
@@ -43,6 +52,7 @@ class Qp final : public verbs::QueuePair {
   Hca* nic_;
   int qp_num_;
   int conn_id_ = -1;
+  bool in_error_ = false;
   verbs::CompletionQueue* send_cq_;
   verbs::CompletionQueue* recv_cq_;
 };
@@ -79,6 +89,9 @@ class Hca final : public verbs::Device, public hw::FrameSink {
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t context_misses() const { return context_misses_; }
   std::uint64_t context_hits() const { return context_hits_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t acks_sent() const { return acks_sent_; }
+  std::uint64_t corrupt_discards() const { return corrupt_discards_; }
 
  private:
   friend class Qp;
@@ -88,6 +101,11 @@ class Hca final : public verbs::Device, public hw::FrameSink {
   struct Packet {
     int dst_conn_id = -1;
     MsgKind kind = MsgKind::kUntagged;
+    // Reliability header (meaningful only while faults are armed).
+    std::uint64_t psn = 0;
+    bool is_ack = false;       ///< pure acknowledgement packet
+    bool is_nak = false;       ///< sequence-gap NAK (ack_psn = expected)
+    std::uint64_t ack_psn = 0; ///< cumulative: all PSNs below are acked
     std::uint64_t msg_id = 0;
     std::uint32_t msg_len = 0;
     std::uint32_t msg_offset = 0;
@@ -126,10 +144,21 @@ class Hca final : public verbs::Device, public hw::FrameSink {
   struct Conn {
     Qp* qp = nullptr;
     Hca* peer = nullptr;
+    int id = -1;  ///< own index in conns_
     int peer_conn_id = -1;
     std::uint64_t next_msg_id = 1;
     std::map<std::uint64_t, RxMsg> rx_msgs;
     std::deque<verbs::RecvWr> recv_queue;
+
+    // RC reliability (active only while a fault injector is armed).
+    std::uint64_t snd_psn = 0;        ///< next PSN to assign (requester)
+    std::uint64_t exp_psn = 0;        ///< next PSN expected (responder)
+    std::deque<Packet> inflight;      ///< unacked packets, for retransmit
+    std::uint64_t timer_gen = 0;
+    bool timer_armed = false;
+    int retry_count = 0;              ///< consecutive RTO rounds
+    std::uint32_t pkts_since_ack = 0; ///< responder-side ack coalescing
+    bool nak_outstanding = false;     ///< one NAK per gap, not per packet
   };
 
   struct Watch {
@@ -145,6 +174,16 @@ class Hca final : public verbs::Device, public hw::FrameSink {
 
   int new_conn(Qp& qp);
   void send_message(Conn& conn, OutMsg msg);
+  /// Push one packet through DMA -> engine -> link and onto the fabric.
+  void transmit_packet(Conn& conn, Packet packet, bool retransmit);
+  void send_ack(Conn& conn, bool nak);
+  void handle_ack_packet(Conn& conn, const Packet& ack);
+  void retransmit_inflight(Conn& conn);
+  void arm_timer(Conn& conn);
+  void on_timeout(int conn_id, std::uint64_t gen);
+  void enter_error(Conn& conn);
+  /// RC reliability is armed only when frames can actually be perturbed.
+  bool reliable() { return fault::faults_armed(engine()); }
   /// Charge engine time for one packet; returns its completion time.
   /// Accesses the QP context cache for first-of-message packets.
   Time engine_process(Time ready, const Packet& packet, bool transmit_side, int local_conn_id);
@@ -170,6 +209,9 @@ class Hca final : public verbs::Device, public hw::FrameSink {
   std::uint64_t packets_sent_ = 0;
   std::uint64_t context_misses_ = 0;
   std::uint64_t context_hits_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::uint64_t corrupt_discards_ = 0;
 };
 
 }  // namespace fabsim::ib

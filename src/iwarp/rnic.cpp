@@ -30,7 +30,9 @@ Rnic::Rnic(hw::Node& node, hw::Switch& fabric, RnicConfig config)
       port_(fabric.attach(*this)),
       registry_(config.reg),
       pcix_(config.pcix),
-      rng_(config.rng_seed) {}
+      loss_plan_(config.rng_seed) {
+  if (config_.loss_rate > 0.0) loss_plan_.drop_probability(config_.loss_rate);
+}
 
 Task<verbs::MrKey> Rnic::reg_mr(std::uint64_t addr, std::uint64_t len) {
   co_await node_->cpu().compute(registry_.register_cost(len));
@@ -248,7 +250,11 @@ void Rnic::transmit(Conn& conn, Segment segment, bool retransmit) {
   const std::uint32_t wire_bytes = segment.payload_len + config_.seg_overhead;
   const Time sent = tx_link_.book(engine_done, fabric_->config().link_rate.bytes_time(wire_bytes));
 
-  const bool drop = config_.loss_rate > 0.0 && rng_.bernoulli(config_.loss_rate);
+  bool drop = false;
+  if (config_.loss_rate > 0.0) {
+    const fault::FaultSite site{engine().now(), port_, conn.peer->port_, wire_bytes};
+    drop = loss_plan_.on_frame(site).action == fault::FaultAction::kDrop;
+  }
   const bool completes = segment.last_of_message && segment.signaled &&
                          (segment.kind == MsgKind::kUntagged ||
                           segment.kind == MsgKind::kTaggedWrite) &&
@@ -280,7 +286,11 @@ void Rnic::send_pure_ack(Conn& conn) {
   ack.ack = conn.rcv_nxt;
   const Time sent = tx_link_.book(engine().now(),
                                   fabric_->config().link_rate.bytes_time(config_.ack_wire_bytes));
-  const bool drop = config_.loss_rate > 0.0 && rng_.bernoulli(config_.loss_rate);
+  bool drop = false;
+  if (config_.loss_rate > 0.0) {
+    const fault::FaultSite site{engine().now(), port_, conn.peer->port_, config_.ack_wire_bytes};
+    drop = loss_plan_.on_frame(site).action == fault::FaultAction::kDrop;
+  }
   Rnic* peer = conn.peer;
   const int src = port_;
   engine().post(sent, [this, ack = std::move(ack), drop, peer, src]() mutable {
@@ -308,9 +318,11 @@ void Rnic::handle_ack(Conn& conn, std::uint64_t ack) {
 }
 
 void Rnic::arm_timer(Conn& conn) {
-  // Timers only matter when frames can vanish: injected loss or a
-  // bounded (tail-dropping) switch buffer.
-  const bool lossy = config_.loss_rate > 0.0 || fabric_->config().max_queue_bytes > 0;
+  // Timers only matter when frames can vanish: injected loss (local knob
+  // or an engine-level fault injector) or a bounded (tail-dropping)
+  // switch buffer.
+  const bool lossy = config_.loss_rate > 0.0 || fabric_->config().max_queue_bytes > 0 ||
+                     fault::faults_armed(engine());
   if (conn.timer_armed || !lossy) return;
   conn.timer_armed = true;
   const std::uint64_t gen = conn.timer_gen;
@@ -346,6 +358,12 @@ void Rnic::on_timeout(int conn_id, std::uint64_t gen) {
 // ---------------------------------------------------------------------------
 
 void Rnic::deliver(hw::Frame frame) {
+  if (frame.corrupted) {
+    // Failed Ethernet CRC / MPA marker check: the segment is discarded and
+    // the TCP go-back-N machinery recovers it like any other loss.
+    ++corrupt_discards_;
+    return;
+  }
   Segment segment = std::any_cast<Segment>(std::move(frame.payload));
   Conn& conn = *conns_.at(static_cast<std::size_t>(segment.dst_conn_id));
 

@@ -22,10 +22,10 @@
 #include <memory>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "hw/fabric.hpp"
 #include "hw/node.hpp"
 #include "iwarp/config.hpp"
-#include "sim/random.hpp"
 #include "verbs/verbs.hpp"
 
 namespace fabsim::iwarp {
@@ -86,6 +86,7 @@ class Rnic final : public verbs::Device, public hw::FrameSink {
   std::uint64_t segments_sent() const { return segments_sent_; }
   std::uint64_t acks_sent() const { return acks_sent_; }
   std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t corrupt_discards() const { return corrupt_discards_; }
 
  private:
   friend class Qp;
@@ -201,13 +202,17 @@ class Rnic final : public verbs::Device, public hw::FrameSink {
   PipelinedServer tx_engine_;
   PipelinedServer rx_engine_;
   SerialServer tx_link_;
-  Xoshiro256 rng_;
+  /// Adapter-local loss (`config.loss_rate`) expressed as a private
+  /// FaultPlan, so the legacy knob and engine-level injectors share one
+  /// decision surface (and one seeded draw sequence).
+  fault::FaultPlan loss_plan_;
   int next_qp_num_ = 1;
   std::vector<std::unique_ptr<Conn>> conns_;
   std::vector<Watch> watches_;
   std::uint64_t segments_sent_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::uint64_t retransmits_ = 0;
+  std::uint64_t corrupt_discards_ = 0;
 };
 
 }  // namespace fabsim::iwarp

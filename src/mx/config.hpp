@@ -42,7 +42,15 @@ struct MxConfig {
   std::uint32_t eager_max = 32 * 1024;  ///< MX internal eager/rendezvous switch
   std::uint32_t mtu = 4096;
   std::uint32_t frame_overhead = 16;  ///< MXoM: Myrinet framing; MXoE uses ~60
-  std::uint32_t control_bytes = 32;   ///< RTS/CTS frame size
+  std::uint32_t control_bytes = 32;   ///< RTS/CTS/ACK frame size
+
+  // --- Reliable delivery (armed only under a fault injector) ---
+  // MX implements its own end-to-end reliability in firmware: per-peer
+  // send queues hold frames until acked; recovery is timeout-driven with
+  // the timeout backing off as rto << min(retries, 6). Acks piggyback on
+  // reverse traffic and fall back to standalone ack frames.
+  Time rto = us(200);           ///< per-flow resend timeout
+  std::uint32_t ack_every = 8;  ///< standalone ack after this many frames
 
   // --- Registration (rendezvous path), internal cache ---
   hw::RegistrationConfig reg{us(1.0), us(2.9), us(0.5), us(0.3), 4096};

@@ -150,6 +150,16 @@ Task<Endpoint::ProbeResult> Endpoint::iprobe(std::uint64_t match_bits,
 // ---------------------------------------------------------------------------
 
 void Endpoint::enqueue_tx(PendingTx tx) {
+  // Firmware reliability: every frame except acks gets a per-flow sequence
+  // number and a slot in the resend queue. Resends arrive here with their
+  // sequence already stamped and must not be re-recorded.
+  if (reliable() && tx.frame.kind != FrameKind::kAck && !tx.frame.has_seq) {
+    FlowTx& flow = tx_flows_[tx.dest];
+    tx.frame.has_seq = true;
+    tx.frame.seq = flow.next_seq++;
+    flow.unacked.push_back(FlowTx::Unacked{tx.frame, tx.carries_data});
+    arm_flow_timer(tx.dest);
+  }
   txq_.push_back(std::move(tx));
   if (!pump_armed_) {
     pump_armed_ = true;
@@ -199,8 +209,83 @@ void Endpoint::pump_tx() {
     if (tx.complete != nullptr) {
       tx.complete->complete(tx.complete_len, tx.complete_match);
     }
+    if (reliable()) {
+      // Piggyback the freshest cumulative ack for this peer on every
+      // outgoing frame; reset the standalone-ack countdown.
+      FlowRx& rx = rx_flows_[tx.dest];
+      tx.frame.has_ack = true;
+      tx.frame.ack = rx.exp_seq;
+      rx.since_ack = 0;
+    }
     fabric_->ingress(hw::Frame{src, tx.dest, wire_bytes, std::move(tx.frame)});
   });
+}
+
+// ---------------------------------------------------------------------------
+// Firmware reliability (armed only under a fault injector)
+// ---------------------------------------------------------------------------
+
+void Endpoint::send_flow_ack(int dest) {
+  MxFrame frame;
+  frame.kind = FrameKind::kAck;
+  frame.src_port = port_;
+  frame.payload_len = 0;
+  frame.has_ack = true;
+  frame.ack = rx_flows_[dest].exp_seq;
+  ++acks_sent_;
+  enqueue_tx(PendingTx{std::move(frame), dest, /*carries_data=*/false, nullptr, 0, 0});
+}
+
+void Endpoint::handle_flow_ack(int src_port, std::uint64_t ack) {
+  auto it = tx_flows_.find(src_port);
+  if (it == tx_flows_.end()) return;
+  FlowTx& flow = it->second;
+  bool advanced = false;
+  while (!flow.unacked.empty() && flow.unacked.front().frame.seq < ack) {
+    flow.unacked.pop_front();
+    advanced = true;
+  }
+  if (!advanced) return;
+  flow.retries = 0;
+  // The running timer covers a freed head of line: cancel and re-cover.
+  flow.timer_armed = false;
+  ++flow.timer_gen;
+  if (!flow.unacked.empty()) arm_flow_timer(src_port);
+}
+
+void Endpoint::resend_flow(int dest) {
+  FlowTx& flow = tx_flows_[dest];
+  engine().trace(TraceCategory::kProto, node_->id(),
+                 "MX resend to port " + std::to_string(dest) + ": " +
+                     std::to_string(flow.unacked.size()) + " frames");
+  const std::size_t outstanding = flow.unacked.size();
+  for (std::size_t i = 0; i < outstanding; ++i) {
+    ++resends_;
+    const FlowTx::Unacked& u = flow.unacked[i];
+    // Resends never carry a completion: the original wire handoff (or the
+    // eventual ack) owns request completion.
+    enqueue_tx(PendingTx{u.frame, dest, u.carries_data, nullptr, 0, 0});
+  }
+}
+
+void Endpoint::arm_flow_timer(int dest) {
+  FlowTx& flow = tx_flows_[dest];
+  if (flow.timer_armed) return;
+  flow.timer_armed = true;
+  const std::uint64_t gen = ++flow.timer_gen;
+  const Time timeout = config_.rto * (1ULL << std::min(flow.retries, 6));
+  engine().post(engine().now() + timeout,
+                [this, dest, gen] { on_flow_timeout(dest, gen); });
+}
+
+void Endpoint::on_flow_timeout(int dest, std::uint64_t gen) {
+  FlowTx& flow = tx_flows_[dest];
+  if (!flow.timer_armed || gen != flow.timer_gen) return;  // superseded
+  flow.timer_armed = false;
+  if (flow.unacked.empty()) return;
+  ++flow.retries;
+  resend_flow(dest);
+  arm_flow_timer(dest);
 }
 
 void Endpoint::send_eager(SendOp op) {
@@ -313,7 +398,44 @@ Time Endpoint::pin(Time ready, std::uint64_t addr, std::uint32_t len) {
 // ---------------------------------------------------------------------------
 
 void Endpoint::deliver(hw::Frame raw) {
+  if (raw.corrupted) {
+    // Failed frame CRC: discarded at the link interface, recovered by the
+    // sender's resend timer exactly like a drop.
+    ++corrupt_discards_;
+    return;
+  }
   MxFrame frame = std::any_cast<MxFrame>(std::move(raw.payload));
+
+  if (reliable()) {
+    if (frame.has_ack) handle_flow_ack(frame.src_port, frame.ack);
+    if (frame.kind == FrameKind::kAck) {
+      // Ack-only frame: consumes a sliver of engine time, nothing more.
+      rx_engine_.book(engine().now(), config_.rx_occupancy / 2, config_.rx_latency);
+      return;
+    }
+    if (frame.has_seq) {
+      FlowRx& rx = rx_flows_[frame.src_port];
+      if (frame.seq != rx.exp_seq) {
+        if (frame.seq < rx.exp_seq) {
+          // Duplicate (our ack was lost or raced a resend): discard and
+          // re-assert the cumulative ack so the sender's window advances.
+          send_flow_ack(frame.src_port);
+        } else if (!rx.gap_signalled) {
+          // Sequence gap: in-order delivery is enforced, so the frame is
+          // dropped; re-assert once per gap and let the resend timer
+          // restart the stream.
+          rx.gap_signalled = true;
+          send_flow_ack(frame.src_port);
+        }
+        return;
+      }
+      rx.exp_seq = frame.seq + 1;
+      rx.gap_signalled = false;
+      if (++rx.since_ack >= config_.ack_every || frame.last_of_message) {
+        send_flow_ack(frame.src_port);
+      }
+    }
+  }
 
   Time occupancy =
       (frame.kind == FrameKind::kData || frame.kind == FrameKind::kEager ? config_.rx_occupancy
@@ -360,6 +482,8 @@ void Endpoint::deliver(hw::Frame raw) {
       engine().post(placed, [this, frame = std::move(frame)]() mutable { handle_data(frame); });
       break;
     }
+    case FrameKind::kAck:
+      break;  // handled (and returned) before engine booking
   }
 }
 

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "hw/fabric.hpp"
 #include "hw/node.hpp"
 #include "hw/reg_cache.hpp"
@@ -105,9 +106,12 @@ class Endpoint final : public hw::FrameSink {
   std::uint64_t reg_cache_misses() const { return reg_misses_; }
   std::size_t unexpected_depth() const { return unexpected_.size(); }
   std::size_t posted_depth() const { return posted_.size(); }
+  std::uint64_t resends() const { return resends_; }
+  std::uint64_t acks_sent() const { return acks_sent_; }
+  std::uint64_t corrupt_discards() const { return corrupt_discards_; }
 
  private:
-  enum class FrameKind : std::uint8_t { kEager, kRts, kCts, kData };
+  enum class FrameKind : std::uint8_t { kEager, kRts, kCts, kData, kAck };
 
   struct MxFrame {
     FrameKind kind = FrameKind::kEager;
@@ -120,6 +124,11 @@ class Endpoint final : public hw::FrameSink {
     bool first_of_message = false;
     bool last_of_message = false;
     std::uint64_t peer_msg_id = 0;  ///< CTS: receiver handle echo
+    // Reliability header (stamped only while faults are armed).
+    bool has_seq = false;   ///< per-flow sequenced (everything but kAck)
+    std::uint64_t seq = 0;
+    bool has_ack = false;   ///< cumulative piggybacked / standalone ack
+    std::uint64_t ack = 0;  ///< all flow seqs below this are acked
     std::shared_ptr<std::vector<std::byte>> data;
   };
 
@@ -192,6 +201,34 @@ class Endpoint final : public hw::FrameSink {
   void enqueue_tx(PendingTx tx);
   void pump_tx();
 
+  /// Sender-side reliability state for one destination port.
+  struct FlowTx {
+    std::uint64_t next_seq = 0;
+    struct Unacked {
+      MxFrame frame;
+      bool carries_data = false;
+    };
+    std::deque<Unacked> unacked;  ///< frames held for resend, oldest first
+    std::uint64_t timer_gen = 0;
+    bool timer_armed = false;
+    int retries = 0;  ///< consecutive timeout rounds without progress
+  };
+
+  /// Receiver-side reliability state for one source port.
+  struct FlowRx {
+    std::uint64_t exp_seq = 0;       ///< next in-order sequence expected
+    std::uint32_t since_ack = 0;     ///< frames since the last ack we sent
+    bool gap_signalled = false;      ///< one ack re-assert per gap
+  };
+
+  /// Firmware reliability is armed only when frames can be perturbed.
+  bool reliable() { return fault::faults_armed(engine()); }
+  void send_flow_ack(int dest);
+  void handle_flow_ack(int src_port, std::uint64_t ack);
+  void resend_flow(int dest);
+  void arm_flow_timer(int dest);
+  void on_flow_timeout(int dest, std::uint64_t gen);
+
   static bool matches(const PostedRecv& recv, std::uint64_t bits) {
     return (bits & recv.match_mask) == recv.match_bits;
   }
@@ -219,9 +256,14 @@ class Endpoint final : public hw::FrameSink {
 
   std::deque<PendingTx> txq_;
   bool pump_armed_ = false;
+  std::map<int, FlowTx> tx_flows_;  ///< by destination port
+  std::map<int, FlowRx> rx_flows_;  ///< by source port
   std::uint64_t frames_sent_ = 0;
   std::uint64_t reg_hits_ = 0;
   std::uint64_t reg_misses_ = 0;
+  std::uint64_t resends_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::uint64_t corrupt_discards_ = 0;
 };
 
 }  // namespace fabsim::mx

@@ -29,6 +29,10 @@ namespace fabsim {
 
 class Engine;
 
+namespace fault {
+class FaultInjector;
+}
+
 namespace detail {
 
 /// Shared completion state for a spawned process.
@@ -134,6 +138,13 @@ class Engine {
     if (tracer_ != nullptr) tracer_->emit(now_, category, node, std::move(label));
   }
 
+  /// Optional fault injector (null when the fabric is perfect). Owned by
+  /// the caller, like the tracer; the Switch and the NIC frame paths
+  /// consult it per frame. Attach before traffic starts — stacks sample
+  /// it to decide whether to arm their recovery machinery.
+  fault::FaultInjector* fault_injector() { return fault_injector_; }
+  void set_fault_injector(fault::FaultInjector* injector) { fault_injector_ = injector; }
+
   struct SleepAwaiter {
     Engine* engine;
     Time at;
@@ -170,6 +181,7 @@ class Engine {
   std::unordered_set<void*> drivers_;
   std::exception_ptr pending_exception_;
   Tracer* tracer_ = nullptr;
+  fault::FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace fabsim

@@ -58,15 +58,34 @@ class Tracer {
   }
   void set_capacity(std::size_t max_entries) { max_entries_ = max_entries; }
 
-  /// Human-readable timeline, one line per event.
+  /// One-line accounting of what the tracer holds — and, crucially, what
+  /// it silently lost to the capacity bound. Shown at the end of every
+  /// dump so a truncated trace is never mistaken for a complete one.
+  std::string summary() const {
+    std::size_t per_category[4] = {0, 0, 0, 0};
+    for (const Entry& entry : entries_) {
+      ++per_category[static_cast<std::size_t>(entry.category)];
+    }
+    std::string line = std::to_string(entries_.size()) + " events (host=" +
+                       std::to_string(per_category[0]) + " nic=" +
+                       std::to_string(per_category[1]) + " wire=" +
+                       std::to_string(per_category[2]) + " proto=" +
+                       std::to_string(per_category[3]) + "), " + std::to_string(dropped_) +
+                       " dropped";
+    if (dropped_ > 0) {
+      line += " — trace is INCOMPLETE, raise set_capacity() past " +
+              std::to_string(max_entries_ + dropped_);
+    }
+    return line;
+  }
+
+  /// Human-readable timeline, one line per event, closed by summary().
   void dump(std::FILE* out = stdout) const {
     for (const Entry& entry : entries_) {
       std::fprintf(out, "%11.3f us  [node %d] %-5s  %s\n", to_us(entry.at), entry.node,
                    trace_category_name(entry.category), entry.label.c_str());
     }
-    if (dropped_ > 0) {
-      std::fprintf(out, "(... %zu events dropped at capacity %zu)\n", dropped_, max_entries_);
-    }
+    std::fprintf(out, "(%s)\n", summary().c_str());
   }
 
   /// Count of entries whose label contains `needle` (for tests).

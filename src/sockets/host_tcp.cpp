@@ -84,6 +84,11 @@ Task<> HostTcp::send_impl(int conn_id, std::uint64_t addr, std::uint32_t len) {
 }
 
 void HostTcp::deliver(hw::Frame frame) {
+  // Failed checksum: the NIC discards the frame before the host ever sees
+  // an interrupt (this simplified stack models no retransmission, so the
+  // bytes are simply lost — pair it with a fault-free plan or the iWARP
+  // stack when loss recovery matters).
+  if (frame.corrupted) return;
   Segment segment = std::any_cast<Segment>(std::move(frame.payload));
   Conn& conn = *conns_.at(static_cast<std::size_t>(segment.dst_conn_id));
 

@@ -51,10 +51,15 @@ struct RecvWr {
 
 struct Completion {
   enum class Type : std::uint8_t { kSend, kRecv, kRdmaWrite, kRdmaRead };
+  enum class Status : std::uint8_t {
+    kSuccess = 0,
+    kRetryExceeded,  ///< transport retry counter exhausted; QP is in error
+  };
   std::uint64_t wr_id = 0;
   Type type = Type::kSend;
   std::uint32_t byte_len = 0;
   int qp_num = -1;
+  Status status = Status::kSuccess;
 };
 
 /// Completion queue: providers push, hosts poll (or block on next()).
@@ -102,6 +107,10 @@ class QueuePair {
 
   virtual int qp_num() const = 0;
   virtual bool connected() const = 0;
+
+  /// True once the transport has moved this QP to the error state (e.g.
+  /// IB RC retry exhaustion). Further posts are rejected.
+  virtual bool in_error() const { return false; }
 };
 
 /// A verbs-capable device (RNIC or HCA).

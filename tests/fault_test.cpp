@@ -1,0 +1,504 @@
+// Fault-injection subsystem tests.
+//
+// Covers the FaultPlan decision logic in isolation, the switch-level
+// injection point, and — most importantly — the per-stack recovery
+// machinery the injector makes reachable: IB RC end-to-end retransmission
+// (including retry exhaustion into the QP error state), the MX firmware
+// resend queue for both eager and rendezvous traffic, and the iWARP
+// go-back-N driven by engine-level (not adapter-local) loss. The
+// no-faults runs pin the key invariant: an inert plan leaves every
+// timing byte-identical to an uninstrumented run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "fault/plan.hpp"
+#include "hw/fabric.hpp"
+#include "sim/trace.hpp"
+#include "verbs/verbs.hpp"
+
+namespace fabsim {
+namespace {
+
+using fault::FaultAction;
+using fault::FaultPlan;
+using fault::FaultSite;
+
+// ---------------------------------------------------------------------------
+// FaultPlan decision logic (no simulation required)
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, InertByDefault) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  EXPECT_EQ(plan.on_frame(FaultSite{us(1), 0, 1, 100}).action, FaultAction::kDeliver);
+  FaultPlan armed;
+  armed.drop_probability(0.5);
+  EXPECT_TRUE(armed.active());
+}
+
+TEST(FaultPlan, NthFrameIsOneShotAndOneBased) {
+  FaultPlan plan;
+  plan.nth_frame(2, FaultAction::kDrop);
+  EXPECT_TRUE(plan.active());
+  EXPECT_EQ(plan.on_frame(FaultSite{us(1), 0, 1, 100}).action, FaultAction::kDeliver);
+  EXPECT_EQ(plan.on_frame(FaultSite{us(2), 0, 1, 100}).action, FaultAction::kDrop);
+  EXPECT_EQ(plan.on_frame(FaultSite{us(3), 0, 1, 100}).action, FaultAction::kDeliver);
+  EXPECT_EQ(plan.frames_seen(), 3u);
+  EXPECT_EQ(plan.frames_dropped(), 1u);
+}
+
+TEST(FaultPlan, ScheduledEntryMatchesNodeOnceAtOrAfterTime) {
+  FaultPlan plan;
+  plan.at(us(10), 5, FaultAction::kDrop);
+  // Too early, and wrong node after the deadline: untouched.
+  EXPECT_EQ(plan.on_frame(FaultSite{us(5), 5, 1, 100}).action, FaultAction::kDeliver);
+  EXPECT_EQ(plan.on_frame(FaultSite{us(11), 3, 7, 100}).action, FaultAction::kDeliver);
+  // First frame touching node 5 at/after t=10us: dropped, exactly once.
+  EXPECT_EQ(plan.on_frame(FaultSite{us(12), 5, 1, 100}).action, FaultAction::kDrop);
+  EXPECT_EQ(plan.on_frame(FaultSite{us(13), 5, 1, 100}).action, FaultAction::kDeliver);
+}
+
+TEST(FaultPlan, LinkFlapDropsBothDirectionsInsideWindow) {
+  FaultPlan plan;
+  plan.link_flap(2, us(10), us(20));
+  EXPECT_EQ(plan.on_frame(FaultSite{us(9), 2, 0, 100}).action, FaultAction::kDeliver);
+  EXPECT_EQ(plan.on_frame(FaultSite{us(10), 2, 0, 100}).action, FaultAction::kDrop);
+  EXPECT_EQ(plan.on_frame(FaultSite{us(15), 0, 2, 100}).action, FaultAction::kDrop);
+  EXPECT_EQ(plan.on_frame(FaultSite{us(15), 0, 1, 100}).action, FaultAction::kDeliver)
+      << "frames not touching the flapped node pass";
+  EXPECT_EQ(plan.on_frame(FaultSite{us(20), 2, 0, 100}).action, FaultAction::kDeliver)
+      << "window end is exclusive";
+}
+
+TEST(FaultPlan, NicStallDelaysUntilWindowCloses) {
+  FaultPlan plan;
+  plan.nic_stall(1, us(10), us(30));
+  const auto decision = plan.on_frame(FaultSite{us(12), 1, 0, 100});
+  EXPECT_EQ(decision.action, FaultAction::kDelay);
+  EXPECT_EQ(decision.delay, us(18)) << "held until the stall window closes";
+  EXPECT_EQ(plan.on_frame(FaultSite{us(30), 1, 0, 100}).action, FaultAction::kDeliver);
+}
+
+TEST(FaultPlan, SameSeedSameDecisions) {
+  FaultPlan a(1234), b(1234);
+  a.drop_probability(0.3).corrupt_probability(0.1);
+  b.drop_probability(0.3).corrupt_probability(0.1);
+  for (int i = 0; i < 200; ++i) {
+    const FaultSite site{us(i), 0, 1, 100};
+    EXPECT_EQ(a.on_frame(site).action, b.on_frame(site).action) << "frame " << i;
+  }
+  EXPECT_EQ(a.frames_dropped(), b.frames_dropped());
+  EXPECT_EQ(a.frames_corrupted(), b.frames_corrupted());
+  EXPECT_GT(a.frames_dropped(), 0u);
+  EXPECT_GT(a.frames_corrupted(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Switch-level injection point
+// ---------------------------------------------------------------------------
+
+class CountingSink : public hw::FrameSink {
+ public:
+  explicit CountingSink(Engine& engine) : engine_(&engine) {}
+  void deliver(hw::Frame frame) override {
+    ++delivered;
+    last_at = engine_->now();
+    last_corrupted = frame.corrupted;
+  }
+  int delivered = 0;
+  Time last_at = 0;
+  bool last_corrupted = false;
+
+ private:
+  Engine* engine_;
+};
+
+TEST(SwitchFaults, DropCorruptAndDelayAtIngress) {
+  Engine engine;
+  FaultPlan plan;
+  plan.nth_frame(1, FaultAction::kDrop)
+      .nth_frame(2, FaultAction::kCorrupt)
+      .nth_frame(3, FaultAction::kDelay, us(5));
+  engine.set_fault_injector(&plan);
+  hw::Switch fabric(engine, hw::SwitchConfig{Rate::gbit_per_sec(10.0), ns(400), ns(100)});
+  CountingSink a(engine), b(engine);
+  const int pa = fabric.attach(a);
+  const int pb = fabric.attach(b);
+
+  // Space arrivals out so each frame's port booking is independent.
+  engine.post(0, [&] { fabric.ingress(hw::Frame{pa, pb, 1000, {}}); });
+  engine.post(us(10), [&] { fabric.ingress(hw::Frame{pa, pb, 1000, {}}); });
+  engine.post(us(20), [&] { fabric.ingress(hw::Frame{pa, pb, 1000, {}}); });
+  engine.post(us(30), [&] { fabric.ingress(hw::Frame{pa, pb, 1000, {}}); });
+  engine.run();
+
+  EXPECT_EQ(b.delivered, 3) << "frame 1 dropped at the switch";
+  EXPECT_EQ(fabric.fault_drops(), 1u);
+  EXPECT_EQ(fabric.fault_corruptions(), 1u);
+  EXPECT_EQ(fabric.fault_delays(), 1u);
+  // Frame 4 (untouched): prop+cut_through+serialization+prop = 1.4us.
+  EXPECT_EQ(b.last_at, us(30) + ns(1400));
+  EXPECT_FALSE(b.last_corrupted);
+}
+
+// ---------------------------------------------------------------------------
+// IB RC end-to-end retransmission
+// ---------------------------------------------------------------------------
+
+struct IbRun {
+  Time finished = 0;
+  verbs::Completion send_completion{};
+  verbs::Completion recv_completion{};
+  bool got_send = false;
+  bool got_recv = false;
+  bool qp0_error = false;
+  std::uint64_t retransmits = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t corrupt_discards = 0;
+};
+
+/// One Send/Recv of `len` bytes from node 0 to node 1 over IB, with an
+/// optional fault plan attached to the engine.
+IbRun run_ib_send(FaultPlan* plan, std::uint32_t len, bool expect_recv = true,
+                  core::NetworkProfile profile = core::ib_profile()) {
+  core::Cluster cluster(2, profile);
+  if (plan != nullptr) cluster.engine().set_fault_injector(plan);
+  auto& src = cluster.node(0).mem().alloc(len, false);
+  auto& dst = cluster.node(1).mem().alloc(len, false);
+
+  IbRun out;
+  // CQs and QPs outlive the coroutine: late duplicate acks (their frames
+  // already in flight when the workload finishes) still reference them.
+  verbs::CompletionQueue scq(cluster.engine());
+  verbs::CompletionQueue rcq(cluster.engine());
+  std::vector<std::unique_ptr<verbs::QueuePair>> qps;
+
+  cluster.engine().spawn([](core::Cluster& c, verbs::CompletionQueue& send_cq,
+                            verbs::CompletionQueue& recv_cq,
+                            std::vector<std::unique_ptr<verbs::QueuePair>>& pairs, std::uint64_t s,
+                            std::uint64_t d, std::uint32_t n, bool want_recv,
+                            IbRun& result) -> Task<> {
+    pairs.push_back(c.device(0).create_qp(send_cq, send_cq));
+    pairs.push_back(c.device(1).create_qp(recv_cq, recv_cq));
+    c.device(0).establish(*pairs[0], *pairs[1]);
+    auto lkey = co_await c.device(0).reg_mr(s, n);
+    auto rkey = co_await c.device(1).reg_mr(d, n);
+    co_await pairs[1]->post_recv(verbs::RecvWr{.wr_id = 2, .sge = {d, n, rkey}});
+    co_await pairs[0]->post_send(
+        verbs::SendWr{.wr_id = 1, .opcode = verbs::Opcode::kSend, .sge = {s, n, lkey}});
+    result.send_completion = co_await verbs::next_completion(send_cq, c.node(0).cpu(), ns(200));
+    result.got_send = true;
+    if (want_recv) {
+      result.recv_completion = co_await verbs::next_completion(recv_cq, c.node(1).cpu(), ns(200));
+      result.got_recv = true;
+    }
+    result.qp0_error = pairs[0]->in_error();
+  }(cluster, scq, rcq, qps, src.addr(), dst.addr(), len, expect_recv, out));
+  cluster.engine().run();
+
+  out.finished = cluster.engine().now();
+  out.retransmits = cluster.hca(0).retransmits();
+  out.acks_sent = cluster.hca(1).acks_sent();
+  out.corrupt_discards = cluster.hca(1).corrupt_discards();
+  return out;
+}
+
+TEST(IbFaults, ZeroFaultPlanIsByteIdenticalToLosslessRun) {
+  const std::uint32_t len = 64 * 1024;
+  IbRun bare = run_ib_send(nullptr, len);
+  FaultPlan inert;  // attached but inert: must not perturb anything
+  IbRun with_plan = run_ib_send(&inert, len);
+
+  ASSERT_TRUE(bare.got_recv);
+  ASSERT_TRUE(with_plan.got_recv);
+  EXPECT_EQ(bare.finished, with_plan.finished)
+      << "an inert plan must leave the timeline byte-identical";
+  EXPECT_EQ(with_plan.retransmits, 0u);
+  EXPECT_EQ(with_plan.acks_sent, 0u) << "reliability must stay cold without active faults";
+  EXPECT_GT(inert.frames_seen(), 0u) << "the plan was consulted, it just never acted";
+}
+
+TEST(IbFaults, SingleDropTriggersExactlyOneRetransmit) {
+  const std::uint32_t len = 1024;  // single-MTU message
+  FaultPlan plan;
+  plan.nth_frame(1, FaultAction::kDrop);  // the lone data packet
+  IbRun run = run_ib_send(&plan, len);
+
+  EXPECT_EQ(plan.frames_dropped(), 1u);
+  EXPECT_EQ(run.retransmits, 1u);
+  ASSERT_TRUE(run.got_send);
+  ASSERT_TRUE(run.got_recv);
+  EXPECT_EQ(run.send_completion.status, verbs::Completion::Status::kSuccess);
+  EXPECT_EQ(run.send_completion.wr_id, 1u);
+  EXPECT_EQ(run.recv_completion.status, verbs::Completion::Status::kSuccess);
+  EXPECT_EQ(run.recv_completion.byte_len, len);
+  EXPECT_FALSE(run.qp0_error);
+  EXPECT_GE(run.acks_sent, 1u);
+}
+
+TEST(IbFaults, CorruptedPacketIsDiscardedAndRetransmitted) {
+  const std::uint32_t len = 1024;
+  FaultPlan plan;
+  plan.nth_frame(1, FaultAction::kCorrupt);
+  IbRun run = run_ib_send(&plan, len);
+
+  EXPECT_EQ(run.corrupt_discards, 1u) << "receiver must drop the bad-CRC packet";
+  EXPECT_EQ(run.retransmits, 1u);
+  ASSERT_TRUE(run.got_recv);
+  EXPECT_EQ(run.recv_completion.byte_len, len);
+}
+
+TEST(IbFaults, RetryExhaustionMovesQpToErrorState) {
+  core::NetworkProfile profile = core::ib_profile();
+  profile.hca.rto = us(20);      // keep the backoff ladder short
+  profile.hca.retry_limit = 3;
+  FaultPlan plan;
+  plan.link_flap(/*node=*/0, 0, sec(10.0));  // node 0 unreachable, forever
+  IbRun run = run_ib_send(&plan, 1024, /*expect_recv=*/false, profile);
+
+  ASSERT_TRUE(run.got_send);
+  EXPECT_EQ(run.send_completion.status, verbs::Completion::Status::kRetryExceeded);
+  EXPECT_EQ(run.send_completion.wr_id, 1u);
+  EXPECT_TRUE(run.qp0_error);
+  EXPECT_EQ(run.retransmits, 3u) << "one go-back-N round per retry before exhaustion";
+}
+
+TEST(IbFaults, RecoveryAfterLinkFlapWindowCloses) {
+  FaultPlan plan;
+  plan.link_flap(/*node=*/1, 0, us(150));  // outage covers the first RTO round
+  IbRun run = run_ib_send(&plan, 8 * 1024);
+
+  ASSERT_TRUE(run.got_recv);
+  EXPECT_EQ(run.recv_completion.byte_len, 8u * 1024u);
+  EXPECT_GT(plan.frames_dropped(), 0u);
+  EXPECT_GT(run.retransmits, 0u);
+  EXPECT_FALSE(run.qp0_error);
+}
+
+TEST(IbFaults, SameSeedReproducesIdenticalRetryCounts) {
+  const std::uint32_t len = 256 * 1024;
+  FaultPlan a(99), b(99);
+  a.drop_probability(0.05);
+  b.drop_probability(0.05);
+  IbRun first = run_ib_send(&a, len);
+  IbRun second = run_ib_send(&b, len);
+
+  ASSERT_TRUE(first.got_recv);
+  ASSERT_TRUE(second.got_recv);
+  EXPECT_GT(a.frames_dropped(), 0u);
+  EXPECT_EQ(a.frames_dropped(), b.frames_dropped());
+  EXPECT_EQ(first.retransmits, second.retransmits);
+  EXPECT_EQ(first.acks_sent, second.acks_sent);
+  EXPECT_EQ(first.finished, second.finished) << "whole-run determinism, not just counters";
+}
+
+TEST(IbFaults, TraceRecordsNakDrivenRecoverySequence) {
+  // Drop the middle of a multi-packet message: the receiver sees a PSN
+  // gap, NAKs once, and the sender go-back-N retransmits — all without
+  // waiting for the RTO. The kProto trace pins the sequence down.
+  core::Cluster cluster(2, core::ib_profile());
+  FaultPlan plan;
+  plan.nth_frame(2, FaultAction::kDrop);
+  cluster.engine().set_fault_injector(&plan);
+  Tracer tracer;
+  cluster.engine().set_tracer(&tracer);
+  const std::uint32_t len = 8 * 1024;  // 4 MTU-size packets
+  auto& src = cluster.node(0).mem().alloc(len, false);
+  auto& dst = cluster.node(1).mem().alloc(len, false);
+
+  verbs::CompletionQueue scq(cluster.engine());
+  verbs::CompletionQueue rcq(cluster.engine());
+  std::vector<std::unique_ptr<verbs::QueuePair>> qps;
+  cluster.engine().spawn([](core::Cluster& c, verbs::CompletionQueue& send_cq,
+                            verbs::CompletionQueue& recv_cq,
+                            std::vector<std::unique_ptr<verbs::QueuePair>>& pairs, std::uint64_t s,
+                            std::uint64_t d, std::uint32_t n) -> Task<> {
+    pairs.push_back(c.device(0).create_qp(send_cq, send_cq));
+    pairs.push_back(c.device(1).create_qp(recv_cq, recv_cq));
+    c.device(0).establish(*pairs[0], *pairs[1]);
+    auto lkey = co_await c.device(0).reg_mr(s, n);
+    auto rkey = co_await c.device(1).reg_mr(d, n);
+    co_await pairs[1]->post_recv(verbs::RecvWr{.wr_id = 2, .sge = {d, n, rkey}});
+    co_await pairs[0]->post_send(
+        verbs::SendWr{.wr_id = 1, .opcode = verbs::Opcode::kSend, .sge = {s, n, lkey}});
+    co_await verbs::next_completion(recv_cq, c.node(1).cpu(), ns(200));
+  }(cluster, scq, rcq, qps, src.addr(), dst.addr(), len));
+  cluster.engine().run();
+
+  EXPECT_EQ(tracer.count_containing("IB RC NAK"), 1u) << "one NAK per gap, not per packet";
+  EXPECT_GE(tracer.count_containing("IB RC retransmit"), 1u);
+  EXPECT_EQ(tracer.count_containing("RTO fired"), 0u) << "NAK repairs before the timer";
+
+  // Order: the NAK precedes the retransmit that answers it.
+  std::size_t nak_at = 0, rexmit_at = 0;
+  for (std::size_t i = 0; i < tracer.entries().size(); ++i) {
+    const auto& label = tracer.entries()[i].label;
+    if (nak_at == 0 && label.find("IB RC NAK") != std::string::npos) nak_at = i + 1;
+    if (rexmit_at == 0 && label.find("IB RC retransmit") != std::string::npos) rexmit_at = i + 1;
+  }
+  EXPECT_LT(nak_at, rexmit_at);
+}
+
+// ---------------------------------------------------------------------------
+// MX reliable delivery
+// ---------------------------------------------------------------------------
+
+struct MxRun {
+  Time finished = 0;
+  bool send_done = false;
+  bool recv_done = false;
+  std::uint32_t recv_len = 0;
+  std::uint64_t resends = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t corrupt_discards = 0;
+};
+
+MxRun run_mx_send(FaultPlan* plan, std::uint32_t len,
+                  core::NetworkProfile profile = core::mxoe_profile()) {
+  core::Cluster cluster(2, profile);
+  if (plan != nullptr) cluster.engine().set_fault_injector(plan);
+  auto& src = cluster.node(0).mem().alloc(len, false);
+  auto& dst = cluster.node(1).mem().alloc(len, false);
+
+  MxRun out;
+  cluster.engine().spawn(
+      [](core::Cluster& c, std::uint64_t s, std::uint32_t n, MxRun& result) -> Task<> {
+        auto request = co_await c.endpoint(0).isend(s, n, c.endpoint(1).port(), 7);
+        co_await c.endpoint(0).wait(request);
+        result.send_done = request->done();
+      }(cluster, src.addr(), len, out));
+  cluster.engine().spawn(
+      [](core::Cluster& c, std::uint64_t d, std::uint32_t n, MxRun& result) -> Task<> {
+        auto request = co_await c.endpoint(1).irecv(d, n, 7, ~0ull);
+        co_await c.endpoint(1).wait(request);
+        result.recv_done = request->done();
+        result.recv_len = request->length();
+      }(cluster, dst.addr(), len, out));
+  cluster.engine().run();
+
+  out.finished = cluster.engine().now();
+  out.resends = cluster.endpoint(0).resends() + cluster.endpoint(1).resends();
+  out.acks_sent = cluster.endpoint(0).acks_sent() + cluster.endpoint(1).acks_sent();
+  out.corrupt_discards = cluster.endpoint(1).corrupt_discards();
+  return out;
+}
+
+TEST(MxFaults, ZeroFaultPlanIsByteIdenticalToLosslessRun) {
+  for (const std::uint32_t len : {16u * 1024u, 64u * 1024u}) {  // eager and rendezvous
+    MxRun bare = run_mx_send(nullptr, len);
+    FaultPlan inert;
+    MxRun with_plan = run_mx_send(&inert, len);
+    ASSERT_TRUE(bare.recv_done);
+    ASSERT_TRUE(with_plan.recv_done);
+    EXPECT_EQ(bare.finished, with_plan.finished) << "len=" << len;
+    EXPECT_EQ(with_plan.resends, 0u);
+    EXPECT_EQ(with_plan.acks_sent, 0u) << "reliability must stay cold without active faults";
+  }
+}
+
+TEST(MxFaults, RecoversDroppedEagerFrame) {
+  core::NetworkProfile profile = core::mxoe_profile();
+  profile.mx.rto = us(50);
+  FaultPlan plan;
+  plan.nth_frame(1, FaultAction::kDrop);  // the lone eager data frame
+  MxRun run = run_mx_send(&plan, 4096, profile);
+
+  EXPECT_EQ(plan.frames_dropped(), 1u);
+  EXPECT_TRUE(run.send_done);
+  ASSERT_TRUE(run.recv_done);
+  EXPECT_EQ(run.recv_len, 4096u);
+  EXPECT_GE(run.resends, 1u);
+}
+
+TEST(MxFaults, RecoversDroppedRendezvousRts) {
+  core::NetworkProfile profile = core::mxoe_profile();
+  profile.mx.rto = us(50);
+  FaultPlan plan;
+  plan.nth_frame(1, FaultAction::kDrop);  // the RTS itself
+  const std::uint32_t len = 64 * 1024;    // > eager_max: rendezvous path
+  MxRun run = run_mx_send(&plan, len, profile);
+
+  EXPECT_EQ(plan.frames_dropped(), 1u);
+  ASSERT_TRUE(run.recv_done);
+  EXPECT_EQ(run.recv_len, len);
+  EXPECT_GE(run.resends, 1u);
+}
+
+TEST(MxFaults, RecoversRandomRendezvousLossDeterministically) {
+  const std::uint32_t len = 256 * 1024;
+  core::NetworkProfile profile = core::mxoe_profile();
+  profile.mx.rto = us(100);
+  FaultPlan a(7), b(7);
+  a.drop_probability(0.05);
+  b.drop_probability(0.05);
+  MxRun first = run_mx_send(&a, len, profile);
+  MxRun second = run_mx_send(&b, len, profile);
+
+  ASSERT_TRUE(first.recv_done);
+  EXPECT_EQ(first.recv_len, len);
+  EXPECT_GT(a.frames_dropped(), 0u);
+  EXPECT_GT(first.resends, 0u);
+  // Same seed, same plan: identical drop schedule, resend count, timing.
+  EXPECT_EQ(a.frames_dropped(), b.frames_dropped());
+  EXPECT_EQ(first.resends, second.resends);
+  EXPECT_EQ(first.finished, second.finished);
+}
+
+TEST(MxFaults, CorruptedEagerFrameIsDiscardedAndResent) {
+  core::NetworkProfile profile = core::mxoe_profile();
+  profile.mx.rto = us(50);
+  FaultPlan plan;
+  plan.nth_frame(1, FaultAction::kCorrupt);
+  MxRun run = run_mx_send(&plan, 4096, profile);
+
+  EXPECT_EQ(run.corrupt_discards, 1u);
+  ASSERT_TRUE(run.recv_done);
+  EXPECT_EQ(run.recv_len, 4096u);
+  EXPECT_GE(run.resends, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// iWARP go-back-N driven by the engine-level injector
+// ---------------------------------------------------------------------------
+
+TEST(IwarpFaults, EngineInjectorDrivesGoBackN) {
+  // No adapter-local loss_rate: every drop comes from the engine-level
+  // plan, and the RNIC must still arm its retry timers (faults_armed).
+  core::Cluster cluster(2, core::Network::kIwarp);
+  FaultPlan plan(11);
+  plan.drop_probability(0.05);
+  cluster.engine().set_fault_injector(&plan);
+  const std::uint32_t len = 256 * 1024;
+  auto& src = cluster.node(0).mem().alloc(len, false);
+  auto& dst = cluster.node(1).mem().alloc(len, false);
+
+  bool placed = false;
+  cluster.engine().spawn([](core::Cluster& c, std::uint64_t s, std::uint64_t d, std::uint32_t n,
+                            bool& done) -> Task<> {
+    verbs::CompletionQueue cq(c.engine());
+    auto qp0 = c.device(0).create_qp(cq, cq);
+    auto qp1 = c.device(1).create_qp(cq, cq);
+    c.device(0).establish(*qp0, *qp1);
+    auto lkey = co_await c.device(0).reg_mr(s, n);
+    auto rkey = co_await c.device(1).reg_mr(d, n);
+    auto watch = c.device(1).watch_placement(d, n);
+    co_await qp0->post_send(verbs::SendWr{.wr_id = 1,
+                                          .opcode = verbs::Opcode::kRdmaWrite,
+                                          .sge = {s, n, lkey},
+                                          .remote_addr = d,
+                                          .rkey = rkey});
+    co_await watch->wait();
+    done = true;
+  }(cluster, src.addr(), dst.addr(), len, placed));
+  cluster.engine().run();
+
+  EXPECT_TRUE(placed) << "go-back-N must recover engine-injected loss";
+  EXPECT_GT(plan.frames_dropped(), 0u);
+  EXPECT_GT(cluster.rnic(0).retransmits(), 0u);
+}
+
+}  // namespace
+}  // namespace fabsim

@@ -94,6 +94,56 @@ TEST(Switch, DistinctDestinationsDoNotContend) {
   EXPECT_EQ(a.deliveries[0].first, ns(1400));
 }
 
+TEST(Switch, TailDropsExactlyWhenBufferExceeded) {
+  // Three 1000 B frames hit one output port at t=0. With a 2000 B buffer
+  // the first serializes immediately, the second fills the buffer to the
+  // byte (2000 == 2000 is NOT over), and the third overflows it.
+  SwitchConfig config = test_switch_config();
+  config.max_queue_bytes = 2000;
+  Engine engine;
+  Switch fabric(engine, config);
+  RecordingSink a(engine), b(engine), c(engine), d(engine);
+  const int pa = fabric.attach(a);
+  const int pb = fabric.attach(b);
+  const int pc = fabric.attach(c);
+  const int pd = fabric.attach(d);
+
+  engine.post(0, [&] {
+    fabric.ingress(Frame{pa, pd, 1000, {}});
+    fabric.ingress(Frame{pb, pd, 1000, {}});
+    fabric.ingress(Frame{pc, pd, 1000, {}});
+  });
+  engine.run();
+
+  ASSERT_EQ(d.deliveries.size(), 2u) << "frame at the exact boundary must be delivered";
+  EXPECT_EQ(d.deliveries[0].first, ns(1400));
+  EXPECT_EQ(d.deliveries[1].first, ns(2200));
+  EXPECT_EQ(fabric.output_drops(pd), 1u);
+}
+
+TEST(Switch, TailDropsOneByteOverTheBoundary) {
+  // Same arrival pattern, buffer one byte smaller: the second frame's
+  // 2000 B of (backlog + frame) now exceeds 1999 and it is dropped too.
+  SwitchConfig config = test_switch_config();
+  config.max_queue_bytes = 1999;
+  Engine engine;
+  Switch fabric(engine, config);
+  RecordingSink a(engine), b(engine), c(engine);
+  const int pa = fabric.attach(a);
+  const int pb = fabric.attach(b);
+  const int pc = fabric.attach(c);
+
+  engine.post(0, [&] {
+    fabric.ingress(Frame{pa, pc, 1000, {}});
+    fabric.ingress(Frame{pb, pc, 1000, {}});
+  });
+  engine.run();
+
+  ASSERT_EQ(c.deliveries.size(), 1u);
+  EXPECT_EQ(c.deliveries[0].first, ns(1400));
+  EXPECT_EQ(fabric.output_drops(pc), 1u);
+}
+
 TEST(PcieBus, DirectionsAreIndependent) {
   PcieBus bus(PciConfig{Rate::mb_per_sec(2000.0), ns(250)});
   // 2000 MB/s => 0.5 ns/byte; 1 MB => 500 us.

@@ -29,6 +29,22 @@ TEST(Tracer, CapacityBoundsAndDropCount) {
   EXPECT_EQ(tracer.dropped(), 7u);
 }
 
+TEST(Tracer, SummarySurfacesDropCount) {
+  Tracer tracer;
+  tracer.emit(us(1), TraceCategory::kHost, 0, "a");
+  tracer.emit(us(2), TraceCategory::kProto, 0, "b");
+  EXPECT_NE(tracer.summary().find("2 events"), std::string::npos);
+  EXPECT_NE(tracer.summary().find("proto=1"), std::string::npos);
+  EXPECT_NE(tracer.summary().find("0 dropped"), std::string::npos);
+  EXPECT_EQ(tracer.summary().find("INCOMPLETE"), std::string::npos);
+
+  tracer.set_capacity(2);
+  for (int i = 0; i < 3; ++i) tracer.emit(us(i), TraceCategory::kWire, 0, "x");
+  EXPECT_NE(tracer.summary().find("3 dropped"), std::string::npos)
+      << "a truncated trace must say so: " << tracer.summary();
+  EXPECT_NE(tracer.summary().find("INCOMPLETE"), std::string::npos);
+}
+
 TEST(Tracer, EngineEmitsNothingWhenDisabled) {
   core::Cluster cluster(2, core::Network::kIwarp);
   auto& src = cluster.node(0).mem().alloc(4096, false);
