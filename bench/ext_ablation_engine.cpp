@@ -15,6 +15,13 @@ using namespace fabsim::core;
 
 int main() {
   std::printf("=== Extension X4: engine-architecture ablations (Fig 2 mechanisms) ===\n");
+  // Probe past both knees: deep enough that the ablated engines have
+  // visibly serialized and the context cache is thrashing.
+  constexpr int kProbeConns = 32;
+
+  Report report("ext_ablation_engine");
+  report.add_note("Fig 2 mechanism ablations: RNIC pipelining off, HCA context-cache sweep");
+  report.add_note("probe: per-round latency histograms + metrics at conns=32 msg=1KB");
 
   {
     NetworkProfile piped = iwarp_profile();
@@ -27,10 +34,22 @@ int main() {
     Table table("iWARP normalized multi-conn latency (us), 1 KB messages", "connections",
                 {"pipelined (real)", "processor-based (ablated)"});
     for (int c : {1, 2, 4, 8, 16, 32, 64}) {
-      table.add_row(c, {multiconn_normalized_latency_us(piped, c, 1024),
-                        multiconn_normalized_latency_us(serial, c, 1024)});
+      if (c == kProbeConns) {
+        Histogram piped_hist, serial_hist;
+        MetricRegistry metrics;
+        table.add_row(c,
+                      {multiconn_normalized_latency_us(piped, c, 1024, 16, &piped_hist, &metrics),
+                       multiconn_normalized_latency_us(serial, c, 1024, 16, &serial_hist)});
+        report.add_histogram("iwarp_pipelined.norm_latency_us", piped_hist);
+        report.add_histogram("iwarp_serial.norm_latency_us", serial_hist);
+        report.add_metrics(metrics, "iwarp_pipelined.");
+      } else {
+        table.add_row(c, {multiconn_normalized_latency_us(piped, c, 1024),
+                          multiconn_normalized_latency_us(serial, c, 1024)});
+      }
     }
     table.print();
+    report.add_table(table);
   }
 
   {
@@ -43,12 +62,25 @@ int main() {
       for (int s : cache_sizes) {
         NetworkProfile p = ib_profile();
         p.hca.context_cache_entries = s;
-        row.push_back(multiconn_normalized_latency_us(p, c, 1024));
+        if (c == kProbeConns && s == 2) {
+          // The thrash case: context_hits/misses in the metric dump show
+          // the cache-serialization mechanism directly.
+          Histogram hist;
+          MetricRegistry metrics;
+          row.push_back(multiconn_normalized_latency_us(p, c, 1024, 16, &hist, &metrics));
+          report.add_histogram("ib_cache2.norm_latency_us", hist);
+          report.add_metrics(metrics, "ib_cache2.");
+        } else {
+          row.push_back(multiconn_normalized_latency_us(p, c, 1024));
+        }
       }
       table.add_row(c, std::move(row));
     }
     table.print();
+    report.add_table(table);
   }
+
+  report.write();
 
   std::printf(
       "\nExpected shape: (a) the ablated iWARP engine stops improving once the\n"

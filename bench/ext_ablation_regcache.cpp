@@ -14,7 +14,20 @@ using namespace fabsim::core;
 
 namespace {
 
-double ratio_at(NetworkProfile p, std::uint32_t msg) {
+double ratio_at(NetworkProfile p, std::uint32_t msg, Report* report = nullptr,
+                const char* tag = nullptr) {
+  if (report != nullptr) {
+    // Probe variant: keep the cold-pattern latency distribution and the
+    // metric dump (reg_cache hits/misses/evictions tell the whole story).
+    Histogram cold_hist;
+    MetricRegistry metrics;
+    const double cold = bufreuse_latency_us(p, msg, /*reuse=*/false, 16, 24, &cold_hist,
+                                            &metrics);
+    const double warm = bufreuse_latency_us(p, msg, /*reuse=*/true, 16, 24);
+    report->add_histogram(std::string(tag) + ".cold_latency_us", cold_hist);
+    report->add_metrics(metrics, std::string(tag) + ".");
+    return cold / warm;
+  }
   return bufreuse_latency_us(p, msg, /*reuse=*/false, 16, 24) /
          bufreuse_latency_us(p, msg, /*reuse=*/true, 16, 24);
 }
@@ -23,6 +36,13 @@ double ratio_at(NetworkProfile p, std::uint32_t msg) {
 
 int main() {
   std::printf("=== Extension X3: MX registration-cache ablation (Fig 6 note) ===\n");
+  // Probe at this size: past the default 8 MB pinned-byte bound for 16
+  // buffers, i.e. inside the thrash regime the ablation is about.
+  constexpr std::uint32_t kProbeMsg = 524288;
+
+  Report report("ext_ablation_regcache");
+  report.add_note("MX registration-cache ablation: buffer re-use ratio vs cache config");
+  report.add_note("probe: cold-pattern histograms + reg_cache metrics at msg=512KB, cache on/off");
 
   Table table("Buffer re-use ratio on MXoM", "msg_bytes",
               {"cache on", "cache off", "cache 2MB", "cache 32MB"});
@@ -34,10 +54,14 @@ int main() {
     small.mx.reg_cache_bytes = 2ull << 20;
     NetworkProfile large = mxom_profile();
     large.mx.reg_cache_bytes = 32ull << 20;
-    table.add_row(msg, {ratio_at(on, msg), ratio_at(off, msg), ratio_at(small, msg),
-                        ratio_at(large, msg)});
+    const bool probe = msg == kProbeMsg;
+    table.add_row(msg, {ratio_at(on, msg, probe ? &report : nullptr, "cache_on"),
+                        ratio_at(off, msg, probe ? &report : nullptr, "cache_off"),
+                        ratio_at(small, msg), ratio_at(large, msg)});
   }
   table.print();
+  report.add_table(table);
+  report.write();
 
   std::printf(
       "\nExpected shape: with the cache on, the ratio climbs once 16 buffers no\n"

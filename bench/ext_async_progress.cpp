@@ -14,7 +14,12 @@ using namespace fabsim;
 using namespace fabsim::core;
 
 int main() {
+  constexpr std::uint32_t kProbeMsg = 65536;  // rendezvous regime: the point of the ablation
   std::printf("=== Extension X10: asynchronous progress for the verbs MPIs ===\n");
+
+  Report report("ext_async_progress");
+  report.add_note("LogP Or(m), synchronous vs asynchronous progress, verbs MPIs");
+  report.add_note("probe: Or call-duration histograms + metrics at msg=64KB, iWARP sync/async");
 
   Table table("LogP receiver overhead Or(m) in us: sync vs async progress", "msg_bytes",
               {"iWARP sync", "iWARP async", "IB sync", "IB async"});
@@ -23,12 +28,27 @@ int main() {
     iw_async.mpi.async_progress = true;
     NetworkProfile ib_async = ib_profile();
     ib_async.mpi.async_progress = true;
-    table.add_row(msg, {logp_parameters(iwarp_profile(), msg, 10).or_us,
-                        logp_parameters(iw_async, msg, 10).or_us,
-                        logp_parameters(ib_profile(), msg, 10).or_us,
-                        logp_parameters(ib_async, msg, 10).or_us});
+    if (msg == kProbeMsg) {
+      Histogram sync_or, async_or;
+      MetricRegistry metrics;
+      table.add_row(msg,
+                    {logp_parameters(iwarp_profile(), msg, 10, nullptr, &sync_or, &metrics).or_us,
+                     logp_parameters(iw_async, msg, 10, nullptr, &async_or).or_us,
+                     logp_parameters(ib_profile(), msg, 10).or_us,
+                     logp_parameters(ib_async, msg, 10).or_us});
+      report.add_histogram("iwarp_sync.or_us", sync_or);
+      report.add_histogram("iwarp_async.or_us", async_or);
+      report.add_metrics(metrics, "iwarp_sync.");
+    } else {
+      table.add_row(msg, {logp_parameters(iwarp_profile(), msg, 10).or_us,
+                          logp_parameters(iw_async, msg, 10).or_us,
+                          logp_parameters(ib_profile(), msg, 10).or_us,
+                          logp_parameters(ib_async, msg, 10).or_us});
+    }
   }
   table.print();
+  report.add_table(table);
+  report.write();
 
   std::printf(
       "\nExpected shape: with a progress engine, the rendezvous handshake is\n"

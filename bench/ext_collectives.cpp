@@ -14,9 +14,11 @@ namespace {
 
 enum class Op { kBarrier, kBcast, kAllreduce, kAllgather };
 
-double collective_us(Network network, Op op, std::uint32_t bytes, int iters = 12) {
+double collective_us(Network network, Op op, std::uint32_t bytes, int iters = 12,
+                     Histogram* hist = nullptr, MetricRegistry* metrics = nullptr) {
   constexpr int kRanks = 4;
   Cluster cluster(kRanks, network);
+  if (metrics != nullptr) cluster.engine().set_metrics(metrics);
   std::vector<hw::Buffer*> data, scratch, gather;
   for (int r = 0; r < kRanks; ++r) {
     data.push_back(&cluster.node(r).mem().alloc(std::max(bytes, 64u), false));
@@ -28,13 +30,14 @@ double collective_us(Network network, Op op, std::uint32_t bytes, int iters = 12
   for (int r = 0; r < kRanks; ++r) {
     cluster.engine().spawn([](Cluster& c, int me, Op what, std::uint32_t n, int it,
                               std::vector<hw::Buffer*>& d, std::vector<hw::Buffer*>& s,
-                              std::vector<hw::Buffer*>& g, double* out) -> Task<> {
+                              std::vector<hw::Buffer*>& g, double* out, Histogram* h) -> Task<> {
       co_await c.setup_mpi();
       auto& rank = c.mpi_rank(me);
       co_await rank.barrier();  // warmup + sync
       const double t0 = rank.wtime();
       const auto idx = static_cast<std::size_t>(me);
       for (int i = 0; i < it; ++i) {
+        const double iter0 = rank.wtime();
         switch (what) {
           case Op::kBarrier:
             co_await rank.barrier();
@@ -50,12 +53,14 @@ double collective_us(Network network, Op op, std::uint32_t bytes, int iters = 12
             co_await rank.allgather(d[idx]->addr(), n, g[idx]->addr());
             break;
         }
+        if (h != nullptr && me == 0) h->add((rank.wtime() - iter0) * 1e6);
       }
       *out = (rank.wtime() - t0) / it * 1e6;
     }(cluster, r, op, bytes, iters, data, scratch, gather,
-      &elapsed[static_cast<std::size_t>(r)]));
+      &elapsed[static_cast<std::size_t>(r)], hist));
   }
   cluster.engine().run();
+  if (metrics != nullptr) cluster.collect_metrics(*metrics);
   double worst = 0;
   for (double e : elapsed) worst = std::max(worst, e);
   return worst;
@@ -65,7 +70,12 @@ double collective_us(Network network, Op op, std::uint32_t bytes, int iters = 12
 
 int main() {
   const auto networks = {Network::kIwarp, Network::kIb, Network::kMxoe, Network::kMxom};
+  constexpr std::uint32_t kProbeBytes = 4096;
   std::printf("=== Extension X5: MPI collectives on 4 nodes ===\n");
+
+  Report report("ext_collectives");
+  report.add_note("barrier/bcast/allreduce/allgather on 4 ranks");
+  report.add_note("probe: rank-0 per-iteration allreduce histogram + metrics at 4KB");
 
   std::vector<std::string> cols;
   for (Network n : networks) cols.push_back(network_name(n));
@@ -76,6 +86,7 @@ int main() {
     for (Network n : networks) row.push_back(collective_us(n, Op::kBarrier, 0));
     table.add_row(4, std::move(row));
     table.print();
+    report.add_table(table);
   }
   for (auto [op, name] : {std::pair{Op::kBcast, "Broadcast"},
                           std::pair{Op::kAllreduce, "Allreduce (sum of doubles)"},
@@ -83,11 +94,24 @@ int main() {
     Table table(std::string(name) + " latency (us)", "bytes", cols);
     for (std::uint32_t bytes : {64u, 4096u, 65536u, 524288u}) {
       std::vector<double> row;
-      for (Network n : networks) row.push_back(collective_us(n, op, bytes));
+      for (Network n : networks) {
+        if (op == Op::kAllreduce && bytes == kProbeBytes) {
+          Histogram hist;
+          MetricRegistry metrics;
+          row.push_back(collective_us(n, op, bytes, 12, &hist, &metrics));
+          report.add_histogram(std::string(network_name(n)) + ".allreduce_us", hist);
+          report.add_metrics(metrics, std::string(network_name(n)) + ".");
+        } else {
+          row.push_back(collective_us(n, op, bytes));
+        }
+      }
       table.add_row(bytes, std::move(row));
     }
     table.print();
+    report.add_table(table);
   }
+
+  report.write();
 
   std::printf(
       "\nExpected shape: short-message collectives track point-to-point latency\n"

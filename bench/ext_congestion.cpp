@@ -2,7 +2,8 @@
 // iWARP is the only stack here whose wire can legally drop frames (IB
 // and Myrinet are credit-flow-controlled and lossless); this study shows
 // what its TCP underlay buys and costs under incast: goodput vs switch
-// buffer size, with drop and retransmission counts.
+// buffer size, with drop and retransmission counts read from the
+// FabricScope metric registry.
 #include <cstdio>
 #include <vector>
 
@@ -20,11 +21,14 @@ struct IncastResult {
   std::uint64_t retransmits;
 };
 
-IncastResult run(std::uint64_t buffer_bytes, int clients, std::uint32_t chunk) {
+IncastResult run(std::uint64_t buffer_bytes, int clients, std::uint32_t chunk,
+                 Histogram* hist = nullptr, MetricRegistry* out = nullptr) {
   NetworkProfile p = iwarp_profile();
   p.switch_cfg.max_queue_bytes = buffer_bytes;
   p.rnic.rto = us(300);
   Cluster cluster(clients + 1, p);
+  MetricRegistry registry;
+  cluster.engine().set_metrics(&registry);
 
   std::vector<std::unique_ptr<verbs::CompletionQueue>> cqs;
   std::vector<std::unique_ptr<verbs::QueuePair>> qps;
@@ -38,10 +42,11 @@ IncastResult run(std::uint64_t buffer_bytes, int clients, std::uint32_t chunk) {
     auto& dst = cluster.node(0).mem().alloc(chunk, false);
     cluster.engine().spawn([](Cluster& cl, verbs::QueuePair& qp, std::uint64_t s,
                               std::uint64_t d, int client, std::uint32_t n,
-                              Time* end) -> Task<> {
+                              Time* end, Histogram* h) -> Task<> {
       auto lkey = co_await cl.device(client + 1).reg_mr(s, n);
       auto rkey = co_await cl.device(0).reg_mr(d, n);
       for (int i = 0; i < 4; ++i) {
+        const Time chunk0 = cl.engine().now();
         auto watch = cl.device(0).watch_placement(d, n);
         co_await qp.post_send(verbs::SendWr{.wr_id = 1,
                                             .opcode = verbs::Opcode::kRdmaWrite,
@@ -49,18 +54,27 @@ IncastResult run(std::uint64_t buffer_bytes, int clients, std::uint32_t chunk) {
                                             .remote_addr = d,
                                             .rkey = rkey});
         co_await watch->wait();
+        if (h != nullptr) h->add(to_us(cl.engine().now() - chunk0));
         *end = std::max(*end, cl.engine().now());
       }
-    }(cluster, *client_qp, src.addr(), dst.addr(), c, chunk, &last));
+    }(cluster, *client_qp, src.addr(), dst.addr(), c, chunk, &last, hist));
     qps.push_back(std::move(server_qp));
     qps.push_back(std::move(client_qp));
   }
   cluster.engine().run();
+  cluster.collect_metrics(registry);
 
   IncastResult result{};
   result.goodput_mbps = 4.0 * clients * chunk / to_us(last);
-  result.drops = cluster.fabric().output_drops(cluster.rnic(0).fabric_port());
-  for (int c = 1; c <= clients; ++c) result.retransmits += cluster.rnic(c).retransmits();
+  // Drops at the server's switch port; retransmits summed over clients —
+  // both read back from the registry taxonomy.
+  result.drops = registry.counter_value(
+      "switch.port" + std::to_string(cluster.rnic(0).fabric_port()) + ".tail_drops");
+  for (int c = 1; c <= clients; ++c) {
+    result.retransmits +=
+        registry.counter_value("iwarp.node" + std::to_string(c) + ".retransmits");
+  }
+  if (out != nullptr) *out = registry;
   return result;
 }
 
@@ -69,19 +83,39 @@ IncastResult run(std::uint64_t buffer_bytes, int clients, std::uint32_t chunk) {
 int main() {
   std::printf("=== Extension X9: iWARP incast vs switch buffering ===\n");
   constexpr std::uint32_t kChunk = 192 * 1024;
+  // Probe the interesting middle of the sweep: buffers too small for the
+  // aggregate burst but large enough for useful pipelining.
+  constexpr std::uint64_t kProbeBuffer = 48ull << 10;
+  constexpr int kProbeClients = 3;
+
+  Report report("ext_congestion");
+  report.add_note("iWARP incast: goodput vs switch buffer, drops/retransmits from registry");
+  report.add_note("probe: per-chunk completion histogram + metrics at 48KB buffer, 3 clients");
 
   for (int clients : {2, 3}) {
     Table table(std::to_string(clients) + " clients x 4 x 192 KB into one port", "buffer_bytes",
                 {"goodput MB/s", "drops", "retransmits"});
     for (std::uint64_t buffer : {16ull << 10, 48ull << 10, 128ull << 10, 512ull << 10,
                                  4ull << 20}) {
-      const auto r = run(buffer, clients, kChunk);
+      IncastResult r{};
+      if (buffer == kProbeBuffer && clients == kProbeClients) {
+        Histogram hist;
+        MetricRegistry metrics;
+        r = run(buffer, clients, kChunk, &hist, &metrics);
+        report.add_histogram("iwarp.chunk_us", hist);
+        report.add_metrics(metrics, "iwarp.");
+      } else {
+        r = run(buffer, clients, kChunk);
+      }
       table.add_row(static_cast<double>(buffer),
                     {r.goodput_mbps, static_cast<double>(r.drops),
                      static_cast<double>(r.retransmits)});
     }
     table.print();
+    report.add_table(table);
   }
+
+  report.write();
 
   std::printf(
       "\nExpected shape: tiny buffers force repeated go-back-N rounds (goodput\n"

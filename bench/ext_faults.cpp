@@ -9,10 +9,12 @@
 // repair keep the pipe fuller than the MX RTO-only scheme, and large
 // messages amortize a retransmission round far better than small ones.
 //
-// Results land in results/ext_faults.csv and results/ext_faults.json in
-// addition to the stdout tables (run_all.sh captures those separately).
+// Recovery counters (retransmits, NAKs, RTO fires) are read from the
+// FabricScope metric registry populated by Cluster::collect_metrics(),
+// not from ad-hoc component accessors, so the numbers printed here are
+// exactly the ones every other bench dumps in its JSON report. Results
+// land in results/ext_faults.{txt,csv,json} via the shared Report helper.
 #include <cstdio>
-#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,17 +35,31 @@ struct Sample {
   double mbps = 0.0;
   std::uint64_t frames_dropped = 0;
   std::uint64_t retransmits = 0;  ///< resends for MX
+  std::uint64_t naks = 0;         ///< IB only: RC NAK packets
+  std::uint64_t rto_fires = 0;
 };
 
 constexpr std::uint64_t kSeed = 42;
 
+/// Sum a per-node counter over both endpoints.
+std::uint64_t both_nodes(const MetricRegistry& registry, const std::string& stack,
+                         const std::string& name) {
+  return registry.counter_value(stack + ".node0." + name) +
+         registry.counter_value(stack + ".node1." + name);
+}
+
 /// `iters` back-to-back RDMA Writes of `len` bytes, node 0 -> node 1,
 /// completion observed by polling the target buffer (watch_placement).
-Sample run_verbs(NetworkProfile profile, double loss, std::uint32_t len, int iters) {
+/// When `out` is non-null it receives the run's full metric registry;
+/// `hist` collects per-transfer completion times (loss makes a tail).
+Sample run_verbs(NetworkProfile profile, double loss, std::uint32_t len, int iters,
+                 MetricRegistry* out = nullptr, Histogram* hist = nullptr) {
   Cluster cluster(2, profile);
   fault::FaultPlan plan(kSeed);
   if (loss > 0.0) plan.drop_probability(loss);
   cluster.engine().set_fault_injector(&plan);
+  MetricRegistry registry;
+  cluster.engine().set_metrics(&registry);
   auto& src = cluster.node(0).mem().alloc(len, false);
   auto& dst = cluster.node(1).mem().alloc(len, false);
 
@@ -53,7 +69,7 @@ Sample run_verbs(NetworkProfile profile, double loss, std::uint32_t len, int ite
   cluster.engine().spawn([](Cluster& c, verbs::CompletionQueue& wcq,
                             std::vector<std::unique_ptr<verbs::QueuePair>>& pairs,
                             std::uint64_t s, std::uint64_t d, std::uint32_t n, int reps,
-                            Time* t0, Time* t1) -> Task<> {
+                            Time* t0, Time* t1, Histogram* h) -> Task<> {
     pairs.push_back(c.device(0).create_qp(wcq, wcq));
     pairs.push_back(c.device(1).create_qp(wcq, wcq));
     c.device(0).establish(*pairs[0], *pairs[1]);
@@ -61,6 +77,7 @@ Sample run_verbs(NetworkProfile profile, double loss, std::uint32_t len, int ite
     auto rkey = co_await c.device(1).reg_mr(d, n);
     *t0 = c.engine().now();
     for (int i = 0; i < reps; ++i) {
+      const Time iter0 = c.engine().now();
       auto watch = c.device(1).watch_placement(d, n);
       co_await pairs[0]->post_send(verbs::SendWr{.wr_id = 1,
                                                  .opcode = verbs::Opcode::kRdmaWrite,
@@ -68,10 +85,12 @@ Sample run_verbs(NetworkProfile profile, double loss, std::uint32_t len, int ite
                                                  .remote_addr = d,
                                                  .rkey = rkey});
       co_await watch->wait();
+      if (h != nullptr) h->add(to_us(c.engine().now() - iter0));
     }
     *t1 = c.engine().now();
-  }(cluster, cq, qps, src.addr(), dst.addr(), len, iters, &start, &end));
+  }(cluster, cq, qps, src.addr(), dst.addr(), len, iters, &start, &end, hist));
   cluster.engine().run();
+  cluster.collect_metrics(registry);
 
   Sample sample;
   sample.stack = network_name(profile.network);
@@ -79,30 +98,39 @@ Sample run_verbs(NetworkProfile profile, double loss, std::uint32_t len, int ite
   sample.bytes = len;
   sample.mbps = static_cast<double>(iters) * len / to_us(end - start);
   sample.frames_dropped = plan.frames_dropped();
-  sample.retransmits = profile.network == Network::kIb ? cluster.hca(0).retransmits()
-                                                       : cluster.rnic(0).retransmits();
+  const bool is_ib = profile.network == Network::kIb;
+  const std::string stack = is_ib ? "ib" : "iwarp";
+  sample.retransmits = both_nodes(registry, stack, "retransmits");
+  sample.naks = is_ib ? both_nodes(registry, stack, "naks_sent") : 0;
+  sample.rto_fires = both_nodes(registry, stack, "rto_fires");
+  if (out != nullptr) *out = registry;
   return sample;
 }
 
 /// `iters` back-to-back MX messages of `len` bytes, node 0 -> node 1.
-Sample run_mx(double loss, std::uint32_t len, int iters) {
+Sample run_mx(double loss, std::uint32_t len, int iters, MetricRegistry* out = nullptr,
+              Histogram* hist = nullptr) {
   NetworkProfile profile = mxoe_profile();
   Cluster cluster(2, profile);
   fault::FaultPlan plan(kSeed);
   if (loss > 0.0) plan.drop_probability(loss);
   cluster.engine().set_fault_injector(&plan);
+  MetricRegistry registry;
+  cluster.engine().set_metrics(&registry);
   auto& src = cluster.node(0).mem().alloc(len, false);
   auto& dst = cluster.node(1).mem().alloc(len, false);
 
   Time start = 0, end = 0;
   cluster.engine().spawn([](Cluster& c, std::uint64_t s, std::uint32_t n, int reps,
-                            Time* t0) -> Task<> {
+                            Time* t0, Histogram* h) -> Task<> {
     *t0 = c.engine().now();
     for (int i = 0; i < reps; ++i) {
+      const Time iter0 = c.engine().now();
       auto request = co_await c.endpoint(0).isend(s, n, c.endpoint(1).port(), 7);
       co_await c.endpoint(0).wait(request);
+      if (h != nullptr) h->add(to_us(c.engine().now() - iter0));
     }
-  }(cluster, src.addr(), len, iters, &start));
+  }(cluster, src.addr(), len, iters, &start, hist));
   cluster.engine().spawn([](Cluster& c, std::uint64_t d, std::uint32_t n, int reps,
                             Time* t1) -> Task<> {
     for (int i = 0; i < reps; ++i) {
@@ -112,6 +140,7 @@ Sample run_mx(double loss, std::uint32_t len, int iters) {
     *t1 = c.engine().now();
   }(cluster, dst.addr(), len, iters, &end));
   cluster.engine().run();
+  cluster.collect_metrics(registry);
 
   Sample sample;
   sample.stack = network_name(Network::kMxoe);
@@ -119,40 +148,10 @@ Sample run_mx(double loss, std::uint32_t len, int iters) {
   sample.bytes = len;
   sample.mbps = static_cast<double>(iters) * len / to_us(end - start);
   sample.frames_dropped = plan.frames_dropped();
-  sample.retransmits = cluster.endpoint(0).resends() + cluster.endpoint(1).resends();
+  sample.retransmits = both_nodes(registry, "mx", "resends");
+  sample.rto_fires = both_nodes(registry, "mx", "rto_fires");
+  if (out != nullptr) *out = registry;
   return sample;
-}
-
-void write_outputs(const std::vector<Sample>& samples) {
-  std::filesystem::create_directories("results");
-
-  if (std::FILE* csv = std::fopen("results/ext_faults.csv", "w")) {
-    std::fprintf(csv, "stack,loss_rate,bytes,bandwidth_mbps,frames_dropped,retransmits\n");
-    for (const Sample& s : samples) {
-      std::fprintf(csv, "%s,%.4f,%u,%.3f,%llu,%llu\n", s.stack.c_str(), s.loss, s.bytes, s.mbps,
-                   static_cast<unsigned long long>(s.frames_dropped),
-                   static_cast<unsigned long long>(s.retransmits));
-    }
-    std::fclose(csv);
-  }
-
-  if (std::FILE* json = std::fopen("results/ext_faults.json", "w")) {
-    std::fprintf(json, "{\n  \"seed\": %llu,\n  \"samples\": [\n",
-                 static_cast<unsigned long long>(kSeed));
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-      const Sample& s = samples[i];
-      std::fprintf(json,
-                   "    {\"stack\": \"%s\", \"loss_rate\": %.4f, \"bytes\": %u, "
-                   "\"bandwidth_mbps\": %.3f, \"frames_dropped\": %llu, \"retransmits\": %llu}%s\n",
-                   s.stack.c_str(), s.loss, s.bytes, s.mbps,
-                   static_cast<unsigned long long>(s.frames_dropped),
-                   static_cast<unsigned long long>(s.retransmits),
-                   i + 1 < samples.size() ? "," : "");
-    }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
-  }
-  std::printf("\nwrote results/ext_faults.csv and results/ext_faults.json\n");
 }
 
 }  // namespace
@@ -168,6 +167,15 @@ int main(int argc, char** argv) {
       quick ? std::vector<std::uint32_t>{64 * 1024}
             : std::vector<std::uint32_t>{4 * 1024, 64 * 1024, 1024 * 1024};
   const int iters = quick ? 4 : 8;
+  // Recovery-counter tables and the full metric dump use this size
+  // (present in both sweep variants) at each loss rate.
+  constexpr std::uint32_t kProbeBytes = 64 * 1024;
+  const double worst_loss = losses.back();
+
+  Report report("ext_faults");
+  report.add_note("seeded frame loss (seed=42): bandwidth + recovery counters per stack");
+  report.add_note("recovery counters read from the FabricScope metric registry");
+  report.add_scalar("seed", static_cast<double>(kSeed));
 
   std::vector<Sample> samples;
   for (const char* stack : {"iWARP", "IB", "MXoE"}) {
@@ -177,16 +185,47 @@ int main(int argc, char** argv) {
     for (std::uint32_t size : sizes) {
       std::vector<double> row;
       for (double loss : losses) {
-        Sample s = std::string(stack) == "iWARP" ? run_verbs(iwarp_profile(), loss, size, iters)
-                   : std::string(stack) == "IB"  ? run_verbs(ib_profile(), loss, size, iters)
-                                                 : run_mx(loss, size, iters);
+        MetricRegistry probe;
+        Histogram hist;
+        const bool dump = size == kProbeBytes && loss == worst_loss;
+        MetricRegistry* out = dump ? &probe : nullptr;
+        Histogram* h = dump ? &hist : nullptr;
+        Sample s = std::string(stack) == "iWARP"
+                       ? run_verbs(iwarp_profile(), loss, size, iters, out, h)
+                   : std::string(stack) == "IB"
+                       ? run_verbs(ib_profile(), loss, size, iters, out, h)
+                       : run_mx(loss, size, iters, out, h);
+        if (dump) {
+          report.add_metrics(probe, std::string(stack) + ".");
+          report.add_histogram(std::string(stack) + ".transfer_us", hist);
+        }
         row.push_back(s.mbps);
         samples.push_back(std::move(s));
       }
       table.add_row(size, std::move(row));
     }
     table.print();
+    report.add_table(table);
   }
+
+  // Recovery counters per stack at the probe message size: how each
+  // protocol actually repaired the injected gaps.
+  for (const char* stack : {"iWARP", "IB", "MXoE"}) {
+    Table recovery(std::string(stack) + " recovery counters, msg=" +
+                       std::to_string(kProbeBytes) + "B",
+                   "loss_rate", {"frames_dropped", "retransmits", "naks_sent", "rto_fires"});
+    for (const Sample& s : samples) {
+      if (s.stack != stack || s.bytes != kProbeBytes) continue;
+      recovery.add_row(s.loss, {static_cast<double>(s.frames_dropped),
+                                static_cast<double>(s.retransmits),
+                                static_cast<double>(s.naks),
+                                static_cast<double>(s.rto_fires)});
+    }
+    recovery.print();
+    report.add_table(recovery);
+  }
+
+  report.write();
 
   std::printf(
       "\nExpected shape: at zero loss every stack matches its lossless\n"
@@ -197,7 +236,5 @@ int main(int argc, char** argv) {
       "each repair round; MX pays an RTO per first-in-window loss but resends\n"
       "only what is unacked. Small messages ride below the loss rate's\n"
       "per-message frame budget and barely notice.\n");
-
-  write_outputs(samples);
   return 0;
 }

@@ -19,8 +19,10 @@ struct HotspotResult {
   double aggregate_mbps;
 };
 
-HotspotResult run(Network network, int clients, std::uint32_t msg, int msgs_per_client) {
+HotspotResult run(Network network, int clients, std::uint32_t msg, int msgs_per_client,
+                  Histogram* hist = nullptr, MetricRegistry* metrics = nullptr) {
   Cluster cluster(clients + 1, network);
+  if (metrics != nullptr) cluster.engine().set_metrics(metrics);
   std::vector<hw::Buffer*> bufs;
   for (int n = 0; n <= clients; ++n) {
     bufs.push_back(&cluster.node(n).mem().alloc(std::max(msg, 64u), false));
@@ -41,20 +43,23 @@ HotspotResult run(Network network, int clients, std::uint32_t msg, int msgs_per_
 
   Time elapsed = 0;
   cluster.engine().spawn([](Cluster& cl, int nclients, std::uint64_t addr, std::uint64_t cap,
-                            std::uint32_t m, int count, Time* out) -> Task<> {
+                            std::uint32_t m, int count, Time* out, Histogram* h) -> Task<> {
     co_await cl.setup_mpi();
     auto& rank = cl.mpi_rank(0);
     const Time start = cl.engine().now();
     for (int i = 0; i < nclients * count; ++i) {
+      const Time recv_start = cl.engine().now();
       co_await rank.recv(mpi::kAnySource, 7, addr, cap);
+      if (h != nullptr) h->add(to_us(cl.engine().now() - recv_start));
     }
     *out = cl.engine().now() - start;
     for (int c = 1; c <= nclients; ++c) {
       co_await rank.send(c, 8, addr, 1);
     }
     (void)m;
-  }(cluster, clients, bufs[0]->addr(), bufs[0]->size(), msg, msgs_per_client, &elapsed));
+  }(cluster, clients, bufs[0]->addr(), bufs[0]->size(), msg, msgs_per_client, &elapsed, hist));
   cluster.engine().run();
+  if (metrics != nullptr) cluster.collect_metrics(*metrics);
 
   const double total = static_cast<double>(clients) * msgs_per_client;
   return HotspotResult{to_us(elapsed) / total,
@@ -65,7 +70,15 @@ HotspotResult run(Network network, int clients, std::uint32_t msg, int msgs_per_
 
 int main() {
   const auto networks = {Network::kIwarp, Network::kIb, Network::kMxoe, Network::kMxom};
+  // FabricScope probe: distribution of the hot rank's per-recv service
+  // time (not just the mean) at the heaviest contention point.
+  constexpr std::uint32_t kProbeMsg = 4096;
+  constexpr int kProbeClients = 3;
   std::printf("=== Extension X1: hotspot (N clients -> 1 server) ===\n");
+
+  Report report("ext_hotspot");
+  report.add_note("N clients -> 1 server over MPI_ANY_SOURCE, per-message service time");
+  report.add_note("probe: per-recv service-time histogram + metrics at clients=3 msg=4KB");
 
   for (std::uint32_t msg : {64u, 4096u, 65536u}) {
     std::vector<std::string> cols;
@@ -77,7 +90,16 @@ int main() {
     for (int clients : {1, 2, 3}) {
       std::vector<double> lrow, brow;
       for (Network n : networks) {
-        const auto r = run(n, clients, msg, 60);
+        HotspotResult r{};
+        if (msg == kProbeMsg && clients == kProbeClients) {
+          Histogram hist;
+          MetricRegistry metrics;
+          r = run(n, clients, msg, 60, &hist, &metrics);
+          report.add_histogram(std::string(network_name(n)) + ".service_us", hist);
+          report.add_metrics(metrics, std::string(network_name(n)) + ".");
+        } else {
+          r = run(n, clients, msg, 60);
+        }
         lrow.push_back(r.per_msg_us);
         brow.push_back(r.aggregate_mbps);
       }
@@ -86,7 +108,11 @@ int main() {
     }
     lat.print();
     if (msg >= 4096) bw.print();
+    report.add_table(lat);
+    if (msg >= 4096) report.add_table(bw);
   }
+
+  report.write();
 
   std::printf(
       "\nExpected shape: service time per message drops with more clients while\n"

@@ -30,8 +30,10 @@ struct OverlapResult {
   double compute_us;
 };
 
-OverlapResult run(Network network, std::uint32_t msg) {
+OverlapResult run(Network network, std::uint32_t msg, Histogram* hist = nullptr,
+                  MetricRegistry* metrics = nullptr) {
   Cluster cluster(2, network);
+  if (metrics != nullptr) cluster.engine().set_metrics(metrics);
   auto& b0 = cluster.node(0).mem().alloc(msg, false);
   auto& b1 = cluster.node(1).mem().alloc(msg, false);
   auto& s0 = cluster.node(0).mem().alloc(64, false);
@@ -39,7 +41,7 @@ OverlapResult run(Network network, std::uint32_t msg) {
 
   OverlapResult result{};
   cluster.engine().spawn([](Cluster& c, std::uint64_t addr, std::uint64_t sync,
-                            std::uint32_t m, OverlapResult* out) -> Task<> {
+                            std::uint32_t m, OverlapResult* out, Histogram* h) -> Task<> {
     co_await c.setup_mpi();
     auto& rank = c.mpi_rank(0);
     auto& cpu = c.node(0).cpu();
@@ -64,10 +66,12 @@ OverlapResult run(Network network, std::uint32_t msg) {
       auto req = co_await rank.isend(1, kTagData, addr, m);
       co_await cpu.compute(compute);
       co_await rank.wait(std::move(req));
-      t_overlap += c.engine().now() - t0;
+      const Time taken = c.engine().now() - t0;
+      if (h != nullptr) h->add(to_us(taken));
+      t_overlap += taken;
     }
     out->overlapped_us = to_us(t_overlap) / kIters;
-  }(cluster, b0.addr(), s0.addr(), msg, &result));
+  }(cluster, b0.addr(), s0.addr(), msg, &result, hist));
 
   cluster.engine().spawn([](Cluster& c, std::uint64_t addr, std::uint64_t cap,
                             std::uint64_t sync, int total) -> Task<> {
@@ -79,6 +83,7 @@ OverlapResult run(Network network, std::uint32_t msg) {
     }
   }(cluster, b1.addr(), b1.size(), s1.addr(), 2 * kIters));
   cluster.engine().run();
+  if (metrics != nullptr) cluster.collect_metrics(*metrics);
   return result;
 }
 
@@ -92,17 +97,34 @@ double overlap_ratio(const OverlapResult& r) {
 
 int main() {
   const auto networks = {Network::kIwarp, Network::kIb, Network::kMxoe, Network::kMxom};
+  constexpr std::uint32_t kProbeMsg = 65536;  // rendezvous-size: the interesting regime
   std::printf("=== Extension X2: computation/communication overlap ===\n");
+
+  Report report("ext_overlap");
+  report.add_note("sender-side overlap availability via isend+compute+wait");
+  report.add_note("probe: overlapped-iteration duration histogram + metrics at msg=64KB");
 
   std::vector<std::string> cols;
   for (Network n : networks) cols.push_back(network_name(n));
   Table table("Sender-side overlap availability (1.0 = full overlap)", "msg_bytes", cols);
   for (std::uint32_t msg : {1024u, 8192u, 65536u, 262144u, 1u << 20}) {
     std::vector<double> row;
-    for (Network n : networks) row.push_back(overlap_ratio(run(n, msg)));
+    for (Network n : networks) {
+      if (msg == kProbeMsg) {
+        Histogram hist;
+        MetricRegistry metrics;
+        row.push_back(overlap_ratio(run(n, msg, &hist, &metrics)));
+        report.add_histogram(std::string(network_name(n)) + ".overlapped_us", hist);
+        report.add_metrics(metrics, std::string(network_name(n)) + ".");
+      } else {
+        row.push_back(overlap_ratio(run(n, msg)));
+      }
+    }
     table.add_row(msg, std::move(row));
   }
   table.print();
+  report.add_table(table);
+  report.write();
 
   std::printf(
       "\nExpected shape: eager-size messages overlap everywhere (the NIC owns\n"

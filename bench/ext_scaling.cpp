@@ -13,10 +13,12 @@ using namespace fabsim::core;
 
 namespace {
 
-double allreduce_us(Network network, int ranks, std::uint32_t count_doubles, int iters = 8) {
+double allreduce_us(Network network, int ranks, std::uint32_t count_doubles, int iters = 8,
+                    Histogram* hist = nullptr, MetricRegistry* metrics = nullptr) {
   NetworkProfile p = profile(network);
   p.mpi.eager_buffers = 64;  // keep the N^2 mesh memory bounded at 16 ranks
   Cluster cluster(ranks, p);
+  if (metrics != nullptr) cluster.engine().set_metrics(metrics);
   const std::uint32_t bytes = count_doubles * sizeof(double);
   std::vector<hw::Buffer*> data, scratch;
   for (int r = 0; r < ranks; ++r) {
@@ -27,20 +29,23 @@ double allreduce_us(Network network, int ranks, std::uint32_t count_doubles, int
   for (int r = 0; r < ranks; ++r) {
     cluster.engine().spawn([](Cluster& c, int me, std::uint32_t n, int it,
                               std::vector<hw::Buffer*>& d, std::vector<hw::Buffer*>& s,
-                              double* out) -> Task<> {
+                              double* out, Histogram* h) -> Task<> {
       co_await c.setup_mpi();
       auto& rank = c.mpi_rank(me);
       co_await rank.barrier();
       const double t0 = rank.wtime();
       const auto idx = static_cast<std::size_t>(me);
       for (int i = 0; i < it; ++i) {
+        const double iter0 = rank.wtime();
         co_await rank.allreduce_sum(d[idx]->addr(), s[idx]->addr(), n);
+        if (h != nullptr && me == 0) h->add((rank.wtime() - iter0) * 1e6);
       }
       *out = (rank.wtime() - t0) / it * 1e6;
     }(cluster, r, count_doubles, iters, data, scratch,
-      &elapsed[static_cast<std::size_t>(r)]));
+      &elapsed[static_cast<std::size_t>(r)], hist));
   }
   cluster.engine().run();
+  if (metrics != nullptr) cluster.collect_metrics(*metrics);
   double worst = 0;
   for (double e : elapsed) worst = std::max(worst, e);
   return worst;
@@ -71,7 +76,14 @@ double barrier_us(Network network, int ranks, int iters = 10) {
 
 int main() {
   const auto networks = {Network::kIwarp, Network::kIb, Network::kMxoe, Network::kMxom};
+  // Probe the heaviest configuration: 16 ranks, bandwidth-bound allreduce.
+  constexpr int kProbeRanks = 16;
+  constexpr std::uint32_t kProbeDoubles = 4096;
   std::printf("=== Extension X8: scaling to a 16-node testbed ===\n");
+
+  Report report("ext_scaling");
+  report.add_note("barrier and allreduce scaling, 2..16 ranks");
+  report.add_note("probe: rank-0 per-iteration allreduce histogram + metrics at 16 ranks, 32KB");
 
   std::vector<std::string> cols;
   for (Network n : networks) cols.push_back(network_name(n));
@@ -84,17 +96,31 @@ int main() {
       table.add_row(ranks, std::move(row));
     }
     table.print();
+    report.add_table(table);
   }
   for (std::uint32_t doubles : {8u, 4096u}) {
     Table table("Allreduce " + std::to_string(doubles * 8) + "B latency (us) vs ranks", "ranks",
                 cols);
     for (int ranks : {2, 4, 8, 16}) {
       std::vector<double> row;
-      for (Network n : networks) row.push_back(allreduce_us(n, ranks, doubles));
+      for (Network n : networks) {
+        if (ranks == kProbeRanks && doubles == kProbeDoubles) {
+          Histogram hist;
+          MetricRegistry metrics;
+          row.push_back(allreduce_us(n, ranks, doubles, 8, &hist, &metrics));
+          report.add_histogram(std::string(network_name(n)) + ".allreduce_us", hist);
+          report.add_metrics(metrics, std::string(network_name(n)) + ".");
+        } else {
+          row.push_back(allreduce_us(n, ranks, doubles));
+        }
+      }
       table.add_row(ranks, std::move(row));
     }
     table.print();
+    report.add_table(table);
   }
+
+  report.write();
 
   std::printf(
       "\nExpected shape: log2(N) growth for the small collectives, with the gap\n"

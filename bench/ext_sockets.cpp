@@ -17,7 +17,7 @@ using namespace fabsim::core;
 
 namespace {
 
-double sockets_pingpong_us(std::uint32_t msg, int iters = 30) {
+double sockets_pingpong_us(std::uint32_t msg, int iters = 30, Histogram* hist = nullptr) {
   Engine engine;
   hw::Switch fabric(engine, iwarp_profile().switch_cfg);
   hw::Node node0(engine, 0, iwarp_profile().pcie, xeon_cpu());
@@ -29,15 +29,17 @@ double sockets_pingpong_us(std::uint32_t msg, int iters = 30) {
 
   Time elapsed = 0;
   engine.spawn([](Engine& e, sockets::Socket& s, std::uint64_t addr, std::uint32_t m, int n,
-                  Time* out) -> Task<> {
+                  Time* out, Histogram* h) -> Task<> {
     const Time start = e.now();
     for (int i = 0; i < n; ++i) {
+      const Time iter0 = e.now();
       co_await s.send(addr, m);
       std::uint32_t got = 0;
       while (got < m) got += co_await s.recv(addr, m);
+      if (h != nullptr) h->add(to_us(e.now() - iter0) / 2.0);
     }
     *out = e.now() - start;
-  }(engine, *sock0, b0.addr(), msg, iters, &elapsed));
+  }(engine, *sock0, b0.addr(), msg, iters, &elapsed, hist));
   engine.spawn([](sockets::Socket& s, std::uint64_t addr, std::uint32_t m, int n) -> Task<> {
     for (int i = 0; i < n; ++i) {
       std::uint32_t got = 0;
@@ -52,17 +54,34 @@ double sockets_pingpong_us(std::uint32_t msg, int iters = 30) {
 }  // namespace
 
 int main() {
+  constexpr std::uint32_t kProbeMsg = 1024;
   std::printf("=== Extension X6: the Ethernet-Ethernot gap (host TCP vs offload) ===\n");
+
+  Report report("ext_sockets");
+  report.add_note("host TCP sockets vs offloaded stacks on identical 10GbE hardware");
+  report.add_note("probe: sockets and iWARP half-RTT histograms + iWARP metrics at msg=1024B");
 
   Table latency("Half round trip (us) on identical 10GbE hardware", "msg_bytes",
                 {"sockets", "iWARP", "MXoE", "speedup"});
   for (std::uint32_t msg : {8u, 64u, 1024u, 4096u, 16384u, 65536u}) {
-    const double sock = sockets_pingpong_us(msg);
-    const double iw = userlevel_pingpong_latency_us(iwarp_profile(), msg);
+    double sock = 0, iw = 0;
+    if (msg == kProbeMsg) {
+      Histogram sock_hist, iw_hist;
+      MetricRegistry metrics;
+      sock = sockets_pingpong_us(msg, 30, &sock_hist);
+      iw = userlevel_pingpong_latency_us(iwarp_profile(), msg, 30, &iw_hist, &metrics);
+      report.add_histogram("sockets.latency_us", sock_hist);
+      report.add_histogram("iwarp.latency_us", iw_hist);
+      report.add_metrics(metrics, "iwarp.");
+    } else {
+      sock = sockets_pingpong_us(msg);
+      iw = userlevel_pingpong_latency_us(iwarp_profile(), msg);
+    }
     const double moe = userlevel_pingpong_latency_us(mxoe_profile(), msg);
     latency.add_row(msg, {sock, iw, moe, sock / iw});
   }
   latency.print();
+  report.add_table(latency);
 
   Table bw("One-way bandwidth (MB/s, from latency, 10GbE only)", "msg_bytes",
            {"sockets", "iWARP", "MXoE"});
@@ -72,6 +91,8 @@ int main() {
                      userlevel_bandwidth_mbps(mxoe_profile(), msg, 6)});
   }
   bw.print();
+  report.add_table(bw);
+  report.write();
 
   std::printf(
       "\nThe offloaded stacks hold a 2-4x latency and 2-3x bandwidth advantage\n"

@@ -14,8 +14,10 @@ using namespace fabsim::core;
 
 namespace {
 
-double udapl_pingpong_us(Network network, std::uint32_t msg, int iters = 24) {
+double udapl_pingpong_us(Network network, std::uint32_t msg, int iters = 24,
+                         Histogram* hist = nullptr, MetricRegistry* metrics = nullptr) {
   Cluster cluster(2, network);
+  if (metrics != nullptr) cluster.engine().set_metrics(metrics);
   udapl::InterfaceAdapter ia0(cluster.device(0), cluster.node(0));
   udapl::InterfaceAdapter ia1(cluster.device(1), cluster.node(1));
   auto evd0 = ia0.create_evd();
@@ -30,7 +32,7 @@ double udapl_pingpong_us(Network network, std::uint32_t msg, int iters = 24) {
   cluster.engine().spawn([](Cluster& c, udapl::InterfaceAdapter& a0,
                             udapl::InterfaceAdapter& a1, udapl::Endpoint& e0,
                             udapl::Endpoint& e1, std::uint64_t addr0, std::uint64_t addr1,
-                            std::uint32_t m, int n, Time* out) -> Task<> {
+                            std::uint32_t m, int n, Time* out, Histogram* h) -> Task<> {
     const udapl::Lmr lmr0 = co_await a0.create_lmr(addr0, m);
     const udapl::Lmr lmr1 = co_await a1.create_lmr(addr1, m);
     const udapl::Rmr rmr0 = a0.bind_rmr(lmr0);
@@ -47,31 +49,51 @@ double udapl_pingpong_us(Network network, std::uint32_t msg, int iters = 24) {
 
     const Time start = c.engine().now();
     for (int i = 0; i < n; ++i) {
+      const Time iter0 = c.engine().now();
       auto reply = c.device(0).watch_placement(lmr0.addr(), m);
       co_await e0.post_rdma_write(lmr0, m, rmr1, 1);
       co_await reply->wait();
+      if (h != nullptr) h->add(to_us(c.engine().now() - iter0) / 2.0);
     }
     *out = c.engine().now() - start;
-  }(cluster, ia0, ia1, *ep0, *ep1, b0.addr(), b1.addr(), msg, iters, &elapsed));
+  }(cluster, ia0, ia1, *ep0, *ep1, b0.addr(), b1.addr(), msg, iters, &elapsed, hist));
   cluster.engine().run();
+  if (metrics != nullptr) cluster.collect_metrics(*metrics);
   return to_us(elapsed) / iters / 2.0;
 }
 
 }  // namespace
 
 int main() {
+  constexpr std::uint32_t kProbeMsg = 4096;
   std::printf("=== Extension X7: uDAPL over iWARP and IB ===\n");
+
+  Report report("ext_udapl");
+  report.add_note("uDAPL RDMA-write ping-pong vs raw verbs, iWARP and IB");
+  report.add_note("probe: uDAPL half-RTT histogram + metrics at msg=4KB");
 
   for (Network network : {Network::kIwarp, Network::kIb}) {
     Table table(std::string("RDMA-write ping-pong latency (us) — ") + network_name(network),
                 "msg_bytes", {"verbs", "uDAPL", "overhead_us"});
     for (std::uint32_t msg : {8u, 256u, 4096u, 65536u, 262144u}) {
       const double raw = userlevel_pingpong_latency_us(profile(network), msg);
-      const double dapl = udapl_pingpong_us(network, msg);
+      double dapl = 0;
+      if (msg == kProbeMsg) {
+        Histogram hist;
+        MetricRegistry metrics;
+        dapl = udapl_pingpong_us(network, msg, 24, &hist, &metrics);
+        report.add_histogram(std::string(network_name(network)) + ".udapl_latency_us", hist);
+        report.add_metrics(metrics, std::string(network_name(network)) + ".");
+      } else {
+        dapl = udapl_pingpong_us(network, msg);
+      }
       table.add_row(msg, {raw, dapl, dapl - raw});
     }
     table.print();
+    report.add_table(table);
   }
+
+  report.write();
 
   std::printf(
       "\nExpected shape: a fixed few-hundred-nanosecond dispatch cost per\n"

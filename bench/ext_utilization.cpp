@@ -6,14 +6,17 @@
 
 #include "core/cluster.hpp"
 #include "core/report.hpp"
+#include "core/runners.hpp"
 
 using namespace fabsim;
 using namespace fabsim::core;
 
 namespace {
 
-void run_verbs(Network network) {
+void run_verbs(Network network, Report& report) {
   Cluster cluster(2, network);
+  MetricRegistry registry;
+  cluster.engine().set_metrics(&registry);
   verbs::CompletionQueue cq(cluster.engine());
   auto qp0 = cluster.device(0).create_qp(cq, cq);
   auto qp1 = cluster.device(1).create_qp(cq, cq);
@@ -37,32 +40,41 @@ void run_verbs(Network network) {
     *t1 = c.engine().now();
   }(cluster, *qp0, src.addr(), dst.addr(), len, &start, &end));
   cluster.engine().run();
+  cluster.collect_metrics(registry);
 
   const double span = static_cast<double>(end - start);
   auto pct = [span](Time busy) { return 100.0 * static_cast<double>(busy) / span; };
+  const std::string prefix = std::string(network_name(network)) + ".";
+  auto emit = [&](const char* label, const char* key, double value, const char* note = "") {
+    std::printf("  %-21s %5.1f%%%s\n", label, value, note);
+    report.add_scalar(prefix + key, value, "%");
+  };
 
   std::printf("%s one-way 8 MB RDMA write (%.0f us):\n", network_name(network),
               to_us(end - start));
   if (network == Network::kIwarp) {
-    std::printf("  sender tx engine      %5.1f%%   <- paper: engine-rate bound (~880 MB/s)\n",
-                pct(cluster.rnic(0).tx_engine_busy_time()));
-    std::printf("  sender PCI-X bus      %5.1f%%\n", pct(cluster.rnic(0).pcix_busy_time()));
-    std::printf("  sender 10GbE link     %5.1f%%\n", pct(cluster.rnic(0).tx_link_busy_time()));
-    std::printf("  receiver rx engine    %5.1f%%\n",
-                pct(cluster.rnic(1).rx_engine_busy_time()));
-    std::printf("  receiver PCI-X bus    %5.1f%%\n", pct(cluster.rnic(1).pcix_busy_time()));
+    emit("sender tx engine", "sender_tx_engine_pct", pct(cluster.rnic(0).tx_engine_busy_time()),
+         "   <- paper: engine-rate bound (~880 MB/s)");
+    emit("sender PCI-X bus", "sender_pcix_pct", pct(cluster.rnic(0).pcix_busy_time()));
+    emit("sender 10GbE link", "sender_link_pct", pct(cluster.rnic(0).tx_link_busy_time()));
+    emit("receiver rx engine", "receiver_rx_engine_pct",
+         pct(cluster.rnic(1).rx_engine_busy_time()));
+    emit("receiver PCI-X bus", "receiver_pcix_pct", pct(cluster.rnic(1).pcix_busy_time()));
   } else {
-    std::printf("  sender IB link        %5.1f%%   <- paper: link bound (97%% of 1 GB/s)\n",
-                pct(cluster.hca(0).tx_link_busy_time()));
-    std::printf("  sender proc engine    %5.1f%%\n", pct(cluster.hca(0).proc_busy_time()));
-    std::printf("  sender DMA engine     %5.1f%%\n", pct(cluster.hca(0).dma_busy_time()));
-    std::printf("  receiver DMA engine   %5.1f%%\n", pct(cluster.hca(1).dma_busy_time()));
+    emit("sender IB link", "sender_link_pct", pct(cluster.hca(0).tx_link_busy_time()),
+         "   <- paper: link bound (97% of 1 GB/s)");
+    emit("sender proc engine", "sender_proc_pct", pct(cluster.hca(0).proc_busy_time()));
+    emit("sender DMA engine", "sender_dma_pct", pct(cluster.hca(0).dma_busy_time()));
+    emit("receiver DMA engine", "receiver_dma_pct", pct(cluster.hca(1).dma_busy_time()));
   }
   std::printf("\n");
+  report.add_metrics(registry, prefix);
 }
 
-void run_mx(Network network) {
+void run_mx(Network network, Report& report) {
   Cluster cluster(2, network);
+  MetricRegistry registry;
+  cluster.engine().set_metrics(&registry);
   const std::uint32_t len = 8 << 20;
   auto& src = cluster.node(0).mem().alloc(len, false);
   auto& dst = cluster.node(1).mem().alloc(len, false);
@@ -87,29 +99,51 @@ void run_mx(Network network) {
     co_await ep0.wait(tx);
   }(cluster, src.addr(), dst.addr(), len, &start, &end));
   cluster.engine().run();
+  cluster.collect_metrics(registry);
 
   // Busy counters include the warmup pass; both passes move the same
   // bytes, so halving them approximates the measured pass's share.
   const double span = static_cast<double>(end - start);
   auto pct = [span](Time busy) { return 100.0 * static_cast<double>(busy) / 2.0 / span; };
+  const std::string prefix = std::string(network_name(network)) + ".";
+  auto emit = [&](const char* label, const char* key, double value, const char* note = "") {
+    std::printf("  %-21s %5.1f%%%s\n", label, value, note);
+    report.add_scalar(prefix + key, value, "%");
+  };
   std::printf("%s one-way 8 MB rendezvous (%.0f us):\n", network_name(network),
               to_us(end - start));
-  std::printf("  sender PCIe x4 (read) %5.1f%%   <- paper: forced-x4 bound (<=75%% of 10G)\n",
-              pct(cluster.node(0).pcie().read_busy_time()));
-  std::printf("  sender NIC DMA engine %5.1f%%\n", pct(cluster.endpoint(0).dma_busy_time()));
-  std::printf("  sender 10G link       %5.1f%%\n",
-              pct(cluster.endpoint(0).tx_link_busy_time()));
-  std::printf("  receiver NIC DMA      %5.1f%%\n", pct(cluster.endpoint(1).dma_busy_time()));
+  emit("sender PCIe x4 (read)", "sender_pcie_read_pct",
+       pct(cluster.node(0).pcie().read_busy_time()),
+       "   <- paper: forced-x4 bound (<=75% of 10G)");
+  emit("sender NIC DMA engine", "sender_dma_pct", pct(cluster.endpoint(0).dma_busy_time()));
+  emit("sender 10G link", "sender_link_pct", pct(cluster.endpoint(0).tx_link_busy_time()));
+  emit("receiver NIC DMA", "receiver_dma_pct", pct(cluster.endpoint(1).dma_busy_time()));
   std::printf("\n");
+  report.add_metrics(registry, prefix);
 }
 
 }  // namespace
 
 int main() {
   std::printf("=== Extension X11: resource utilization at saturation ===\n\n");
-  run_verbs(Network::kIwarp);
-  run_verbs(Network::kIb);
-  run_mx(Network::kMxom);
+
+  Report report("ext_utilization");
+  report.add_note("resource utilization during a saturating 8 MB one-way transfer");
+  report.add_note("probe: 1KB user-level latency histograms for the same three networks");
+
+  run_verbs(Network::kIwarp, report);
+  run_verbs(Network::kIb, report);
+  run_mx(Network::kMxom, report);
+
+  // Latency-distribution probe so the report carries p50/p99 alongside
+  // the saturation utilization numbers.
+  for (Network n : {Network::kIwarp, Network::kIb, Network::kMxom}) {
+    Histogram hist;
+    userlevel_pingpong_latency_us(profile(n), 1024, 30, &hist);
+    report.add_histogram(std::string(network_name(n)) + ".latency_us", hist);
+  }
+  report.write();
+
   std::printf(
       "The resource DESIGN.md names as each network's bottleneck should sit\n"
       "near 100%% while everything else idles below it.\n");

@@ -11,14 +11,31 @@ using namespace fabsim::core;
 
 int main() {
   const auto networks = {Network::kIwarp, Network::kIb, Network::kMxoe, Network::kMxom};
+  // FabricScope probe: at this message size, collect the per-iteration
+  // latency distribution and the full metric registry for each network.
+  constexpr std::uint32_t kProbeMsg = 1024;
 
   std::printf("=== Figure 1: user-level ping-pong (paper Sec. 5) ===\n");
+
+  Report report("fig1_userlevel");
+  report.add_note("user-level ping-pong latency and bandwidth, four libraries");
+  report.add_note("probe: per-iteration half-RTT histogram + metrics at msg=1024B");
 
   Table latency("User-level inter-node latency (us, half RTT)", "msg_bytes",
                 {"iWARP", "IB", "MXoE", "MXoM"});
   for (std::uint32_t msg : pow2_sizes(4, 16 * 1024)) {
     std::vector<double> row;
-    for (Network n : networks) row.push_back(userlevel_pingpong_latency_us(profile(n), msg));
+    for (Network n : networks) {
+      if (msg == kProbeMsg) {
+        Histogram hist;
+        MetricRegistry metrics;
+        row.push_back(userlevel_pingpong_latency_us(profile(n), msg, 30, &hist, &metrics));
+        report.add_histogram(std::string(network_name(n)) + ".latency_us", hist);
+        report.add_metrics(metrics, std::string(network_name(n)) + ".");
+      } else {
+        row.push_back(userlevel_pingpong_latency_us(profile(n), msg));
+      }
+    }
     latency.add_row(msg, std::move(row));
   }
   latency.print();
@@ -33,6 +50,10 @@ int main() {
   }
   bandwidth.print();
   bandwidth.print_csv();
+
+  report.add_table(latency);
+  report.add_table(bandwidth);
+  report.write();
 
   std::printf(
       "\nPaper reference points: short-message latency 9.78 (iWARP), 4.53 (IB),\n"

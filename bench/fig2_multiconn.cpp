@@ -18,6 +18,13 @@ int main(int argc, char** argv) {
       quick ? std::vector<int>{1, 4, 16, 64} : std::vector<int>{1, 2, 4, 8, 16, 32, 64, 128, 256};
   const std::vector<std::uint32_t> lat_sizes = {1, 1024, 2048, 4096, 8192, 16384};
   const std::vector<std::uint32_t> tput_sizes = {512, 1024, 2048, 4096, 8192, 16384};
+  // FabricScope probe configuration (present in both sweep variants).
+  constexpr int kProbeConns = 16;
+  constexpr std::uint32_t kProbeMsg = 1024;
+
+  Report report("fig2_multiconn");
+  report.add_note("multi-connection scalability, iWARP vs IB over common verbs");
+  report.add_note("probe: per-round normalized latency histogram + metrics at conns=16 msg=1024B");
 
   for (Network network : {Network::kIwarp, Network::kIb}) {
     std::vector<std::string> cols;
@@ -28,11 +35,21 @@ int main(int argc, char** argv) {
     for (int c : connections) {
       std::vector<double> row;
       for (auto m : lat_sizes) {
-        row.push_back(multiconn_normalized_latency_us(profile(network), c, m));
+        if (c == kProbeConns && m == kProbeMsg) {
+          Histogram hist;
+          MetricRegistry metrics;
+          row.push_back(multiconn_normalized_latency_us(profile(network), c, m, 16, &hist,
+                                                        &metrics));
+          report.add_histogram(std::string(network_name(network)) + ".norm_latency_us", hist);
+          report.add_metrics(metrics, std::string(network_name(network)) + ".");
+        } else {
+          row.push_back(multiconn_normalized_latency_us(profile(network), c, m));
+        }
       }
       latency.add_row(c, std::move(row));
     }
     latency.print();
+    report.add_table(latency);
   }
 
   for (Network network : {Network::kIwarp, Network::kIb}) {
@@ -49,7 +66,10 @@ int main(int argc, char** argv) {
       tput.add_row(c, std::move(row));
     }
     tput.print();
+    report.add_table(tput);
   }
+
+  report.write();
 
   std::printf(
       "\nPaper reference shape: iWARP normalized latency keeps dropping up to 128\n"

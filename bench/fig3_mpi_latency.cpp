@@ -10,7 +10,12 @@ using namespace fabsim::core;
 
 int main() {
   const auto networks = {Network::kIwarp, Network::kIb, Network::kMxoe, Network::kMxom};
+  constexpr std::uint32_t kProbeMsg = 1024;
   std::printf("=== Figure 3: MPI ping-pong latency and overhead (paper Sec. 6.1) ===\n");
+
+  Report report("fig3_mpi_latency");
+  report.add_note("MPI ping-pong latency and MPI-over-user-level overhead");
+  report.add_note("probe: per-iteration half-RTT histogram + metrics at msg=1024B");
 
   Table latency("MPI inter-node latency (us, half RTT)", "msg_bytes",
                 {"iWARP", "IB", "MXoE", "MXoM"});
@@ -20,7 +25,16 @@ int main() {
     std::vector<double> lat_row, ovh_row;
     for (Network n : networks) {
       const double user = userlevel_pingpong_latency_us(profile(n), msg);
-      const double mpi = mpi_pingpong_latency_us(profile(n), msg);
+      double mpi = 0;
+      if (msg == kProbeMsg) {
+        Histogram hist;
+        MetricRegistry metrics;
+        mpi = mpi_pingpong_latency_us(profile(n), msg, 30, &hist, &metrics);
+        report.add_histogram(std::string(network_name(n)) + ".latency_us", hist);
+        report.add_metrics(metrics, std::string(network_name(n)) + ".");
+      } else {
+        mpi = mpi_pingpong_latency_us(profile(n), msg);
+      }
       lat_row.push_back(mpi);
       ovh_row.push_back((mpi - user) / user * 100.0);
     }
@@ -30,6 +44,10 @@ int main() {
   latency.print();
   overhead.print();
   latency.print_csv();
+
+  report.add_table(latency);
+  report.add_table(overhead);
+  report.write();
 
   std::printf(
       "\nPaper reference points: short-message MPI latency ~10.7 (iWARP), 4.8\n"

@@ -13,9 +13,14 @@ using namespace fabsim::core;
 int main(int argc, char** argv) {
   const bool quick = argc > 1;
   const auto networks = {Network::kIwarp, Network::kIb, Network::kMxoe, Network::kMxom};
+  constexpr std::uint32_t kProbeMsg = 65536;  // present in both sweep variants
   std::printf("=== Figure 4: MPI bandwidth, three modes (paper Sec. 6.2) ===\n");
 
   const auto sizes = pow2_sizes(quick ? 4096 : 256, quick ? 1 << 20 : 4 << 20);
+
+  Report report("fig4_mpi_bandwidth");
+  report.add_note("MPI bandwidth: unidirectional, bidirectional, both-way");
+  report.add_note("probe: per-window unidirectional latency histogram + metrics at msg=64KB");
 
   Table uni("MPI unidirectional bandwidth (MB/s)", "msg_bytes", {"iWARP", "IB", "MXoE", "MXoM"});
   Table bidi("MPI bidirectional bandwidth (MB/s)", "msg_bytes", {"iWARP", "IB", "MXoE", "MXoM"});
@@ -24,7 +29,15 @@ int main(int argc, char** argv) {
     std::vector<double> u, b, w;
     const int windows = msg >= (1 << 20) ? 3 : 6;
     for (Network n : networks) {
-      u.push_back(mpi_unidir_bw_mbps(profile(n), msg, 16, windows));
+      if (msg == kProbeMsg) {
+        Histogram hist;
+        MetricRegistry metrics;
+        u.push_back(mpi_unidir_bw_mbps(profile(n), msg, 16, windows, &hist, &metrics));
+        report.add_histogram(std::string(network_name(n)) + ".window_us", hist);
+        report.add_metrics(metrics, std::string(network_name(n)) + ".");
+      } else {
+        u.push_back(mpi_unidir_bw_mbps(profile(n), msg, 16, windows));
+      }
       b.push_back(mpi_bidir_bw_mbps(profile(n), msg, msg >= (1 << 20) ? 6 : 12));
       w.push_back(mpi_bothway_bw_mbps(profile(n), msg, 16, windows));
     }
@@ -36,6 +49,11 @@ int main(int argc, char** argv) {
   bidi.print();
   both.print();
   uni.print_csv();
+
+  report.add_table(uni);
+  report.add_table(bidi);
+  report.add_table(both);
+  report.write();
 
   std::printf(
       "\nPaper reference points: bidirectional peaks 856 (iWARP) / ~960 (IB) /\n"

@@ -13,7 +13,12 @@ using namespace fabsim::core;
 int main(int argc, char** argv) {
   const bool quick = argc > 1;
   const auto networks = {Network::kIwarp, Network::kIb, Network::kMxoe, Network::kMxom};
+  constexpr std::uint32_t kProbeMsg = 4096;
   std::printf("=== Figure 6: buffer re-use effect (paper Sec. 6.4) ===\n");
+
+  Report report("fig6_buffer_reuse");
+  report.add_note("buffer re-use effect: no-reuse/full-reuse latency ratio");
+  report.add_note("probe: cold (no-reuse) and warm half-RTT histograms + metrics at msg=4KB");
 
   Table ratio("Latency ratio: 0% re-use / 100% re-use", "msg_bytes",
               {"iWARP", "IB", "MXoE", "MXoM"});
@@ -21,14 +26,29 @@ int main(int argc, char** argv) {
     std::vector<double> row;
     const int iters = msg >= (1 << 19) ? 20 : 32;
     for (Network n : networks) {
-      const double cold = bufreuse_latency_us(profile(n), msg, /*reuse=*/false, 16, iters);
-      const double warm = bufreuse_latency_us(profile(n), msg, /*reuse=*/true, 16, iters);
+      double cold = 0, warm = 0;
+      if (msg == kProbeMsg) {
+        Histogram cold_hist, warm_hist;
+        MetricRegistry metrics;
+        cold = bufreuse_latency_us(profile(n), msg, /*reuse=*/false, 16, iters, &cold_hist,
+                                   &metrics);
+        warm = bufreuse_latency_us(profile(n), msg, /*reuse=*/true, 16, iters, &warm_hist);
+        report.add_histogram(std::string(network_name(n)) + ".cold_latency_us", cold_hist);
+        report.add_histogram(std::string(network_name(n)) + ".warm_latency_us", warm_hist);
+        report.add_metrics(metrics, std::string(network_name(n)) + ".");
+      } else {
+        cold = bufreuse_latency_us(profile(n), msg, /*reuse=*/false, 16, iters);
+        warm = bufreuse_latency_us(profile(n), msg, /*reuse=*/true, 16, iters);
+      }
       row.push_back(cold / warm);
     }
     ratio.add_row(msg, std::move(row));
   }
   ratio.print();
   ratio.print_csv();
+
+  report.add_table(ratio);
+  report.write();
 
   std::printf(
       "\nPaper reference points: <10%% impact up to 256 B; eager-size ratios\n"

@@ -17,6 +17,14 @@ int main(int argc, char** argv) {
 
   const std::vector<int> depths = quick ? std::vector<int>{64, 256} :
                                           std::vector<int>{16, 64, 128, 256, 512};
+  // FabricScope probe configuration (present in both depth sweeps).
+  constexpr std::uint32_t kProbeMsg = 1024;
+  constexpr int kProbeDepth = 256;
+
+  Report report("fig8_receive_queue");
+  report.add_note("receive (posted) queue effect: loaded/empty latency ratio");
+  report.add_note("probe: loaded half-RTT histogram + metrics at msg=1024B depth=256");
+
   for (std::uint32_t msg : {16u, 256u, 1024u, 8192u, 32768u, 131072u}) {
     std::vector<std::string> cols;
     for (Network n : networks) cols.push_back(network_name(n));
@@ -30,13 +38,25 @@ int main(int argc, char** argv) {
       std::vector<double> row;
       int i = 0;
       for (Network n : networks) {
-        row.push_back(recv_queue_latency_us(profile(n), msg, depth) /
-                      base[static_cast<std::size_t>(i++)]);
+        double loaded = 0;
+        if (msg == kProbeMsg && depth == kProbeDepth) {
+          Histogram hist;
+          MetricRegistry metrics;
+          loaded = recv_queue_latency_us(profile(n), msg, depth, 16, &hist, &metrics);
+          report.add_histogram(std::string(network_name(n)) + ".loaded_latency_us", hist);
+          report.add_metrics(metrics, std::string(network_name(n)) + ".");
+        } else {
+          loaded = recv_queue_latency_us(profile(n), msg, depth);
+        }
+        row.push_back(loaded / base[static_cast<std::size_t>(i++)]);
       }
       ratio.add_row(depth, std::move(row));
     }
     ratio.print();
+    report.add_table(ratio);
   }
+
+  report.write();
 
   std::printf(
       "\nPaper reference shape: the receive-queue impact is more than twice the\n"

@@ -2,12 +2,25 @@
 # Build everything, run the full test suite, then regenerate every figure
 # into results/. Mirrors what CI would do.
 #
-# With --sanitize, additionally build under ASan+UBSan (build-asan/) and
-# run the test suite instrumented before the figure regeneration.
+# Flags (combinable):
+#   --sanitize   additionally build under ASan+UBSan (build-asan/) and run
+#                the test suite instrumented before the figure regeneration
+#   --trace      after the benches, export a Chrome-trace JSON of one
+#                rendezvous message to results/trace_export.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [[ "${1:-}" == "--sanitize" ]]; then
+sanitize=0
+trace=0
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize) sanitize=1 ;;
+    --trace) trace=1 ;;
+    *) echo "unknown flag: $arg (expected --sanitize and/or --trace)" >&2; exit 2 ;;
+  esac
+done
+
+if [[ "$sanitize" == 1 ]]; then
   cmake -B build-asan -G Ninja -DFABSIM_SANITIZE=ON
   cmake --build build-asan
   ctest --test-dir build-asan --output-on-failure
@@ -22,5 +35,21 @@ for b in build/bench/*; do
   [[ -f "$b" && -x "$b" ]] || continue  # skip CMakeFiles/ and cmake litter
   name="$(basename "$b")"
   echo "=== $name ==="
-  "$b" | tee "results/$name.txt"
+  # Benches write their own results/<name>.{txt,csv,json} via the Report
+  # helper, so tee into a temp file and only install the captured stdout
+  # as .txt for binaries (e.g. micro_simcore) that don't self-report —
+  # teeing straight onto results/<name>.txt would clobber the report.
+  rm -f "results/$name.txt" "results/$name.csv" "results/$name.json"
+  tmp="$(mktemp)"
+  "$b" | tee "$tmp"
+  if [[ -f "results/$name.txt" ]]; then
+    rm -f "$tmp"
+  else
+    mv "$tmp" "results/$name.txt"
+  fi
 done
+
+if [[ "$trace" == 1 ]]; then
+  echo "=== trace_export ==="
+  build/examples/trace_export results/trace_export.json
+fi

@@ -77,4 +77,102 @@ Task<> Cluster::setup_mpi() {
   mpi_ready_event_->trigger();
 }
 
+void Cluster::collect_metrics(MetricRegistry& registry) {
+  const Time elapsed = engine_.now();
+  auto nname = [](int i) { return "node" + std::to_string(i); };
+
+  // Fabric: per-port serialization busy time -> utilization, tail drops,
+  // and the queue-backlog high-water mark.
+  for (int p = 0; p < static_cast<int>(fabric_->num_ports()); ++p) {
+    const std::string prefix = "switch.port" + std::to_string(p) + ".";
+    registry.counter(prefix + "tail_drops").set(fabric_->output_drops(p));
+    registry.gauge(prefix + "queue_bytes").set(fabric_->output_queue_hwm_bytes(p));
+    registry.counter(prefix + "busy_us")
+        .set(static_cast<std::uint64_t>(to_us(fabric_->output_busy_time(p))));
+    if (elapsed > 0) {
+      registry.gauge(prefix + "utilization")
+          .set(static_cast<double>(fabric_->output_busy_time(p)) / static_cast<double>(elapsed));
+    }
+  }
+  registry.counter("switch.fault_drops").set(fabric_->fault_drops());
+  registry.counter("switch.fault_corruptions").set(fabric_->fault_corruptions());
+  registry.counter("switch.fault_delays").set(fabric_->fault_delays());
+
+  // Host side: CPU busy time and PCIe DMA byte counts per node.
+  for (int i = 0; i < num_nodes(); ++i) {
+    const std::string prefix = "hw." + nname(i) + ".";
+    registry.counter(prefix + "cpu_busy_us")
+        .set(static_cast<std::uint64_t>(to_us(node(i).cpu().busy_time())));
+    registry.counter(prefix + "pcie_bytes_read").set(node(i).pcie().bytes_read());
+    registry.counter(prefix + "pcie_bytes_written").set(node(i).pcie().bytes_written());
+  }
+
+  // Stack counters, per node.
+  for (std::size_t i = 0; i < rnics_.size(); ++i) {
+    const iwarp::Rnic& r = *rnics_[i];
+    const std::string prefix = "iwarp." + nname(static_cast<int>(i)) + ".";
+    registry.counter(prefix + "segments_sent").set(r.segments_sent());
+    registry.counter(prefix + "acks_sent").set(r.acks_sent());
+    registry.counter(prefix + "retransmits").set(r.retransmits());
+    registry.counter(prefix + "retransmitted_bytes").set(r.retransmitted_bytes());
+    registry.counter(prefix + "rto_fires").set(r.rto_fires());
+    registry.counter(prefix + "crc_discards").set(r.corrupt_discards());
+    registry.counter(prefix + "pcix_bytes").set(r.pcix_bytes());
+  }
+  for (std::size_t i = 0; i < hcas_.size(); ++i) {
+    const ib::Hca& h = *hcas_[i];
+    const std::string prefix = "ib." + nname(static_cast<int>(i)) + ".";
+    registry.counter(prefix + "packets_sent").set(h.packets_sent());
+    registry.counter(prefix + "acks_sent").set(h.acks_sent());
+    registry.counter(prefix + "naks_sent").set(h.naks_sent());
+    registry.counter(prefix + "retransmits").set(h.retransmits());
+    registry.counter(prefix + "retransmitted_bytes").set(h.retransmitted_bytes());
+    registry.counter(prefix + "rto_fires").set(h.rto_fires());
+    registry.counter(prefix + "crc_discards").set(h.corrupt_discards());
+    registry.counter(prefix + "context_hits").set(h.context_hits());
+    registry.counter(prefix + "context_misses").set(h.context_misses());
+  }
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    const mx::Endpoint& e = *endpoints_[i];
+    const std::string prefix = "mx." + nname(static_cast<int>(i)) + ".";
+    registry.counter(prefix + "frames_sent").set(e.frames_sent());
+    registry.counter(prefix + "acks_sent").set(e.acks_sent());
+    registry.counter(prefix + "resends").set(e.resends());
+    registry.counter(prefix + "resent_bytes").set(e.resent_bytes());
+    registry.counter(prefix + "rto_fires").set(e.rto_fires());
+    registry.counter(prefix + "crc_discards").set(e.corrupt_discards());
+    registry.counter(prefix + "eager_sends").set(e.eager_sends());
+    registry.counter(prefix + "rndv_sends").set(e.rndv_sends());
+    registry.counter(prefix + "reg_cache_hits").set(e.reg_cache().hits());
+    registry.counter(prefix + "reg_cache_misses").set(e.reg_cache().misses());
+    registry.counter(prefix + "reg_cache_evictions").set(e.reg_cache().evictions());
+    registry.gauge(prefix + "unexpected_depth").set(static_cast<double>(e.unexpected_max_depth()));
+    registry.gauge(prefix + "posted_depth").set(static_cast<double>(e.posted_max_depth()));
+  }
+
+  // MPI layer (when setup_mpi ran): protocol split, queue depth
+  // high-water marks, and the pin-down cache for ch_verbs.
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const std::string prefix = "mpi.rank" + std::to_string(i) + ".";
+    if (const auto* ch = dynamic_cast<const mpi::ChVerbs*>(channels_[i].get())) {
+      registry.counter(prefix + "eager_sends").set(ch->eager_send_count());
+      registry.counter(prefix + "rndv_sends").set(ch->rndv_send_count());
+      registry.gauge(prefix + "unexpected_max_depth")
+          .set(static_cast<double>(ch->unexpected_max_depth()));
+      registry.gauge(prefix + "posted_max_depth").set(static_cast<double>(ch->posted_max_depth()));
+      registry.counter(prefix + "pin_hits").set(ch->pin_hits());
+      registry.counter(prefix + "pin_misses").set(ch->pin_misses());
+      registry.counter(prefix + "pin_cache_evictions").set(ch->pin_cache().evictions());
+    } else if (!endpoints_.empty()) {
+      // ChMx delegates matching to the NIC: surface the endpoint's
+      // NIC-resident queue high-water marks under the MPI taxonomy too.
+      const mx::Endpoint& e = *endpoints_[i];
+      registry.gauge(prefix + "unexpected_max_depth")
+          .set(static_cast<double>(e.unexpected_max_depth()));
+      registry.gauge(prefix + "posted_max_depth")
+          .set(static_cast<double>(e.posted_max_depth()));
+    }
+  }
+}
+
 }  // namespace fabsim::core

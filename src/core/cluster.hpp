@@ -51,6 +51,12 @@ class Cluster {
   Task<> setup_mpi();
   mpi::Rank& mpi_rank(int i) { return *mpi_ranks_.at(static_cast<std::size_t>(i)); }
 
+  /// FabricScope pull-side: snapshot every component's internal counters
+  /// into `registry` under hierarchical names (ib.node0.retransmits,
+  /// switch.port2.tail_drops, mpi.rank1.unexpected_max_depth, ...).
+  /// Call at end of run; safe to call repeatedly (values are overwritten).
+  void collect_metrics(MetricRegistry& registry);
+
  private:
   NetworkProfile profile_;
   Engine engine_;

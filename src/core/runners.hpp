@@ -4,35 +4,54 @@
 // the paper's algorithm inside the simulation, and returns the metric.
 // Figure-by-figure mapping lives in DESIGN.md §3; the bench/ binaries
 // sweep these runners to print each figure's series.
+//
+// FabricScope outs: every runner takes two trailing, defaulted observer
+// pointers. `hist` receives one latency sample per measured message
+// (half-RTT µs for ping-pongs, per-window µs for streaming tests) so
+// benches can report exact p50/p99 tails next to the mean the paper
+// plots. `metrics` is attached to the cluster's engine for the whole run
+// (push-path phase attribution and counter samples) and receives the
+// Cluster::collect_metrics() pull snapshot at end of run. Both are
+// ignored when null — existing call sites compile unchanged.
 #pragma once
 
 #include <cstdint>
 
 #include "core/calibration.hpp"
+#include "sim/histogram.hpp"
+#include "sim/metrics.hpp"
 
 namespace fabsim::core {
 
 // --- Figure 1: user-level ping-pong (verbs RDMA Write / MX send-recv) ---
 double userlevel_pingpong_latency_us(const NetworkProfile& profile, std::uint32_t msg,
-                                     int iters = 30);
-double userlevel_bandwidth_mbps(const NetworkProfile& profile, std::uint32_t msg,
-                                int iters = 10);
+                                     int iters = 30, Histogram* hist = nullptr,
+                                     MetricRegistry* metrics = nullptr);
+double userlevel_bandwidth_mbps(const NetworkProfile& profile, std::uint32_t msg, int iters = 10,
+                                Histogram* hist = nullptr, MetricRegistry* metrics = nullptr);
 
 // --- Figure 2: multi-connection scalability (common verbs interface) ---
 double multiconn_normalized_latency_us(const NetworkProfile& profile, int connections,
-                                       std::uint32_t msg, int rounds = 16);
+                                       std::uint32_t msg, int rounds = 16,
+                                       Histogram* hist = nullptr,
+                                       MetricRegistry* metrics = nullptr);
 double multiconn_throughput_mbps(const NetworkProfile& profile, int connections,
-                                 std::uint32_t msg, int rounds = 24);
+                                 std::uint32_t msg, int rounds = 24,
+                                 MetricRegistry* metrics = nullptr);
 
 // --- Figure 3: MPI ping-pong latency ---
-double mpi_pingpong_latency_us(const NetworkProfile& profile, std::uint32_t msg, int iters = 30);
+double mpi_pingpong_latency_us(const NetworkProfile& profile, std::uint32_t msg, int iters = 30,
+                               Histogram* hist = nullptr, MetricRegistry* metrics = nullptr);
 
 // --- Figure 4: MPI bandwidth, three modes ---
 double mpi_unidir_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int window = 16,
-                          int windows = 6);
-double mpi_bidir_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int iters = 20);
+                          int windows = 6, Histogram* hist = nullptr,
+                          MetricRegistry* metrics = nullptr);
+double mpi_bidir_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int iters = 20,
+                         Histogram* hist = nullptr, MetricRegistry* metrics = nullptr);
 double mpi_bothway_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int window = 16,
-                           int windows = 6);
+                           int windows = 6, Histogram* hist = nullptr,
+                           MetricRegistry* metrics = nullptr);
 
 // --- Figure 5: LogP parameters (Kielmann's fast measurement method) ---
 struct LogpPoint {
@@ -40,20 +59,38 @@ struct LogpPoint {
   double os_us = 0;   ///< send overhead
   double or_us = 0;   ///< receive overhead
 };
-LogpPoint logp_parameters(const NetworkProfile& profile, std::uint32_t msg, int iters = 24);
+LogpPoint logp_parameters(const NetworkProfile& profile, std::uint32_t msg, int iters = 24,
+                          Histogram* os_hist = nullptr, Histogram* or_hist = nullptr,
+                          MetricRegistry* metrics = nullptr);
+
+/// Measured LogP-style decomposition of an MPI ping-pong: where one
+/// message's half-RTT actually went, from FabricScope's per-phase time
+/// attribution (host CPU / NIC+DMA / wire) rather than from the
+/// analytical model. Regenerates Fig. 5's overhead story bottom-up.
+struct PhaseBreakdown {
+  double host_us = 0;   ///< per-message host CPU time
+  double nic_us = 0;    ///< per-message DMA + NIC engine occupancy
+  double wire_us = 0;   ///< per-message serialization + propagation
+  double total_us = 0;  ///< measured half-RTT (== fig3 latency)
+};
+PhaseBreakdown mpi_phase_breakdown(const NetworkProfile& profile, std::uint32_t msg,
+                                   int iters = 30);
 
 // --- Figure 6: buffer re-use effect on ping-pong latency ---
 /// `reuse` = true: the same buffer every iteration (100% re-use);
 /// false: cycle through `nbufs` distinct buffers (0% re-use).
 double bufreuse_latency_us(const NetworkProfile& profile, std::uint32_t msg, bool reuse,
-                           int nbufs = 16, int iters = 32);
+                           int nbufs = 16, int iters = 32, Histogram* hist = nullptr,
+                           MetricRegistry* metrics = nullptr);
 
 // --- Figure 7: unexpected-message queue effect (synchronous sends) ---
 double unexpected_queue_latency_us(const NetworkProfile& profile, std::uint32_t msg, int depth,
-                                   int iters = 16);
+                                   int iters = 16, Histogram* hist = nullptr,
+                                   MetricRegistry* metrics = nullptr);
 
 // --- Figure 8: receive (posted) queue effect ---
 double recv_queue_latency_us(const NetworkProfile& profile, std::uint32_t msg, int depth,
-                             int iters = 16);
+                             int iters = 16, Histogram* hist = nullptr,
+                             MetricRegistry* metrics = nullptr);
 
 }  // namespace fabsim::core

@@ -37,14 +37,70 @@ Task<> sync_pair(mpi::Rank& me, int peer, std::uint64_t scratch) {
   }
 }
 
+/// Attach the caller's registry (if any) so push-path emission (phase
+/// attribution, counter samples) is live for the whole run.
+void attach_metrics(Cluster& cluster, MetricRegistry* metrics) {
+  if (metrics != nullptr) cluster.engine().set_metrics(metrics);
+}
+
+/// Pull-side snapshot at end of run.
+void harvest_metrics(Cluster& cluster, MetricRegistry* metrics) {
+  if (metrics != nullptr) cluster.collect_metrics(*metrics);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Figure 3: MPI ping-pong latency
 // ---------------------------------------------------------------------------
 
-double mpi_pingpong_latency_us(const NetworkProfile& profile, std::uint32_t msg, int iters) {
+double mpi_pingpong_latency_us(const NetworkProfile& profile, std::uint32_t msg, int iters,
+                               Histogram* hist, MetricRegistry* metrics) {
   Cluster cluster(2, profile);
+  attach_metrics(cluster, metrics);
+  TwoBuffers bufs(cluster);
+  Time elapsed = 0;
+
+  cluster.engine().spawn([](Cluster& c, TwoBuffers b, std::uint32_t m, int it, Time* out,
+                            Histogram* h) -> Task<> {
+    co_await c.setup_mpi();
+    auto& rank = c.mpi_rank(0);
+    Time start = 0;
+    for (int i = 0; i < kWarmup + it; ++i) {
+      if (i == kWarmup) start = c.engine().now();
+      const Time iter_start = c.engine().now();
+      co_await rank.send(1, kTagData, b.a->addr(), m);
+      co_await rank.recv(1, kTagData, b.a->addr(), b.a->size());
+      if (h != nullptr && i >= kWarmup) h->add(to_us(c.engine().now() - iter_start) / 2.0);
+    }
+    *out = c.engine().now() - start;
+  }(cluster, bufs, msg, iters, &elapsed, hist));
+  cluster.engine().spawn([](Cluster& c, TwoBuffers b, std::uint32_t m, int total) -> Task<> {
+    co_await c.setup_mpi();
+    auto& rank = c.mpi_rank(1);
+    for (int i = 0; i < total; ++i) {
+      co_await rank.recv(0, kTagData, b.b->addr(), b.b->size());
+      co_await rank.send(0, kTagData, b.b->addr(), m);
+    }
+  }(cluster, bufs, msg, kWarmup + iters));
+  cluster.engine().run();
+  harvest_metrics(cluster, metrics);
+  return to_us(elapsed) / iters / 2.0;
+}
+
+PhaseBreakdown mpi_phase_breakdown(const NetworkProfile& profile, std::uint32_t msg,
+                                   int iters) {
+  // Same algorithm as the fig3 ping-pong, but with a registry attached
+  // and the phase accumulators zeroed at the start of the measured
+  // window, so every picosecond of host / NIC / wire busy time booked by
+  // the hardware models during the timed iterations is captured. The
+  // ping-pong is strictly serialized (blocking send/recv on both sides),
+  // so totals divided by the 2*iters one-way messages give the measured
+  // per-message LogP-style decomposition; any remainder against the
+  // half-RTT is genuine pipeline overlap within one message's lifetime.
+  Cluster cluster(2, profile);
+  MetricRegistry registry;
+  cluster.engine().set_metrics(&registry);
   TwoBuffers bufs(cluster);
   Time elapsed = 0;
 
@@ -54,7 +110,10 @@ double mpi_pingpong_latency_us(const NetworkProfile& profile, std::uint32_t msg,
     auto& rank = c.mpi_rank(0);
     Time start = 0;
     for (int i = 0; i < kWarmup + it; ++i) {
-      if (i == kWarmup) start = c.engine().now();
+      if (i == kWarmup) {
+        c.engine().metrics()->reset_phases();
+        start = c.engine().now();
+      }
       co_await rank.send(1, kTagData, b.a->addr(), m);
       co_await rank.recv(1, kTagData, b.a->addr(), b.a->size());
     }
@@ -69,7 +128,14 @@ double mpi_pingpong_latency_us(const NetworkProfile& profile, std::uint32_t msg,
     }
   }(cluster, bufs, msg, kWarmup + iters));
   cluster.engine().run();
-  return to_us(elapsed) / iters / 2.0;
+
+  const double messages = 2.0 * iters;
+  PhaseBreakdown breakdown;
+  breakdown.host_us = to_us(registry.phase_time(Phase::kHost)) / messages;
+  breakdown.nic_us = to_us(registry.phase_time(Phase::kNic)) / messages;
+  breakdown.wire_us = to_us(registry.phase_time(Phase::kWire)) / messages;
+  breakdown.total_us = to_us(elapsed) / iters / 2.0;
+  return breakdown;
 }
 
 // ---------------------------------------------------------------------------
@@ -77,13 +143,14 @@ double mpi_pingpong_latency_us(const NetworkProfile& profile, std::uint32_t msg,
 // ---------------------------------------------------------------------------
 
 double mpi_unidir_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int window,
-                          int windows) {
+                          int windows, Histogram* hist, MetricRegistry* metrics) {
   Cluster cluster(2, profile);
+  attach_metrics(cluster, metrics);
   TwoBuffers bufs(cluster);
   Time elapsed = 0;
 
   cluster.engine().spawn([](Cluster& c, TwoBuffers b, std::uint32_t m, int w, int k,
-                            Time* out) -> Task<> {
+                            Time* out, Histogram* h) -> Task<> {
     co_await c.setup_mpi();
     auto& rank = c.mpi_rank(0);
     // Warmup window.
@@ -91,16 +158,19 @@ double mpi_unidir_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int 
     co_await rank.recv(1, kTagSync, b.a->addr(), 64);
     const Time start = c.engine().now();
     for (int win = 0; win < k; ++win) {
+      const Time win_start = c.engine().now();
       std::vector<mpi::RequestPtr> reqs;
       for (int i = 0; i < w; ++i) {
         reqs.push_back(co_await rank.isend(1, kTagData, b.a->addr(), m));
       }
       co_await rank.waitall(std::move(reqs));
+      // One sample per window: time to push the window out locally.
+      if (h != nullptr) h->add(to_us(c.engine().now() - win_start));
     }
     // Wait for the final acknowledgement.
     co_await rank.recv(1, kTagSync, b.a->addr(), 64);
     *out = c.engine().now() - start;
-  }(cluster, bufs, msg, window, windows, &elapsed));
+  }(cluster, bufs, msg, window, windows, &elapsed, hist));
   cluster.engine().spawn([](Cluster& c, TwoBuffers b, int w, int k) -> Task<> {
     co_await c.setup_mpi();
     auto& rank = c.mpi_rank(1);
@@ -116,26 +186,29 @@ double mpi_unidir_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int 
     co_await rank.send(0, kTagSync, b.b->addr(), 1);
   }(cluster, bufs, window, windows));
   cluster.engine().run();
+  harvest_metrics(cluster, metrics);
   const double bytes = static_cast<double>(msg) * window * windows;
   return bytes / to_us(elapsed);
 }
 
-double mpi_bidir_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int iters) {
+double mpi_bidir_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int iters,
+                         Histogram* hist, MetricRegistry* metrics) {
   // Blocking ping-pong: 2 messages per round trip.
-  const double half_rtt_us = mpi_pingpong_latency_us(profile, msg, iters);
+  const double half_rtt_us = mpi_pingpong_latency_us(profile, msg, iters, hist, metrics);
   return static_cast<double>(msg) / half_rtt_us;
 }
 
 double mpi_bothway_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int window,
-                           int windows) {
+                           int windows, Histogram* hist, MetricRegistry* metrics) {
   Cluster cluster(2, profile);
+  attach_metrics(cluster, metrics);
   TwoBuffers bufs(cluster);
   std::vector<Time> done(2, 0);
   Time start_common = 0;
 
   for (int r = 0; r < 2; ++r) {
     cluster.engine().spawn([](Cluster& c, TwoBuffers b, int me, std::uint32_t m, int w, int k,
-                              Time* fin, Time* start) -> Task<> {
+                              Time* fin, Time* start, Histogram* h) -> Task<> {
       co_await c.setup_mpi();
       auto& rank = c.mpi_rank(me);
       const std::uint64_t addr = me == 0 ? b.a->addr() : b.b->addr();
@@ -144,6 +217,7 @@ double mpi_bothway_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int
       co_await sync_pair(rank, peer, addr);
       if (me == 0) *start = c.engine().now();
       for (int win = 0; win < k; ++win) {
+        const Time win_start = c.engine().now();
         // Both sides: a window of sends, then a window of receives.
         std::vector<mpi::RequestPtr> reqs;
         for (int i = 0; i < w; ++i) {
@@ -153,12 +227,15 @@ double mpi_bothway_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int
           reqs.push_back(co_await rank.irecv(peer, kTagData, addr, cap));
         }
         co_await rank.waitall(std::move(reqs));
+        // One sample per rank-0 window: full send+receive exchange time.
+        if (h != nullptr && me == 0) h->add(to_us(c.engine().now() - win_start));
       }
       *fin = c.engine().now();
     }(cluster, bufs, r, msg, window, windows, &done[static_cast<std::size_t>(r)],
-      &start_common));
+      &start_common, hist));
   }
   cluster.engine().run();
+  harvest_metrics(cluster, metrics);
   const Time end = std::max(done[0], done[1]);
   const double bytes = 2.0 * static_cast<double>(msg) * window * windows;
   return bytes / to_us(end - start_common);
@@ -168,12 +245,14 @@ double mpi_bothway_bw_mbps(const NetworkProfile& profile, std::uint32_t msg, int
 // Figure 5: LogP parameters (Kielmann's method)
 // ---------------------------------------------------------------------------
 
-LogpPoint logp_parameters(const NetworkProfile& profile, std::uint32_t msg, int iters) {
+LogpPoint logp_parameters(const NetworkProfile& profile, std::uint32_t msg, int iters,
+                          Histogram* os_hist, Histogram* or_hist, MetricRegistry* metrics) {
   LogpPoint point;
 
   // g(m): saturation — stream many messages, gap = elapsed / count.
   {
     Cluster cluster(2, profile);
+    attach_metrics(cluster, metrics);
     TwoBuffers bufs(cluster);
     Time elapsed = 0;
     const int count = iters * 4;
@@ -206,6 +285,7 @@ LogpPoint logp_parameters(const NetworkProfile& profile, std::uint32_t msg, int 
       co_await rank.send(0, kTagSync, b.b->addr(), 1);
     }(cluster, bufs, count));
     cluster.engine().run();
+    harvest_metrics(cluster, metrics);
     point.gap_us = to_us(elapsed) / count;
   }
 
@@ -214,18 +294,22 @@ LogpPoint logp_parameters(const NetworkProfile& profile, std::uint32_t msg, int 
     Cluster cluster(2, profile);
     TwoBuffers bufs(cluster);
     double total_us = 0;
-    cluster.engine().spawn([](Cluster& c, TwoBuffers b, std::uint32_t m, int n,
-                              double* out) -> Task<> {
+    cluster.engine().spawn([](Cluster& c, TwoBuffers b, std::uint32_t m, int n, double* out,
+                              Histogram* h) -> Task<> {
       co_await c.setup_mpi();
       auto& rank = c.mpi_rank(0);
       for (int i = 0; i < kWarmup + n; ++i) {
         co_await sync_pair(rank, 1, b.a->addr());
         const Time t0 = c.engine().now();
         auto req = co_await rank.isend(1, kTagData, b.a->addr(), m);
-        if (i >= kWarmup) *out += to_us(c.engine().now() - t0);
+        if (i >= kWarmup) {
+          const double us_taken = to_us(c.engine().now() - t0);
+          *out += us_taken;
+          if (h != nullptr) h->add(us_taken);
+        }
         co_await rank.wait(std::move(req));
       }
-    }(cluster, bufs, msg, iters, &total_us));
+    }(cluster, bufs, msg, iters, &total_us, os_hist));
     cluster.engine().spawn([](Cluster& c, TwoBuffers b, int n) -> Task<> {
       co_await c.setup_mpi();
       auto& rank = c.mpi_rank(1);
@@ -258,8 +342,8 @@ LogpPoint logp_parameters(const NetworkProfile& profile, std::uint32_t msg, int 
         co_await c.engine().sleep(pause);
       }
     }(cluster, bufs, msg, iters, settle));
-    cluster.engine().spawn([](Cluster& c, TwoBuffers b, int n, Time pause,
-                              double* out) -> Task<> {
+    cluster.engine().spawn([](Cluster& c, TwoBuffers b, int n, Time pause, double* out,
+                              Histogram* h) -> Task<> {
       co_await c.setup_mpi();
       auto& rank = c.mpi_rank(1);
       for (int i = 0; i < kWarmup + n; ++i) {
@@ -273,9 +357,13 @@ LogpPoint logp_parameters(const NetworkProfile& profile, std::uint32_t msg, int 
         co_await c.engine().sleep(pause);
         const Time t0 = c.engine().now();
         co_await rank.wait(std::move(rx));
-        if (i >= kWarmup) *out += to_us(c.engine().now() - t0);
+        if (i >= kWarmup) {
+          const double us_taken = to_us(c.engine().now() - t0);
+          *out += us_taken;
+          if (h != nullptr) h->add(us_taken);
+        }
       }
-    }(cluster, bufs, iters, settle, &total_us));
+    }(cluster, bufs, iters, settle, &total_us, or_hist));
     cluster.engine().run();
     point.or_us = total_us / iters;
   }
@@ -288,8 +376,9 @@ LogpPoint logp_parameters(const NetworkProfile& profile, std::uint32_t msg, int 
 // ---------------------------------------------------------------------------
 
 double bufreuse_latency_us(const NetworkProfile& profile, std::uint32_t msg, bool reuse,
-                           int nbufs, int iters) {
+                           int nbufs, int iters, Histogram* hist, MetricRegistry* metrics) {
   Cluster cluster(2, profile);
+  attach_metrics(cluster, metrics);
   // The paper statically allocates 16 separate buffers per message size;
   // send and receive use disjoint sets so both sides of a rendezvous pay
   // (or save) their registration independently.
@@ -308,13 +397,14 @@ double bufreuse_latency_us(const NetworkProfile& profile, std::uint32_t msg, boo
   Time elapsed = 0;
 
   auto body = [](Cluster& c, int me, BufferSets& sets, std::uint64_t scratch, std::uint32_t m,
-                 bool re, int it, Time* out) -> Task<> {
+                 bool re, int it, Time* out, Histogram* h) -> Task<> {
     co_await c.setup_mpi();
     auto& rank = c.mpi_rank(me);
     const int peer = 1 - me;
     co_await sync_pair(rank, peer, scratch);
     const Time start = c.engine().now();
     for (int i = 0; i < it; ++i) {
+      const Time iter_start = c.engine().now();
       const std::size_t pick = re ? 0 : static_cast<std::size_t>(i) % sets.send.size();
       if (me == 0) {
         co_await rank.send(peer, kTagData, sets.send[pick]->addr(), m);
@@ -323,13 +413,17 @@ double bufreuse_latency_us(const NetworkProfile& profile, std::uint32_t msg, boo
         co_await rank.recv(peer, kTagData, sets.recv[pick]->addr(), m);
         co_await rank.send(peer, kTagData, sets.send[pick]->addr(), m);
       }
+      if (h != nullptr && me == 0) h->add(to_us(c.engine().now() - iter_start) / 2.0);
     }
     if (me == 0) *out = c.engine().now() - start;
   };
 
-  cluster.engine().spawn(body(cluster, 0, sets0, scratch0.addr(), msg, reuse, iters, &elapsed));
-  cluster.engine().spawn(body(cluster, 1, sets1, scratch1.addr(), msg, reuse, iters, &elapsed));
+  cluster.engine().spawn(
+      body(cluster, 0, sets0, scratch0.addr(), msg, reuse, iters, &elapsed, hist));
+  cluster.engine().spawn(
+      body(cluster, 1, sets1, scratch1.addr(), msg, reuse, iters, &elapsed, hist));
   cluster.engine().run();
+  harvest_metrics(cluster, metrics);
   return to_us(elapsed) / iters / 2.0;
 }
 
@@ -338,15 +432,16 @@ double bufreuse_latency_us(const NetworkProfile& profile, std::uint32_t msg, boo
 // ---------------------------------------------------------------------------
 
 double unexpected_queue_latency_us(const NetworkProfile& profile, std::uint32_t msg, int depth,
-                                   int iters) {
+                                   int iters, Histogram* hist, MetricRegistry* metrics) {
   Cluster cluster(2, profile);
+  attach_metrics(cluster, metrics);
   TwoBuffers bufs(cluster);
   auto& fill0 = cluster.node(0).mem().alloc(64, false);
   auto& fill1 = cluster.node(1).mem().alloc(64, false);
   Time elapsed = 0;
 
   auto body = [](Cluster& c, int me, std::uint64_t addr, std::uint64_t cap, std::uint64_t fill,
-                 std::uint32_t m, int depth_, int it, Time* out) -> Task<> {
+                 std::uint32_t m, int depth_, int it, Time* out, Histogram* h) -> Task<> {
     co_await c.setup_mpi();
     auto& rank = c.mpi_rank(me);
     const int peer = 1 - me;
@@ -362,12 +457,16 @@ double unexpected_queue_latency_us(const NetworkProfile& profile, std::uint32_t 
     Time start = 0;
     for (int i = 0; i < kWarmup + it; ++i) {
       if (i == kWarmup && me == 0) start = c.engine().now();
+      const Time iter_start = c.engine().now();
       if (me == 0) {
         co_await rank.ssend(peer, kTagData, addr, m);
         co_await rank.recv(peer, kTagData, addr, cap);
       } else {
         co_await rank.recv(peer, kTagData, addr, cap);
         co_await rank.ssend(peer, kTagData, addr, m);
+      }
+      if (h != nullptr && me == 0 && i >= kWarmup) {
+        h->add(to_us(c.engine().now() - iter_start) / 2.0);
       }
     }
     if (me == 0) *out = c.engine().now() - start;
@@ -379,10 +478,11 @@ double unexpected_queue_latency_us(const NetworkProfile& profile, std::uint32_t 
   };
 
   cluster.engine().spawn(body(cluster, 0, bufs.a->addr(), bufs.a->size(), fill0.addr(), msg,
-                              depth, iters, &elapsed));
+                              depth, iters, &elapsed, hist));
   cluster.engine().spawn(body(cluster, 1, bufs.b->addr(), bufs.b->size(), fill1.addr(), msg,
-                              depth, iters, &elapsed));
+                              depth, iters, &elapsed, hist));
   cluster.engine().run();
+  harvest_metrics(cluster, metrics);
   return to_us(elapsed) / iters / 2.0;
 }
 
@@ -391,15 +491,16 @@ double unexpected_queue_latency_us(const NetworkProfile& profile, std::uint32_t 
 // ---------------------------------------------------------------------------
 
 double recv_queue_latency_us(const NetworkProfile& profile, std::uint32_t msg, int depth,
-                             int iters) {
+                             int iters, Histogram* hist, MetricRegistry* metrics) {
   Cluster cluster(2, profile);
+  attach_metrics(cluster, metrics);
   TwoBuffers bufs(cluster);
   auto& trav0 = cluster.node(0).mem().alloc(64, false);
   auto& trav1 = cluster.node(1).mem().alloc(64, false);
   Time elapsed = 0;
 
   auto body = [](Cluster& c, int me, std::uint64_t addr, std::uint64_t cap, std::uint64_t trav,
-                 std::uint32_t m, int depth_, int it, Time* out) -> Task<> {
+                 std::uint32_t m, int depth_, int it, Time* out, Histogram* h) -> Task<> {
     co_await c.setup_mpi();
     auto& rank = c.mpi_rank(me);
     const int peer = 1 - me;
@@ -415,6 +516,7 @@ double recv_queue_latency_us(const NetworkProfile& profile, std::uint32_t msg, i
     Time start = 0;
     for (int i = 0; i < kWarmup + it; ++i) {
       if (i == kWarmup && me == 0) start = c.engine().now();
+      const Time iter_start = c.engine().now();
       if (me == 0) {
         auto rx = co_await rank.irecv(peer, kTagData, addr, cap);
         co_await rank.send(peer, kTagData, addr, m);
@@ -423,6 +525,9 @@ double recv_queue_latency_us(const NetworkProfile& profile, std::uint32_t msg, i
         auto rx = co_await rank.irecv(peer, kTagData, addr, cap);
         co_await rank.wait(std::move(rx));
         co_await rank.send(peer, kTagData, addr, m);
+      }
+      if (h != nullptr && me == 0 && i >= kWarmup) {
+        h->add(to_us(c.engine().now() - iter_start) / 2.0);
       }
     }
     if (me == 0) *out = c.engine().now() - start;
@@ -435,10 +540,11 @@ double recv_queue_latency_us(const NetworkProfile& profile, std::uint32_t msg, i
   };
 
   cluster.engine().spawn(body(cluster, 0, bufs.a->addr(), bufs.a->size(), trav0.addr(), msg,
-                              depth, iters, &elapsed));
+                              depth, iters, &elapsed, hist));
   cluster.engine().spawn(body(cluster, 1, bufs.b->addr(), bufs.b->size(), trav1.addr(), msg,
-                              depth, iters, &elapsed));
+                              depth, iters, &elapsed, hist));
   cluster.engine().run();
+  harvest_metrics(cluster, metrics);
   return to_us(elapsed) / iters / 2.0;
 }
 

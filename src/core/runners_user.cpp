@@ -12,15 +12,27 @@ namespace {
 /// Completion-detection cost of a polling loop iteration that hits.
 constexpr Time kPollDetect = ns(100);
 
+/// Attach the caller's registry (if any) to the engine so push-path
+/// emission (phase attribution, counter samples) is live for the run.
+void attach_metrics(Cluster& cluster, MetricRegistry* metrics) {
+  if (metrics != nullptr) cluster.engine().set_metrics(metrics);
+}
+
+/// Pull-side snapshot at end of run.
+void harvest_metrics(Cluster& cluster, MetricRegistry* metrics) {
+  if (metrics != nullptr) cluster.collect_metrics(*metrics);
+}
+
 /// Half round-trip time of a verbs RDMA-Write ping-pong, polling the
 /// target buffer for completion (the paper's optimistic method, §5).
 Task<> verbs_pingpong_initiator(Cluster& c, verbs::QueuePair& qp, verbs::Device& local,
                                 std::uint64_t my_buf, std::uint64_t peer_buf, verbs::MrKey lkey,
                                 verbs::MrKey rkey, std::uint32_t msg, int iters, int warmup,
-                                Time* out) {
+                                Time* out, Histogram* hist) {
   Time measured_start = 0;
   for (int i = 0; i < warmup + iters; ++i) {
     if (i == warmup) measured_start = c.engine().now();
+    const Time iter_start = c.engine().now();
     auto reply = local.watch_placement(my_buf, msg);
     co_await qp.post_send(verbs::SendWr{.wr_id = 1,
                                         .opcode = verbs::Opcode::kRdmaWrite,
@@ -29,6 +41,9 @@ Task<> verbs_pingpong_initiator(Cluster& c, verbs::QueuePair& qp, verbs::Device&
                                         .rkey = rkey});
     co_await reply->wait();
     co_await c.node(0).cpu().compute(kPollDetect);
+    if (hist != nullptr && i >= warmup) {
+      hist->add(to_us(c.engine().now() - iter_start) / 2.0);
+    }
   }
   *out = c.engine().now() - measured_start;
 }
@@ -48,8 +63,10 @@ Task<> verbs_pingpong_responder(Cluster& c, verbs::QueuePair& qp, verbs::Device&
   }
 }
 
-double verbs_pingpong(const NetworkProfile& profile, std::uint32_t msg, int iters) {
+double verbs_pingpong(const NetworkProfile& profile, std::uint32_t msg, int iters,
+                      Histogram* hist, MetricRegistry* metrics) {
   Cluster cluster(2, profile);
+  attach_metrics(cluster, metrics);
   auto& e = cluster.engine();
   verbs::CompletionQueue cq0(e), cq1(e);
   auto qp0 = cluster.device(0).create_qp(cq0, cq0);
@@ -65,36 +82,41 @@ double verbs_pingpong(const NetworkProfile& profile, std::uint32_t msg, int iter
   const int warmup = 4;
   Time elapsed = 0;
   e.spawn(verbs_pingpong_initiator(cluster, *qp0, cluster.device(0), buf0.addr(), buf1.addr(),
-                                   key0, key1, msg, iters, warmup, &elapsed));
+                                   key0, key1, msg, iters, warmup, &elapsed, hist));
   e.spawn(verbs_pingpong_responder(cluster, *qp1, cluster.device(1), buf1.addr(), buf0.addr(),
                                    key1, key0, msg, warmup + iters));
   e.run();
+  harvest_metrics(cluster, metrics);
   return to_us(elapsed) / iters / 2.0;
 }
 
 /// MX ping-pong using isend/irecv and mx test/wait (paper §5).
-double mx_pingpong(const NetworkProfile& profile, std::uint32_t msg, int iters) {
+double mx_pingpong(const NetworkProfile& profile, std::uint32_t msg, int iters,
+                   Histogram* hist, MetricRegistry* metrics) {
   Cluster cluster(2, profile);
+  attach_metrics(cluster, metrics);
   auto& e = cluster.engine();
   auto& buf0 = cluster.node(0).mem().alloc(msg, false);
   auto& buf1 = cluster.node(1).mem().alloc(msg, false);
 
   const int warmup = 4;
   Time elapsed = 0;
-  e.spawn([](Cluster& c, std::uint64_t mine, std::uint32_t m, int it, int wu,
-             Time* out) -> Task<> {
+  e.spawn([](Cluster& c, std::uint64_t mine, std::uint32_t m, int it, int wu, Time* out,
+             Histogram* h) -> Task<> {
     auto& ep = c.endpoint(0);
     const int peer = c.endpoint(1).port();
     Time start = 0;
     for (int i = 0; i < wu + it; ++i) {
       if (i == wu) start = c.engine().now();
+      const Time iter_start = c.engine().now();
       auto rx = co_await ep.irecv(mine, m, 1, ~0ull);
       auto tx = co_await ep.isend(mine, m, peer, 1);
       co_await ep.wait(rx);
       co_await ep.wait(tx);
+      if (h != nullptr && i >= wu) h->add(to_us(c.engine().now() - iter_start) / 2.0);
     }
     *out = c.engine().now() - start;
-  }(cluster, buf0.addr(), msg, iters, warmup, &elapsed));
+  }(cluster, buf0.addr(), msg, iters, warmup, &elapsed, hist));
   e.spawn([](Cluster& c, std::uint64_t mine, std::uint32_t m, int total) -> Task<> {
     auto& ep = c.endpoint(1);
     const int peer = c.endpoint(0).port();
@@ -106,22 +128,24 @@ double mx_pingpong(const NetworkProfile& profile, std::uint32_t msg, int iters) 
     }
   }(cluster, buf1.addr(), msg, iters + warmup));
   e.run();
+  harvest_metrics(cluster, metrics);
   return to_us(elapsed) / iters / 2.0;
 }
 
 }  // namespace
 
 double userlevel_pingpong_latency_us(const NetworkProfile& profile, std::uint32_t msg,
-                                     int iters) {
+                                     int iters, Histogram* hist, MetricRegistry* metrics) {
   if (profile.network == Network::kIwarp || profile.network == Network::kIb) {
-    return verbs_pingpong(profile, msg, iters);
+    return verbs_pingpong(profile, msg, iters, hist, metrics);
   }
-  return mx_pingpong(profile, msg, iters);
+  return mx_pingpong(profile, msg, iters, hist, metrics);
 }
 
-double userlevel_bandwidth_mbps(const NetworkProfile& profile, std::uint32_t msg, int iters) {
+double userlevel_bandwidth_mbps(const NetworkProfile& profile, std::uint32_t msg, int iters,
+                                Histogram* hist, MetricRegistry* metrics) {
   // The paper computes user-level bandwidth from the latency results.
-  const double latency_us = userlevel_pingpong_latency_us(profile, msg, iters);
+  const double latency_us = userlevel_pingpong_latency_us(profile, msg, iters, hist, metrics);
   return static_cast<double>(msg) / latency_us;  // bytes/us == MB/s
 }
 
@@ -158,11 +182,13 @@ struct MultiConnWorld {
 }  // namespace
 
 double multiconn_normalized_latency_us(const NetworkProfile& profile, int connections,
-                                       std::uint32_t msg, int rounds) {
+                                       std::uint32_t msg, int rounds, Histogram* hist,
+                                       MetricRegistry* metrics) {
   if (profile.network != Network::kIwarp && profile.network != Network::kIb) {
     throw std::invalid_argument("multi-connection test is a verbs-only comparison");
   }
   MultiConnWorld w(profile, connections, msg);
+  attach_metrics(w.cluster, metrics);
   auto& e = w.cluster.engine();
 
   // One responder process per connection on node 1.
@@ -185,9 +211,11 @@ double multiconn_normalized_latency_us(const NetworkProfile& profile, int connec
   }
 
   Time elapsed = 0;
-  e.spawn([](MultiConnWorld& ww, int conns, std::uint32_t m, int r, Time* out) -> Task<> {
+  e.spawn([](MultiConnWorld& ww, int conns, std::uint32_t m, int r, Time* out,
+             Histogram* h) -> Task<> {
     const Time start = ww.cluster.engine().now();
     for (int round = 0; round < r; ++round) {
+      const Time round_start = ww.cluster.engine().now();
       std::vector<std::shared_ptr<Event>> replies;
       for (int c = 0; c < conns; ++c) {
         replies.push_back(ww.cluster.device(0).watch_placement(
@@ -206,21 +234,28 @@ double multiconn_normalized_latency_us(const NetworkProfile& profile, int connec
         co_await reply->wait();
       }
       co_await ww.cluster.node(0).cpu().compute(kPollDetect);
+      if (h != nullptr) {
+        // Same normalization as the returned mean: per-connection,
+        // per-message half-RTT for this round.
+        h->add(to_us(ww.cluster.engine().now() - round_start) / 2.0 / conns);
+      }
     }
     *out = ww.cluster.engine().now() - start;
-  }(w, connections, msg, rounds, &elapsed));
+  }(w, connections, msg, rounds, &elapsed, hist));
   e.run();
+  harvest_metrics(w.cluster, metrics);
 
   // Cumulative half-RTT divided by (#connections x #messages).
   return to_us(elapsed) / 2.0 / (static_cast<double>(connections) * rounds);
 }
 
 double multiconn_throughput_mbps(const NetworkProfile& profile, int connections,
-                                 std::uint32_t msg, int rounds) {
+                                 std::uint32_t msg, int rounds, MetricRegistry* metrics) {
   if (profile.network != Network::kIwarp && profile.network != Network::kIb) {
     throw std::invalid_argument("multi-connection test is a verbs-only comparison");
   }
   MultiConnWorld w(profile, connections, msg);
+  attach_metrics(w.cluster, metrics);
   auto& e = w.cluster.engine();
 
   // Both-way: each side streams `rounds` messages round-robin over all
@@ -261,6 +296,7 @@ double multiconn_throughput_mbps(const NetworkProfile& profile, int connections,
   e.spawn(streamer(w, true, connections, msg, rounds));
   e.spawn(streamer(w, false, connections, msg, rounds));
   e.run();
+  harvest_metrics(w.cluster, metrics);
 
   // All data has been placed when the event queue drains.
   const double total_bytes = 2.0 * static_cast<double>(rounds) * connections * msg;

@@ -80,13 +80,17 @@ class Switch {
       }
     }
 
-    if (config_.max_queue_bytes > 0 && out.tx.busy_until() > at_switch) {
-      // Tail drop: the backlog already booked on this output port,
-      // expressed in bytes at the link rate.
+    if (out.tx.busy_until() > at_switch && !config_.link_rate.is_zero()) {
+      // Backlog already booked on this output port, in bytes at link rate.
       const double backlog_bytes = static_cast<double>(out.tx.busy_until() - at_switch) /
                                    config_.link_rate.ps_per_byte();
-      if (backlog_bytes + frame.wire_bytes > static_cast<double>(config_.max_queue_bytes)) {
+      if (backlog_bytes > out.queue_hwm_bytes) out.queue_hwm_bytes = backlog_bytes;
+      if (config_.max_queue_bytes > 0 &&
+          backlog_bytes + frame.wire_bytes > static_cast<double>(config_.max_queue_bytes)) {
         ++out.drops;
+        if (MetricRegistry* m = engine_->metrics()) {
+          m->counter("switch.port" + std::to_string(dst) + ".tail_drops").add();
+        }
         return;
       }
     }
@@ -94,6 +98,10 @@ class Switch {
     const Time serialization = config_.link_rate.bytes_time(frame.wire_bytes);
     const Time sent = out.tx.book(at_switch, serialization);
     const Time delivered = sent + config_.propagation;
+    // Wire phase: serialization through the congested output port plus
+    // the fixed traversal costs, attributed to the sender.
+    engine_->charge_phase(Phase::kWire, frame.src_node,
+                          serialization + config_.cut_through + 2 * config_.propagation);
     engine_->post(delivered, [sink = out.sink, f = std::move(frame)]() mutable {
       sink->deliver(std::move(f));
     });
@@ -112,6 +120,11 @@ class Switch {
     return ports_.at(static_cast<std::size_t>(port)).drops;
   }
 
+  /// High-water mark of an output port's queued backlog, in bytes.
+  double output_queue_hwm_bytes(int port) const {
+    return ports_.at(static_cast<std::size_t>(port)).queue_hwm_bytes;
+  }
+
   // Frames perturbed by the attached fault injector at this switch.
   std::uint64_t fault_drops() const { return fault_drops_; }
   std::uint64_t fault_corruptions() const { return fault_corruptions_; }
@@ -122,6 +135,7 @@ class Switch {
     FrameSink* sink;
     SerialServer tx;  // output-port serialization: the contention point
     std::uint64_t drops = 0;
+    double queue_hwm_bytes = 0.0;  // backlog high-water mark
   };
 
   Engine* engine_;

@@ -13,7 +13,9 @@ namespace fabsim::hw {
 class Node {
  public:
   Node(Engine& engine, int id, PciConfig pcie, CpuConfig cpu = {})
-      : engine_(&engine), id_(id), cpu_(engine, cpu), pcie_(pcie) {}
+      : engine_(&engine), id_(id), cpu_(engine, cpu, id), pcie_(pcie) {
+    pcie_.set_owner(&engine, id);
+  }
 
   int id() const { return id_; }
   Engine& engine() const { return *engine_; }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "sim/time.hpp"
 
@@ -25,12 +26,24 @@ class PcieBus {
  public:
   explicit PcieBus(PciConfig config) : config_(config) {}
 
+  /// Attribute future DMA time to the NIC phase of `node` (FabricScope).
+  void set_owner(Engine* engine, int node) {
+    engine_ = engine;
+    node_ = node;
+  }
+
   /// DMA read by the device from host memory (descriptor/data fetch).
   /// Returns completion time of the full transfer.
-  Time dma_read(Time now, std::uint64_t bytes) { return dma(to_device_, now, bytes); }
+  Time dma_read(Time now, std::uint64_t bytes) {
+    bytes_read_ += bytes;
+    return dma(to_device_, now, bytes);
+  }
 
   /// DMA write by the device into host memory (data delivery, completions).
-  Time dma_write(Time now, std::uint64_t bytes) { return dma(from_device_, now, bytes); }
+  Time dma_write(Time now, std::uint64_t bytes) {
+    bytes_written_ += bytes;
+    return dma(from_device_, now, bytes);
+  }
 
   /// CPU-initiated posted write to the device (doorbell). Cheap and does
   /// not occupy the DMA serializers.
@@ -39,15 +52,23 @@ class PcieBus {
   const PciConfig& config() const { return config_; }
   Time read_busy_time() const { return to_device_.busy_time(); }
   Time write_busy_time() const { return from_device_.busy_time(); }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
 
  private:
   Time dma(SerialServer& dir, Time now, std::uint64_t bytes) {
-    return dir.book(now, config_.transaction + config_.rate.bytes_time(bytes));
+    const Time cost = config_.transaction + config_.rate.bytes_time(bytes);
+    if (engine_ != nullptr) engine_->charge_phase(Phase::kNic, node_, cost);
+    return dir.book(now, cost);
   }
 
   PciConfig config_;
   SerialServer to_device_;
   SerialServer from_device_;
+  Engine* engine_ = nullptr;
+  int node_ = -1;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
 };
 
 /// Half-duplex shared bus (PCI-X): both directions contend for one
@@ -56,16 +77,29 @@ class PcixBus {
  public:
   explicit PcixBus(PciConfig config) : config_(config) {}
 
+  /// Attribute future transfer time to the NIC phase of `node`.
+  void set_owner(Engine* engine, int node) {
+    engine_ = engine;
+    node_ = node;
+  }
+
   Time transfer(Time now, std::uint64_t bytes) {
-    return bus_.book(now, config_.transaction + config_.rate.bytes_time(bytes));
+    bytes_transferred_ += bytes;
+    const Time cost = config_.transaction + config_.rate.bytes_time(bytes);
+    if (engine_ != nullptr) engine_->charge_phase(Phase::kNic, node_, cost);
+    return bus_.book(now, cost);
   }
 
   const PciConfig& config() const { return config_; }
   Time busy_time() const { return bus_.busy_time(); }
+  std::uint64_t bytes_transferred() const { return bytes_transferred_; }
 
  private:
   PciConfig config_;
   SerialServer bus_;
+  Engine* engine_ = nullptr;
+  int node_ = -1;
+  std::uint64_t bytes_transferred_ = 0;
 };
 
 }  // namespace fabsim::hw

@@ -43,8 +43,10 @@ class RegCache {
       lru_.splice(lru_.begin(), lru_, it->second);
       result.hit = true;
       result.user = it->second->user;
+      ++hits_;
       return result;
     }
+    ++misses_;
     lru_.push_front(Entry{key, len, user});
     index_[key] = lru_.begin();
     bytes_ += len;
@@ -55,6 +57,7 @@ class RegCache {
       result.evicted.push_back(Evicted{victim.key.addr, victim.len, victim.user});
       index_.erase(victim.key);
       lru_.pop_back();
+      ++evictions_;
     }
     return result;
   }
@@ -77,6 +80,11 @@ class RegCache {
   std::size_t entries() const { return lru_.size(); }
   std::uint64_t bytes() const { return bytes_; }
 
+  // Lifetime traffic counters (flush() leaves them intact).
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
  private:
   struct Key {
     std::uint64_t addr;
@@ -97,6 +105,9 @@ class RegCache {
   std::list<Entry> lru_;
   std::map<Key, std::list<Entry>::iterator> index_;
   std::uint64_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace fabsim::hw

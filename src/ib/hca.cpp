@@ -171,6 +171,7 @@ Time Hca::engine_process(Time ready, const Packet& packet, bool transmit_side,
     occupancy += transmit_side ? config_.tx_message_proc : config_.rx_message_proc;
     occupancy += context_access(local_conn_id);
   }
+  engine().charge_phase(Phase::kNic, node_->id(), occupancy);
   return proc_.book(ready, occupancy) + config_.engine_latency_pad;
 }
 
@@ -219,7 +220,10 @@ void Hca::transmit_packet(Conn& conn, Packet packet, bool retransmit) {
     conn.inflight.push_back(packet);
     arm_timer(conn);
   }
-  if (retransmit) ++retransmits_;
+  if (retransmit) {
+    ++retransmits_;
+    retransmitted_bytes_ += packet.payload_len;
+  }
   ++packets_sent_;
 
   // Fetch payload from host memory through the NIC DMA engine (retransmits
@@ -227,13 +231,16 @@ void Hca::transmit_packet(Conn& conn, Packet packet, bool retransmit) {
   const bool carries_data = packet.kind != MsgKind::kReadRequest;
   Time ready = engine().now();
   if (carries_data) {
-    ready = dma_.book(ready, config_.dma_transaction +
-                                 config_.dma_rate.bytes_time(packet.payload_len + 64));
+    const Time dma_cost =
+        config_.dma_transaction + config_.dma_rate.bytes_time(packet.payload_len + 64);
+    engine().charge_phase(Phase::kNic, node_->id(), dma_cost);
+    ready = dma_.book(ready, dma_cost);
   }
   const Time processed = engine_process(ready, packet, /*transmit_side=*/true, conn.id);
-  const Time sent = tx_link_.book(
-      processed,
-      fabric_->config().link_rate.bytes_time(packet.payload_len + config_.packet_overhead));
+  const Time serialization =
+      fabric_->config().link_rate.bytes_time(packet.payload_len + config_.packet_overhead);
+  engine().charge_phase(Phase::kWire, node_->id(), serialization);
+  const Time sent = tx_link_.book(processed, serialization);
 
   // On the lossless fabric the send completion can be pushed at wire
   // handoff; with reliability armed it is deferred until the ack frees the
@@ -270,15 +277,18 @@ void Hca::send_ack(Conn& conn, bool nak) {
   conn.pkts_since_ack = 0;
   ++acks_sent_;
   if (nak) {
+    ++naks_sent_;
     engine().trace(TraceCategory::kProto, node_->id(),
                    "IB RC NAK: expected psn " + std::to_string(conn.exp_psn));
   }
 
   // Acks share the protocol engine and the tx link with data, and ride the
   // fabric like any other frame — so they too can be dropped or delayed.
+  engine().charge_phase(Phase::kNic, node_->id(), config_.ack_proc);
   const Time processed = proc_.book(engine().now(), config_.ack_proc);
-  const Time sent =
-      tx_link_.book(processed, fabric_->config().link_rate.bytes_time(config_.ack_wire_bytes));
+  const Time ack_serialization = fabric_->config().link_rate.bytes_time(config_.ack_wire_bytes);
+  engine().charge_phase(Phase::kWire, node_->id(), ack_serialization);
+  const Time sent = tx_link_.book(processed, ack_serialization);
   Hca* peer = conn.peer;
   const int src = port_;
   const std::uint32_t wire = config_.ack_wire_bytes;
@@ -344,6 +354,7 @@ void Hca::on_timeout(int conn_id, std::uint64_t gen) {
   conn.timer_armed = false;
   if (conn.inflight.empty()) return;
   ++conn.retry_count;
+  ++rto_fires_;
   engine().trace(TraceCategory::kProto, node_->id(),
                  "IB RC RTO fired: retry " + std::to_string(conn.retry_count) + "/" +
                      std::to_string(config_.retry_limit));
@@ -403,6 +414,7 @@ void Hca::deliver(hw::Frame frame) {
   Conn& conn = *conns_.at(static_cast<std::size_t>(packet.dst_conn_id));
 
   if (packet.is_ack || packet.is_nak) {
+    engine().charge_phase(Phase::kNic, node_->id(), config_.ack_proc);
     const Time done = proc_.book(engine().now(), config_.ack_proc);
     const int conn_id = packet.dst_conn_id;
     engine().post(done, [this, conn_id, packet] {
@@ -441,6 +453,7 @@ void Hca::deliver(hw::Frame frame) {
     // Read-after-write ordering: the responder must observe all earlier
     // placements from this stream before snapshotting the source, so the
     // request rides through the same FIFO DMA stage the data uses.
+    engine().charge_phase(Phase::kNic, node_->id(), config_.dma_transaction);
     const Time ordered = dma_.book(processed, config_.dma_transaction);
     const int conn_id = packet.dst_conn_id;
     engine().post(ordered, [this, conn_id, packet = std::move(packet)] {
@@ -449,8 +462,10 @@ void Hca::deliver(hw::Frame frame) {
     return;
   }
 
-  const Time placed = dma_.book(
-      processed, config_.dma_transaction + config_.dma_rate.bytes_time(packet.payload_len + 64));
+  const Time place_cost =
+      config_.dma_transaction + config_.dma_rate.bytes_time(packet.payload_len + 64);
+  engine().charge_phase(Phase::kNic, node_->id(), place_cost);
+  const Time placed = dma_.book(processed, place_cost);
   const int conn_id = packet.dst_conn_id;
   engine().post(placed, [this, conn_id, packet = std::move(packet)]() mutable {
     complete_placement(*conns_[static_cast<std::size_t>(conn_id)], packet);

@@ -91,6 +91,9 @@ class Hca final : public verbs::Device, public hw::FrameSink {
   std::uint64_t context_hits() const { return context_hits_; }
   std::uint64_t retransmits() const { return retransmits_; }
   std::uint64_t acks_sent() const { return acks_sent_; }
+  std::uint64_t naks_sent() const { return naks_sent_; }
+  std::uint64_t rto_fires() const { return rto_fires_; }
+  std::uint64_t retransmitted_bytes() const { return retransmitted_bytes_; }
   std::uint64_t corrupt_discards() const { return corrupt_discards_; }
 
  private:
@@ -211,6 +214,9 @@ class Hca final : public verbs::Device, public hw::FrameSink {
   std::uint64_t context_hits_ = 0;
   std::uint64_t retransmits_ = 0;
   std::uint64_t acks_sent_ = 0;
+  std::uint64_t naks_sent_ = 0;
+  std::uint64_t rto_fires_ = 0;
+  std::uint64_t retransmitted_bytes_ = 0;
   std::uint64_t corrupt_discards_ = 0;
 };
 

@@ -32,6 +32,7 @@ Rnic::Rnic(hw::Node& node, hw::Switch& fabric, RnicConfig config)
       pcix_(config.pcix),
       loss_plan_(config.rng_seed) {
   if (config_.loss_rate > 0.0) loss_plan_.drop_probability(config_.loss_rate);
+  pcix_.set_owner(&node.engine(), node.id());
 }
 
 Task<verbs::MrKey> Rnic::reg_mr(std::uint64_t addr, std::uint64_t len) {
@@ -216,7 +217,10 @@ const char* kind_name(int k) {
 
 void Rnic::transmit(Conn& conn, Segment segment, bool retransmit) {
   ++segments_sent_;
-  if (retransmit) ++retransmits_;
+  if (retransmit) {
+    ++retransmits_;
+    retransmitted_bytes_ += segment.payload_len;
+  }
   if (engine().tracer() != nullptr) {
     engine().trace(TraceCategory::kProto, node_->id(),
                    std::string(retransmit ? "TCP retransmit " : "TCP segment ") +
@@ -244,11 +248,14 @@ void Rnic::transmit(Conn& conn, Segment segment, bool retransmit) {
   const Time occupancy = config_.tx_occupancy +
                          config_.engine_byte_rate.bytes_time(segment.payload_len) +
                          (segment.first_of_message ? config_.per_message_overhead : 0);
+  engine().charge_phase(Phase::kNic, node_->id(), occupancy);
   const Time engine_done = tx_engine_.book(ready, occupancy, config_.tx_latency);
 
   // Stage 3: Ethernet serialization onto the NIC->switch link.
   const std::uint32_t wire_bytes = segment.payload_len + config_.seg_overhead;
-  const Time sent = tx_link_.book(engine_done, fabric_->config().link_rate.bytes_time(wire_bytes));
+  const Time serialization = fabric_->config().link_rate.bytes_time(wire_bytes);
+  engine().charge_phase(Phase::kWire, node_->id(), serialization);
+  const Time sent = tx_link_.book(engine_done, serialization);
 
   bool drop = false;
   if (config_.loss_rate > 0.0) {
@@ -284,8 +291,9 @@ void Rnic::send_pure_ack(Conn& conn) {
   ack.dst_conn_id = conn.peer_conn_id;
   ack.payload_len = 0;
   ack.ack = conn.rcv_nxt;
-  const Time sent = tx_link_.book(engine().now(),
-                                  fabric_->config().link_rate.bytes_time(config_.ack_wire_bytes));
+  const Time ack_serialization = fabric_->config().link_rate.bytes_time(config_.ack_wire_bytes);
+  engine().charge_phase(Phase::kWire, node_->id(), ack_serialization);
+  const Time sent = tx_link_.book(engine().now(), ack_serialization);
   bool drop = false;
   if (config_.loss_rate > 0.0) {
     const fault::FaultSite site{engine().now(), port_, conn.peer->port_, config_.ack_wire_bytes};
@@ -341,6 +349,7 @@ void Rnic::on_timeout(int conn_id, std::uint64_t gen) {
   Conn& conn = *conns_[static_cast<std::size_t>(conn_id)];
   if (gen != conn.timer_gen || conn.snd_una >= conn.snd_nxt) return;
   conn.timer_armed = false;
+  ++rto_fires_;
   engine().trace(TraceCategory::kProto, node_->id(),
                  "TCP RTO fired: go-back-N from seq=" + std::to_string(conn.snd_una));
   // Go-back-N: resend everything outstanding.
@@ -370,6 +379,7 @@ void Rnic::deliver(hw::Frame frame) {
   handle_ack(conn, segment.ack);
   if (segment.payload_len == 0) {
     // Pure ack: account engine occupancy for throughput fidelity only.
+    engine().charge_phase(Phase::kNic, node_->id(), config_.ack_occupancy);
     rx_engine_.book(engine().now(), config_.ack_occupancy, config_.ack_occupancy);
     return;
   }
@@ -386,6 +396,7 @@ void Rnic::deliver(hw::Frame frame) {
   const Time occupancy = config_.rx_occupancy +
                          config_.engine_byte_rate.bytes_time(segment.payload_len) +
                          (segment.first_of_message ? config_.per_message_overhead : 0);
+  engine().charge_phase(Phase::kNic, node_->id(), occupancy);
   const Time engine_done = rx_engine_.book(engine().now(), occupancy, config_.rx_latency);
 
   const bool ack_now = conn.segs_since_ack >= config_.ack_every || segment.last_of_message;

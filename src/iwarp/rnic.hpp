@@ -80,12 +80,15 @@ class Rnic final : public verbs::Device, public hw::FrameSink {
 
   // Statistics for tests and utilization studies.
   Time pcix_busy_time() const { return pcix_.busy_time(); }
+  std::uint64_t pcix_bytes() const { return pcix_.bytes_transferred(); }
   Time tx_engine_busy_time() const { return tx_engine_.busy_time(); }
   Time rx_engine_busy_time() const { return rx_engine_.busy_time(); }
   Time tx_link_busy_time() const { return tx_link_.busy_time(); }
   std::uint64_t segments_sent() const { return segments_sent_; }
   std::uint64_t acks_sent() const { return acks_sent_; }
   std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t rto_fires() const { return rto_fires_; }
+  std::uint64_t retransmitted_bytes() const { return retransmitted_bytes_; }
   std::uint64_t corrupt_discards() const { return corrupt_discards_; }
 
  private:
@@ -212,6 +215,8 @@ class Rnic final : public verbs::Device, public hw::FrameSink {
   std::uint64_t segments_sent_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::uint64_t retransmits_ = 0;
+  std::uint64_t rto_fires_ = 0;
+  std::uint64_t retransmitted_bytes_ = 0;
   std::uint64_t corrupt_discards_ = 0;
 };
 

@@ -137,6 +137,7 @@ Task<RequestPtr> ChVerbs::isend(int dst, int tag, std::uint64_t addr, std::uint3
 
   auto request = std::make_shared<Request>(*engine_);
   if (len <= config_.eager_threshold) {
+    ++eager_send_count_;
     const std::uint64_t id = next_req_id_++;
     co_await eager_send(dst, synchronous ? Kind::kEagerSync : Kind::kEager, tag, addr, len, id);
     if (synchronous) {
@@ -145,6 +146,7 @@ Task<RequestPtr> ChVerbs::isend(int dst, int tag, std::uint64_t addr, std::uint3
       request->complete(Status{rank_, tag, len});
     }
   } else {
+    ++rndv_send_count_;
     const std::uint64_t id = next_req_id_++;
     const verbs::MrKey lkey = co_await pin(addr, len);
     rndv_sends_[id] = RndvSend{request, addr, len, lkey, dst, tag};
@@ -268,6 +270,7 @@ Task<RequestPtr> ChVerbs::irecv(int src, int tag, std::uint64_t addr, std::uint3
   if (it == unexpected_.end()) {
     if (scanned > 0) co_await cpu().compute(config_.unexpected_item_cost * scanned);
     posted_.push_back(PostedRecv{src, tag, addr, capacity, request});
+    if (posted_.size() > posted_hwm_) posted_hwm_ = posted_.size();
     co_return request;
   }
 
@@ -494,6 +497,7 @@ Task<> ChVerbs::handle_inbound(int peer_rank, std::uint32_t slot) {
           co_await release_recv_slot(peer_rank, slot, false);
         }
         unexpected_.push_back(std::move(msg));
+        if (unexpected_.size() > unexpected_hwm_) unexpected_hwm_ = unexpected_.size();
         co_return;
       }
       break;

@@ -60,6 +60,11 @@ class ChVerbs final : public Channel {
   /// Pin-down cache statistics (Fig 6 analysis).
   std::uint64_t pin_hits() const { return pin_hits_; }
   std::uint64_t pin_misses() const { return pin_misses_; }
+  std::uint64_t eager_send_count() const { return eager_send_count_; }
+  std::uint64_t rndv_send_count() const { return rndv_send_count_; }
+  std::size_t unexpected_max_depth() const { return unexpected_hwm_; }
+  std::size_t posted_max_depth() const { return posted_hwm_; }
+  const hw::RegCache& pin_cache() const { return pin_cache_; }
 
  private:
   enum class Kind : std::uint8_t { kEager, kEagerSync, kRts, kCts, kFin, kAck, kCredit };
@@ -172,6 +177,10 @@ class ChVerbs final : public Channel {
   hw::RegCache pin_cache_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, verbs::MrKey> pinned_keys_;
   std::uint64_t next_req_id_ = 1;
+  std::uint64_t eager_send_count_ = 0;
+  std::uint64_t rndv_send_count_ = 0;
+  std::size_t unexpected_hwm_ = 0;
+  std::size_t posted_hwm_ = 0;
   int outstanding_eager_ = 0;
   std::uint64_t pin_hits_ = 0;
   std::uint64_t pin_misses_ = 0;

@@ -56,6 +56,7 @@ Task<RequestPtr> Endpoint::isend(std::uint64_t addr, std::uint32_t len, int dest
   op.len = len;
   op.match_bits = match_bits;
   op.eager = len <= config_.eager_max;
+  if (op.eager) ++eager_sends_; else ++rndv_sends_;
 
   if (op.eager) {
     // Copy into the pinned send ring (the single send-side copy of MX's
@@ -89,6 +90,7 @@ Task<RequestPtr> Endpoint::irecv(std::uint64_t addr, std::uint32_t capacity,
   // both queues and strand the rendezvous.
   const Time handoff = engine().now() + config_.doorbell;
   const Time traversal = config_.match_unexpected_item * (unexpected_.size() + 1);
+  engine().charge_phase(Phase::kNic, node_->id(), traversal);
   const Time matched_at = rx_engine_.book(handoff, traversal, traversal);
   co_await engine().sleep_until(matched_at);
 
@@ -98,6 +100,7 @@ Task<RequestPtr> Endpoint::irecv(std::uint64_t addr, std::uint32_t capacity,
   }
   if (it == unexpected_.end()) {
     posted_.push_back(std::move(recv));
+    if (posted_.size() > posted_hwm_) posted_hwm_ = posted_.size();
     co_return request;
   }
 
@@ -133,6 +136,7 @@ Task<Endpoint::ProbeResult> Endpoint::iprobe(std::uint64_t match_bits,
   co_await node_->cpu().compute(config_.test_cpu);
   // The NIC walks the unexpected queue, same cost model as a receive.
   const Time traversal = config_.match_unexpected_item * (unexpected_.size() + 1);
+  engine().charge_phase(Phase::kNic, node_->id(), traversal);
   const Time done = rx_engine_.book(engine().now() + config_.doorbell, traversal, traversal);
   co_await engine().sleep_until(done);
   for (const Unexpected& u : unexpected_) {
@@ -189,8 +193,10 @@ void Endpoint::pump_tx() {
     // overlap across frames while the shared DMA engine still serves
     // receive traffic interleaved at its real arrival rate.
     const Time fetched = node_->pcie().dma_read(ready, tx.frame.payload_len + 64);
-    ready = dma_.book(fetched, config_.dma_transaction +
-                                   config_.dma_rate.bytes_time(tx.frame.payload_len + 64));
+    const Time dma_cost =
+        config_.dma_transaction + config_.dma_rate.bytes_time(tx.frame.payload_len + 64);
+    engine().charge_phase(Phase::kNic, node_->id(), dma_cost);
+    ready = dma_.book(fetched, dma_cost);
     engine().post(fetched, [this] { pump_tx(); });
   } else {
     engine().post(ready, [this] { pump_tx(); });
@@ -199,11 +205,14 @@ void Endpoint::pump_tx() {
   const Time occupancy = config_.tx_occupancy +
                          config_.engine_byte_rate.bytes_time(tx.frame.payload_len) +
                          (tx.frame.first_of_message ? config_.per_message_overhead : 0);
+  engine().charge_phase(Phase::kNic, node_->id(), occupancy);
   const Time processed = tx_engine_.book(ready, occupancy, config_.tx_latency);
   const std::uint32_t wire_bytes =
       std::max<std::uint32_t>(tx.frame.payload_len, config_.control_bytes) +
       config_.frame_overhead;
-  const Time sent = tx_link_.book(processed, fabric_->config().link_rate.bytes_time(wire_bytes));
+  const Time serialization = fabric_->config().link_rate.bytes_time(wire_bytes);
+  engine().charge_phase(Phase::kWire, node_->id(), serialization);
+  const Time sent = tx_link_.book(processed, serialization);
   const int src = port_;
   engine().post(sent, [this, tx = std::move(tx), src, wire_bytes]() mutable {
     if (tx.complete != nullptr) {
@@ -262,6 +271,7 @@ void Endpoint::resend_flow(int dest) {
   for (std::size_t i = 0; i < outstanding; ++i) {
     ++resends_;
     const FlowTx::Unacked& u = flow.unacked[i];
+    resent_bytes_ += u.frame.payload_len;
     // Resends never carry a completion: the original wire handoff (or the
     // eventual ack) owns request completion.
     enqueue_tx(PendingTx{u.frame, dest, u.carries_data, nullptr, 0, 0});
@@ -284,6 +294,10 @@ void Endpoint::on_flow_timeout(int dest, std::uint64_t gen) {
   flow.timer_armed = false;
   if (flow.unacked.empty()) return;
   ++flow.retries;
+  ++rto_fires_;
+  engine().trace(TraceCategory::kProto, node_->id(),
+                 "MX flow RTO fired: retry " + std::to_string(flow.retries) + " to port " +
+                     std::to_string(dest));
   resend_flow(dest);
   arm_flow_timer(dest);
 }
@@ -410,6 +424,7 @@ void Endpoint::deliver(hw::Frame raw) {
     if (frame.has_ack) handle_flow_ack(frame.src_port, frame.ack);
     if (frame.kind == FrameKind::kAck) {
       // Ack-only frame: consumes a sliver of engine time, nothing more.
+      engine().charge_phase(Phase::kNic, node_->id(), config_.rx_occupancy / 2);
       rx_engine_.book(engine().now(), config_.rx_occupancy / 2, config_.rx_latency);
       return;
     }
@@ -455,12 +470,15 @@ void Endpoint::deliver(hw::Frame raw) {
     occupancy += config_.match_posted_item * (scanned == 0 ? 1 : scanned);
   }
 
+  engine().charge_phase(Phase::kNic, node_->id(), occupancy);
   const Time processed = rx_engine_.book(engine().now(), occupancy, config_.rx_latency);
 
   switch (frame.kind) {
     case FrameKind::kEager: {
-      Time landed = dma_.book(processed, config_.dma_transaction +
-                                             config_.dma_rate.bytes_time(frame.payload_len + 64));
+      const Time land_cost =
+          config_.dma_transaction + config_.dma_rate.bytes_time(frame.payload_len + 64);
+      engine().charge_phase(Phase::kNic, node_->id(), land_cost);
+      Time landed = dma_.book(processed, land_cost);
       landed = node_->pcie().dma_write(landed, frame.payload_len + 64);
       engine().post(landed, [this, frame = std::move(frame)]() mutable {
         handle_eager_arrival(std::move(frame));
@@ -476,8 +494,10 @@ void Endpoint::deliver(hw::Frame raw) {
                     [this, frame = std::move(frame)]() mutable { handle_cts(frame); });
       break;
     case FrameKind::kData: {
-      Time placed = dma_.book(processed, config_.dma_transaction +
-                                             config_.dma_rate.bytes_time(frame.payload_len + 64));
+      const Time place_cost =
+          config_.dma_transaction + config_.dma_rate.bytes_time(frame.payload_len + 64);
+      engine().charge_phase(Phase::kNic, node_->id(), place_cost);
+      Time placed = dma_.book(processed, place_cost);
       placed = node_->pcie().dma_write(placed, frame.payload_len + 64);
       engine().post(placed, [this, frame = std::move(frame)]() mutable { handle_data(frame); });
       break;
@@ -509,6 +529,7 @@ void Endpoint::handle_eager_arrival(MxFrame frame) {
       posted_.erase(it);
     }
     unexpected_.push_back(std::move(u));
+    if (unexpected_.size() > unexpected_hwm_) unexpected_hwm_ = unexpected_.size();
     entry = &unexpected_.back();
     if (!entry->has_match) unexpected_activity_.notify_all();
   } else {
@@ -565,6 +586,7 @@ void Endpoint::handle_rts(const MxFrame& frame) {
     u.msg_len = frame.msg_len;
     u.complete = true;
     unexpected_.push_back(std::move(u));
+    if (unexpected_.size() > unexpected_hwm_) unexpected_hwm_ = unexpected_.size();
     unexpected_activity_.notify_all();
     return;
   }

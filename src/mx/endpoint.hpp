@@ -106,9 +106,16 @@ class Endpoint final : public hw::FrameSink {
   std::uint64_t reg_cache_misses() const { return reg_misses_; }
   std::size_t unexpected_depth() const { return unexpected_.size(); }
   std::size_t posted_depth() const { return posted_.size(); }
+  std::size_t unexpected_max_depth() const { return unexpected_hwm_; }
+  std::size_t posted_max_depth() const { return posted_hwm_; }
+  std::uint64_t eager_sends() const { return eager_sends_; }
+  std::uint64_t rndv_sends() const { return rndv_sends_; }
   std::uint64_t resends() const { return resends_; }
+  std::uint64_t rto_fires() const { return rto_fires_; }
+  std::uint64_t resent_bytes() const { return resent_bytes_; }
   std::uint64_t acks_sent() const { return acks_sent_; }
   std::uint64_t corrupt_discards() const { return corrupt_discards_; }
+  const hw::RegCache& reg_cache() const { return reg_cache_; }
 
  private:
   enum class FrameKind : std::uint8_t { kEager, kRts, kCts, kData, kAck };
@@ -261,9 +268,15 @@ class Endpoint final : public hw::FrameSink {
   std::uint64_t frames_sent_ = 0;
   std::uint64_t reg_hits_ = 0;
   std::uint64_t reg_misses_ = 0;
+  std::uint64_t eager_sends_ = 0;
+  std::uint64_t rndv_sends_ = 0;
   std::uint64_t resends_ = 0;
+  std::uint64_t rto_fires_ = 0;
+  std::uint64_t resent_bytes_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::uint64_t corrupt_discards_ = 0;
+  std::size_t unexpected_hwm_ = 0;
+  std::size_t posted_hwm_ = 0;
 };
 
 }  // namespace fabsim::mx

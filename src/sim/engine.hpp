@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sim/metrics.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
@@ -138,6 +139,24 @@ class Engine {
     if (tracer_ != nullptr) tracer_->emit(now_, category, node, std::move(label));
   }
 
+  /// Optional metric registry (null when disabled). Caller-owned, like
+  /// the tracer; emission sites guard on this pointer so FabricScope
+  /// costs one branch when off.
+  MetricRegistry* metrics() { return metrics_; }
+  void set_metrics(MetricRegistry* metrics) { metrics_ = metrics; }
+
+  /// Convenience: attribute `duration` of simulated time at `node` to a
+  /// LogP-style phase (host CPU / NIC / wire) if metrics are enabled.
+  void charge_phase(Phase phase, int node, Time duration) {
+    if (metrics_ != nullptr) metrics_->charge_phase(phase, node, duration);
+  }
+
+  /// Convenience: record a timestamped counter-track sample (for
+  /// Chrome-trace counter tracks) if metrics are enabled.
+  void metric_sample(const std::string& track, double value) {
+    if (metrics_ != nullptr) metrics_->sample(now_, track, value);
+  }
+
   /// Optional fault injector (null when the fabric is perfect). Owned by
   /// the caller, like the tracer; the Switch and the NIC frame paths
   /// consult it per frame. Attach before traffic starts — stacks sample
@@ -181,6 +200,7 @@ class Engine {
   std::unordered_set<void*> drivers_;
   std::exception_ptr pending_exception_;
   Tracer* tracer_ = nullptr;
+  MetricRegistry* metrics_ = nullptr;
   fault::FaultInjector* fault_injector_ = nullptr;
 };
 

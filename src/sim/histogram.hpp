@@ -1,0 +1,122 @@
+// Latency histogram: exact percentiles plus log-binned buckets.
+//
+// Benchmarks record one sample per message (microseconds, bytes, queue
+// depth — any non-negative double). Samples are kept verbatim so
+// percentiles are exact nearest-rank quantiles, not bucket
+// interpolations; the log2 buckets exist for compact display and JSON
+// export. Simulation scale (10^3..10^6 samples per figure) makes the
+// exact store affordable, and exactness matters: the whole point of
+// reporting p99/p999 is to see tail movement that bucket midpoints blur.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace fabsim {
+
+class Histogram {
+ public:
+  void add(double x) {
+    stats_.add(x);
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::uint64_t count() const { return stats_.count(); }
+  double mean() const { return stats_.mean(); }
+  double stddev() const { return stats_.stddev(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+  const Accumulator& stats() const { return stats_; }
+
+  /// Exact nearest-rank percentile, p in [0, 100]. p=50 is the median,
+  /// p=99.9 the p999. Returns 0 when empty.
+  double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    sort_samples();
+    const double clamped = std::min(std::max(p, 0.0), 100.0);
+    // Nearest-rank: smallest index i with (i+1)/n >= p/100.
+    auto rank = static_cast<std::size_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(samples_.size())));
+    if (rank > 0) --rank;
+    return samples_[rank];
+  }
+
+  double p50() const { return percentile(50.0); }
+  double p90() const { return percentile(90.0); }
+  double p99() const { return percentile(99.0); }
+  double p999() const { return percentile(99.9); }
+
+  void clear() {
+    stats_ = Accumulator{};
+    samples_.clear();
+    sorted_ = false;
+  }
+
+  /// One log2 display bucket: [lo, hi) with its sample count. Samples in
+  /// [0, 1) share the first bucket; above that, bucket k covers
+  /// [2^k, 2^(k+1)).
+  struct Bucket {
+    double lo;
+    double hi;
+    std::uint64_t count;
+  };
+
+  /// Non-empty log2 buckets in ascending order (for display / JSON).
+  std::vector<Bucket> buckets() const {
+    std::vector<Bucket> out;
+    if (samples_.empty()) return out;
+    sort_samples();
+    std::size_t i = 0;
+    while (i < samples_.size()) {
+      const double lo = bucket_lo(samples_[i]);
+      const double hi = (lo == 0.0) ? 1.0 : lo * 2.0;
+      std::uint64_t n = 0;
+      while (i < samples_.size() && samples_[i] >= lo && samples_[i] < hi) {
+        ++n;
+        ++i;
+      }
+      if (n == 0) {  // negative or non-finite sample: count it and move on
+        ++n;
+        ++i;
+      }
+      out.push_back(Bucket{lo, hi, n});
+    }
+    return out;
+  }
+
+  /// "n=1000 mean=12.3 p50=11.8 p90=14.0 p99=19.6 p999=25.1 max=25.9"
+  std::string summary() const {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu mean=%.3f p50=%.3f p90=%.3f p99=%.3f p999=%.3f max=%.3f",
+                  static_cast<unsigned long long>(count()), mean(), p50(), p90(), p99(), p999(),
+                  max());
+    return buf;
+  }
+
+ private:
+  static double bucket_lo(double x) {
+    if (!(x >= 1.0)) return 0.0;  // [0,1) and any negative/NaN stragglers
+    return std::exp2(std::floor(std::log2(x)));
+  }
+
+  void sort_samples() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  Accumulator stats_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace fabsim

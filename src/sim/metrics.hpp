@@ -1,0 +1,154 @@
+// FabricScope metric registry: named counters, gauges, and per-phase
+// time attribution.
+//
+// A MetricRegistry is attached to the Engine exactly like the Tracer:
+// caller-owned, null when disabled, every emission site guards on the
+// pointer so the cost is one branch when observability is off. Names
+// are hierarchical dotted strings ("ib.node0.retransmits",
+// "switch.port2.tail_drops", "mpi.rank1.unexpected_max_depth") so a
+// dump sorts into a readable taxonomy and downstream tools can split on
+// '.' to group by component.
+//
+// Two populations coexist:
+//   * pull — components keep their own cheap integer counters (they
+//     already do: retransmits_, reg_hits_, busy_time()); at end of run
+//     Cluster::collect_metrics() snapshots them into the registry.
+//   * push — events that must be attributed as they happen: phase time
+//     (host/NIC/wire, the Fig. 5 decomposition) and timestamped counter
+//     samples for the Chrome-trace counter tracks.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fabsim {
+
+/// Where a slice of simulated time was spent, LogP-style. kHost is CPU
+/// time in the library/application, kNic is DMA + NIC engine occupancy,
+/// kWire is serialization + propagation through the fabric.
+enum class Phase : std::uint8_t { kHost, kNic, kWire };
+
+inline const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kHost: return "host";
+    case Phase::kNic: return "nic";
+    case Phase::kWire: return "wire";
+  }
+  return "?";
+}
+
+/// Monotone event count (retransmits, acks, cache hits).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  void set(std::uint64_t v) { value_ = v; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Instantaneous level (queue depth, utilization). Remembers its
+/// high-water mark, which is usually the number the paper wants.
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  double value() const { return value_; }
+  double max() const { return max_; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricRegistry {
+ public:
+  /// Find-or-create by hierarchical name. References stay valid for the
+  /// registry's lifetime (std::map nodes are stable).
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+
+  bool has_counter(const std::string& name) const { return counters_.count(name) != 0; }
+  std::uint64_t counter_value(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+  }
+  double gauge_max(const std::string& name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second.max();
+  }
+
+  // --- per-phase time attribution -----------------------------------
+  // charge_phase() is the hot push-path hook: hardware models call it
+  // (through Engine::charge_phase, guarded on null) whenever they book
+  // busy time on a serial/pipelined resource. Accumulated per phase and
+  // per (phase, node) so benches can print both the global LogP split
+  // and a per-endpoint breakdown.
+
+  void charge_phase(Phase phase, int node, Time duration) {
+    phase_total_[static_cast<std::size_t>(phase)] += duration;
+    phase_by_node_[{static_cast<std::uint8_t>(phase), node}] += duration;
+  }
+
+  Time phase_time(Phase phase) const { return phase_total_[static_cast<std::size_t>(phase)]; }
+  Time phase_time(Phase phase, int node) const {
+    auto it = phase_by_node_.find({static_cast<std::uint8_t>(phase), node});
+    return it == phase_by_node_.end() ? 0 : it->second;
+  }
+  void reset_phases() {
+    phase_total_[0] = phase_total_[1] = phase_total_[2] = 0;
+    phase_by_node_.clear();
+  }
+
+  // --- timestamped counter-track samples ----------------------------
+  // Sparse (time, value) series for Chrome-trace "C" events: queue
+  // depths, link utilization over time. Push-path, guarded like
+  // charge_phase.
+
+  struct Sample {
+    Time at;
+    std::string track;
+    double value;
+  };
+
+  void sample(Time at, const std::string& track, double value) {
+    samples_.push_back(Sample{at, track, value});
+  }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  // --- dump / iteration ---------------------------------------------
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+
+  /// Flat sorted (name, value) view of everything — counters, gauge
+  /// high-water marks, and phase totals in microseconds — for reports.
+  std::vector<std::pair<std::string, double>> snapshot() const;
+
+  /// Human-readable dump, one "name value" line per metric.
+  void dump(std::FILE* out) const;
+
+  void clear() {
+    counters_.clear();
+    gauges_.clear();
+    samples_.clear();
+    reset_phases();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  Time phase_total_[3] = {0, 0, 0};
+  std::map<std::pair<std::uint8_t, int>, Time> phase_by_node_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace fabsim

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,21 +43,48 @@ class Tracer {
     std::string label;
   };
 
+  /// What happens when the capacity bound is hit. kKeepFirst preserves
+  /// the head of the run (startup, handshakes); kKeepLatest overwrites
+  /// the oldest entries ring-buffer style so long runs keep the
+  /// interesting tail (the retransmit storm, the last iteration).
+  enum class OverflowMode : std::uint8_t { kKeepFirst, kKeepLatest };
+
   void emit(Time at, TraceCategory category, int node, std::string label) {
     if (entries_.size() < max_entries_) {
       entries_.push_back(Entry{at, category, node, std::move(label)});
-    } else {
-      ++dropped_;
+      return;
+    }
+    ++dropped_;
+    if (overflow_mode_ == OverflowMode::kKeepLatest && max_entries_ > 0) {
+      entries_[write_pos_] = Entry{at, category, node, std::move(label)};
+      write_pos_ = (write_pos_ + 1) % max_entries_;
     }
   }
 
+  /// Raw storage order. In kKeepLatest mode after overflow this is a
+  /// rotated ring — use ordered() for chronological iteration.
   const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Entries in chronological order regardless of overflow mode.
+  std::vector<Entry> ordered() const {
+    std::vector<Entry> out;
+    if (entries_.empty()) return out;
+    out.reserve(entries_.size());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out.push_back(entries_[(write_pos_ + i) % entries_.size()]);
+    }
+    return out;
+  }
+
   std::size_t dropped() const { return dropped_; }
   void clear() {
     entries_.clear();
     dropped_ = 0;
+    write_pos_ = 0;
   }
   void set_capacity(std::size_t max_entries) { max_entries_ = max_entries; }
+  void set_overflow_mode(OverflowMode mode) { overflow_mode_ = mode; }
+  OverflowMode overflow_mode() const { return overflow_mode_; }
 
   /// One-line accounting of what the tracer holds — and, crucially, what
   /// it silently lost to the capacity bound. Shown at the end of every
@@ -73,19 +101,44 @@ class Tracer {
                        std::to_string(per_category[3]) + "), " + std::to_string(dropped_) +
                        " dropped";
     if (dropped_ > 0) {
-      line += " — trace is INCOMPLETE, raise set_capacity() past " +
-              std::to_string(max_entries_ + dropped_);
+      if (overflow_mode_ == OverflowMode::kKeepLatest) {
+        line += " — oldest events overwritten (keep-latest); raise set_capacity() past " +
+                std::to_string(max_entries_ + dropped_) + " for the full run";
+      } else {
+        line += " — trace is INCOMPLETE, raise set_capacity() past " +
+                std::to_string(max_entries_ + dropped_);
+      }
     }
     return line;
   }
 
+  /// Selects which entries a filtered dump() prints. Default-constructed
+  /// matches everything; set `category` and/or `node` to narrow.
+  struct Filter {
+    std::optional<TraceCategory> category;
+    std::optional<int> node;
+    bool matches(const Entry& entry) const {
+      if (category && entry.category != *category) return false;
+      if (node && entry.node != *node) return false;
+      return true;
+    }
+  };
+
   /// Human-readable timeline, one line per event, closed by summary().
-  void dump(std::FILE* out = stdout) const {
-    for (const Entry& entry : entries_) {
+  /// Entries print in chronological order even after ring overflow.
+  void dump(std::FILE* out = stdout, const Filter& filter = Filter{}) const {
+    std::size_t shown = 0;
+    for (const Entry& entry : ordered()) {
+      if (!filter.matches(entry)) continue;
+      ++shown;
       std::fprintf(out, "%11.3f us  [node %d] %-5s  %s\n", to_us(entry.at), entry.node,
                    trace_category_name(entry.category), entry.label.c_str());
     }
-    std::fprintf(out, "(%s)\n", summary().c_str());
+    if (filter.category || filter.node) {
+      std::fprintf(out, "(%zu of %s)\n", shown, summary().c_str());
+    } else {
+      std::fprintf(out, "(%s)\n", summary().c_str());
+    }
   }
 
   /// Count of entries whose label contains `needle` (for tests).
@@ -101,6 +154,8 @@ class Tracer {
   std::vector<Entry> entries_;
   std::size_t max_entries_ = 100'000;
   std::size_t dropped_ = 0;
+  std::size_t write_pos_ = 0;  ///< oldest entry once the ring has wrapped
+  OverflowMode overflow_mode_ = OverflowMode::kKeepFirst;
 };
 
 }  // namespace fabsim

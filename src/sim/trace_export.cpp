@@ -1,0 +1,83 @@
+#include "sim/trace_export.hpp"
+
+#include <cstdio>
+#include <set>
+
+#include "sim/json.hpp"
+
+namespace fabsim {
+
+namespace {
+
+void append_event(std::string& out, bool& first, const std::string& event) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "  ";
+  out += event;
+}
+
+std::string format_ts(Time at) {
+  // Trace Event ts is in microseconds; keep picosecond resolution as a
+  // fraction so same-tick events stay distinguishable.
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", to_us(at));
+  return buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer, const MetricRegistry* metrics) {
+  std::string out = "{\n\"traceEvents\": [\n";
+  bool first = true;
+
+  // Name each node's process row once. tid mirrors the category so the
+  // four categories render as four stable threads per node.
+  std::set<int> nodes;
+  for (const Tracer::Entry& entry : tracer.entries()) nodes.insert(entry.node);
+  for (int node : nodes) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, \"tid\": 0, "
+                  "\"args\": {\"name\": \"node %d\"}}",
+                  node, node);
+    append_event(out, first, buf);
+  }
+
+  for (const Tracer::Entry& entry : tracer.ordered()) {
+    const char* cat = trace_category_name(entry.category);
+    char buf[96];
+    std::string event = "{\"name\": \"" + minijson::escape(entry.label) + "\", \"cat\": \"";
+    event += cat;
+    std::snprintf(buf, sizeof(buf), "\", \"ph\": \"i\", \"s\": \"t\", \"pid\": %d, \"tid\": %d, ",
+                  entry.node, static_cast<int>(entry.category));
+    event += buf;
+    event += "\"ts\": " + format_ts(entry.at) + "}";
+    append_event(out, first, event);
+  }
+
+  if (metrics != nullptr) {
+    for (const MetricRegistry::Sample& sample : metrics->samples()) {
+      char buf[64];
+      std::string event = "{\"name\": \"" + minijson::escape(sample.track) +
+                          "\", \"ph\": \"C\", \"pid\": 0, \"ts\": " + format_ts(sample.at) +
+                          ", \"args\": {\"value\": ";
+      std::snprintf(buf, sizeof(buf), "%.6f}}", sample.value);
+      event += buf;
+      append_event(out, first, event);
+    }
+  }
+
+  out += "\n],\n\"displayTimeUnit\": \"ns\"\n}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path, const Tracer& tracer,
+                        const MetricRegistry* metrics) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = chrome_trace_json(tracer, metrics);
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace fabsim

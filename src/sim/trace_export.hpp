@@ -1,0 +1,32 @@
+// Chrome-trace-event exporter (chrome://tracing / Perfetto).
+//
+// Serializes a Tracer's event timeline — and, when a MetricRegistry is
+// supplied, its timestamped counter-track samples — into the Trace
+// Event Format JSON understood by chrome://tracing and ui.perfetto.dev.
+// Mapping:
+//   * each simulated node  -> one "process" (pid = node id, named via a
+//     process_name metadata event)
+//   * each trace category  -> the event's "cat" and its "tid" within
+//     the node, so host/NIC/wire/proto land on separate rows
+//   * each Tracer entry    -> an instant event (ph "i", scope "t"),
+//     ts in microseconds (the format's native unit)
+//   * each registry sample -> a counter event (ph "C") on a track named
+//     by the sample, rendered by the UI as a stacked area chart
+#pragma once
+
+#include <string>
+
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace fabsim {
+
+/// Render the trace (and optional counter samples) as a complete
+/// Chrome-trace JSON document.
+std::string chrome_trace_json(const Tracer& tracer, const MetricRegistry* metrics = nullptr);
+
+/// Write chrome_trace_json() to `path`; returns false on I/O failure.
+bool write_chrome_trace(const std::string& path, const Tracer& tracer,
+                        const MetricRegistry* metrics = nullptr);
+
+}  // namespace fabsim

@@ -1,0 +1,161 @@
+// Accumulator edge cases and Histogram percentile correctness against
+// independently computed exact sorted quantiles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/histogram.hpp"
+#include "sim/stats.hpp"
+
+namespace fabsim {
+namespace {
+
+TEST(Accumulator, EmptyIsAllZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.sum(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.stddev(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, SingleSample) {
+  Accumulator a;
+  a.add(42.5);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 42.5);
+  EXPECT_DOUBLE_EQ(a.min(), 42.5);
+  EXPECT_DOUBLE_EQ(a.max(), 42.5);
+  EXPECT_EQ(a.variance(), 0.0) << "sample variance of n=1 must be 0, not NaN";
+  EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, NegativeSamples) {
+  Accumulator a;
+  a.add(-3.0);
+  a.add(-1.0);
+  a.add(-2.0);
+  EXPECT_DOUBLE_EQ(a.mean(), -2.0);
+  EXPECT_DOUBLE_EQ(a.min(), -3.0);
+  EXPECT_DOUBLE_EQ(a.max(), -1.0);
+  EXPECT_DOUBLE_EQ(a.sum(), -6.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 1.0);
+}
+
+TEST(Accumulator, MatchesNaiveTwoPassMoments) {
+  // Welford must agree with the textbook two-pass formulas.
+  std::vector<double> xs;
+  std::uint64_t state = 12345;
+  Accumulator a;
+  for (int i = 0; i < 1000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double x = static_cast<double>(state >> 40) / 1024.0;  // [0, ~16M)
+    xs.push_back(x);
+    a.add(x);
+  }
+  double sum = 0;
+  for (double x : xs) sum += x;
+  const double mean = sum / static_cast<double>(xs.size());
+  double m2 = 0;
+  for (double x : xs) m2 += (x - mean) * (x - mean);
+  const double variance = m2 / static_cast<double>(xs.size() - 1);
+
+  EXPECT_EQ(a.count(), xs.size());
+  EXPECT_NEAR(a.mean(), mean, std::abs(mean) * 1e-12);
+  EXPECT_NEAR(a.variance(), variance, variance * 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(a.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+// Reference nearest-rank quantile on a sorted copy, computed
+// independently of the Histogram implementation.
+double exact_nearest_rank(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  auto rank =
+      static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(xs.size())));
+  if (rank > 0) --rank;
+  return xs[rank];
+}
+
+TEST(Histogram, EmptyPercentilesAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p999(), 0.0);
+  EXPECT_TRUE(h.buckets().empty());
+}
+
+TEST(Histogram, SingleSampleIsEveryPercentile) {
+  Histogram h;
+  h.add(7.25);
+  for (double p : {0.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 7.25);
+  }
+}
+
+TEST(Histogram, PercentilesMatchExactSortedQuantiles) {
+  // A skewed latency-like distribution: bulk around 10, a long tail.
+  Histogram h;
+  std::vector<double> xs;
+  std::uint64_t state = 987654321;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double u = static_cast<double>(state >> 11) /
+                     static_cast<double>(1ull << 53);  // uniform [0,1)
+    const double x = 10.0 + 50.0 * u * u * u * u;  // heavy right tail
+    xs.push_back(x);
+    h.add(x);
+  }
+  for (double p : {1.0, 25.0, 50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), exact_nearest_rank(xs, p)) << "p=" << p;
+  }
+  // Interleave more adds after a percentile query: the lazy sort must
+  // not lose samples added after the first query.
+  h.add(1000.0);
+  xs.push_back(1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1000.0);
+  EXPECT_DOUBLE_EQ(h.p50(), exact_nearest_rank(xs, 50.0));
+}
+
+TEST(Histogram, PercentileClampsOutOfRangeP) {
+  Histogram h;
+  for (double x : {1.0, 2.0, 3.0}) h.add(x);
+  EXPECT_DOUBLE_EQ(h.percentile(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(150.0), 3.0);
+}
+
+TEST(Histogram, BucketsCoverAllSamplesOnce) {
+  Histogram h;
+  // Values straddling bucket edges: [0,1), [1,2), [2,4), [4,8), [8,16).
+  for (double x : {0.0, 0.5, 0.999, 1.0, 1.5, 2.0, 3.99, 4.0, 8.0, 15.0}) h.add(x);
+  const auto buckets = h.buckets();
+  ASSERT_FALSE(buckets.empty());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    total += buckets[i].count;
+    EXPECT_LT(buckets[i].lo, buckets[i].hi);
+    if (i > 0) EXPECT_LE(buckets[i - 1].hi, buckets[i].lo) << "buckets must not overlap";
+  }
+  EXPECT_EQ(total, h.count());
+  EXPECT_EQ(buckets.front().lo, 0.0);
+  EXPECT_EQ(buckets.front().count, 3u) << "[0,1) holds 0.0, 0.5, 0.999";
+}
+
+TEST(Histogram, SummaryAndClear) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("n=100"), std::string::npos) << s;
+  EXPECT_NE(s.find("p50="), std::string::npos) << s;
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+}  // namespace
+}  // namespace fabsim

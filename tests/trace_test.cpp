@@ -29,6 +29,68 @@ TEST(Tracer, CapacityBoundsAndDropCount) {
   EXPECT_EQ(tracer.dropped(), 7u);
 }
 
+TEST(Tracer, KeepLatestRingOverwritesOldest) {
+  Tracer tracer;
+  tracer.set_capacity(4);
+  tracer.set_overflow_mode(Tracer::OverflowMode::kKeepLatest);
+  for (int i = 0; i < 10; ++i) {
+    tracer.emit(us(i), TraceCategory::kProto, 0, "e" + std::to_string(i));
+  }
+  EXPECT_EQ(tracer.entries().size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  // The ring keeps the tail of the run, in chronological order.
+  const auto ordered = tracer.ordered();
+  ASSERT_EQ(ordered.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ordered[i].label, "e" + std::to_string(6 + i));
+    if (i > 0) EXPECT_GE(ordered[i].at, ordered[i - 1].at);
+  }
+  EXPECT_NE(tracer.summary().find("oldest events overwritten"), std::string::npos)
+      << tracer.summary();
+  EXPECT_EQ(tracer.summary().find("INCOMPLETE"), std::string::npos)
+      << "keep-latest is deliberate truncation, not an incomplete trace";
+  // Default mode keeps the head instead.
+  Tracer head;
+  head.set_capacity(4);
+  for (int i = 0; i < 10; ++i) head.emit(us(i), TraceCategory::kProto, 0, std::to_string(i));
+  EXPECT_EQ(head.ordered().front().label, "0");
+}
+
+TEST(Tracer, FilteredDumpSelectsCategoryAndNode) {
+  Tracer tracer;
+  tracer.emit(us(1), TraceCategory::kHost, 0, "host zero");
+  tracer.emit(us(2), TraceCategory::kWire, 0, "wire zero");
+  tracer.emit(us(3), TraceCategory::kWire, 1, "wire one");
+
+  auto dumped = [&](Tracer::Filter filter) {
+    std::FILE* f = std::tmpfile();
+    tracer.dump(f, filter);
+    std::string out(static_cast<std::size_t>(std::ftell(f)), '\0');
+    std::rewind(f);
+    const std::size_t got = std::fread(out.data(), 1, out.size(), f);
+    out.resize(got);
+    std::fclose(f);
+    return out;
+  };
+
+  std::string wires = dumped({.category = TraceCategory::kWire});
+  EXPECT_EQ(wires.find("host zero"), std::string::npos);
+  EXPECT_NE(wires.find("wire zero"), std::string::npos);
+  EXPECT_NE(wires.find("wire one"), std::string::npos);
+  EXPECT_NE(wires.find("(2 of "), std::string::npos) << "filtered dump shows shown/total";
+
+  std::string node1 = dumped({.node = 1});
+  EXPECT_EQ(node1.find("wire zero"), std::string::npos);
+  EXPECT_NE(node1.find("wire one"), std::string::npos);
+
+  std::string both = dumped({.category = TraceCategory::kWire, .node = 0});
+  EXPECT_NE(both.find("wire zero"), std::string::npos);
+  EXPECT_EQ(both.find("wire one"), std::string::npos);
+
+  std::string all = dumped({});
+  EXPECT_EQ(all.find(" of "), std::string::npos) << "unfiltered dump keeps plain summary";
+}
+
 TEST(Tracer, SummarySurfacesDropCount) {
   Tracer tracer;
   tracer.emit(us(1), TraceCategory::kHost, 0, "a");
