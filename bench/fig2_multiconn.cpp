@@ -10,7 +10,7 @@
 using namespace fabsim;
 using namespace fabsim::core;
 
-int main(int argc, char** argv) {
+int main(int argc, char**) {
   const bool quick = argc > 1;  // smaller sweep for smoke runs
   std::printf("=== Figure 2: multi-connection scalability (paper Sec. 5.1) ===\n");
 

@@ -10,7 +10,7 @@
 using namespace fabsim;
 using namespace fabsim::core;
 
-int main(int argc, char** argv) {
+int main(int argc, char**) {
   const bool quick = argc > 1;
   const auto networks = {Network::kIwarp, Network::kIb, Network::kMxoe, Network::kMxom};
   constexpr std::uint32_t kProbeMsg = 4096;

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Fail if a bench report recorded any FabricCheck violations.
+
+Usage: assert_clean.py results/<bench>.json [...]
+
+Scans the report's metrics section for every counter named
+``check.violations`` (benches that run several clusters publish one per
+collected registry) and exits non-zero when any is > 0, printing the
+per-rule ``check.<layer>.<rule>`` counters so the failure is actionable.
+Reports without check metrics (builds without FABSIM_CHECK, benches that
+don't collect metrics) pass vacuously.
+"""
+import json
+import sys
+
+
+def main(paths):
+    bad = 0
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        metrics = doc.get("metrics", {})
+        violations = {k: v for k, v in metrics.items() if k == "check.violations" and v}
+        if violations:
+            bad += 1
+            print(f"{path}: FabricCheck violations detected", file=sys.stderr)
+            for key, value in sorted(metrics.items()):
+                if key.startswith("check.") and key != "check.violations" and value:
+                    print(f"  {key} = {value:g}", file=sys.stderr)
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1:]))

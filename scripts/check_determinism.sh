@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Determinism verifier. Runs representative benches twice — a lossless
+# MPI latency sweep and the fault-injection suite (fixed seed, so the
+# drop schedule is part of the contract) — and requires the two runs to
+# be byte-identical: same report JSON, and in particular the same
+# sim.digest (the engine's FNV-1a fold over every (time, seq) event it
+# dispatched) for every cluster the benches fingerprinted.
+#
+# Usage: scripts/check_determinism.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build="${1:-build}"
+if [[ ! -d "$build/bench" ]]; then
+  cmake -B "$build" -G Ninja
+  cmake --build "$build"
+fi
+
+benches=(fig3_mpi_latency ext_faults)
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+
+for round in 1 2; do
+  mkdir -p "$scratch/run$round/results"
+  for bench in "${benches[@]}"; do
+    echo "== round $round: $bench =="
+    (cd "$scratch/run$round" && "$OLDPWD/$build/bench/$bench" quick >/dev/null)
+  done
+done
+
+status=0
+for bench in "${benches[@]}"; do
+  for ext in json csv; do
+    a="$scratch/run1/results/$bench.$ext"
+    b="$scratch/run2/results/$bench.$ext"
+    if ! diff -q "$a" "$b" >/dev/null; then
+      echo "NON-DETERMINISTIC: $bench.$ext differs between identical runs" >&2
+      diff "$a" "$b" | head -20 >&2 || true
+      status=1
+    fi
+  done
+  digests=$(python3 - "$scratch/run1/results/$bench.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+print(sum(1 for k in doc.get("metrics", {}) if k.endswith("sim.digest")))
+EOF
+)
+  if [[ "$digests" -lt 1 ]]; then
+    echo "MISSING: $bench.json carries no sim.digest metric" >&2
+    status=1
+  else
+    echo "$bench: $digests digest(s) identical across runs"
+  fi
+done
+
+if [[ "$status" == 0 ]]; then
+  echo "determinism: OK"
+fi
+exit "$status"

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""FabricSim source conventions linter (no external tooling required).
+
+Checks, over src/ (and headers everywhere):
+
+  1. pragma-once: every project header starts its preprocessor life with
+     `#pragma once` (include guards are not used in this tree).
+  2. include-resolution: every `#include "..."` of a project header
+     resolves against src/ or the including file's directory — a rename
+     that leaves a dangling include is caught without compiling.
+  3. no-wall-clock: simulation code must be deterministic; the host
+     clock (std::chrono system/steady/high_resolution clocks, ::time,
+     gettimeofday, clock_gettime) is banned in src/. Simulated time comes
+     from Engine::now() only.
+  4. no-naked-new: allocations go through std::make_unique/make_shared
+     or, for private constructors, the `unique_ptr<T>(new T(...))` idiom
+     (detected across adjacent lines). Anything else is flagged.
+  5. no-rand: std::rand/srand/random_shuffle are banned; randomness must
+     flow from explicitly seeded std::mt19937 so runs stay reproducible.
+
+A line containing NOLINT is exempt from 3-5. Exit status: 0 clean,
+1 violations found.
+"""
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+
+WALL_CLOCK = re.compile(
+    r"system_clock|steady_clock|high_resolution_clock|gettimeofday|clock_gettime"
+    r"|(?<![\w:])::time\s*\(|std::time\s*\("
+)
+NAKED_NEW = re.compile(r"(?<![\w_])new\s+[A-Za-z_(]")
+RAND = re.compile(r"(?<![\w_])s?rand\s*\(|random_shuffle")
+INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def strip_comments(line):
+    line = re.sub(r"//.*$", "", line)
+    return re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)  # string literals too
+
+
+def source_files(top, exts):
+    for dirpath, _, names in os.walk(top):
+        for name in sorted(names):
+            if os.path.splitext(name)[1] in exts:
+                yield os.path.join(dirpath, name)
+
+
+def lint():
+    problems = []
+
+    def flag(path, lineno, rule, text):
+        rel = os.path.relpath(path, ROOT)
+        problems.append(f"{rel}:{lineno}: [{rule}] {text}")
+
+    # Headers anywhere in the tree: pragma once + resolvable includes.
+    header_roots = [SRC, os.path.join(ROOT, "tests"), os.path.join(ROOT, "bench"),
+                    os.path.join(ROOT, "examples")]
+    for top in header_roots:
+        for path in source_files(top, {".hpp", ".h", ".cpp"}):
+            with open(path, encoding="utf-8") as f:
+                lines = f.readlines()
+            if path.endswith((".hpp", ".h")):
+                directives = [l.strip() for l in lines if l.strip().startswith("#")]
+                if not directives or directives[0] != "#pragma once":
+                    flag(path, 1, "pragma-once", "header must start with #pragma once")
+            for i, line in enumerate(lines, 1):
+                m = INCLUDE.match(line)
+                if not m:
+                    continue
+                target = m.group(1)
+                here = os.path.join(os.path.dirname(path), target)
+                under_src = os.path.join(SRC, target)
+                if not (os.path.exists(here) or os.path.exists(under_src)):
+                    flag(path, i, "include-resolution",
+                         f'"{target}" resolves against neither src/ nor the including dir')
+
+    # Behavioural bans: src/ only (tests may legitimately poke the host).
+    for path in source_files(SRC, {".hpp", ".h", ".cpp"}):
+        with open(path, encoding="utf-8") as f:
+            lines = f.readlines()
+        prev_code = ""
+        for i, raw in enumerate(lines, 1):
+            if "NOLINT" in raw:
+                prev_code = strip_comments(raw)
+                continue
+            code = strip_comments(raw)
+            if WALL_CLOCK.search(code):
+                flag(path, i, "no-wall-clock",
+                     "host clock call in simulation code (use Engine::now())")
+            if RAND.search(code):
+                flag(path, i, "no-rand", "unseeded C randomness (use seeded std::mt19937)")
+            m = NAKED_NEW.search(code)
+            if m:
+                window = prev_code + code[: m.start()]
+                if "_ptr<" not in window and "_ptr (" not in window:
+                    flag(path, i, "no-naked-new",
+                         "raw new outside a smart-pointer constructor")
+            prev_code = code
+    return problems
+
+
+def main():
+    problems = lint()
+    for p in problems:
+        print(p, file=sys.stderr)
+    if problems:
+        print(f"conventions_lint: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("conventions_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Static-analysis gate. Runs every analyzer available on this machine and
+# always runs the dependency-free conventions linter; tools that are not
+# installed are skipped with a notice (the container used for development
+# ships only the compiler toolchain — CI images may carry more).
+#
+#   clang-tidy    .clang-tidy config (bugprone/performance/readability/
+#                 modernize subsets) over src/, using the compile database
+#   cppcheck      C++20 static analysis over src/
+#   clang-format  check-only formatting pass (--fix to rewrite)
+#   conventions   scripts/conventions_lint.py (always runs)
+#
+# Usage: scripts/lint.sh [--fix]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fix=0
+[[ "${1:-}" == "--fix" ]] && fix=1
+
+status=0
+
+# The compile database clang-tidy wants; the default preset writes build/.
+if [[ ! -f build/compile_commands.json ]]; then
+  cmake -B build -G Ninja -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+sources=$(find src -name '*.cpp' | sort)
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy =="
+  # shellcheck disable=SC2086
+  clang-tidy -p build --quiet $sources || status=1
+else
+  echo "== clang-tidy: not installed, skipping =="
+fi
+
+if command -v cppcheck >/dev/null 2>&1; then
+  echo "== cppcheck =="
+  cppcheck --std=c++20 --language=c++ --enable=warning,performance,portability \
+    --error-exitcode=1 --inline-suppr --quiet -I src src || status=1
+else
+  echo "== cppcheck: not installed, skipping =="
+fi
+
+if command -v clang-format >/dev/null 2>&1; then
+  echo "== clang-format =="
+  files=$(find src tests bench examples -name '*.cpp' -o -name '*.hpp' | sort)
+  if [[ "$fix" == 1 ]]; then
+    # shellcheck disable=SC2086
+    clang-format -i $files
+  else
+    # shellcheck disable=SC2086
+    clang-format --dry-run --Werror $files || status=1
+  fi
+else
+  echo "== clang-format: not installed, skipping =="
+fi
+
+echo "== conventions =="
+python3 scripts/conventions_lint.py || status=1
+
+exit "$status"

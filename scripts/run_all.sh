@@ -5,6 +5,10 @@
 # Flags (combinable):
 #   --sanitize   additionally build under ASan+UBSan (build-asan/) and run
 #                the test suite instrumented before the figure regeneration
+#   --check      build with the FabricCheck invariant auditor compiled in
+#                (build-check/, -DFABSIM_CHECK=ON) and use it for the
+#                figure regeneration; any bench reporting check.violations
+#                != 0 fails the run
 #   --trace      after the benches, export a Chrome-trace JSON of one
 #                rendezvous message to results/trace_export.json
 set -euo pipefail
@@ -12,16 +16,18 @@ cd "$(dirname "$0")/.."
 
 sanitize=0
 trace=0
+check=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
     --trace) trace=1 ;;
-    *) echo "unknown flag: $arg (expected --sanitize and/or --trace)" >&2; exit 2 ;;
+    --check) check=1 ;;
+    *) echo "unknown flag: $arg (expected --sanitize, --check and/or --trace)" >&2; exit 2 ;;
   esac
 done
 
 if [[ "$sanitize" == 1 ]]; then
-  cmake -B build-asan -G Ninja -DFABSIM_SANITIZE=ON
+  cmake -B build-asan -G Ninja -DFABSIM_SANITIZE=ON -DFABSIM_CHECK=ON
   cmake --build build-asan
   ctest --test-dir build-asan --output-on-failure
 fi
@@ -30,8 +36,16 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+bench_dir=build/bench
+if [[ "$check" == 1 ]]; then
+  cmake -B build-check -G Ninja -DFABSIM_CHECK=ON
+  cmake --build build-check
+  ctest --test-dir build-check --output-on-failure
+  bench_dir=build-check/bench
+fi
+
 mkdir -p results
-for b in build/bench/*; do
+for b in "$bench_dir"/*; do
   [[ -f "$b" && -x "$b" ]] || continue  # skip CMakeFiles/ and cmake litter
   name="$(basename "$b")"
   echo "=== $name ==="
@@ -46,6 +60,9 @@ for b in build/bench/*; do
     rm -f "$tmp"
   else
     mv "$tmp" "results/$name.txt"
+  fi
+  if [[ "$check" == 1 && -f "results/$name.json" ]]; then
+    python3 scripts/assert_clean.py "results/$name.json"
   fi
 done
 

@@ -1,0 +1,122 @@
+#include "check/audits.hpp"
+
+namespace fabsim::check {
+
+namespace {
+
+std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+Verdict audit_switch_occupancy(double backlog_bytes, std::uint32_t frame_bytes,
+                               std::uint64_t max_queue_bytes) {
+  if (max_queue_bytes == 0) return Verdict::pass();  // unbounded buffer
+  if (backlog_bytes + frame_bytes <= static_cast<double>(max_queue_bytes)) {
+    return Verdict::pass();
+  }
+  return Verdict::fail("queue_overflow",
+                       "admitted frame of " + u64(frame_bytes) + "B onto a backlog of " +
+                           std::to_string(backlog_bytes) + "B, exceeding the " +
+                           u64(max_queue_bytes) + "B port buffer");
+}
+
+Verdict audit_switch_conservation(std::uint64_t ingressed, std::uint64_t forwarded,
+                                  std::uint64_t fault_drops, std::uint64_t tail_drops) {
+  if (ingressed == forwarded + fault_drops + tail_drops) return Verdict::pass();
+  return Verdict::fail("frame_conservation",
+                       "ingressed " + u64(ingressed) + " != forwarded " + u64(forwarded) +
+                           " + fault_drops " + u64(fault_drops) + " + tail_drops " +
+                           u64(tail_drops));
+}
+
+Verdict audit_ib_inflight_psns(const std::deque<std::uint64_t>& inflight_psns,
+                               std::uint64_t snd_psn) {
+  for (std::size_t i = 1; i < inflight_psns.size(); ++i) {
+    if (inflight_psns[i] != inflight_psns[i - 1] + 1) {
+      return Verdict::fail("psn_gap_in_inflight",
+                           "inflight[" + u64(i) + "] psn " + u64(inflight_psns[i]) +
+                               " does not follow " + u64(inflight_psns[i - 1]));
+    }
+  }
+  if (!inflight_psns.empty() && inflight_psns.back() + 1 != snd_psn) {
+    return Verdict::fail("psn_tail_mismatch", "inflight tail psn " + u64(inflight_psns.back()) +
+                                                  " + 1 != snd_psn " + u64(snd_psn));
+  }
+  return Verdict::pass();
+}
+
+Verdict audit_ib_ack_window(std::uint64_t ack_psn, std::uint64_t snd_psn) {
+  if (ack_psn <= snd_psn) return Verdict::pass();
+  return Verdict::fail("ack_beyond_window",
+                       "cumulative ack psn " + u64(ack_psn) + " acks packets never sent (snd_psn " +
+                           u64(snd_psn) + ")");
+}
+
+Verdict audit_ib_retry_exhausted(int retry_count, int retry_limit) {
+  if (retry_count > retry_limit) return Verdict::pass();
+  return Verdict::fail("premature_error",
+                       "QP entered error state at retry " + std::to_string(retry_count) +
+                           " of limit " + std::to_string(retry_limit));
+}
+
+Verdict audit_iwarp_window(std::uint64_t snd_nxt, std::uint64_t snd_una, std::uint32_t chunk,
+                           std::uint32_t window) {
+  if (snd_nxt - snd_una + chunk <= window) return Verdict::pass();
+  return Verdict::fail("window_overrun",
+                       "emitting " + u64(chunk) + "B with " + u64(snd_nxt - snd_una) +
+                           "B already outstanding exceeds the " + u64(window) + "B window");
+}
+
+Verdict audit_iwarp_ack_window(std::uint64_t ack, std::uint64_t snd_una, std::uint64_t snd_nxt) {
+  if (ack <= snd_nxt) return Verdict::pass();
+  return Verdict::fail("ack_beyond_window", "cumulative ack " + u64(ack) +
+                                                " beyond snd_nxt " + u64(snd_nxt) +
+                                                " (snd_una " + u64(snd_una) + ")");
+}
+
+Verdict audit_iwarp_untagged_inorder(std::uint32_t msg_offset, std::uint32_t placed,
+                                     std::uint64_t msg_id) {
+  if (msg_offset == placed) return Verdict::pass();
+  return Verdict::fail("untagged_out_of_order",
+                       "msg " + u64(msg_id) + ": segment at offset " + u64(msg_offset) +
+                           " delivered with only " + u64(placed) +
+                           "B placed (DDP untagged delivery must be in-order)");
+}
+
+Verdict audit_mx_resend_queue(const std::deque<std::uint64_t>& unacked_seqs,
+                              std::uint64_t next_seq) {
+  for (std::size_t i = 1; i < unacked_seqs.size(); ++i) {
+    if (unacked_seqs[i] != unacked_seqs[i - 1] + 1) {
+      return Verdict::fail("resend_queue_gap",
+                           "unacked[" + u64(i) + "] seq " + u64(unacked_seqs[i]) +
+                               " does not follow " + u64(unacked_seqs[i - 1]));
+    }
+  }
+  if (!unacked_seqs.empty() && unacked_seqs.back() + 1 != next_seq) {
+    return Verdict::fail("resend_tail_mismatch", "unacked tail seq " + u64(unacked_seqs.back()) +
+                                                     " + 1 != next_seq " + u64(next_seq));
+  }
+  return Verdict::pass();
+}
+
+Verdict audit_mx_ack_window(std::uint64_t ack, std::uint64_t next_seq) {
+  if (ack <= next_seq) return Verdict::pass();
+  return Verdict::fail("ack_beyond_window", "flow ack " + u64(ack) +
+                                                " acks frames never sent (next_seq " +
+                                                u64(next_seq) + ")");
+}
+
+Verdict audit_mpi_queue_disjoint(int posted_src, int posted_tag, int msg_src, int msg_tag) {
+  constexpr int kAnySource = -1;  // mirrors mpi::kAnySource / kAnyTag
+  constexpr int kAnyTag = -1;
+  const bool src_match = posted_src == kAnySource || posted_src == msg_src;
+  const bool tag_match = posted_tag == kAnyTag || posted_tag == msg_tag;
+  if (!(src_match && tag_match)) return Verdict::pass();
+  return Verdict::fail("queue_overlap",
+                       "unexpected message (src " + std::to_string(msg_src) + ", tag " +
+                           std::to_string(msg_tag) + ") matches posted receive (src " +
+                           std::to_string(posted_src) + ", tag " + std::to_string(posted_tag) +
+                           ") — matching failed to pair them");
+}
+
+}  // namespace fabsim::check

@@ -1,0 +1,111 @@
+// FabricCheck per-layer audit predicates.
+//
+// Each protocol invariant is a free function over the minimal slice of
+// component state it constrains, returning a Verdict: ok, or a failure
+// with the rule id and a detail string. The stacks call these with live
+// state (reporting failures through the engine's InvariantMonitor); the
+// negative tests in tests/check_test.cpp call the same functions with
+// deliberately corrupted inputs to prove every checker actually fires.
+// Keeping the predicate separate from the reporting is what makes the
+// checkers testable without building corruption seams into the NICs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "check/invariant.hpp"
+
+namespace fabsim::check {
+
+/// Outcome of one audit predicate.
+struct Verdict {
+  bool ok = true;
+  const char* rule = "";
+  std::string detail;
+
+  static Verdict pass() { return Verdict{}; }
+  static Verdict fail(const char* rule, std::string detail) {
+    return Verdict{false, rule, std::move(detail)};
+  }
+
+  /// Report through `monitor` (if attached) when the audit failed.
+  void report(InvariantMonitor* monitor, Time at, Layer layer, int node) const {
+    if (!ok && monitor != nullptr) monitor->report(at, layer, node, rule, detail);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// hw: switch fabric
+// ---------------------------------------------------------------------------
+
+/// Bounded-buffer admission: once a frame is accepted, the output-port
+/// backlog (including the new frame) must fit the configured buffer.
+Verdict audit_switch_occupancy(double backlog_bytes, std::uint32_t frame_bytes,
+                               std::uint64_t max_queue_bytes);
+
+/// Frame conservation at a quiescent point: every frame handed to
+/// ingress() was either forwarded, dropped by the fault injector, or
+/// tail-dropped — nothing vanishes, nothing is duplicated.
+Verdict audit_switch_conservation(std::uint64_t ingressed, std::uint64_t forwarded,
+                                  std::uint64_t fault_drops, std::uint64_t tail_drops);
+
+// ---------------------------------------------------------------------------
+// ib: RC transport
+// ---------------------------------------------------------------------------
+
+/// Requester inflight queue: PSNs are contiguous and the next stamp
+/// (snd_psn) continues the tail — go-back-N replay depends on it.
+Verdict audit_ib_inflight_psns(const std::deque<std::uint64_t>& inflight_psns,
+                               std::uint64_t snd_psn);
+
+/// Cumulative ack legality: the responder can only ack PSNs the
+/// requester has actually sent (ack_psn <= snd_psn), and acks never
+/// regress below already-acked state (head of inflight).
+Verdict audit_ib_ack_window(std::uint64_t ack_psn, std::uint64_t snd_psn);
+
+/// RTO/error legality: a QP may enter the error state only after the
+/// retry counter actually exceeded the limit.
+Verdict audit_ib_retry_exhausted(int retry_count, int retry_limit);
+
+// ---------------------------------------------------------------------------
+// iwarp: MPA/DDP over TCP
+// ---------------------------------------------------------------------------
+
+/// TCP sender window: a segment may only be emitted while it fits the
+/// advertised window ((snd_nxt - snd_una) + chunk <= window).
+Verdict audit_iwarp_window(std::uint64_t snd_nxt, std::uint64_t snd_una, std::uint32_t chunk,
+                           std::uint32_t window);
+
+/// Byte-stream conservation on ack: cumulative acks must lie within
+/// [snd_una, snd_nxt] — acking bytes never sent breaks go-back-N.
+Verdict audit_iwarp_ack_window(std::uint64_t ack, std::uint64_t snd_una, std::uint64_t snd_nxt);
+
+/// DDP untagged delivery is in-order per message: segment msg_offset
+/// must equal the bytes already placed for that message.
+Verdict audit_iwarp_untagged_inorder(std::uint32_t msg_offset, std::uint32_t placed,
+                                     std::uint64_t msg_id);
+
+// ---------------------------------------------------------------------------
+// mx: firmware reliability + matching
+// ---------------------------------------------------------------------------
+
+/// Per-flow resend queue: unacked sequence numbers are contiguous and
+/// end right below the next stamp.
+Verdict audit_mx_resend_queue(const std::deque<std::uint64_t>& unacked_seqs,
+                              std::uint64_t next_seq);
+
+/// Flow-ack legality: cumulative ack never exceeds what was sent.
+Verdict audit_mx_ack_window(std::uint64_t ack, std::uint64_t next_seq);
+
+// ---------------------------------------------------------------------------
+// mpi: matching queues
+// ---------------------------------------------------------------------------
+
+/// Posted/unexpected disjointness: an unexpected message that matches a
+/// posted receive means the matching logic failed to pair them; the two
+/// queues must never hold a matching pair at a quiescent point.
+/// Wildcards follow MPI semantics (src = kAnySource, tag = kAnyTag).
+Verdict audit_mpi_queue_disjoint(int posted_src, int posted_tag, int msg_src, int msg_tag);
+
+}  // namespace fabsim::check

@@ -1,0 +1,142 @@
+// FabricCheck: runtime protocol-invariant auditor.
+//
+// An InvariantMonitor is attached to an Engine the same way the Tracer,
+// the MetricRegistry and the FaultInjector are: caller-owned, optional,
+// and every emission site guards on the pointer so a disabled monitor
+// costs one branch. Each protocol layer reports violations of its own
+// invariants (PSN monotonicity, DDP ordering, queue bounds, request
+// lifecycle, ...) through this one funnel, which makes the failure
+// contract uniform: a typed InvariantViolation record carrying sim-time,
+// layer, node and rule name.
+//
+// Two reporting modes:
+//   * fatal (the default, used by tests): the first violation throws
+//     InvariantViolationError out of Engine::run();
+//   * counting (used by FABSIM_CHECK bench runs): violations accumulate
+//     in the monitor and surface as `check.<layer>.<rule>` counters via
+//     an optional MetricRegistry, so a sweep completes and reports.
+//
+// The monitor never posts events and never advances time: attaching one
+// must leave the simulated timeline byte-identical (the zero-overhead
+// test in tests/check_test.cpp pins this).
+//
+// Everything here is header-only on purpose: sim::Engine invokes the
+// monitor from its run loop, and fabsim_check links against fabsim_sim —
+// inline definitions break what would otherwise be a library cycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/time.hpp"
+
+namespace fabsim::check {
+
+/// Which protocol layer reported the violation.
+enum class Layer : std::uint8_t { kSim, kHw, kIb, kIwarp, kMx, kMpi };
+
+inline const char* layer_name(Layer layer) {
+  switch (layer) {
+    case Layer::kSim: return "sim";
+    case Layer::kHw: return "hw";
+    case Layer::kIb: return "ib";
+    case Layer::kIwarp: return "iwarp";
+    case Layer::kMx: return "mx";
+    case Layer::kMpi: return "mpi";
+  }
+  return "?";
+}
+
+/// One broken invariant, with enough context to debug it post-mortem.
+struct InvariantViolation {
+  Time at = 0;        ///< simulated time of the report
+  Layer layer = Layer::kSim;
+  int node = -1;      ///< node / rank / port; -1 when not applicable
+  std::string rule;   ///< stable rule id, e.g. "psn_gap_in_inflight"
+  std::string detail; ///< human-readable specifics
+
+  std::string to_string() const {
+    return std::string(layer_name(layer)) + "." + rule + " @" + std::to_string(to_us(at)) +
+           "us node=" + std::to_string(node) + ": " + detail;
+  }
+};
+
+/// Thrown by a fatal monitor on the first violation.
+class InvariantViolationError : public std::runtime_error {
+ public:
+  explicit InvariantViolationError(InvariantViolation violation)
+      : std::runtime_error("invariant violated: " + violation.to_string()),
+        violation_(std::move(violation)) {}
+
+  const InvariantViolation& violation() const { return violation_; }
+
+ private:
+  InvariantViolation violation_;
+};
+
+class InvariantMonitor {
+ public:
+  /// `fatal` = throw on the first violation (test mode); otherwise count.
+  explicit InvariantMonitor(bool fatal = true) : fatal_(fatal) {}
+
+  bool fatal() const { return fatal_; }
+
+  /// Optional registry for `check.*` counters in counting mode.
+  void set_metrics(MetricRegistry* metrics) { metrics_ = metrics; }
+
+  /// Record a violation. Fatal monitors throw; counting monitors keep
+  /// the record (bounded) and bump `check.violations` +
+  /// `check.<layer>.<rule>`.
+  void report(Time at, Layer layer, int node, std::string rule, std::string detail) {
+    InvariantViolation violation{at, layer, node, std::move(rule), std::move(detail)};
+    if (fatal_) throw InvariantViolationError(std::move(violation));
+    ++violation_count_;
+    if (metrics_ != nullptr) {
+      metrics_->counter("check.violations").add();
+      metrics_->counter(std::string("check.") + layer_name(layer) + "." + violation.rule).add();
+    }
+    if (violations_.size() < kMaxKept) violations_.push_back(std::move(violation));
+  }
+
+  /// Audit helper: the detail string is only built on failure, so hot
+  /// paths pay one predicate evaluation and one branch.
+  template <typename DetailFn>
+  void expect(bool ok, Time at, Layer layer, int node, const char* rule, DetailFn&& detail) {
+    if (!ok) report(at, layer, node, rule, std::forward<DetailFn>(detail)());
+  }
+
+  std::uint64_t violation_count() const { return violation_count_; }
+  const std::vector<InvariantViolation>& violations() const { return violations_; }
+  bool clean() const { return violations_.empty() && violation_count_ == 0; }
+
+  /// Final checks run when the engine's event queue drains (end of every
+  /// Engine::run()). Components register whole-state audits here —
+  /// conservation laws, queue disjointness — things only checkable at a
+  /// quiescent point. Checks must be idempotent: staged benches drain
+  /// more than once.
+  void add_final_check(std::function<void(InvariantMonitor&)> fn) {
+    final_checks_.push_back(std::move(fn));
+  }
+
+  void run_final_checks() {
+    for (auto& fn : final_checks_) fn(*this);
+  }
+
+ private:
+  // Cap the retained records so a hot-loop violation in counting mode
+  // cannot grow without bound; the count keeps the true total.
+  static constexpr std::size_t kMaxKept = 256;
+
+  bool fatal_;
+  MetricRegistry* metrics_ = nullptr;
+  std::uint64_t violation_count_ = 0;
+  std::vector<InvariantViolation> violations_;
+  std::vector<std::function<void(InvariantMonitor&)>> final_checks_;
+};
+
+}  // namespace fabsim::check

@@ -1,6 +1,10 @@
 #include "core/cluster.hpp"
 
+#include <map>
 #include <stdexcept>
+
+#include "check/audits.hpp"
+#include "fault/plan.hpp"
 
 namespace fabsim::core {
 
@@ -24,6 +28,42 @@ Cluster::Cluster(int nodes, NetworkProfile profile) : profile_(profile) {
         break;
     }
   }
+#ifdef FABSIM_CHECK
+  enable_checks(/*fatal=*/false);
+#endif
+}
+
+check::InvariantMonitor& Cluster::enable_checks(bool fatal) {
+  if (owned_monitor_ == nullptr) {
+    owned_monitor_ = std::make_unique<check::InvariantMonitor>(fatal);
+    attach_monitor(*owned_monitor_);
+  }
+  return *owned_monitor_;
+}
+
+void Cluster::attach_monitor(check::InvariantMonitor& monitor) {
+  engine_.set_monitor(&monitor);
+  // Quiescent-state audits, run when the event queue drains. Channels may
+  // not exist yet at attach time (setup_mpi runs inside the simulation),
+  // so the lambda walks the live vectors at fire time.
+  monitor.add_final_check([this](check::InvariantMonitor& m) {
+    const Time now = engine_.now();
+    fabric_->audit_conservation().report(&m, now, check::Layer::kHw, -1);
+    // Cross-check against the fault plan: the switch is the only place
+    // the engine's injector is consulted, so its drop decision count must
+    // equal the switch's fault-drop counter exactly.
+    if (const auto* plan = dynamic_cast<const fault::FaultPlan*>(engine_.fault_injector())) {
+      m.expect(plan->frames_dropped() == fabric_->fault_drops(), now, check::Layer::kHw, -1,
+               "fault_drop_mismatch", [&] {
+                 return "FaultPlan decided " + std::to_string(plan->frames_dropped()) +
+                        " drops but the switch recorded " + std::to_string(fabric_->fault_drops());
+               });
+    }
+    for (auto& endpoint : endpoints_) endpoint->audit_consistency(m);
+    for (auto& channel : channels_) {
+      if (auto* ch = dynamic_cast<mpi::ChVerbs*>(channel.get())) ch->audit_queues(m);
+    }
+  });
 }
 
 verbs::Device& Cluster::device(int i) {
@@ -80,6 +120,23 @@ Task<> Cluster::setup_mpi() {
 void Cluster::collect_metrics(MetricRegistry& registry) {
   const Time elapsed = engine_.now();
   auto nname = [](int i) { return "node" + std::to_string(i); };
+
+  // Determinism fingerprint: two runs of the same configuration must
+  // produce identical digests (scripts/check_determinism.sh diffs these).
+  registry.counter("sim.events").set(engine_.events_processed());
+  registry.counter("sim.digest").set(engine_.run_digest());
+
+  // FabricCheck: violation totals, plus one counter per (layer, rule).
+  // Tallied into a local map first so repeated collect_metrics calls
+  // overwrite rather than accumulate.
+  if (const check::InvariantMonitor* m = engine_.monitor()) {
+    registry.counter("check.violations").set(m->violation_count());
+    std::map<std::string, std::uint64_t> by_rule;
+    for (const check::InvariantViolation& v : m->violations()) {
+      ++by_rule[std::string("check.") + check::layer_name(v.layer) + "." + v.rule];
+    }
+    for (const auto& [name, count] : by_rule) registry.counter(name).set(count);
+  }
 
   // Fabric: per-port serialization busy time -> utilization, tail drops,
   // and the queue-backlog high-water mark.

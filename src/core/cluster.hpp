@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/invariant.hpp"
 #include "core/calibration.hpp"
 #include "hw/fabric.hpp"
 #include "hw/node.hpp"
@@ -55,7 +56,25 @@ class Cluster {
   /// into `registry` under hierarchical names (ib.node0.retransmits,
   /// switch.port2.tail_drops, mpi.rank1.unexpected_max_depth, ...).
   /// Call at end of run; safe to call repeatedly (values are overwritten).
+  /// Also publishes the determinism digest (sim.digest / sim.events) and,
+  /// when a monitor is attached, the check.* violation counters.
   void collect_metrics(MetricRegistry& registry);
+
+  /// FabricCheck: attach a caller-owned protocol-invariant monitor. Wires
+  /// it into the engine (hot-path audits in every stack pick it up from
+  /// there) and registers the cluster-wide quiescent-state audits — frame
+  /// conservation at the switch (cross-checked against the FaultPlan),
+  /// MX matching consistency, and MPI posted/unexpected disjointness —
+  /// to run when the event queue drains.
+  void attach_monitor(check::InvariantMonitor& monitor);
+
+  /// Convenience: build and attach an owned monitor (counting mode by
+  /// default so production runs survive a violation; the records and
+  /// check.* counters still surface it). Builds configured with
+  /// -DFABSIM_CHECK=ON call this from the constructor.
+  check::InvariantMonitor& enable_checks(bool fatal = false);
+
+  check::InvariantMonitor* monitor() { return engine_.monitor(); }
 
  private:
   NetworkProfile profile_;
@@ -69,6 +88,7 @@ class Cluster {
   std::vector<std::unique_ptr<mpi::Rank>> mpi_ranks_;
   bool mpi_ready_ = false;
   std::unique_ptr<Event> mpi_ready_event_;
+  std::unique_ptr<check::InvariantMonitor> owned_monitor_;
 };
 
 }  // namespace fabsim::core

@@ -207,12 +207,13 @@ class Report {
     std::string out = "{\n  \"benchmark\": \"" + minijson::escape(name_) + "\",\n";
     out += "  \"notes\": [";
     for (std::size_t i = 0; i < notes_.size(); ++i) {
-      out += (i ? ", " : "") + ("\"" + minijson::escape(notes_[i]) + "\"");
+      if (i) out += ", ";
+      out += "\"" + minijson::escape(notes_[i]) + "\"";
     }
     out += "],\n  \"scalars\": {";
     for (std::size_t i = 0; i < scalars_.size(); ++i) {
-      out += (i ? ", " : "") + ("\"" + minijson::escape(scalars_[i].key) + "\": ") +
-             num(scalars_[i].value);
+      if (i) out += ", ";
+      out += "\"" + minijson::escape(scalars_[i].key) + "\": " + num(scalars_[i].value);
     }
     out += "},\n  \"tables\": [";
     for (std::size_t i = 0; i < tables_.size(); ++i) {
@@ -262,7 +263,8 @@ class Report {
     std::string out = "{\"title\": \"" + minijson::escape(t.title()) + "\", \"x_label\": \"" +
                       minijson::escape(t.x_label()) + "\", \"series\": [";
     for (std::size_t i = 0; i < t.series().size(); ++i) {
-      out += (i ? ", " : "") + ("\"" + minijson::escape(t.series()[i]) + "\"");
+      if (i) out += ", ";
+      out += "\"" + minijson::escape(t.series()[i]) + "\"";
     }
     out += "], \"rows\": [";
     for (std::size_t i = 0; i < t.rows().size(); ++i) {

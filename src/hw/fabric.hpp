@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "check/audits.hpp"
 #include "fault/injector.hpp"
 #include "hw/frame.hpp"
 #include "sim/engine.hpp"
@@ -48,6 +49,7 @@ class Switch {
     const int dst = frame.dst_node;
     Port& out = ports_.at(static_cast<std::size_t>(dst));
     Time at_switch = engine_->now() + config_.propagation + config_.cut_through;
+    ++frames_ingressed_;
 
     if (fault::FaultInjector* injector = engine_->fault_injector()) {
       const fault::FaultDecision decision = injector->on_frame(
@@ -95,6 +97,17 @@ class Switch {
       }
     }
 
+    if (check::InvariantMonitor* monitor = engine_->monitor();
+        monitor != nullptr && out.tx.busy_until() > at_switch && !config_.link_rate.is_zero()) {
+      // Occupancy bound: the frame was admitted, so the backlog it joins
+      // must still fit the configured port buffer.
+      const double backlog = static_cast<double>(out.tx.busy_until() - at_switch) /
+                             config_.link_rate.ps_per_byte();
+      check::audit_switch_occupancy(backlog, frame.wire_bytes, config_.max_queue_bytes)
+          .report(monitor, engine_->now(), check::Layer::kHw, dst);
+    }
+
+    ++frames_forwarded_;
     const Time serialization = config_.link_rate.bytes_time(frame.wire_bytes);
     const Time sent = out.tx.book(at_switch, serialization);
     const Time delivered = sent + config_.propagation;
@@ -130,6 +143,24 @@ class Switch {
   std::uint64_t fault_corruptions() const { return fault_corruptions_; }
   std::uint64_t fault_delays() const { return fault_delays_; }
 
+  // Conservation accounting: every ingressed frame is forwarded,
+  // fault-dropped, or tail-dropped.
+  std::uint64_t frames_ingressed() const { return frames_ingressed_; }
+  std::uint64_t frames_forwarded() const { return frames_forwarded_; }
+  std::uint64_t tail_drops_total() const {
+    std::uint64_t drops = 0;
+    for (const Port& port : ports_) drops += port.drops;
+    return drops;
+  }
+
+  /// Whole-switch conservation audit (registered as a monitor final
+  /// check by core::Cluster; also cross-checked against the FaultPlan's
+  /// own drop counter there).
+  check::Verdict audit_conservation() const {
+    return check::audit_switch_conservation(frames_ingressed_, frames_forwarded_, fault_drops_,
+                                            tail_drops_total());
+  }
+
  private:
   struct Port {
     FrameSink* sink;
@@ -144,6 +175,8 @@ class Switch {
   std::uint64_t fault_drops_ = 0;
   std::uint64_t fault_corruptions_ = 0;
   std::uint64_t fault_delays_ = 0;
+  std::uint64_t frames_ingressed_ = 0;
+  std::uint64_t frames_forwarded_ = 0;
 };
 
 }  // namespace fabsim::hw

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/audits.hpp"
+
 namespace fabsim::ib {
 
 namespace {
@@ -176,6 +178,12 @@ Time Hca::engine_process(Time ready, const Packet& packet, bool transmit_side,
 }
 
 void Hca::send_message(Conn& conn, OutMsg msg) {
+  if (msg.kind == MsgKind::kReadRequest) {
+    // Track the read until its response completes it: the request packet
+    // is acked (and leaves inflight) long before the response arrives,
+    // and enter_error must be able to flush the stranded completion.
+    conn.pending_reads.push_back(Conn::PendingRead{msg.wr_id, msg.read_len, msg.signaled});
+  }
   const std::uint64_t msg_id = conn.next_msg_id++;
   std::uint32_t offset = 0;
   while (offset < msg.len) {
@@ -218,6 +226,20 @@ void Hca::transmit_packet(Conn& conn, Packet packet, bool retransmit) {
     // make sure a retry timer covers the (possibly new) head of line.
     packet.psn = conn.snd_psn++;
     conn.inflight.push_back(packet);
+    if (check::InvariantMonitor* monitor = engine().monitor()) {
+      // Incremental contiguity: the appended PSN must extend the tail by
+      // exactly one (O(1) per packet; the whole-queue form of this audit
+      // is check::audit_ib_inflight_psns).
+      const std::size_t n = conn.inflight.size();
+      monitor->expect(conn.inflight.back().psn + 1 == conn.snd_psn &&
+                          (n < 2 || conn.inflight[n - 2].psn + 1 == conn.inflight[n - 1].psn),
+                      engine().now(), check::Layer::kIb, node_->id(), "psn_gap_in_inflight",
+                      [&] {
+                        return "appended psn " + std::to_string(conn.inflight.back().psn) +
+                               " breaks inflight contiguity (snd_psn " +
+                               std::to_string(conn.snd_psn) + ")";
+                      });
+    }
     arm_timer(conn);
   }
   if (retransmit) {
@@ -299,6 +321,10 @@ void Hca::send_ack(Conn& conn, bool nak) {
 
 void Hca::handle_ack_packet(Conn& conn, const Packet& ack) {
   if (conn.qp->in_error_) return;
+  if (check::InvariantMonitor* monitor = engine().monitor()) {
+    check::audit_ib_ack_window(ack.ack_psn, conn.snd_psn)
+        .report(monitor, engine().now(), check::Layer::kIb, node_->id());
+  }
   bool advanced = false;
   while (!conn.inflight.empty() && conn.inflight.front().psn < ack.ack_psn) {
     const Packet done = std::move(conn.inflight.front());
@@ -359,6 +385,12 @@ void Hca::on_timeout(int conn_id, std::uint64_t gen) {
                  "IB RC RTO fired: retry " + std::to_string(conn.retry_count) + "/" +
                      std::to_string(config_.retry_limit));
   if (conn.retry_count > config_.retry_limit) {
+    if (check::InvariantMonitor* monitor = engine().monitor()) {
+      // RTO legality: the error transition is only legal once the retry
+      // counter has actually exceeded the configured limit.
+      check::audit_ib_retry_exhausted(conn.retry_count, config_.retry_limit)
+          .report(monitor, engine().now(), check::Layer::kIb, node_->id());
+    }
     enter_error(conn);
     return;
   }
@@ -374,29 +406,71 @@ void Hca::enter_error(Conn& conn) {
                      " -> error state");
   // Flush outstanding signaled work requests with an error completion —
   // the RC contract when the transport retry counter is exhausted.
+  bool stranded_response = false;
   for (const Packet& packet : conn.inflight) {
+    if (packet.kind == MsgKind::kReadResponse) {
+      // Responder-generated; no local work request to flush, but the
+      // peer's read is now stranded — it must be errored out too.
+      stranded_response = true;
+      continue;
+    }
+    if (packet.kind == MsgKind::kReadRequest) {
+      // The pending-read flush below owns read completions (the request
+      // may or may not still be inflight; the list covers both).
+      continue;
+    }
     if (!packet.last_of_message || !packet.signaled) continue;
     verbs::Completion completion{};
     completion.wr_id = packet.wr_id;
     completion.byte_len = packet.msg_len;
     completion.qp_num = conn.qp->qp_num();
     completion.status = verbs::Completion::Status::kRetryExceeded;
-    switch (packet.kind) {
-      case MsgKind::kUntagged:
-        completion.type = verbs::Completion::Type::kSend;
-        break;
-      case MsgKind::kTaggedWrite:
-        completion.type = verbs::Completion::Type::kRdmaWrite;
-        break;
-      case MsgKind::kReadRequest:
-        completion.type = verbs::Completion::Type::kRdmaRead;
-        break;
-      case MsgKind::kReadResponse:
-        continue;  // responder-generated; no local work request to flush
-    }
+    completion.type = packet.kind == MsgKind::kUntagged ? verbs::Completion::Type::kSend
+                                                        : verbs::Completion::Type::kRdmaWrite;
     conn.qp->send_cq_->push(completion);
+    ++retry_exceeded_completions_;
   }
   conn.inflight.clear();
+
+  // Reads whose request was already acked (and so left the inflight
+  // queue) but whose response never arrived used to vanish here without
+  // a completion, silently under-counting kRetryExceeded. Flush them all
+  // and report the previously-silent ones through the monitor.
+  if (!conn.pending_reads.empty()) {
+    if (check::InvariantMonitor* monitor = engine().monitor()) {
+      monitor->report(engine().now(), check::Layer::kIb, node_->id(), "error_pending_completion",
+                      "QP " + std::to_string(conn.qp->qp_num()) + " entered error with " +
+                          std::to_string(conn.pending_reads.size()) +
+                          " RDMA read(s) still pending; flushing with kRetryExceeded");
+    }
+    for (const Conn::PendingRead& read : conn.pending_reads) {
+      if (!read.signaled) continue;
+      verbs::Completion completion{};
+      completion.wr_id = read.wr_id;
+      completion.byte_len = read.len;
+      completion.qp_num = conn.qp->qp_num();
+      completion.status = verbs::Completion::Status::kRetryExceeded;
+      completion.type = verbs::Completion::Type::kRdmaRead;
+      conn.qp->send_cq_->push(completion);
+      ++retry_exceeded_completions_;
+    }
+    conn.pending_reads.clear();
+  }
+
+  if (stranded_response && conn.peer != nullptr) {
+    // Out-of-band, like connect(): stands in for the requester's own
+    // response-timeout exhaustion, which this model elides.
+    conn.peer->peer_conn_error(conn.peer_conn_id);
+  }
+}
+
+void Hca::peer_conn_error(int conn_id) {
+  Conn& conn = *conns_.at(static_cast<std::size_t>(conn_id));
+  if (conn.qp->in_error_) return;
+  engine().trace(TraceCategory::kProto, node_->id(),
+                 "IB RC peer failure: QP " + std::to_string(conn.qp->qp_num()) +
+                     " -> error state (responder died mid-response)");
+  enter_error(conn);
 }
 
 // ---------------------------------------------------------------------------
@@ -532,6 +606,13 @@ void Hca::complete_placement(Conn& conn, const Packet& packet) {
                                                 packet.msg_len, conn.qp->qp_num()});
       break;
     case MsgKind::kReadResponse:
+      // The read is complete; it no longer needs error-flush coverage.
+      for (auto it = conn.pending_reads.begin(); it != conn.pending_reads.end(); ++it) {
+        if (it->wr_id == packet.wr_id) {
+          conn.pending_reads.erase(it);
+          break;
+        }
+      }
       conn.qp->send_cq_->push(verbs::Completion{packet.wr_id, verbs::Completion::Type::kRdmaRead,
                                                 packet.msg_len, conn.qp->qp_num()});
       check_watches(base, packet.msg_len);

@@ -95,6 +95,9 @@ class Hca final : public verbs::Device, public hw::FrameSink {
   std::uint64_t rto_fires() const { return rto_fires_; }
   std::uint64_t retransmitted_bytes() const { return retransmitted_bytes_; }
   std::uint64_t corrupt_discards() const { return corrupt_discards_; }
+  /// Error completions flushed with kRetryExceeded (inflight + pending
+  /// reads) when a QP entered the error state.
+  std::uint64_t retry_exceeded_completions() const { return retry_exceeded_completions_; }
 
  private:
   friend class Qp;
@@ -162,6 +165,18 @@ class Hca final : public verbs::Device, public hw::FrameSink {
     int retry_count = 0;              ///< consecutive RTO rounds
     std::uint32_t pkts_since_ack = 0; ///< responder-side ack coalescing
     bool nak_outstanding = false;     ///< one NAK per gap, not per packet
+
+    /// RDMA Reads posted but not yet completed by a read response. The
+    /// request packet leaves `inflight` as soon as the responder acks
+    /// it, so without this list a QP entering the error state with the
+    /// response still missing would silently strand the read's
+    /// completion (and under-count kRetryExceeded).
+    struct PendingRead {
+      std::uint64_t wr_id = 0;
+      std::uint32_t len = 0;
+      bool signaled = true;
+    };
+    std::deque<PendingRead> pending_reads;
   };
 
   struct Watch {
@@ -185,6 +200,11 @@ class Hca final : public verbs::Device, public hw::FrameSink {
   void arm_timer(Conn& conn);
   void on_timeout(int conn_id, std::uint64_t gen);
   void enter_error(Conn& conn);
+  /// Out-of-band error propagation from the peer HCA: stands in for the
+  /// requester-side response timeout the model elides (a real requester
+  /// retries the read and exhausts its own counter when the responder
+  /// dies mid-response).
+  void peer_conn_error(int conn_id);
   /// RC reliability is armed only when frames can actually be perturbed.
   bool reliable() { return fault::faults_armed(engine()); }
   /// Charge engine time for one packet; returns its completion time.
@@ -218,6 +238,7 @@ class Hca final : public verbs::Device, public hw::FrameSink {
   std::uint64_t rto_fires_ = 0;
   std::uint64_t retransmitted_bytes_ = 0;
   std::uint64_t corrupt_discards_ = 0;
+  std::uint64_t retry_exceeded_completions_ = 0;
 };
 
 }  // namespace fabsim::ib

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "check/audits.hpp"
+
 namespace fabsim::iwarp {
 
 namespace {
@@ -194,6 +196,12 @@ void Rnic::emit_segment(Conn& conn, OutMsg& msg, std::uint32_t chunk) {
     segment.data = std::make_shared<std::vector<std::byte>>(
         msg.data->begin() + msg.offset, msg.data->begin() + msg.offset + chunk);
   }
+  if (check::InvariantMonitor* monitor = engine().monitor()) {
+    // TCP window legality: pump() already refused segments that do not
+    // fit, so an overrun here means the sliding-window bookkeeping broke.
+    check::audit_iwarp_window(conn.snd_nxt, conn.snd_una, chunk, config_.window)
+        .report(monitor, engine().now(), check::Layer::kIwarp, node_->id());
+  }
   msg.offset += chunk;
   msg.first_segment_pending = false;
   segment.last_of_message = (msg.offset == msg.len);
@@ -313,6 +321,12 @@ void Rnic::send_pure_ack(Conn& conn) {
 // ---------------------------------------------------------------------------
 
 void Rnic::handle_ack(Conn& conn, std::uint64_t ack) {
+  if (check::InvariantMonitor* monitor = engine().monitor()) {
+    // Byte-stream conservation: a cumulative ack beyond snd_nxt would
+    // acknowledge bytes that were never put on the stream.
+    check::audit_iwarp_ack_window(ack, conn.snd_una, conn.snd_nxt)
+        .report(monitor, engine().now(), check::Layer::kIwarp, node_->id());
+  }
   if (ack <= conn.snd_una) return;
   conn.snd_una = ack;
   while (!conn.inflight.empty() &&
@@ -471,9 +485,21 @@ void Rnic::complete_placement(Conn& conn, const Segment& segment) {
       rx.target_addr = wr.sge.addr;
       rx.recv_wr_id = wr.wr_id;
     }
+    if (check::InvariantMonitor* monitor = engine().monitor()) {
+      // DDP untagged delivery rides the in-order TCP stream, so segments
+      // of one message must arrive in offset order.
+      check::audit_iwarp_untagged_inorder(segment.msg_offset, rx.placed, segment.msg_id)
+          .report(monitor, engine().now(), check::Layer::kIwarp, node_->id());
+    }
     addr = rx.target_addr + segment.msg_offset;
   } else {  // tagged: kTaggedWrite or kReadResponse
     if (!registry_.covers(segment.rkey, segment.place_addr, segment.payload_len)) {
+      if (check::InvariantMonitor* monitor = engine().monitor()) {
+        monitor->report(engine().now(), check::Layer::kIwarp, node_->id(), "tagged_bounds",
+                        "tagged placement at 0x" + std::to_string(segment.place_addr) + " +" +
+                            std::to_string(segment.payload_len) +
+                            "B not covered by rkey " + std::to_string(segment.rkey));
+      }
       throw std::invalid_argument("iwarp: tagged placement not covered by rkey");
     }
     addr = segment.place_addr;

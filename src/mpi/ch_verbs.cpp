@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "check/audits.hpp"
+
 namespace fabsim::mpi {
 
 namespace {
@@ -365,7 +367,9 @@ Task<> ChVerbs::release_recv_slot(int peer_rank, std::uint32_t slot, bool count_
 // ---------------------------------------------------------------------------
 
 void ChVerbs::start_async_progress() {
-  engine_->spawn([](ChVerbs* self) -> Task<> {
+  // A daemon: the loop never terminates by design, so it must not count
+  // as a stuck process in the engine's no-lost-wakeup audit.
+  engine_->spawn_daemon([](ChVerbs* self) -> Task<> {
     for (;;) {
       co_await self->progress_blocking();
     }
@@ -544,6 +548,19 @@ Task<> ChVerbs::handle_inbound(int peer_rank, std::uint32_t slot) {
       peer.credits += env.credits;
       co_await release_recv_slot(peer_rank, slot, false);
       break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FabricCheck audits
+// ---------------------------------------------------------------------------
+
+void ChVerbs::audit_queues(check::InvariantMonitor& monitor) {
+  for (const PostedRecv& recv : posted_) {
+    for (const UnexpectedMsg& msg : unexpected_) {
+      check::audit_mpi_queue_disjoint(recv.src, recv.tag, msg.env.src_rank, msg.env.tag)
+          .report(&monitor, engine_->now(), check::Layer::kMpi, rank_);
     }
   }
 }

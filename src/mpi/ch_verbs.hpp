@@ -28,6 +28,10 @@
 #include "mpi/config.hpp"
 #include "verbs/verbs.hpp"
 
+namespace fabsim::check {
+class InvariantMonitor;
+}
+
 namespace fabsim::mpi {
 
 class ChVerbs final : public Channel {
@@ -65,6 +69,11 @@ class ChVerbs final : public Channel {
   std::size_t unexpected_max_depth() const { return unexpected_hwm_; }
   std::size_t posted_max_depth() const { return posted_hwm_; }
   const hw::RegCache& pin_cache() const { return pin_cache_; }
+
+  /// FabricCheck final audit (quiescent state only): the posted and
+  /// unexpected queues must be disjoint — an unexpected message that
+  /// matches a posted receive means MPI matching failed to pair them.
+  void audit_queues(check::InvariantMonitor& monitor);
 
  private:
   enum class Kind : std::uint8_t { kEager, kEagerSync, kRts, kCts, kFin, kAck, kCredit };

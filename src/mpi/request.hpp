@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "check/invariant.hpp"
+#include "sim/engine.hpp"
 #include "sim/sync.hpp"
 
 namespace fabsim::mpi {
@@ -19,7 +21,7 @@ struct Status {
 
 class Request {
  public:
-  explicit Request(Engine& engine) : done_event_(engine) {}
+  explicit Request(Engine& engine) : engine_(&engine), done_event_(engine) {}
   virtual ~Request() = default;
 
   bool done() const { return done_; }
@@ -27,13 +29,26 @@ class Request {
   Event& done_event() { return done_event_; }
 
   void complete(Status status) {
-    if (done_) return;
+    if (done_) {
+      // Lifecycle FSM: pending -> done, exactly once. A second completion
+      // means two protocol paths claimed the same request (e.g. an eager
+      // delivery and a rendezvous FIN) — report it instead of silently
+      // swallowing the duplicate.
+      if (check::InvariantMonitor* monitor = engine_->monitor()) {
+        monitor->report(engine_->now(), check::Layer::kMpi, status.source, "double_complete",
+                        "request completed twice (second source " +
+                            std::to_string(status.source) + ", tag " +
+                            std::to_string(status.tag) + ")");
+      }
+      return;
+    }
     done_ = true;
     status_ = status;
     done_event_.trigger();
   }
 
  private:
+  Engine* engine_;
   bool done_ = false;
   Status status_;
   Event done_event_;

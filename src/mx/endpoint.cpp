@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/audits.hpp"
+
 namespace fabsim::mx {
 
 MxConfig mxom_defaults() {
@@ -162,6 +164,19 @@ void Endpoint::enqueue_tx(PendingTx tx) {
     tx.frame.has_seq = true;
     tx.frame.seq = flow.next_seq++;
     flow.unacked.push_back(FlowTx::Unacked{tx.frame, tx.carries_data});
+    if (check::InvariantMonitor* monitor = engine().monitor()) {
+      // Incremental resend-queue contiguity (O(1) per frame; the whole-
+      // queue form is check::audit_mx_resend_queue).
+      const std::size_t n = flow.unacked.size();
+      monitor->expect(
+          flow.unacked.back().frame.seq + 1 == flow.next_seq &&
+              (n < 2 || flow.unacked[n - 2].frame.seq + 1 == flow.unacked[n - 1].frame.seq),
+          engine().now(), check::Layer::kMx, node_->id(), "resend_queue_gap", [&] {
+            return "appended seq " + std::to_string(flow.unacked.back().frame.seq) +
+                   " breaks resend-queue contiguity (next_seq " +
+                   std::to_string(flow.next_seq) + ")";
+          });
+    }
     arm_flow_timer(tx.dest);
   }
   txq_.push_back(std::move(tx));
@@ -249,6 +264,10 @@ void Endpoint::handle_flow_ack(int src_port, std::uint64_t ack) {
   auto it = tx_flows_.find(src_port);
   if (it == tx_flows_.end()) return;
   FlowTx& flow = it->second;
+  if (check::InvariantMonitor* monitor = engine().monitor()) {
+    check::audit_mx_ack_window(ack, flow.next_seq)
+        .report(monitor, engine().now(), check::Layer::kMx, node_->id());
+  }
   bool advanced = false;
   while (!flow.unacked.empty() && flow.unacked.front().frame.seq < ack) {
     flow.unacked.pop_front();
@@ -626,6 +645,33 @@ void Endpoint::handle_data(const MxFrame& frame) {
   if (rr.placed < rr.msg_len) return;
   rr.recv.request->complete(rr.msg_len, frame.match_bits);
   rndv_recvs_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// FabricCheck audits
+// ---------------------------------------------------------------------------
+
+void Endpoint::audit_consistency(check::InvariantMonitor& monitor) {
+  // Matching-queue disjointness. Only fully-arrived, still-unmatched
+  // unexpected entries count: a message mid-buffering (or one already
+  // paired and draining) is legitimately in both worlds at once.
+  for (const PostedRecv& recv : posted_) {
+    for (const Unexpected& u : unexpected_) {
+      if (u.has_match || (u.kind == FrameKind::kEager && !u.complete)) continue;
+      if (!matches(recv, u.match_bits)) continue;
+      monitor.report(engine().now(), check::Layer::kMx, node_->id(), "queue_overlap",
+                     "unexpected " + std::string(u.kind == FrameKind::kRts ? "RTS" : "eager") +
+                         " (match 0x" + std::to_string(u.match_bits) +
+                         ") matches a posted receive — NIC matching failed to pair them");
+    }
+  }
+  // Resend-queue consistency for every flow (whole-queue form).
+  for (const auto& [dest, flow] : tx_flows_) {
+    std::deque<std::uint64_t> seqs;
+    for (const FlowTx::Unacked& u : flow.unacked) seqs.push_back(u.frame.seq);
+    check::audit_mx_resend_queue(seqs, flow.next_seq)
+        .report(&monitor, engine().now(), check::Layer::kMx, node_->id());
+  }
 }
 
 }  // namespace fabsim::mx

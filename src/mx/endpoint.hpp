@@ -26,6 +26,10 @@
 #include "sim/sync.hpp"
 #include "verbs/verbs.hpp"
 
+namespace fabsim::check {
+class InvariantMonitor;
+}
+
 namespace fabsim::mx {
 
 /// Completion handle for a non-blocking operation.
@@ -116,6 +120,12 @@ class Endpoint final : public hw::FrameSink {
   std::uint64_t acks_sent() const { return acks_sent_; }
   std::uint64_t corrupt_discards() const { return corrupt_discards_; }
   const hw::RegCache& reg_cache() const { return reg_cache_; }
+
+  /// FabricCheck final audit (quiescent state only): the NIC-resident
+  /// matching queues must be disjoint — a fully-arrived unexpected
+  /// message that matches a posted receive means matching failed to pair
+  /// them — and every per-flow resend queue must be seq-contiguous.
+  void audit_consistency(check::InvariantMonitor& monitor);
 
  private:
   enum class FrameKind : std::uint8_t { kEager, kRts, kCts, kData, kAck };

@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
+
+#include "check/invariant.hpp"
 
 namespace fabsim {
 
@@ -11,6 +14,7 @@ void Driver::promise_type::FinalAwaiter::await_suspend(
     std::coroutine_handle<promise_type> h) const noexcept {
   Engine* engine = h.promise().engine;
   engine->drivers_.erase(h.address());
+  engine->daemons_.erase(h.address());
   h.destroy();
 }
 
@@ -26,6 +30,11 @@ Engine::~Engine() {
 
 void Engine::post(Time at, std::function<void()> fn) {
   assert(at >= now_ && "cannot schedule into the past");
+  if (monitor_ != nullptr && at < now_) {
+    monitor_->report(now_, check::Layer::kSim, -1, "time_monotone",
+                     "event posted into the past: at " + std::to_string(to_us(at)) +
+                         "us < now " + std::to_string(to_us(now_)) + "us");
+  }
   queue_.push(Item{at, next_seq_++, std::move(fn)});
 }
 
@@ -47,15 +56,20 @@ detail::Driver Engine::drive(Engine* engine, Task<> task,
   state->joiners.clear();
 }
 
-Process Engine::spawn(Task<> task) {
+Process Engine::spawn_impl(Task<> task, bool daemon) {
   auto state = std::make_shared<detail::ProcessState>();
   detail::Driver driver = drive(this, std::move(task), state);
   driver.handle.promise().engine = this;
   drivers_.insert(driver.handle.address());
+  if (daemon) daemons_.insert(driver.handle.address());
   driver.handle.resume();  // run to first suspension point
   check_exception();
   return Process{std::move(state)};
 }
+
+Process Engine::spawn(Task<> task) { return spawn_impl(std::move(task), /*daemon=*/false); }
+
+Process Engine::spawn_daemon(Task<> task) { return spawn_impl(std::move(task), /*daemon=*/true); }
 
 void Engine::check_exception() {
   if (pending_exception_) {
@@ -64,25 +78,52 @@ void Engine::check_exception() {
   }
 }
 
+void Engine::account_event(const Item& item) {
+  assert(item.at >= now_);
+  if (monitor_ != nullptr && item.at < now_) {
+    monitor_->report(now_, check::Layer::kSim, -1, "time_monotone",
+                     "event dequeued behind the clock: at " + std::to_string(to_us(item.at)) +
+                         "us < now " + std::to_string(to_us(now_)) + "us");
+  }
+  now_ = item.at;
+  ++events_processed_;
+  // FNV-1a over (at, seq): a cheap, order-sensitive fingerprint of the
+  // full event schedule. Any nondeterminism — iteration over pointer-
+  // keyed containers, uninitialized padding, wall-clock leakage — shows
+  // up as a digest mismatch between repeated runs.
+  digest_mix(static_cast<std::uint64_t>(item.at));
+  digest_mix(item.seq);
+}
+
+void Engine::on_drain() {
+  if (monitor_ == nullptr) return;
+  const std::size_t stuck = drivers_.size() - daemons_.size();
+  if (stuck > 0) {
+    monitor_->report(now_, check::Layer::kSim, -1, "lost_wakeup",
+                     std::to_string(stuck) +
+                         " process(es) still suspended with an empty event queue — a wakeup "
+                         "(event trigger, completion push, ack) was lost");
+  }
+  monitor_->run_final_checks();
+}
+
 void Engine::run() {
   while (!queue_.empty()) {
     // Item::fn may schedule more events; copy out before popping.
     Item item = std::move(const_cast<Item&>(queue_.top()));
     queue_.pop();
-    assert(item.at >= now_);
-    now_ = item.at;
-    ++events_processed_;
+    account_event(item);
     item.fn();
     check_exception();
   }
+  on_drain();
 }
 
 void Engine::run_until(Time t) {
   while (!queue_.empty() && queue_.top().at <= t) {
     Item item = std::move(const_cast<Item&>(queue_.top()));
     queue_.pop();
-    now_ = item.at;
-    ++events_processed_;
+    account_event(item);
     item.fn();
     check_exception();
   }

@@ -34,6 +34,10 @@ namespace fault {
 class FaultInjector;
 }
 
+namespace check {
+class InvariantMonitor;
+}
+
 namespace detail {
 
 /// Shared completion state for a spawned process.
@@ -119,6 +123,11 @@ class Engine {
   /// suspension point immediately.
   Process spawn(Task<> task);
 
+  /// Spawn a background service process (e.g. an async-progress loop)
+  /// that legitimately outlives the workload: it is excluded from the
+  /// no-lost-wakeup audit at queue drain.
+  Process spawn_daemon(Task<> task);
+
   /// Run until the event queue drains. Rethrows the first exception that
   /// escaped any process.
   void run();
@@ -128,6 +137,21 @@ class Engine {
 
   std::uint64_t events_processed() const { return events_processed_; }
   std::size_t live_processes() const { return drivers_.size(); }
+  std::size_t live_daemons() const { return daemons_.size(); }
+
+  /// FNV-1a digest folded over the (time, sequence) pair of every event
+  /// processed so far. Two runs of the same workload must produce the
+  /// same digest — this is the determinism verifier's fingerprint
+  /// (scripts/check_determinism.sh diffs it across repeated runs).
+  std::uint64_t run_digest() const { return digest_; }
+
+  /// Fold extra material (e.g. a final-metrics hash) into the digest.
+  void digest_mix(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      digest_ ^= (value >> (8 * i)) & 0xff;
+      digest_ *= 0x100000001b3ULL;
+    }
+  }
 
   /// Optional structured tracer (null when disabled). Emission sites
   /// guard on this pointer, so tracing costs one branch when off.
@@ -164,6 +188,13 @@ class Engine {
   fault::FaultInjector* fault_injector() { return fault_injector_; }
   void set_fault_injector(fault::FaultInjector* injector) { fault_injector_ = injector; }
 
+  /// Optional FabricCheck invariant monitor (null when auditing is off).
+  /// Caller-owned, like the tracer. The engine itself reports event-time
+  /// monotonicity and no-lost-wakeup violations; every stack reports its
+  /// own protocol invariants through the same monitor.
+  check::InvariantMonitor* monitor() { return monitor_; }
+  void set_monitor(check::InvariantMonitor* monitor) { monitor_ = monitor; }
+
   struct SleepAwaiter {
     Engine* engine;
     Time at;
@@ -193,15 +224,24 @@ class Engine {
   }
   void check_exception();
 
+  Process spawn_impl(Task<> task, bool daemon);
+  /// Digest + monotonicity + bookkeeping for one popped event.
+  void account_event(const Item& item);
+  /// Monitor hooks at queue drain: lost-wakeup audit + final checks.
+  void on_drain();
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t digest_ = 0xcbf29ce484222325ULL;  ///< FNV-1a offset basis
   std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
   std::unordered_set<void*> drivers_;
+  std::unordered_set<void*> daemons_;
   std::exception_ptr pending_exception_;
   Tracer* tracer_ = nullptr;
   MetricRegistry* metrics_ = nullptr;
   fault::FaultInjector* fault_injector_ = nullptr;
+  check::InvariantMonitor* monitor_ = nullptr;
 };
 
 }  // namespace fabsim

@@ -90,7 +90,6 @@ void HostTcp::deliver(hw::Frame frame) {
   // stack when loss recovery matters).
   if (frame.corrupted) return;
   Segment segment = std::any_cast<Segment>(std::move(frame.payload));
-  Conn& conn = *conns_.at(static_cast<std::size_t>(segment.dst_conn_id));
 
   // Interrupt + softirq + TCP processing on the host CPU; the payload is
   // readable only after that completes.

@@ -18,9 +18,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Network::kIwarp, Network::kIb, Network::kMxoe,
                                          Network::kMxom),
                        ::testing::Values(2, 3, 4, 5, 8)),
-    [](const auto& info) {
-      return std::string(network_name(std::get<0>(info.param))) + "_" +
-             std::to_string(std::get<1>(info.param)) + "ranks";
+    [](const auto& sweep) {
+      return std::string(network_name(std::get<0>(sweep.param))) + "_" +
+             std::to_string(std::get<1>(sweep.param)) + "ranks";
     });
 
 TEST_P(Collectives, BarrierSynchronizesEveryone) {

@@ -17,7 +17,7 @@ class CommSplit : public ::testing::TestWithParam<Network> {};
 INSTANTIATE_TEST_SUITE_P(Networks, CommSplit,
                          ::testing::Values(Network::kIwarp, Network::kIb, Network::kMxoe,
                                            Network::kMxom),
-                         [](const auto& info) { return network_name(info.param); });
+                         [](const auto& sweep) { return network_name(sweep.param); });
 
 TEST_P(CommSplit, OddEvenGroupsWithReversedKeys) {
   constexpr int kRanks = 4;

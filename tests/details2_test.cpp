@@ -17,7 +17,7 @@ class Details2 : public ::testing::TestWithParam<Network> {};
 INSTANTIATE_TEST_SUITE_P(Networks, Details2,
                          ::testing::Values(Network::kIwarp, Network::kIb, Network::kMxoe,
                                            Network::kMxom),
-                         [](const auto& info) { return network_name(info.param); });
+                         [](const auto& sweep) { return network_name(sweep.param); });
 
 TEST_P(Details2, RendezvousSsendIsInherentlySynchronous) {
   Cluster cluster(2, GetParam());

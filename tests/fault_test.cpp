@@ -342,6 +342,72 @@ TEST(IbFaults, TraceRecordsNakDrivenRecoverySequence) {
   EXPECT_LT(nak_at, rexmit_at);
 }
 
+TEST(IbFaults, RetryExhaustionWithPendingReadFlushesCompletion) {
+  // Regression: an RDMA Read whose *request* was delivered and acked but
+  // whose *response* is lost forever used to hang silently — the
+  // requester's inflight queue was empty (the request was acked away), so
+  // no timer fired on its side, the responder exhausted its retries alone,
+  // and the read's completion never materialized (under-counting
+  // kRetryExceeded). Now the responder propagates its terminal failure to
+  // the peer, the requester flushes the stranded read with kRetryExceeded,
+  // and the invariant monitor records the QP-died-with-pending-work event.
+  core::NetworkProfile profile = core::ib_profile();
+  profile.hca.rto = us(20);
+  profile.hca.retry_limit = 3;
+  core::Cluster cluster(2, profile);
+  check::InvariantMonitor& monitor = cluster.enable_checks(/*fatal=*/false);
+
+  // Frame order for a 1-packet read: f1 = request (0->1), f2 = ack
+  // (1->0), f3 = response (1->0). Drop the response and every retransmit
+  // of it; the request and its ack sail through.
+  FaultPlan plan;
+  for (std::uint64_t n = 3; n <= 12; ++n) plan.nth_frame(n, FaultAction::kDrop);
+  cluster.engine().set_fault_injector(&plan);
+
+  const std::uint32_t len = 1024;  // single MTU: exactly one response packet
+  auto& sink = cluster.node(0).mem().alloc(len, false);
+  auto& source = cluster.node(1).mem().alloc(len, false);
+
+  IbRun out;
+  verbs::CompletionQueue scq(cluster.engine());
+  verbs::CompletionQueue rcq(cluster.engine());
+  std::vector<std::unique_ptr<verbs::QueuePair>> qps;
+  cluster.engine().spawn([](core::Cluster& c, verbs::CompletionQueue& send_cq,
+                            verbs::CompletionQueue& recv_cq,
+                            std::vector<std::unique_ptr<verbs::QueuePair>>& pairs, std::uint64_t s,
+                            std::uint64_t d, std::uint32_t n, IbRun& result) -> Task<> {
+    pairs.push_back(c.device(0).create_qp(send_cq, send_cq));
+    pairs.push_back(c.device(1).create_qp(recv_cq, recv_cq));
+    c.device(0).establish(*pairs[0], *pairs[1]);
+    auto lkey = co_await c.device(0).reg_mr(d, n);
+    auto rkey = co_await c.device(1).reg_mr(s, n);
+    co_await pairs[0]->post_send(verbs::SendWr{.wr_id = 1,
+                                               .opcode = verbs::Opcode::kRdmaRead,
+                                               .sge = {d, n, lkey},
+                                               .remote_addr = s,
+                                               .rkey = rkey});
+    result.send_completion = co_await verbs::next_completion(send_cq, c.node(0).cpu(), ns(200));
+    result.got_send = true;
+    result.qp0_error = pairs[0]->in_error();
+  }(cluster, scq, rcq, qps, source.addr(), sink.addr(), len, out));
+  cluster.engine().run();
+
+  ASSERT_TRUE(out.got_send) << "the stranded read must complete, not hang";
+  EXPECT_EQ(out.send_completion.status, verbs::Completion::Status::kRetryExceeded);
+  EXPECT_EQ(out.send_completion.wr_id, 1u);
+  EXPECT_EQ(out.send_completion.type, verbs::Completion::Type::kRdmaRead);
+  EXPECT_TRUE(out.qp0_error) << "peer failure must move the requester QP to error";
+  EXPECT_EQ(cluster.hca(0).retry_exceeded_completions(), 1u)
+      << "the flushed read is accounted under kRetryExceeded";
+
+  // The monitor saw the QP die with work still pending.
+  bool reported = false;
+  for (const auto& v : monitor.violations()) {
+    if (v.rule == "error_pending_completion") reported = true;
+  }
+  EXPECT_TRUE(reported) << "enter_error with pending reads must be reported";
+}
+
 // ---------------------------------------------------------------------------
 // MX reliable delivery
 // ---------------------------------------------------------------------------

@@ -15,7 +15,7 @@ class MpiApi : public ::testing::TestWithParam<Network> {};
 INSTANTIATE_TEST_SUITE_P(Networks, MpiApi,
                          ::testing::Values(Network::kIwarp, Network::kIb, Network::kMxoe,
                                            Network::kMxom),
-                         [](const auto& info) { return network_name(info.param); });
+                         [](const auto& sweep) { return network_name(sweep.param); });
 
 TEST_P(MpiApi, ProbeSeesEnvelopeWithoutConsuming) {
   Cluster cluster(2, GetParam());

@@ -25,7 +25,7 @@ class MpiAllNetworks : public ::testing::TestWithParam<Network> {};
 INSTANTIATE_TEST_SUITE_P(Networks, MpiAllNetworks,
                          ::testing::Values(Network::kIwarp, Network::kIb, Network::kMxoe,
                                            Network::kMxom),
-                         [](const auto& info) { return network_name(info.param); });
+                         [](const auto& sweep) { return network_name(sweep.param); });
 
 TEST_P(MpiAllNetworks, EagerRoundTripIntegrity) {
   Cluster cluster(2, GetParam());

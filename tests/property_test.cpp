@@ -36,9 +36,9 @@ INSTANTIATE_TEST_SUITE_P(
                        // sizes (1408 TCP MSS, 2048 IB MTU, 4096 MX MTU).
                        ::testing::Values(1u, 7u, 1024u, 1407u, 1408u, 1409u, 2048u, 4096u,
                                          4097u, 8192u, 8193u, 32768u, 32769u, 262144u)),
-    [](const auto& info) {
-      return std::string(network_name(std::get<0>(info.param))) + "_" +
-             std::to_string(std::get<1>(info.param)) + "B";
+    [](const auto& sweep) {
+      return std::string(network_name(std::get<0>(sweep.param))) + "_" +
+             std::to_string(std::get<1>(sweep.param)) + "B";
     });
 
 TEST_P(MpiIntegrity, PayloadSurvivesTheStack) {
@@ -97,9 +97,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, VerbsIntegrity,
     ::testing::Combine(::testing::Values(Network::kIwarp, Network::kIb),
                        ::testing::Values(1u, 1408u, 1409u, 2048u, 2049u, 65536u, 1u << 20)),
-    [](const auto& info) {
-      return std::string(network_name(std::get<0>(info.param))) + "_" +
-             std::to_string(std::get<1>(info.param)) + "B";
+    [](const auto& sweep) {
+      return std::string(network_name(std::get<0>(sweep.param))) + "_" +
+             std::to_string(std::get<1>(sweep.param)) + "B";
     });
 
 TEST_P(VerbsIntegrity, RdmaWritePlacesEveryByte) {
@@ -172,7 +172,7 @@ class Monotonicity : public ::testing::TestWithParam<Network> {};
 INSTANTIATE_TEST_SUITE_P(Networks, Monotonicity,
                          ::testing::Values(Network::kIwarp, Network::kIb, Network::kMxoe,
                                            Network::kMxom),
-                         [](const auto& info) { return network_name(info.param); });
+                         [](const auto& sweep) { return network_name(sweep.param); });
 
 TEST_P(Monotonicity, MpiLatencyNonDecreasingWithinProtocolRegion) {
   // Within one protocol region (all-eager or all-rendezvous), half-RTT

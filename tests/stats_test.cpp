@@ -139,7 +139,9 @@ TEST(Histogram, BucketsCoverAllSamplesOnce) {
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     total += buckets[i].count;
     EXPECT_LT(buckets[i].lo, buckets[i].hi);
-    if (i > 0) EXPECT_LE(buckets[i - 1].hi, buckets[i].lo) << "buckets must not overlap";
+    if (i > 0) {
+      EXPECT_LE(buckets[i - 1].hi, buckets[i].lo) << "buckets must not overlap";
+    }
   }
   EXPECT_EQ(total, h.count());
   EXPECT_EQ(buckets.front().lo, 0.0);

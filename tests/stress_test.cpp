@@ -43,9 +43,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Network::kIwarp, Network::kIb, Network::kMxoe,
                                          Network::kMxom),
                        ::testing::Values(11u, 77u, 424242u)),
-    [](const auto& info) {
-      return std::string(network_name(std::get<0>(info.param))) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& sweep) {
+      return std::string(network_name(std::get<0>(sweep.param))) + "_seed" +
+             std::to_string(std::get<1>(sweep.param));
     });
 
 TEST_P(RandomTraffic, InOrderPerTagStreamsVerify) {

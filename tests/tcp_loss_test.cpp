@@ -17,11 +17,11 @@ class LossSweep : public ::testing::TestWithParam<std::tuple<double, std::uint64
 INSTANTIATE_TEST_SUITE_P(Grid, LossSweep,
                          ::testing::Combine(::testing::Values(0.002, 0.01, 0.04, 0.10),
                                             ::testing::Values(1u, 42u, 20260706u)),
-                         [](const auto& info) {
+                         [](const auto& sweep) {
                            return "loss" +
-                                  std::to_string(static_cast<int>(std::get<0>(info.param) *
+                                  std::to_string(static_cast<int>(std::get<0>(sweep.param) *
                                                                   1000)) +
-                                  "permil_seed" + std::to_string(std::get<1>(info.param));
+                                  "permil_seed" + std::to_string(std::get<1>(sweep.param));
                          });
 
 TEST_P(LossSweep, RdmaWriteSurvivesLoss) {

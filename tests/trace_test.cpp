@@ -43,7 +43,9 @@ TEST(Tracer, KeepLatestRingOverwritesOldest) {
   ASSERT_EQ(ordered.size(), 4u);
   for (std::size_t i = 0; i < 4; ++i) {
     EXPECT_EQ(ordered[i].label, "e" + std::to_string(6 + i));
-    if (i > 0) EXPECT_GE(ordered[i].at, ordered[i - 1].at);
+    if (i > 0) {
+      EXPECT_GE(ordered[i].at, ordered[i - 1].at);
+    }
   }
   EXPECT_NE(tracer.summary().find("oldest events overwritten"), std::string::npos)
       << tracer.summary();
@@ -73,13 +75,13 @@ TEST(Tracer, FilteredDumpSelectsCategoryAndNode) {
     return out;
   };
 
-  std::string wires = dumped({.category = TraceCategory::kWire});
+  std::string wires = dumped({.category = TraceCategory::kWire, .node = {}});
   EXPECT_EQ(wires.find("host zero"), std::string::npos);
   EXPECT_NE(wires.find("wire zero"), std::string::npos);
   EXPECT_NE(wires.find("wire one"), std::string::npos);
   EXPECT_NE(wires.find("(2 of "), std::string::npos) << "filtered dump shows shown/total";
 
-  std::string node1 = dumped({.node = 1});
+  std::string node1 = dumped({.category = {}, .node = 1});
   EXPECT_EQ(node1.find("wire zero"), std::string::npos);
   EXPECT_NE(node1.find("wire one"), std::string::npos);
 

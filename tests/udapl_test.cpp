@@ -21,7 +21,7 @@ class UdaplOnVerbs : public ::testing::TestWithParam<Network> {};
 
 INSTANTIATE_TEST_SUITE_P(Providers, UdaplOnVerbs,
                          ::testing::Values(Network::kIwarp, Network::kIb),
-                         [](const auto& info) { return network_name(info.param); });
+                         [](const auto& sweep) { return network_name(sweep.param); });
 
 struct DatWorld {
   explicit DatWorld(Network network) : cluster(2, network) {

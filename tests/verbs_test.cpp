@@ -67,7 +67,7 @@ class ProfileSanity : public ::testing::TestWithParam<Network> {};
 INSTANTIATE_TEST_SUITE_P(Networks, ProfileSanity,
                          ::testing::Values(Network::kIwarp, Network::kIb, Network::kMxoe,
                                            Network::kMxom),
-                         [](const auto& info) { return network_name(info.param); });
+                         [](const auto& sweep) { return network_name(sweep.param); });
 
 TEST_P(ProfileSanity, RatesAndCostsArePhysical) {
   const NetworkProfile p = profile(GetParam());
