@@ -1,31 +1,60 @@
 #!/usr/bin/env python3
-"""Fail if a bench report recorded any FabricCheck violations.
+"""Fail if a bench report is missing, empty, or recorded FabricCheck
+violations.
 
 Usage: assert_clean.py results/<bench>.json [...]
 
-Scans the report's metrics section for every counter named
-``check.violations`` (benches that run several clusters publish one per
-collected registry) and exits non-zero when any is > 0, printing the
-per-rule ``check.<layer>.<rule>`` counters so the failure is actionable.
-Reports without check metrics (builds without FABSIM_CHECK, benches that
-don't collect metrics) pass vacuously.
+Three checks per report, all of which must hold:
+
+  1. The file exists and parses as JSON — a bench that crashed before
+     writing its report must not pass the gate by absence.
+  2. At least one ``sim.events`` metric is present and non-zero — a
+     report whose clusters processed zero events means the workload
+     never ran (a silently-broken bench is indistinguishable from a
+     clean one without this).
+  3. Every counter named ``check.violations`` (bare or registry-prefixed,
+     e.g. ``iWARP.check.violations``) is zero; the per-rule
+     ``check.<layer>.<rule>`` counters are printed so the failure is
+     actionable.
+
+Reports without any metrics section still fail check 2: every bench in
+this tree collects metrics, so an empty section is a regression, not a
+configuration choice.
 """
 import json
+import os
 import sys
 
 
 def main(paths):
     bad = 0
     for path in paths:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
+        if not os.path.exists(path):
+            print(f"{path}: missing — the bench did not write its report", file=sys.stderr)
+            bad += 1
+            continue
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: unreadable report ({e})", file=sys.stderr)
+            bad += 1
+            continue
         metrics = doc.get("metrics", {})
-        violations = {k: v for k, v in metrics.items() if k == "check.violations" and v}
+
+        events = {k: v for k, v in metrics.items() if k.endswith("sim.events")}
+        if not events or all(v == 0 for v in events.values()):
+            print(f"{path}: no non-zero sim.events metric — the workload never ran",
+                  file=sys.stderr)
+            bad += 1
+
+        violations = {k: v for k, v in metrics.items()
+                      if k.endswith("check.violations") and v}
         if violations:
             bad += 1
             print(f"{path}: FabricCheck violations detected", file=sys.stderr)
             for key, value in sorted(metrics.items()):
-                if key.startswith("check.") and key != "check.violations" and value:
+                if ".check." in f".{key}" and not key.endswith("check.violations") and value:
                     print(f"  {key} = {value:g}", file=sys.stderr)
     return 1 if bad else 0
 

@@ -17,8 +17,20 @@ Checks, over src/ (and headers everywhere):
      (detected across adjacent lines). Anything else is flagged.
   5. no-rand: std::rand/srand/random_shuffle are banned; randomness must
      flow from explicitly seeded std::mt19937 so runs stay reproducible.
+  6. post-ref-capture: lambdas handed to Engine::post are deferred — a
+     `[&]` default capture roots them in a stack frame that may be gone
+     (or mutated) by dispatch time, and FabricExplore legally reorders
+     co-enabled events, so by-reference state sharing between posted
+     lambdas is a schedule hazard. Capture explicitly (by value, or a
+     named pointer/reference whose lifetime is clear).
+  7. unordered-iteration: range-for over a std::unordered_map/set makes
+     behaviour depend on hash-table order. In simulation code any such
+     iteration can feed the run digest (dispatch order, violation order,
+     metric order), silently breaking run-to-run determinism and the
+     explorer's replay guarantee. Iterate a deterministic container, or
+     NOLINT with a written rationale for why order cannot matter.
 
-A line containing NOLINT is exempt from 3-5. Exit status: 0 clean,
+A line containing NOLINT is exempt from 3-7. Exit status: 0 clean,
 1 violations found.
 """
 import os
@@ -35,6 +47,10 @@ WALL_CLOCK = re.compile(
 NAKED_NEW = re.compile(r"(?<![\w_])new\s+[A-Za-z_(]")
 RAND = re.compile(r"(?<![\w_])s?rand\s*\(|random_shuffle")
 INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+POST_CALL = re.compile(r"(?:->|\.)\s*post\s*\(")  # post_resume etc. do not match
+REF_CAPTURE = re.compile(r"\[\s*&\s*[\],]")  # [&] or [&, x] default captures only
+UNORDERED_DECL = re.compile(r"std::unordered_(?:map|set)\b[^;{=]*?[\s>](\w+)\s*[;{=]")
+RANGE_FOR = re.compile(r"for\s*\([^;)]*:\s*(?:this->)?(\w+)\s*\)")
 
 
 def strip_comments(line):
@@ -78,6 +94,17 @@ def lint():
                     flag(path, i, "include-resolution",
                          f'"{target}" resolves against neither src/ nor the including dir')
 
+    # Names declared anywhere in src/ as unordered containers: iteration
+    # sites usually live in the .cpp while the member lives in the .hpp,
+    # so the name set is collected tree-wide first.
+    unordered_names = set()
+    for path in source_files(SRC, {".hpp", ".h", ".cpp"}):
+        with open(path, encoding="utf-8") as f:
+            for raw in f:
+                m = UNORDERED_DECL.search(strip_comments(raw))
+                if m:
+                    unordered_names.add(m.group(1))
+
     # Behavioural bans: src/ only (tests may legitimately poke the host).
     for path in source_files(SRC, {".hpp", ".h", ".cpp"}):
         with open(path, encoding="utf-8") as f:
@@ -99,6 +126,17 @@ def lint():
                 if "_ptr<" not in window and "_ptr (" not in window:
                     flag(path, i, "no-naked-new",
                          "raw new outside a smart-pointer constructor")
+            m = REF_CAPTURE.search(code)
+            if m and POST_CALL.search(prev_code + code[: m.start()]):
+                flag(path, i, "post-ref-capture",
+                     "[&] default capture in a lambda handed to Engine::post "
+                     "(deferred + reorderable: capture explicitly)")
+            m = RANGE_FOR.search(code)
+            if m and m.group(1) in unordered_names:
+                flag(path, i, "unordered-iteration",
+                     f"range-for over unordered container '{m.group(1)}' "
+                     "(hash order is not deterministic; use an ordered container "
+                     "or NOLINT with a rationale)")
             prev_code = code
     return problems
 

@@ -11,18 +11,25 @@
 #                != 0 fails the run
 #   --trace      after the benches, export a Chrome-trace JSON of one
 #                rendezvous message to results/trace_export.json
+#   --explore    after the benches, re-run the FabricExplore schedule
+#                search with a much larger budget (and the fuzzer) than
+#                the quick sweep the bench loop already performs; any
+#                finding fails the run and leaves a replayable
+#                counterexample in results/counterexamples/
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 sanitize=0
 trace=0
 check=0
+explore=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
     --trace) trace=1 ;;
     --check) check=1 ;;
-    *) echo "unknown flag: $arg (expected --sanitize, --check and/or --trace)" >&2; exit 2 ;;
+    --explore) explore=1 ;;
+    *) echo "unknown flag: $arg (expected --sanitize, --check, --trace and/or --explore)" >&2; exit 2 ;;
   esac
 done
 
@@ -61,10 +68,19 @@ for b in "$bench_dir"/*; do
   else
     mv "$tmp" "results/$name.txt"
   fi
-  if [[ "$check" == 1 && -f "results/$name.json" ]]; then
+  # Every self-reporting bench must leave a well-formed report with a
+  # live workload behind (assert_clean fails on a missing report or zero
+  # sim.events, and on FabricCheck violations). micro_simcore is exempt:
+  # it is a google-benchmark binary with no Report output.
+  if [[ "$name" != "micro_simcore" ]]; then
     python3 scripts/assert_clean.py "results/$name.json"
   fi
 done
+
+if [[ "$explore" == 1 ]]; then
+  echo "=== ext_explore (large budget) ==="
+  "$bench_dir"/ext_explore --budget 4096 --depth 48 --fuzz 512 --seed 1
+fi
 
 if [[ "$trace" == 1 ]]; then
   echo "=== trace_export ==="

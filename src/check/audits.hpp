@@ -36,6 +36,27 @@ struct Verdict {
 };
 
 // ---------------------------------------------------------------------------
+// sim: engine quiescence
+// ---------------------------------------------------------------------------
+
+/// Quiescence/deadlock oracle: once the event queue drains, every
+/// non-daemon process must have run to completion. A process still
+/// suspended at that point lost a wakeup (event trigger, completion
+/// push, ack) — the Engine reports it at drain, and FabricExplore uses
+/// the same predicate to classify a schedule as deadlocking. Inline on
+/// purpose: sim::Engine calls it from its drain hook, and fabsim_check
+/// links against fabsim_sim, so an out-of-line definition would close a
+/// library cycle (same reason invariant.hpp is header-only).
+inline Verdict audit_quiescence(std::size_t live_processes, std::size_t live_daemons) {
+  const std::size_t stuck = live_processes - live_daemons;
+  if (stuck == 0) return Verdict::pass();
+  return Verdict::fail("lost_wakeup",
+                       std::to_string(stuck) +
+                           " process(es) still suspended with an empty event queue — a wakeup "
+                           "(event trigger, completion push, ack) was lost");
+}
+
+// ---------------------------------------------------------------------------
 // hw: switch fabric
 // ---------------------------------------------------------------------------
 

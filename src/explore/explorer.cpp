@@ -1,0 +1,302 @@
+#include "explore/explorer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/cluster.hpp"
+#include "sim/engine.hpp"
+
+namespace fabsim::explore {
+
+namespace {
+
+/// splitmix64: derive statistically independent per-run fuzz seeds.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// DPOR-style prune: dispatching `scopes[alt]` before the events ahead
+/// of it is redundant when it commutes with every one of them (all are
+/// node-confined, all on other nodes) — the reordered run reaches the
+/// same state, so the default order already covers it.
+bool commutes_with_all_earlier(const std::vector<int>& scopes, std::uint32_t alt) {
+  const int mine = scopes[alt];
+  if (mine < 0) return false;
+  for (std::uint32_t j = 0; j < alt; ++j) {
+    if (scopes[j] < 0 || scopes[j] == mine) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* finding_kind_name(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kInvariant: return "invariant";
+    case FindingKind::kDeadlock: return "deadlock";
+    case FindingKind::kDivergence: return "divergence";
+    case FindingKind::kExpectation: return "expectation";
+  }
+  return "?";
+}
+
+void RunContext::arm(Engine& engine) {
+  engine.set_schedule_policy(&policy_);
+  engine.set_monitor(&monitor_);
+  armed_ = true;
+}
+
+void RunContext::arm(core::Cluster& cluster) {
+  cluster.engine().set_schedule_policy(&policy_);
+  cluster.attach_monitor(monitor_);
+  armed_ = true;
+}
+
+void RunContext::finish(Engine& engine) {
+  digest_ = engine.run_digest();
+  events_ = engine.events_processed();
+  stuck_processes_ = engine.live_processes() - engine.live_daemons();
+  finished_ = true;
+}
+
+RunOutcome Explorer::run_schedule(const std::vector<std::uint32_t>& prefix,
+                                  ControlledPolicy::Tail tail, std::uint64_t seed) {
+  ControlledPolicy policy(prefix, tail, seed);
+  RunContext ctx(policy);
+  std::string exception_text;
+  try {
+    scenario_.body(ctx);
+  } catch (const std::exception& e) {
+    exception_text = e.what();
+  }
+
+  RunOutcome out;
+  out.decisions = policy.decisions();
+  out.choices = policy.choices();
+  out.diverged = policy.diverged();
+  out.digest = ctx.digest_;
+  out.events = ctx.events_;
+
+  if (!exception_text.empty()) {
+    out.failed = true;
+    out.kind = FindingKind::kExpectation;
+    out.rule = "exception";
+    out.detail = exception_text;
+    return out;
+  }
+  if (!ctx.armed_ || !ctx.finished_) {
+    throw std::logic_error("explore: scenario '" + scenario_.name +
+                           "' must call RunContext::arm() and finish()");
+  }
+
+  // Classification precedence: an unexpected invariant violation is the
+  // sharpest signal; then a deadlock (the engine's lost_wakeup audit or
+  // a direct liveness count); then the scenario's own expectations.
+  bool deadlock = ctx.stuck_processes_ > 0;
+  std::string deadlock_detail;
+  for (const check::InvariantViolation& violation : ctx.monitor_.violations()) {
+    if (violation.rule == "lost_wakeup") {
+      deadlock = true;
+      deadlock_detail = violation.detail;
+      continue;
+    }
+    const bool allowed = std::find(ctx.allowed_rules_.begin(), ctx.allowed_rules_.end(),
+                                   violation.rule) != ctx.allowed_rules_.end();
+    if (allowed) continue;
+    out.failed = true;
+    out.kind = FindingKind::kInvariant;
+    out.rule = std::string(check::layer_name(violation.layer)) + "." + violation.rule;
+    out.detail = violation.detail;
+    return out;
+  }
+  if (deadlock) {
+    out.failed = true;
+    out.kind = FindingKind::kDeadlock;
+    out.rule = "lost_wakeup";
+    out.detail = deadlock_detail.empty()
+                     ? std::to_string(ctx.stuck_processes_) +
+                           " process(es) still suspended at queue drain"
+                     : deadlock_detail;
+    return out;
+  }
+  if (!ctx.expectation_failures_.empty()) {
+    out.failed = true;
+    out.kind = FindingKind::kExpectation;
+    out.rule = "scenario_expectation";
+    out.detail = ctx.expectation_failures_.front();
+    return out;
+  }
+  return out;
+}
+
+RunOutcome Explorer::replay(const Scenario& scenario, const Schedule& schedule) {
+  Explorer explorer(scenario, ExploreBudget{});
+  return explorer.run_schedule(schedule.choices);
+}
+
+std::vector<std::uint32_t> Explorer::minimize(const RunOutcome& failing, ExploreStats& stats) {
+  std::uint64_t used = 0;
+  auto still_fails = [&](const std::vector<std::uint32_t>& prefix) {
+    RunOutcome r = run_schedule(prefix);
+    ++stats.runs;
+    ++used;
+    return r.failed && r.kind == failing.kind && r.rule == failing.rule;
+  };
+
+  std::vector<std::uint32_t> best = failing.choices;
+  // Trailing default choices are free to drop: the policy's tail makes
+  // the same picks.
+  while (!best.empty() && best.back() == 0) best.pop_back();
+  // Greedy 1-minimality pass: restore each non-default choice to the
+  // default and keep the shrink when the same failure survives.
+  for (std::size_t i = 0; i < best.size() && used < budget_.minimize_runs; ++i) {
+    if (best[i] == 0) continue;
+    std::vector<std::uint32_t> trial = best;
+    trial[i] = 0;
+    if (still_fails(trial)) best = std::move(trial);
+  }
+  while (!best.empty() && best.back() == 0) best.pop_back();
+  return best;
+}
+
+Finding Explorer::build_finding(const RunOutcome& failing, ExploreStats& stats) {
+  Finding finding;
+  finding.kind = failing.kind;
+  finding.scenario = scenario_.name;
+  finding.rule = failing.rule;
+  finding.detail = failing.detail;
+  finding.original_choices = failing.choices.size();
+
+  const std::vector<std::uint32_t> minimized = minimize(failing, stats);
+
+  // Replay the minimized schedule twice: the failure must reproduce and
+  // the two replays must agree bit-for-bit, or the artifact is not a
+  // trustworthy counterexample.
+  RunOutcome first = run_schedule(minimized);
+  RunOutcome second = run_schedule(minimized);
+  stats.runs += 2;
+  finding.replay_confirmed = first.failed && first.kind == failing.kind &&
+                             first.rule == failing.rule && second.failed &&
+                             first.digest == second.digest;
+
+  const RunOutcome& recorded = first.failed ? first : failing;
+  finding.schedule.scenario = scenario_.name;
+  finding.schedule.kind = finding_kind_name(finding.kind);
+  finding.schedule.rule = finding.rule;
+  finding.schedule.detail = recorded.detail;
+  finding.schedule.digest = recorded.digest;
+  finding.schedule.events = recorded.events;
+  finding.schedule.choices = minimized;
+  finding.schedule.arities.reserve(minimized.size());
+  for (std::size_t i = 0; i < minimized.size() && i < recorded.decisions.size(); ++i) {
+    finding.schedule.arities.push_back(recorded.decisions[i].arity);
+  }
+  return finding;
+}
+
+ExploreResult Explorer::explore() {
+  ExploreResult result;
+  ExploreStats& stats = result.stats;
+
+  // Phase 0 — determinism gate: the default schedule must reproduce
+  // itself exactly, or prefix steering (and therefore the whole search)
+  // is meaningless.
+  RunOutcome base = run_schedule({});
+  RunOutcome base_again = run_schedule({});
+  stats.runs += 2;
+  stats.baseline_decisions = base.decisions.size();
+  stats.baseline_events = base.events;
+  stats.baseline_digest = base.digest;
+  if (base.digest != base_again.digest || base.choices != base_again.choices) {
+    Finding finding;
+    finding.kind = FindingKind::kDivergence;
+    finding.scenario = scenario_.name;
+    finding.rule = "digest_divergence";
+    finding.detail = "default schedule ran twice with digests " + to_hex_u64(base.digest) +
+                     " vs " + to_hex_u64(base_again.digest);
+    finding.schedule.scenario = scenario_.name;
+    finding.schedule.kind = finding_kind_name(finding.kind);
+    finding.schedule.rule = finding.rule;
+    finding.schedule.detail = finding.detail;
+    finding.schedule.digest = base.digest;
+    finding.schedule.events = base.events;
+    result.findings.push_back(std::move(finding));
+    return result;  // unsound to search on a nondeterministic scenario
+  }
+
+  std::vector<std::string> seen;
+  auto record = [&](const RunOutcome& outcome) {
+    const std::string key = std::string(finding_kind_name(outcome.kind)) + "|" + outcome.rule;
+    if (std::find(seen.begin(), seen.end(), key) != seen.end()) return;
+    seen.push_back(key);
+    result.findings.push_back(build_finding(outcome, stats));
+  };
+
+  // Phase 1 — DFS over decision prefixes. A child prefix replays a run's
+  // choices up to decision d, then forces alternative `alt`; only
+  // decisions at index >= the parent prefix length are expanded (earlier
+  // ones were expanded when their own parent ran).
+  std::vector<std::vector<std::uint32_t>> frontier;
+  auto expand = [&](const RunOutcome& outcome, std::size_t from) {
+    const std::size_t depth = std::min(outcome.decisions.size(), budget_.max_depth);
+    std::vector<std::vector<std::uint32_t>> children;
+    for (std::size_t d = from; d < depth; ++d) {
+      const Decision& decision = outcome.decisions[d];
+      std::uint32_t enqueued_here = 0;
+      for (std::uint32_t alt = 1; alt < decision.arity; ++alt) {
+        if (alt == decision.chosen) continue;  // this run covers it
+        if (enqueued_here + 1 >= budget_.max_branch) break;
+        if (budget_.reduction && commutes_with_all_earlier(decision.scopes, alt)) {
+          ++stats.pruned;
+          continue;
+        }
+        std::vector<std::uint32_t> child(outcome.choices.begin(),
+                                         outcome.choices.begin() + static_cast<long>(d));
+        child.push_back(alt);
+        children.push_back(std::move(child));
+        ++enqueued_here;
+      }
+    }
+    stats.enqueued += children.size();
+    // Stack discipline: push in reverse so the earliest decision's first
+    // alternative is explored next.
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      frontier.push_back(std::move(*it));
+    }
+  };
+
+  if (base.failed) {
+    record(base);
+  } else {
+    expand(base, 0);
+  }
+  while (!frontier.empty() && stats.runs < budget_.max_runs) {
+    std::vector<std::uint32_t> prefix = std::move(frontier.back());
+    frontier.pop_back();
+    const std::size_t prefix_len = prefix.size();
+    RunOutcome outcome = run_schedule(prefix);
+    ++stats.runs;
+    if (outcome.failed) {
+      record(outcome);
+    } else {
+      expand(outcome, prefix_len);
+    }
+  }
+  stats.frontier_exhausted = frontier.empty();
+
+  // Phase 2 — seeded schedule fuzzing: uniform random walks through the
+  // same decision space, for depth the bounded DFS cannot reach.
+  for (std::uint64_t i = 0; i < budget_.fuzz_runs; ++i) {
+    RunOutcome outcome =
+        run_schedule({}, ControlledPolicy::Tail::kRandom, mix_seed(budget_.seed, i));
+    ++stats.runs;
+    if (outcome.failed) record(outcome);
+  }
+  return result;
+}
+
+}  // namespace fabsim::explore

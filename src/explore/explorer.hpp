@@ -1,0 +1,182 @@
+// FabricExplore: bounded schedule-space model checking for FabricSim.
+//
+// FabricCheck (src/check/) audits the one schedule a run actually
+// executes. FabricExplore asks the complementary question: is there any
+// *legal* schedule — any tie-break among co-enabled same-timestamp
+// events — under which a bounded scenario breaks? It drives the same
+// simulation through the Engine's pluggable SchedulePolicy seam,
+// enumerating interleavings with a DFS over decision prefixes
+// (stateless model checking: every run restarts the scenario from
+// scratch and steers it with a recorded prefix), pruning redundant
+// orders of commuting events (DPOR-style, using the scope labels posts
+// carry), and classifying each run as clean or as a finding:
+//
+//   * invariant  — a FabricCheck rule fired that the scenario did not
+//                  declare as expected,
+//   * deadlock   — the event queue drained with a non-daemon process
+//                  still suspended (the engine's lost_wakeup audit),
+//   * divergence — the same schedule produced two different run digests
+//                  (nondeterminism: the search itself is unsound),
+//   * expectation — the scenario's own end-state assertion failed or
+//                  the workload threw.
+//
+// Failing schedules are greedily minimized (each non-default choice is
+// restored to the default if the failure survives), replay-verified,
+// and serialized as Schedule JSON artifacts (schedule.hpp).
+//
+// See docs/model_checking.md for the architecture and the soundness
+// argument for the reduction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/invariant.hpp"
+#include "explore/policy.hpp"
+#include "explore/schedule.hpp"
+
+namespace fabsim {
+class Engine;
+namespace core {
+class Cluster;
+}
+}  // namespace fabsim
+
+namespace fabsim::explore {
+
+enum class FindingKind : std::uint8_t { kInvariant, kDeadlock, kDivergence, kExpectation };
+
+const char* finding_kind_name(FindingKind kind);
+
+/// Per-run harness handed to a scenario body. The body builds its
+/// cluster/engine, calls arm() before spawning the workload, runs the
+/// engine, asserts its end state through expect(), and calls finish()
+/// so the outcome (digest, violations, liveness) can be classified.
+class RunContext {
+ public:
+  explicit RunContext(ControlledPolicy& policy) : policy_(policy), monitor_(/*fatal=*/false) {}
+
+  /// Attach the schedule policy + a counting invariant monitor to a bare
+  /// engine (toy scenarios, unit tests).
+  void arm(Engine& engine);
+  /// Same, via Cluster::attach_monitor so the cluster-wide quiescent
+  /// audits (frame conservation, queue disjointness) are registered too.
+  void arm(core::Cluster& cluster);
+
+  /// Declare a rule the scenario expects to fire (e.g. a fault scenario
+  /// that legitimately ends in error_pending_completion). Expected rules
+  /// are not findings.
+  void allow_rule(std::string rule) { allowed_rules_.push_back(std::move(rule)); }
+
+  /// Scenario end-state assertion; a failed expectation is a finding.
+  void expect(bool ok, std::string what) {
+    if (!ok) expectation_failures_.push_back(std::move(what));
+  }
+
+  /// Capture the run outcome; call after the final Engine::run().
+  void finish(Engine& engine);
+
+  check::InvariantMonitor& monitor() { return monitor_; }
+
+ private:
+  friend class Explorer;
+
+  ControlledPolicy& policy_;
+  check::InvariantMonitor monitor_;
+  std::vector<std::string> allowed_rules_;
+  std::vector<std::string> expectation_failures_;
+  bool armed_ = false;
+  bool finished_ = false;
+  std::uint64_t digest_ = 0;
+  std::uint64_t events_ = 0;
+  std::size_t stuck_processes_ = 0;
+};
+
+/// A bounded, deterministic workload the explorer can re-run at will.
+/// The body must be self-contained: fresh cluster, fresh fault plan,
+/// same construction every call — all run-to-run variation must come
+/// from the schedule policy.
+struct Scenario {
+  std::string name;
+  std::function<void(RunContext&)> body;
+};
+
+/// Outcome of one steered run.
+struct RunOutcome {
+  std::vector<Decision> decisions;      ///< every decision point observed
+  std::vector<std::uint32_t> choices;   ///< chosen index per decision point
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+  bool diverged = false;                ///< prefix index exceeded observed arity
+  bool failed = false;
+  FindingKind kind = FindingKind::kExpectation;
+  std::string rule;
+  std::string detail;
+};
+
+/// A failing schedule, minimized and replay-verified.
+struct Finding {
+  FindingKind kind = FindingKind::kExpectation;
+  std::string scenario;
+  std::string rule;
+  std::string detail;
+  Schedule schedule;             ///< minimized, replayable counterexample
+  bool replay_confirmed = false; ///< replaying the artifact reproduced it
+  std::size_t original_choices = 0;  ///< choice-trace length before minimization
+};
+
+struct ExploreBudget {
+  std::uint64_t max_runs = 512;     ///< total steered runs (DFS frontier)
+  std::size_t max_depth = 32;       ///< decision points eligible for branching
+  std::uint32_t max_branch = 4;     ///< children enqueued per decision point
+  std::uint64_t fuzz_runs = 0;      ///< extra seeded random-walk runs
+  std::uint64_t seed = 1;           ///< fuzz seed
+  std::uint64_t minimize_runs = 128;  ///< re-runs the minimizer may spend
+  bool reduction = true;            ///< prune commuting alternatives
+};
+
+struct ExploreStats {
+  std::uint64_t runs = 0;               ///< steered runs executed (all phases)
+  std::uint64_t baseline_decisions = 0; ///< decision points on the default schedule
+  std::uint64_t baseline_events = 0;    ///< events processed by the default schedule
+  std::uint64_t baseline_digest = 0;    ///< run digest of the default schedule
+  std::uint64_t enqueued = 0;           ///< DFS children scheduled
+  std::uint64_t pruned = 0;             ///< alternatives skipped by commutativity
+  bool frontier_exhausted = false;      ///< DFS finished before max_runs
+};
+
+struct ExploreResult {
+  std::vector<Finding> findings;
+  ExploreStats stats;
+  bool clean() const { return findings.empty(); }
+};
+
+class Explorer {
+ public:
+  explicit Explorer(Scenario scenario, ExploreBudget budget = {})
+      : scenario_(std::move(scenario)), budget_(budget) {}
+
+  /// Baseline determinism check, then DFS over decision prefixes, then
+  /// (if budgeted) the seeded schedule fuzzer. Findings are deduplicated
+  /// by (kind, rule), minimized, and replay-verified.
+  ExploreResult explore();
+
+  /// One steered run of the scenario under a decision prefix.
+  RunOutcome run_schedule(const std::vector<std::uint32_t>& prefix,
+                          ControlledPolicy::Tail tail = ControlledPolicy::Tail::kDefault,
+                          std::uint64_t seed = 0);
+
+  /// Replay a serialized counterexample against a scenario.
+  static RunOutcome replay(const Scenario& scenario, const Schedule& schedule);
+
+ private:
+  Finding build_finding(const RunOutcome& failing, ExploreStats& stats);
+  std::vector<std::uint32_t> minimize(const RunOutcome& failing, ExploreStats& stats);
+
+  Scenario scenario_;
+  ExploreBudget budget_;
+};
+
+}  // namespace fabsim::explore

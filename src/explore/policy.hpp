@@ -1,0 +1,94 @@
+// FabricExplore: the recording / replaying SchedulePolicy.
+//
+// A ControlledPolicy drives the Engine's pluggable tie-break
+// (sim/schedule.hpp) through one simulation run. The first
+// `prefix.size()` decision points follow the prescribed choice indices;
+// every later decision falls through to the tail mode — insertion order
+// (index 0, the default schedule) for systematic DFS, or a seeded
+// uniform pick for schedule fuzzing. Every decision is recorded with the
+// arity and scope labels of its co-enabled set, which is exactly what
+// the Explorer needs to expand child prefixes and what a Schedule
+// artifact needs to be replayable.
+//
+// A policy instance is single-run: attach a fresh one per Engine. All
+// randomness comes from the constructor seed (std::mt19937_64), so a
+// fuzz run is as replayable as a DFS run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "sim/schedule.hpp"
+
+namespace fabsim::explore {
+
+/// One recorded decision point: the co-enabled set the policy saw and
+/// the index it picked.
+struct Decision {
+  std::uint32_t arity = 0;   ///< size of the co-enabled set (>= 2)
+  std::uint32_t chosen = 0;  ///< index dispatched
+  std::vector<int> scopes;   ///< per-event node confinement labels (-1 = unknown)
+};
+
+class ControlledPolicy final : public SchedulePolicy {
+ public:
+  /// What to do past the end of the prescribed prefix.
+  enum class Tail : std::uint8_t {
+    kDefault,  ///< insertion order (index 0) — the baseline schedule
+    kRandom,   ///< seeded uniform pick — schedule fuzzing
+  };
+
+  explicit ControlledPolicy(std::vector<std::uint32_t> prefix = {}, Tail tail = Tail::kDefault,
+                            std::uint64_t seed = 0)
+      : prefix_(std::move(prefix)), tail_(tail), rng_(seed) {}
+
+  std::size_t choose(const std::vector<ReadyEvent>& ready) override {
+    std::uint32_t pick = 0;
+    if (cursor_ < prefix_.size()) {
+      pick = prefix_[cursor_];
+      if (pick >= ready.size()) {
+        // The schedule diverged from the run that recorded it (a stale
+        // or hand-edited artifact). Fall back to the default choice and
+        // remember: the replay is then not a faithful reproduction.
+        diverged_ = true;
+        pick = 0;
+      }
+    } else if (tail_ == Tail::kRandom) {
+      pick = static_cast<std::uint32_t>(
+          std::uniform_int_distribution<std::size_t>(0, ready.size() - 1)(rng_));
+    }
+    ++cursor_;
+
+    Decision decision;
+    decision.arity = static_cast<std::uint32_t>(ready.size());
+    decision.chosen = pick;
+    decision.scopes.reserve(ready.size());
+    for (const ReadyEvent& event : ready) decision.scopes.push_back(event.scope);
+    decisions_.push_back(std::move(decision));
+    return pick;
+  }
+
+  const std::vector<Decision>& decisions() const { return decisions_; }
+  /// True when a prefix index exceeded the arity actually observed.
+  bool diverged() const { return diverged_; }
+  /// The choice indices of every decision taken this run.
+  std::vector<std::uint32_t> choices() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(decisions_.size());
+    for (const Decision& d : decisions_) out.push_back(d.chosen);
+    return out;
+  }
+
+ private:
+  std::vector<std::uint32_t> prefix_;
+  std::size_t cursor_ = 0;
+  Tail tail_;
+  std::mt19937_64 rng_;
+  bool diverged_ = false;
+  std::vector<Decision> decisions_;
+};
+
+}  // namespace fabsim::explore

@@ -1,0 +1,426 @@
+#include "explore/scenarios.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "core/cluster.hpp"
+#include "fault/plan.hpp"
+#include "verbs/verbs.hpp"
+
+namespace fabsim::explore {
+
+namespace {
+
+void apply_mutation(core::NetworkProfile& profile, Mutation mutation) {
+  switch (mutation) {
+    case Mutation::kNone:
+      break;
+    case Mutation::kStrandPendingReads:
+      profile.hca.mutation_strand_pending_reads = true;
+      break;
+    case Mutation::kDropFinalAck:
+      profile.hca.mutation_drop_final_ack = true;
+      break;
+  }
+}
+
+/// Shared observation record for the verbs-based scenarios.
+struct VerbsOut {
+  verbs::Completion send{};
+  verbs::Completion recv{};
+  bool got_send = false;
+  bool got_recv = false;
+};
+
+/// Two-node IB Send/Recv of one single-MTU message with the first data
+/// frame dropped: RC end-to-end retransmission must recover it.
+Scenario ib_send_loss(Mutation mutation) {
+  return Scenario{"ib_send_loss", [mutation](RunContext& ctx) {
+    core::NetworkProfile profile = core::ib_profile();
+    profile.hca.rto = us(20);
+    profile.hca.retry_limit = 3;
+    apply_mutation(profile, mutation);
+    core::Cluster cluster(2, profile);
+    ctx.arm(cluster);
+    fault::FaultPlan plan;
+    plan.nth_frame(1, fault::FaultAction::kDrop);
+    cluster.engine().set_fault_injector(&plan);
+
+    const std::uint32_t len = 1024;
+    auto& src = cluster.node(0).mem().alloc(len, false);
+    auto& dst = cluster.node(1).mem().alloc(len, false);
+    VerbsOut out;
+    verbs::CompletionQueue scq(cluster.engine());
+    verbs::CompletionQueue rcq(cluster.engine());
+    std::vector<std::unique_ptr<verbs::QueuePair>> qps;
+    cluster.engine().spawn([](core::Cluster& c, verbs::CompletionQueue& send_cq,
+                              verbs::CompletionQueue& recv_cq,
+                              std::vector<std::unique_ptr<verbs::QueuePair>>& pairs,
+                              std::uint64_t s, std::uint64_t d, std::uint32_t n,
+                              VerbsOut& result) -> Task<> {
+      pairs.push_back(c.device(0).create_qp(send_cq, send_cq));
+      pairs.push_back(c.device(1).create_qp(recv_cq, recv_cq));
+      c.device(0).establish(*pairs[0], *pairs[1]);
+      auto lkey = co_await c.device(0).reg_mr(s, n);
+      auto rkey = co_await c.device(1).reg_mr(d, n);
+      co_await pairs[1]->post_recv(verbs::RecvWr{.wr_id = 2, .sge = {d, n, rkey}});
+      co_await pairs[0]->post_send(
+          verbs::SendWr{.wr_id = 1, .opcode = verbs::Opcode::kSend, .sge = {s, n, lkey}});
+      result.send = co_await verbs::next_completion(send_cq, c.node(0).cpu(), ns(200));
+      result.got_send = true;
+      result.recv = co_await verbs::next_completion(recv_cq, c.node(1).cpu(), ns(200));
+      result.got_recv = true;
+    }(cluster, scq, rcq, qps, src.addr(), dst.addr(), len, out));
+    cluster.engine().run();
+
+    ctx.expect(out.got_send && out.send.status == verbs::Completion::Status::kSuccess,
+               "dropped data frame must be retransmitted to a successful send completion");
+    ctx.expect(out.got_recv && out.recv.status == verbs::Completion::Status::kSuccess &&
+                   out.recv.byte_len == len,
+               "receiver must complete with the full message");
+    ctx.finish(cluster.engine());
+  }};
+}
+
+/// Two-node IB RDMA Read whose response (and every retransmit of it) is
+/// lost: the responder exhausts its retries and the requester's stranded
+/// read must still be flushed with kRetryExceeded — the PR-4 regression
+/// recipe, now a permanent search target.
+Scenario ib_read_response_loss(Mutation mutation) {
+  return Scenario{"ib_read_response_loss", [mutation](RunContext& ctx) {
+    core::NetworkProfile profile = core::ib_profile();
+    profile.hca.rto = us(20);
+    profile.hca.retry_limit = 3;
+    apply_mutation(profile, mutation);
+    core::Cluster cluster(2, profile);
+    ctx.arm(cluster);
+    // A QP that dies with a read pending legitimately reports this rule.
+    ctx.allow_rule("error_pending_completion");
+    // Frame order for a 1-packet read: f1 = request (0->1), f2 = ack,
+    // f3 = response (1->0). Drop the response and all its retransmits.
+    fault::FaultPlan plan;
+    for (std::uint64_t n = 3; n <= 12; ++n) plan.nth_frame(n, fault::FaultAction::kDrop);
+    cluster.engine().set_fault_injector(&plan);
+
+    const std::uint32_t len = 1024;
+    auto& sink = cluster.node(0).mem().alloc(len, false);
+    auto& source = cluster.node(1).mem().alloc(len, false);
+    VerbsOut out;
+    verbs::CompletionQueue scq(cluster.engine());
+    verbs::CompletionQueue rcq(cluster.engine());
+    std::vector<std::unique_ptr<verbs::QueuePair>> qps;
+    cluster.engine().spawn([](core::Cluster& c, verbs::CompletionQueue& send_cq,
+                              verbs::CompletionQueue& recv_cq,
+                              std::vector<std::unique_ptr<verbs::QueuePair>>& pairs,
+                              std::uint64_t s, std::uint64_t d, std::uint32_t n,
+                              VerbsOut& result) -> Task<> {
+      pairs.push_back(c.device(0).create_qp(send_cq, send_cq));
+      pairs.push_back(c.device(1).create_qp(recv_cq, recv_cq));
+      c.device(0).establish(*pairs[0], *pairs[1]);
+      auto lkey = co_await c.device(0).reg_mr(d, n);
+      auto rkey = co_await c.device(1).reg_mr(s, n);
+      co_await pairs[0]->post_send(verbs::SendWr{.wr_id = 1,
+                                                 .opcode = verbs::Opcode::kRdmaRead,
+                                                 .sge = {d, n, lkey},
+                                                 .remote_addr = s,
+                                                 .rkey = rkey});
+      result.send = co_await verbs::next_completion(send_cq, c.node(0).cpu(), ns(200));
+      result.got_send = true;
+    }(cluster, scq, rcq, qps, source.addr(), sink.addr(), len, out));
+    cluster.engine().run();
+
+    ctx.expect(out.got_send, "the stranded read must complete, not hang");
+    ctx.expect(out.got_send && out.send.status == verbs::Completion::Status::kRetryExceeded,
+               "a read whose response is lost forever must flush with kRetryExceeded");
+    ctx.finish(cluster.engine());
+  }};
+}
+
+/// Three-node IB fan-in: nodes 0 and 1 write to node 2 concurrently,
+/// with one early frame dropped. The two writer coroutines are spawned
+/// back-to-back at t=0 and do identical work on disjoint source nodes,
+/// so their events repeatedly land on the same timestamps: this is the
+/// scenario with genuine co-enabled branching (and commuting pairs for
+/// the reduction), unlike the strictly serial two-node workloads.
+Scenario ib_fanin(Mutation mutation) {
+  return Scenario{"ib_fanin", [mutation](RunContext& ctx) {
+    core::NetworkProfile profile = core::ib_profile();
+    profile.hca.rto = us(20);
+    profile.hca.retry_limit = 3;
+    apply_mutation(profile, mutation);
+    core::Cluster cluster(3, profile);
+    ctx.arm(cluster);
+    fault::FaultPlan plan;
+    plan.nth_frame(1, fault::FaultAction::kDrop);
+    cluster.engine().set_fault_injector(&plan);
+
+    const std::uint32_t len = 1024;
+    auto& src0 = cluster.node(0).mem().alloc(len, false);
+    auto& src1 = cluster.node(1).mem().alloc(len, false);
+    auto& dst0 = cluster.node(2).mem().alloc(len, false);
+    auto& dst1 = cluster.node(2).mem().alloc(len, false);
+    VerbsOut out0, out1;
+    verbs::CompletionQueue scq0(cluster.engine());
+    verbs::CompletionQueue scq1(cluster.engine());
+    verbs::CompletionQueue rcq(cluster.engine());
+    std::vector<std::unique_ptr<verbs::QueuePair>> qps;
+    // All the setup that must serialize on node 2's CPU happens in one
+    // parent coroutine; the two writers it then spawns do identical work
+    // on disjoint nodes from the same instant, so their events stay in
+    // timestamp lockstep — each lockstep pair is a co-enabled tie for
+    // the explorer (and, being NIC-confined on different ports, many of
+    // them are commuting pairs the reduction can prune).
+    auto writer = [](core::Cluster& c, int src_node, verbs::CompletionQueue& send_cq,
+                     verbs::QueuePair& qp, std::uint64_t s, std::uint64_t d, std::uint32_t n,
+                     verbs::MrKey lkey, verbs::MrKey rkey, std::uint64_t wr,
+                     VerbsOut& result) -> Task<> {
+      auto watch = c.device(2).watch_placement(d, n);
+      co_await qp.post_send(verbs::SendWr{.wr_id = wr,
+                                          .opcode = verbs::Opcode::kRdmaWrite,
+                                          .sge = {s, n, lkey},
+                                          .remote_addr = d,
+                                          .rkey = rkey});
+      result.send = co_await verbs::next_completion(send_cq, c.node(src_node).cpu(), ns(200));
+      result.got_send = true;
+      co_await watch->wait();
+      result.got_recv = true;  // placement observed at the target
+    };
+    qps.reserve(4);
+    cluster.engine().spawn([](core::Cluster& c, verbs::CompletionQueue& send_cq0,
+                              verbs::CompletionQueue& send_cq1, verbs::CompletionQueue& recv_cq,
+                              std::vector<std::unique_ptr<verbs::QueuePair>>& pairs,
+                              std::uint64_t s0, std::uint64_t s1, std::uint64_t d0,
+                              std::uint64_t d1, std::uint32_t n, VerbsOut& r0, VerbsOut& r1,
+                              decltype(writer) write) -> Task<> {
+      pairs.push_back(c.device(0).create_qp(send_cq0, send_cq0));  // 0 -> 2
+      pairs.push_back(c.device(2).create_qp(recv_cq, recv_cq));
+      pairs.push_back(c.device(1).create_qp(send_cq1, send_cq1));  // 1 -> 2
+      pairs.push_back(c.device(2).create_qp(recv_cq, recv_cq));
+      c.device(0).establish(*pairs[0], *pairs[1]);
+      c.device(1).establish(*pairs[2], *pairs[3]);
+      auto lkey0 = co_await c.device(0).reg_mr(s0, n);
+      auto lkey1 = co_await c.device(1).reg_mr(s1, n);
+      auto rkey0 = co_await c.device(2).reg_mr(d0, n);
+      auto rkey1 = co_await c.device(2).reg_mr(d1, n);
+      c.engine().spawn(write(c, 0, send_cq0, *pairs[0], s0, d0, n, lkey0, rkey0, 10, r0));
+      c.engine().spawn(write(c, 1, send_cq1, *pairs[2], s1, d1, n, lkey1, rkey1, 11, r1));
+    }(cluster, scq0, scq1, rcq, qps, src0.addr(), src1.addr(), dst0.addr(), dst1.addr(), len,
+      out0, out1, writer));
+    cluster.engine().run();
+
+    ctx.expect(out0.got_send && out0.send.status == verbs::Completion::Status::kSuccess,
+               "writer 0 must complete despite the dropped frame");
+    ctx.expect(out1.got_send && out1.send.status == verbs::Completion::Status::kSuccess,
+               "writer 1 must complete despite the dropped frame");
+    ctx.expect(out0.got_recv, "writer 0's bytes must be placed at node 2");
+    ctx.expect(out1.got_recv, "writer 1's bytes must be placed at node 2");
+    ctx.finish(cluster.engine());
+  }};
+}
+
+/// Two-node iWARP RDMA Write with an early TCP segment dropped: MPA/DDP
+/// over the stream, go-back-N must place every byte.
+Scenario iwarp_send_loss() {
+  return Scenario{"iwarp_send_loss", [](RunContext& ctx) {
+    core::NetworkProfile profile = core::iwarp_profile();
+    profile.rnic.rto = us(100);
+    core::Cluster cluster(2, profile);
+    ctx.arm(cluster);
+    fault::FaultPlan plan;
+    plan.nth_frame(2, fault::FaultAction::kDrop);
+    cluster.engine().set_fault_injector(&plan);
+
+    const std::uint32_t len = 16 * 1024;
+    auto& src = cluster.node(0).mem().alloc(len, false);
+    auto& dst = cluster.node(1).mem().alloc(len, false);
+    bool placed = false;
+    cluster.engine().spawn([](core::Cluster& c, std::uint64_t s, std::uint64_t d,
+                              std::uint32_t n, bool& done) -> Task<> {
+      verbs::CompletionQueue cq(c.engine());
+      auto qp0 = c.device(0).create_qp(cq, cq);
+      auto qp1 = c.device(1).create_qp(cq, cq);
+      c.device(0).establish(*qp0, *qp1);
+      auto lkey = co_await c.device(0).reg_mr(s, n);
+      auto rkey = co_await c.device(1).reg_mr(d, n);
+      auto watch = c.device(1).watch_placement(d, n);
+      co_await qp0->post_send(verbs::SendWr{.wr_id = 1,
+                                            .opcode = verbs::Opcode::kRdmaWrite,
+                                            .sge = {s, n, lkey},
+                                            .remote_addr = d,
+                                            .rkey = rkey});
+      co_await watch->wait();
+      done = true;
+    }(cluster, src.addr(), dst.addr(), len, placed));
+    cluster.engine().run();
+
+    ctx.expect(placed, "go-back-N must recover the dropped segment and place every byte");
+    ctx.finish(cluster.engine());
+  }};
+}
+
+/// Two-node MX eager send with the data frame dropped: the firmware
+/// resend queue must redeliver it.
+Scenario mx_eager_loss() {
+  return Scenario{"mx_eager_loss", [](RunContext& ctx) {
+    core::NetworkProfile profile = core::mxoe_profile();
+    profile.mx.rto = us(50);
+    core::Cluster cluster(2, profile);
+    ctx.arm(cluster);
+    fault::FaultPlan plan;
+    plan.nth_frame(1, fault::FaultAction::kDrop);
+    cluster.engine().set_fault_injector(&plan);
+
+    const std::uint32_t len = 1024;
+    auto& src = cluster.node(0).mem().alloc(len, false);
+    auto& dst = cluster.node(1).mem().alloc(len, false);
+    bool send_done = false, recv_done = false;
+    std::uint32_t recv_len = 0;
+    cluster.engine().spawn(
+        [](core::Cluster& c, std::uint64_t s, std::uint32_t n, bool& done) -> Task<> {
+          auto request = co_await c.endpoint(0).isend(s, n, c.endpoint(1).port(), 7);
+          co_await c.endpoint(0).wait(request);
+          done = request->done();
+        }(cluster, src.addr(), len, send_done));
+    cluster.engine().spawn([](core::Cluster& c, std::uint64_t d, std::uint32_t n, bool& done,
+                              std::uint32_t& got) -> Task<> {
+      auto request = co_await c.endpoint(1).irecv(d, n, 7, ~0ull);
+      co_await c.endpoint(1).wait(request);
+      done = request->done();
+      got = request->length();
+    }(cluster, dst.addr(), len, recv_done, recv_len));
+    cluster.engine().run();
+
+    ctx.expect(send_done, "sender must complete after the resend");
+    ctx.expect(recv_done && recv_len == len, "receiver must get the full eager message");
+    ctx.finish(cluster.engine());
+  }};
+}
+
+/// Two-node MX rendezvous with the RTS frame dropped: the handshake
+/// itself must be retried, then the bulk data streamed.
+Scenario mx_rndv_loss() {
+  return Scenario{"mx_rndv_loss", [](RunContext& ctx) {
+    core::NetworkProfile profile = core::mxoe_profile();
+    profile.mx.rto = us(50);
+    core::Cluster cluster(2, profile);
+    ctx.arm(cluster);
+    fault::FaultPlan plan;
+    plan.nth_frame(1, fault::FaultAction::kDrop);  // the RTS
+    cluster.engine().set_fault_injector(&plan);
+
+    const std::uint32_t len = 64 * 1024;  // > eager_max: rendezvous path
+    auto& src = cluster.node(0).mem().alloc(len, false);
+    auto& dst = cluster.node(1).mem().alloc(len, false);
+    bool send_done = false, recv_done = false;
+    std::uint32_t recv_len = 0;
+    cluster.engine().spawn(
+        [](core::Cluster& c, std::uint64_t s, std::uint32_t n, bool& done) -> Task<> {
+          auto request = co_await c.endpoint(0).isend(s, n, c.endpoint(1).port(), 9);
+          co_await c.endpoint(0).wait(request);
+          done = request->done();
+        }(cluster, src.addr(), len, send_done));
+    cluster.engine().spawn([](core::Cluster& c, std::uint64_t d, std::uint32_t n, bool& done,
+                              std::uint32_t& got) -> Task<> {
+      auto request = co_await c.endpoint(1).irecv(d, n, 9, ~0ull);
+      co_await c.endpoint(1).wait(request);
+      done = request->done();
+      got = request->length();
+    }(cluster, dst.addr(), len, recv_done, recv_len));
+    cluster.engine().run();
+
+    ctx.expect(send_done, "rendezvous sender must complete despite the lost RTS");
+    ctx.expect(recv_done && recv_len == len, "receiver must get the full rendezvous message");
+    ctx.finish(cluster.engine());
+  }};
+}
+
+/// Two-rank MPI ping-pong over MXoE with one early frame dropped: the
+/// full stack (matching queues over the reliable firmware) must finish
+/// the round trip.
+Scenario mpi_pingpong_loss() {
+  return Scenario{"mpi_pingpong_loss", [](RunContext& ctx) {
+    core::NetworkProfile profile = core::mxoe_profile();
+    profile.mx.rto = us(50);
+    core::Cluster cluster(2, profile);
+    ctx.arm(cluster);
+    fault::FaultPlan plan;
+    plan.nth_frame(2, fault::FaultAction::kDrop);
+    cluster.engine().set_fault_injector(&plan);
+
+    const std::uint32_t len = 512;
+    auto& buf0 = cluster.node(0).mem().alloc(2 * len, false);
+    auto& buf1 = cluster.node(1).mem().alloc(2 * len, false);
+    bool rank0_done = false, rank1_done = false;
+    cluster.engine().spawn(
+        [](core::Cluster& c, std::uint64_t base, std::uint32_t n, bool& done) -> Task<> {
+          co_await c.setup_mpi();
+          mpi::Rank& rank = c.mpi_rank(0);
+          auto send = co_await rank.isend(1, 3, base, n);
+          co_await rank.wait(send);
+          auto recv = co_await rank.irecv(1, 4, base + n, n);
+          co_await rank.wait(recv);
+          done = true;
+        }(cluster, buf0.addr(), len, rank0_done));
+    cluster.engine().spawn(
+        [](core::Cluster& c, std::uint64_t base, std::uint32_t n, bool& done) -> Task<> {
+          co_await c.setup_mpi();
+          mpi::Rank& rank = c.mpi_rank(1);
+          auto recv = co_await rank.irecv(0, 3, base, n);
+          co_await rank.wait(recv);
+          auto send = co_await rank.isend(0, 4, base + n, n);
+          co_await rank.wait(send);
+          done = true;
+        }(cluster, buf1.addr(), len, rank1_done));
+    cluster.engine().run();
+
+    ctx.expect(rank0_done, "rank 0 must finish the ping-pong");
+    ctx.expect(rank1_done, "rank 1 must finish the ping-pong");
+    ctx.finish(cluster.engine());
+  }};
+}
+
+}  // namespace
+
+const char* mutation_name(Mutation mutation) {
+  switch (mutation) {
+    case Mutation::kNone: return "none";
+    case Mutation::kStrandPendingReads: return "strand_pending_reads";
+    case Mutation::kDropFinalAck: return "drop_final_ack";
+  }
+  return "?";
+}
+
+bool mutation_from_name(const std::string& name, Mutation& out) {
+  if (name == "none") {
+    out = Mutation::kNone;
+  } else if (name == "strand_pending_reads") {
+    out = Mutation::kStrandPendingReads;
+  } else if (name == "drop_final_ack") {
+    out = Mutation::kDropFinalAck;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<Scenario> bounded_scenarios(Mutation mutation) {
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(ib_send_loss(mutation));
+  scenarios.push_back(ib_read_response_loss(mutation));
+  scenarios.push_back(ib_fanin(mutation));
+  scenarios.push_back(iwarp_send_loss());
+  scenarios.push_back(mx_eager_loss());
+  scenarios.push_back(mx_rndv_loss());
+  scenarios.push_back(mpi_pingpong_loss());
+  return scenarios;
+}
+
+Scenario find_scenario(const std::string& name, Mutation mutation) {
+  for (Scenario& scenario : bounded_scenarios(mutation)) {
+    if (scenario.name == name) return std::move(scenario);
+  }
+  throw std::out_of_range("explore: unknown scenario '" + name + "'");
+}
+
+}  // namespace fabsim::explore

@@ -1,0 +1,40 @@
+// FabricExplore bounded scenario registry.
+//
+// Each scenario is a small, deterministic, self-contained workload
+// (2–3 nodes, one or two messages, optionally a one-shot fault plan)
+// with an explicit end-state expectation — the search targets the
+// explorer enumerates schedules against. The same registry serves three
+// callers: the exhaustive CI sweep (all scenarios must explore clean),
+// the mutation self-test (the explorer must rediscover deliberately
+// re-introduced bugs), and `ext_explore --schedule` replay.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "explore/explorer.hpp"
+
+namespace fabsim::explore {
+
+/// Mutation seams for the explorer's self-test: each arms a test-only
+/// config flag that re-introduces a historical (fixed) bug. See
+/// ib::HcaConfig and docs/model_checking.md.
+enum class Mutation : std::uint8_t {
+  kNone,
+  kStrandPendingReads,  ///< PR-4 regression: stranded RDMA read hangs the requester
+  kDropFinalAck,        ///< responder swallows final-packet acks: spurious retry exhaustion
+};
+
+const char* mutation_name(Mutation mutation);
+/// Parse "none" / "strand_pending_reads" / "drop_final_ack"; returns
+/// false on an unknown name.
+bool mutation_from_name(const std::string& name, Mutation& out);
+
+/// All bounded scenarios, with the given mutation seam armed in every
+/// profile that supports it (currently the IB scenarios).
+std::vector<Scenario> bounded_scenarios(Mutation mutation = Mutation::kNone);
+
+/// Look up one scenario by name; throws std::out_of_range if unknown.
+Scenario find_scenario(const std::string& name, Mutation mutation = Mutation::kNone);
+
+}  // namespace fabsim::explore

@@ -1,0 +1,92 @@
+#include "explore/schedule.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "sim/json.hpp"
+
+namespace fabsim::explore {
+
+namespace {
+
+void append_u32_array(std::string& out, const char* key,
+                      const std::vector<std::uint32_t>& values) {
+  out += "  \"";
+  out += key;
+  out += "\": [";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(values[i]);
+  }
+  out += "]";
+}
+
+std::vector<std::uint32_t> read_u32_array(const minijson::Value& doc, const char* key) {
+  std::vector<std::uint32_t> out;
+  for (const minijson::Value& v : doc.at(key).as_array()) {
+    const double n = v.as_number();
+    if (n < 0) throw std::runtime_error(std::string("schedule: negative entry in ") + key);
+    out.push_back(static_cast<std::uint32_t>(n));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_hex_u64(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::uint64_t parse_hex_u64(const std::string& text) {
+  if (text.size() < 3 || text[0] != '0' || (text[1] != 'x' && text[1] != 'X')) {
+    throw std::runtime_error("schedule: digest must be a 0x-prefixed hex string");
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = 2; i < text.size(); ++i) {
+    const char c = text[i];
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') value |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else throw std::runtime_error("schedule: bad hex digit in digest");
+  }
+  return value;
+}
+
+std::string Schedule::to_json() const {
+  std::string out = "{\n";
+  out += "  \"version\": 1,\n";
+  out += "  \"scenario\": \"" + minijson::escape(scenario) + "\",\n";
+  out += "  \"mutation\": \"" + minijson::escape(mutation) + "\",\n";
+  out += "  \"kind\": \"" + minijson::escape(kind) + "\",\n";
+  out += "  \"rule\": \"" + minijson::escape(rule) + "\",\n";
+  out += "  \"detail\": \"" + minijson::escape(detail) + "\",\n";
+  out += "  \"digest\": \"" + to_hex_u64(digest) + "\",\n";
+  out += "  \"events\": " + std::to_string(events) + ",\n";
+  append_u32_array(out, "choices", choices);
+  out += ",\n";
+  append_u32_array(out, "arities", arities);
+  out += "\n}\n";
+  return out;
+}
+
+Schedule Schedule::from_json(const std::string& text) {
+  const minijson::Value doc = minijson::parse(text);
+  Schedule schedule;
+  schedule.scenario = doc.at("scenario").as_string();
+  if (doc.has("mutation")) schedule.mutation = doc.at("mutation").as_string();
+  if (doc.has("kind")) schedule.kind = doc.at("kind").as_string();
+  if (doc.has("rule")) schedule.rule = doc.at("rule").as_string();
+  if (doc.has("detail")) schedule.detail = doc.at("detail").as_string();
+  schedule.digest = parse_hex_u64(doc.at("digest").as_string());
+  if (doc.has("events")) {
+    schedule.events = static_cast<std::uint64_t>(doc.at("events").as_number());
+  }
+  schedule.choices = read_u32_array(doc, "choices");
+  if (doc.has("arities")) schedule.arities = read_u32_array(doc, "arities");
+  return schedule;
+}
+
+}  // namespace fabsim::explore

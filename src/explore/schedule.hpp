@@ -1,0 +1,42 @@
+// FabricExplore counterexample artifact: a replayable schedule.
+//
+// A Schedule pins one interleaving of co-enabled events: the choice
+// index taken at every decision point, plus enough metadata (scenario
+// name, mutation, finding classification, run digest) to re-run it and
+// check the same failure reproduces. Serialized as JSON so artifacts can
+// be attached to bug reports and replayed with
+// `ext_explore --schedule <file>`; parsed back with sim/json.hpp.
+//
+// The digest is stored as a hex string, not a JSON number — run digests
+// use all 64 bits and would be mangled by double precision.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fabsim::explore {
+
+struct Schedule {
+  std::string scenario;          ///< registry name of the scenario to replay
+  std::string mutation = "none"; ///< mutation seam armed when recorded
+  std::string kind;              ///< finding classification (empty = clean run)
+  std::string rule;              ///< violated rule / expectation id
+  std::string detail;            ///< human-readable failure specifics
+  std::uint64_t digest = 0;      ///< run digest of the recorded run
+  std::uint64_t events = 0;      ///< events processed by the recorded run
+  std::vector<std::uint32_t> choices;  ///< decision index per decision point
+  std::vector<std::uint32_t> arities;  ///< co-enabled set size per decision point
+
+  /// Serialize to a pretty-printed JSON document.
+  std::string to_json() const;
+  /// Parse a document produced by to_json(); throws std::runtime_error
+  /// on malformed input or missing fields.
+  static Schedule from_json(const std::string& text);
+};
+
+/// 64-bit value to fixed-width hex ("0x" + 16 digits) and back.
+std::string to_hex_u64(std::uint64_t value);
+std::uint64_t parse_hex_u64(const std::string& text);
+
+}  // namespace fabsim::explore

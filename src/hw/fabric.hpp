@@ -115,7 +115,10 @@ class Switch {
     // the fixed traversal costs, attributed to the sender.
     engine_->charge_phase(Phase::kWire, frame.src_node,
                           serialization + config_.cut_through + 2 * config_.propagation);
-    engine_->post(delivered, [sink = out.sink, f = std::move(frame)]() mutable {
+    // Scope label: delivery runs entirely inside the destination NIC
+    // (sink == the NIC attached to port `dst`), so co-enabled deliveries
+    // to different ports commute for schedule exploration.
+    engine_->post(delivered, /*scope=*/dst, [sink = out.sink, f = std::move(frame)]() mutable {
       sink->deliver(std::move(f));
     });
   }

@@ -58,6 +58,21 @@ struct HcaConfig {
   std::uint32_t ack_wire_bytes = 34;  ///< LRH+BTH+AETH+CRCs on the wire
 
   hw::RegistrationConfig reg{us(2.0), us(13.0), us(1.0), us(1.0), 4096};
+
+  // --- Mutation self-test seams (FabricExplore) ---
+  // Test-only flags, never set by calibration profiles. Each one
+  // re-introduces a historical bug (or a near-miss variant) so the
+  // schedule explorer can demonstrate it rediscovers the failure from a
+  // clean spec: see docs/model_checking.md and bench/ext_explore.cpp.
+  /// Revert the stranded-RDMA-read fix: on retry exhaustion, pending
+  /// reads vanish without a flush and the peer is never told — the
+  /// requester's poll blocks forever (detected as a lost_wakeup
+  /// deadlock at queue drain).
+  bool mutation_strand_pending_reads = false;
+  /// Responder swallows the ack for the final packet of every message
+  /// (fresh and duplicate paths alike) — the requester retries a
+  /// delivered message into retry exhaustion.
+  bool mutation_drop_final_ack = false;
 };
 
 }  // namespace fabsim::ib

@@ -130,9 +130,14 @@ Task<> Hca::post_send_impl(Qp& qp, verbs::SendWr wr) {
   }
 
   const int conn_id = qp.conn_id_;
-  engine().post(engine().now() + config_.doorbell, [this, conn_id, msg = std::move(msg)]() mutable {
-    send_message(*conns_[static_cast<std::size_t>(conn_id)], std::move(msg));
-  });
+  // Scope labels on HCA-internal continuations (doorbell, timers, ack and
+  // placement processing) mark them as confined to this node for schedule
+  // exploration; wire handoffs stay unscoped (-1) because they mutate
+  // shared switch state.
+  engine().post(engine().now() + config_.doorbell, /*scope=*/port_,
+                [this, conn_id, msg = std::move(msg)]() mutable {
+                  send_message(*conns_[static_cast<std::size_t>(conn_id)], std::move(msg));
+                });
 }
 
 Task<> Hca::post_recv_impl(Qp& qp, verbs::RecvWr wr) {
@@ -371,7 +376,8 @@ void Hca::arm_timer(Conn& conn) {
   const std::uint64_t gen = ++conn.timer_gen;
   const Time timeout = config_.rto * (1ULL << std::min(conn.retry_count, 6));
   const int conn_id = conn.id;
-  engine().post(engine().now() + timeout, [this, conn_id, gen] { on_timeout(conn_id, gen); });
+  engine().post(engine().now() + timeout, /*scope=*/port_,
+                [this, conn_id, gen] { on_timeout(conn_id, gen); });
 }
 
 void Hca::on_timeout(int conn_id, std::uint64_t gen) {
@@ -436,7 +442,7 @@ void Hca::enter_error(Conn& conn) {
   // queue) but whose response never arrived used to vanish here without
   // a completion, silently under-counting kRetryExceeded. Flush them all
   // and report the previously-silent ones through the monitor.
-  if (!conn.pending_reads.empty()) {
+  if (!conn.pending_reads.empty() && !config_.mutation_strand_pending_reads) {
     if (check::InvariantMonitor* monitor = engine().monitor()) {
       monitor->report(engine().now(), check::Layer::kIb, node_->id(), "error_pending_completion",
                       "QP " + std::to_string(conn.qp->qp_num()) + " entered error with " +
@@ -457,7 +463,7 @@ void Hca::enter_error(Conn& conn) {
     conn.pending_reads.clear();
   }
 
-  if (stranded_response && conn.peer != nullptr) {
+  if (stranded_response && conn.peer != nullptr && !config_.mutation_strand_pending_reads) {
     // Out-of-band, like connect(): stands in for the requester's own
     // response-timeout exhaustion, which this model elides.
     conn.peer->peer_conn_error(conn.peer_conn_id);
@@ -491,7 +497,7 @@ void Hca::deliver(hw::Frame frame) {
     engine().charge_phase(Phase::kNic, node_->id(), config_.ack_proc);
     const Time done = proc_.book(engine().now(), config_.ack_proc);
     const int conn_id = packet.dst_conn_id;
-    engine().post(done, [this, conn_id, packet] {
+    engine().post(done, /*scope=*/port_, [this, conn_id, packet] {
       handle_ack_packet(*conns_[static_cast<std::size_t>(conn_id)], packet);
     });
     return;
@@ -502,7 +508,9 @@ void Hca::deliver(hw::Frame frame) {
       if (packet.psn < conn.exp_psn) {
         // Duplicate (our ack was lost or a retransmit raced it): discard
         // and re-assert the cumulative ack so the requester can advance.
-        send_ack(conn, /*nak=*/false);
+        if (!(config_.mutation_drop_final_ack && packet.last_of_message)) {
+          send_ack(conn, /*nak=*/false);
+        }
       } else if (!conn.nak_outstanding) {
         // Sequence gap: NAK once per gap; the go-back-N retransmission
         // restarts the stream at exp_psn.
@@ -515,7 +523,10 @@ void Hca::deliver(hw::Frame frame) {
     conn.nak_outstanding = false;
     ++conn.pkts_since_ack;
     if (packet.last_of_message || conn.pkts_since_ack >= config_.ack_every) {
-      send_ack(conn, /*nak=*/false);
+      if (!(config_.mutation_drop_final_ack && packet.last_of_message &&
+            conn.pkts_since_ack < config_.ack_every)) {
+        send_ack(conn, /*nak=*/false);
+      }
     }
   }
 
@@ -530,7 +541,7 @@ void Hca::deliver(hw::Frame frame) {
     engine().charge_phase(Phase::kNic, node_->id(), config_.dma_transaction);
     const Time ordered = dma_.book(processed, config_.dma_transaction);
     const int conn_id = packet.dst_conn_id;
-    engine().post(ordered, [this, conn_id, packet = std::move(packet)] {
+    engine().post(ordered, /*scope=*/port_, [this, conn_id, packet = std::move(packet)] {
       handle_read_request(*conns_[static_cast<std::size_t>(conn_id)], packet);
     });
     return;
@@ -541,7 +552,7 @@ void Hca::deliver(hw::Frame frame) {
   engine().charge_phase(Phase::kNic, node_->id(), place_cost);
   const Time placed = dma_.book(processed, place_cost);
   const int conn_id = packet.dst_conn_id;
-  engine().post(placed, [this, conn_id, packet = std::move(packet)]() mutable {
+  engine().post(placed, /*scope=*/port_, [this, conn_id, packet = std::move(packet)]() mutable {
     complete_placement(*conns_[static_cast<std::size_t>(conn_id)], packet);
   });
 }

@@ -126,12 +126,15 @@ Task<> Rnic::post_send_impl(Qp& qp, verbs::SendWr wr) {
   const int conn_id = qp.conn_id_;
   // Doorbell: the NIC picks the WQE up `doorbell` later; the host call
   // returns immediately after ringing it.
-  engine().post(engine().now() + config_.doorbell, [this, conn_id, msg = std::move(msg)]() mutable {
-    Conn& conn = *conns_[static_cast<std::size_t>(conn_id)];
-    msg.msg_id = conn.next_msg_id++;
-    conn.sendq.push_back(std::move(msg));
-    pump(conn);
-  });
+  // Scope label: node-confined continuation (see sim/schedule.hpp); the
+  // wire handoffs below stay unscoped because they touch the switch.
+  engine().post(engine().now() + config_.doorbell, /*scope=*/port_,
+                [this, conn_id, msg = std::move(msg)]() mutable {
+                  Conn& conn = *conns_[static_cast<std::size_t>(conn_id)];
+                  msg.msg_id = conn.next_msg_id++;
+                  conn.sendq.push_back(std::move(msg));
+                  pump(conn);
+                });
 }
 
 Task<> Rnic::post_recv_impl(Qp& qp, verbs::RecvWr wr) {
@@ -349,7 +352,8 @@ void Rnic::arm_timer(Conn& conn) {
   conn.timer_armed = true;
   const std::uint64_t gen = conn.timer_gen;
   const int conn_id = conn_index(conn);
-  engine().post(engine().now() + config_.rto, [this, conn_id, gen] { on_timeout(conn_id, gen); });
+  engine().post(engine().now() + config_.rto, /*scope=*/port_,
+                [this, conn_id, gen] { on_timeout(conn_id, gen); });
 }
 
 int Rnic::conn_index(const Conn& conn) const {
@@ -422,7 +426,7 @@ void Rnic::deliver(hw::Frame frame) {
     // mid-quota would stall forever).
     conn.delack_armed = true;
     const int conn_id = segment.dst_conn_id;
-    engine().post(engine().now() + config_.delayed_ack_timeout, [this, conn_id] {
+    engine().post(engine().now() + config_.delayed_ack_timeout, /*scope=*/port_, [this, conn_id] {
       Conn& c = *conns_[static_cast<std::size_t>(conn_id)];
       c.delack_armed = false;
       if (c.segs_since_ack > 0) send_pure_ack(c);
@@ -436,7 +440,7 @@ void Rnic::deliver(hw::Frame frame) {
     const Time pcix_done = pcix_.transfer(engine_done, 8);
     const Time ordered = node_->pcie().dma_write(pcix_done, 8);
     const int conn_id = segment.dst_conn_id;
-    engine().post(ordered, [this, conn_id, segment = std::move(segment)] {
+    engine().post(ordered, /*scope=*/port_, [this, conn_id, segment = std::move(segment)] {
       handle_read_request(*conns_[static_cast<std::size_t>(conn_id)], segment);
     });
     return;
@@ -446,7 +450,7 @@ void Rnic::deliver(hw::Frame frame) {
   const Time pcix_done = pcix_.transfer(engine_done, segment.payload_len + 32);
   const Time placed = node_->pcie().dma_write(pcix_done, segment.payload_len + 64);
   const int conn_id = segment.dst_conn_id;
-  engine().post(placed, [this, conn_id, segment = std::move(segment)]() mutable {
+  engine().post(placed, /*scope=*/port_, [this, conn_id, segment = std::move(segment)]() mutable {
     complete_placement(*conns_[static_cast<std::size_t>(conn_id)], segment);
   });
 }

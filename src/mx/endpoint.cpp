@@ -65,14 +65,14 @@ Task<RequestPtr> Endpoint::isend(std::uint64_t addr, std::uint32_t len, int dest
     // eager protocol); the user buffer is reusable immediately after.
     co_await node_->cpu().copy(addr, len);
     op.data = snapshot(node_->mem(), addr, len);
-    engine().post(engine().now() + config_.doorbell,
+    engine().post(engine().now() + config_.doorbell, /*scope=*/port_,
                   [this, op = std::move(op)]() mutable { send_eager(std::move(op)); });
   } else {
     // Rendezvous: pin the source through the registration cache (cost
     // shows up in the send overhead on a miss), then advertise with RTS.
     const Time pinned = pin(engine().now(), addr, len);
     co_await engine().sleep_until(pinned);
-    engine().post(engine().now() + config_.doorbell,
+    engine().post(engine().now() + config_.doorbell, /*scope=*/port_,
                   [this, op = std::move(op)]() mutable { send_rts(std::move(op)); });
   }
   co_return request;
@@ -212,9 +212,9 @@ void Endpoint::pump_tx() {
         config_.dma_transaction + config_.dma_rate.bytes_time(tx.frame.payload_len + 64);
     engine().charge_phase(Phase::kNic, node_->id(), dma_cost);
     ready = dma_.book(fetched, dma_cost);
-    engine().post(fetched, [this] { pump_tx(); });
+    engine().post(fetched, /*scope=*/port_, [this] { pump_tx(); });
   } else {
-    engine().post(ready, [this] { pump_tx(); });
+    engine().post(ready, /*scope=*/port_, [this] { pump_tx(); });
   }
 
   const Time occupancy = config_.tx_occupancy +
@@ -303,7 +303,7 @@ void Endpoint::arm_flow_timer(int dest) {
   flow.timer_armed = true;
   const std::uint64_t gen = ++flow.timer_gen;
   const Time timeout = config_.rto * (1ULL << std::min(flow.retries, 6));
-  engine().post(engine().now() + timeout,
+  engine().post(engine().now() + timeout, /*scope=*/port_,
                 [this, dest, gen] { on_flow_timeout(dest, gen); });
 }
 
@@ -499,17 +499,17 @@ void Endpoint::deliver(hw::Frame raw) {
       engine().charge_phase(Phase::kNic, node_->id(), land_cost);
       Time landed = dma_.book(processed, land_cost);
       landed = node_->pcie().dma_write(landed, frame.payload_len + 64);
-      engine().post(landed, [this, frame = std::move(frame)]() mutable {
+      engine().post(landed, /*scope=*/port_, [this, frame = std::move(frame)]() mutable {
         handle_eager_arrival(std::move(frame));
       });
       break;
     }
     case FrameKind::kRts:
-      engine().post(processed,
+      engine().post(processed, /*scope=*/port_,
                     [this, frame = std::move(frame)]() mutable { handle_rts(frame); });
       break;
     case FrameKind::kCts:
-      engine().post(processed,
+      engine().post(processed, /*scope=*/port_,
                     [this, frame = std::move(frame)]() mutable { handle_cts(frame); });
       break;
     case FrameKind::kData: {
@@ -518,7 +518,8 @@ void Endpoint::deliver(hw::Frame raw) {
       engine().charge_phase(Phase::kNic, node_->id(), place_cost);
       Time placed = dma_.book(processed, place_cost);
       placed = node_->pcie().dma_write(placed, frame.payload_len + 64);
-      engine().post(placed, [this, frame = std::move(frame)]() mutable { handle_data(frame); });
+      engine().post(placed, /*scope=*/port_,
+                    [this, frame = std::move(frame)]() mutable { handle_data(frame); });
       break;
     }
     case FrameKind::kAck:
@@ -584,9 +585,10 @@ void Endpoint::finish_eager_delivery(Unexpected& u) {
   // done by the host.
   const Time copied = node_->cpu().charge_copy(engine().now(), recv.addr, u.msg_len);
   if (u.data != nullptr) node_->mem().write(recv.addr, *u.data);
-  engine().post(copied, [request = recv.request, len = u.msg_len, match = u.match_bits] {
-    request->complete(len, match);
-  });
+  engine().post(copied, /*scope=*/port_,
+                [request = recv.request, len = u.msg_len, match = u.match_bits] {
+                  request->complete(len, match);
+                });
 }
 
 void Endpoint::handle_rts(const MxFrame& frame) {
@@ -623,7 +625,8 @@ void Endpoint::start_rendezvous(const PostedRecv& recv, int src_port,
   // Pin the target buffer (cache hit is free; a miss charges the host),
   // then grant the sender the go-ahead.
   const Time pinned = pin(engine().now(), recv.addr, msg_len);
-  engine().post(pinned, [this, src_port, sender_msg_id, handle, match_bits, msg_len] {
+  engine().post(pinned, /*scope=*/port_, [this, src_port, sender_msg_id, handle, match_bits,
+                                          msg_len] {
     send_control(FrameKind::kCts, src_port, sender_msg_id, handle, match_bits, msg_len);
   });
 }

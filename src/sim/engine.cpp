@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "check/audits.hpp"
 #include "check/invariant.hpp"
 
 namespace fabsim {
@@ -23,19 +24,21 @@ void Driver::promise_type::FinalAwaiter::await_suspend(
 Engine::~Engine() {
   // Destroy any still-suspended processes. Driver frames own their Task
   // parameter, whose destructor recursively destroys child frames.
-  for (void* address : drivers_) {
+  // Hash order is fine here: this runs after the event loop, so nothing
+  // it does can reach the run digest or any simulated state.
+  for (void* address : drivers_) {  // NOLINT(unordered-iteration)
     std::coroutine_handle<>::from_address(address).destroy();
   }
 }
 
-void Engine::post(Time at, std::function<void()> fn) {
+void Engine::post(Time at, int scope, std::function<void()> fn) {
   assert(at >= now_ && "cannot schedule into the past");
   if (monitor_ != nullptr && at < now_) {
     monitor_->report(now_, check::Layer::kSim, -1, "time_monotone",
                      "event posted into the past: at " + std::to_string(to_us(at)) +
                          "us < now " + std::to_string(to_us(now_)) + "us");
   }
-  queue_.push(Item{at, next_seq_++, std::move(fn)});
+  queue_.push(Item{at, next_seq_++, scope, std::move(fn)});
 }
 
 void Engine::post_resume(Time at, std::coroutine_handle<> h) {
@@ -97,21 +100,46 @@ void Engine::account_event(const Item& item) {
 
 void Engine::on_drain() {
   if (monitor_ == nullptr) return;
-  const std::size_t stuck = drivers_.size() - daemons_.size();
-  if (stuck > 0) {
-    monitor_->report(now_, check::Layer::kSim, -1, "lost_wakeup",
-                     std::to_string(stuck) +
-                         " process(es) still suspended with an empty event queue — a wakeup "
-                         "(event trigger, completion push, ack) was lost");
-  }
+  check::audit_quiescence(drivers_.size(), daemons_.size())
+      .report(monitor_, now_, check::Layer::kSim, -1);
   monitor_->run_final_checks();
+}
+
+Engine::Item Engine::pop_next() {
+  // Item::fn may schedule more events; copy out before popping.
+  if (policy_ == nullptr) {
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    return item;
+  }
+
+  // Materialize the co-enabled set: every queued event sharing the head
+  // timestamp. The priority queue yields them in ascending seq order, so
+  // index 0 is the default insertion-order pick.
+  const Time head = queue_.top().at;
+  std::vector<Item> ready;
+  while (!queue_.empty() && queue_.top().at == head) {
+    ready.push_back(std::move(const_cast<Item&>(queue_.top())));
+    queue_.pop();
+  }
+  std::size_t pick = 0;
+  if (ready.size() > 1) {
+    std::vector<ReadyEvent> view;
+    view.reserve(ready.size());
+    for (const Item& item : ready) view.push_back(ReadyEvent{item.at, item.seq, item.scope});
+    pick = policy_->choose(view);
+    if (pick >= ready.size()) pick = 0;  // defensive: contract says < size
+  }
+  Item chosen = std::move(ready[pick]);
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    if (i != pick) queue_.push(std::move(ready[i]));
+  }
+  return chosen;
 }
 
 void Engine::run() {
   while (!queue_.empty()) {
-    // Item::fn may schedule more events; copy out before popping.
-    Item item = std::move(const_cast<Item&>(queue_.top()));
-    queue_.pop();
+    Item item = pop_next();
     account_event(item);
     item.fn();
     check_exception();
@@ -121,8 +149,7 @@ void Engine::run() {
 
 void Engine::run_until(Time t) {
   while (!queue_.empty() && queue_.top().at <= t) {
-    Item item = std::move(const_cast<Item&>(queue_.top()));
-    queue_.pop();
+    Item item = pop_next();
     account_event(item);
     item.fn();
     check_exception();

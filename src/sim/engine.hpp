@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sim/metrics.hpp"
+#include "sim/schedule.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
@@ -105,7 +106,13 @@ class Engine {
   Time now() const { return now_; }
 
   /// Schedule a callback at absolute time `at` (must be >= now()).
-  void post(Time at, std::function<void()> fn);
+  void post(Time at, std::function<void()> fn) { post(at, /*scope=*/-1, std::move(fn)); }
+
+  /// Schedule a callback whose effects are confined to one node. The
+  /// scope label feeds the SchedulePolicy's commutativity metadata (two
+  /// co-enabled events on different nodes commute); it has no effect on
+  /// the default schedule. Pass -1 when the event touches shared state.
+  void post(Time at, int scope, std::function<void()> fn);
 
   /// Schedule a coroutine resumption at absolute time `at`.
   void post_resume(Time at, std::coroutine_handle<> h);
@@ -195,6 +202,13 @@ class Engine {
   check::InvariantMonitor* monitor() { return monitor_; }
   void set_monitor(check::InvariantMonitor* monitor) { monitor_ = monitor; }
 
+  /// Optional pluggable tie-break for co-enabled events (FabricExplore).
+  /// Caller-owned, like the tracer. With no policy (the default) the
+  /// dispatch loop pops straight off the priority queue — the insertion-
+  /// order schedule — without materializing ready sets.
+  SchedulePolicy* schedule_policy() { return policy_; }
+  void set_schedule_policy(SchedulePolicy* policy) { policy_ = policy; }
+
   struct SleepAwaiter {
     Engine* engine;
     Time at;
@@ -209,6 +223,7 @@ class Engine {
   struct Item {
     Time at;
     std::uint64_t seq;
+    int scope;  ///< node confinement label for SchedulePolicy; -1 = unknown
     std::function<void()> fn;
     bool operator>(const Item& other) const {
       if (at != other.at) return at > other.at;
@@ -225,6 +240,10 @@ class Engine {
   void check_exception();
 
   Process spawn_impl(Task<> task, bool daemon);
+  /// Dequeue the next event to dispatch. With a SchedulePolicy attached,
+  /// materializes the co-enabled set at the head timestamp and lets the
+  /// policy pick; otherwise pops the (time, seq) minimum directly.
+  Item pop_next();
   /// Digest + monotonicity + bookkeeping for one popped event.
   void account_event(const Item& item);
   /// Monitor hooks at queue drain: lost-wakeup audit + final checks.
@@ -242,6 +261,7 @@ class Engine {
   MetricRegistry* metrics_ = nullptr;
   fault::FaultInjector* fault_injector_ = nullptr;
   check::InvariantMonitor* monitor_ = nullptr;
+  SchedulePolicy* policy_ = nullptr;
 };
 
 }  // namespace fabsim

@@ -1,0 +1,69 @@
+// Pluggable ready-set dispatch for the Engine (FabricExplore seam).
+//
+// The Engine's event queue is keyed by (time, sequence number). All events
+// sharing the head timestamp are *co-enabled*: the simulation semantics
+// fix their causal past but not their relative order, and the insertion-
+// order tie-break the Engine uses by default is one legal schedule among
+// many. A SchedulePolicy makes that tie-break pluggable: at every dispatch
+// where more than one event is co-enabled, the Engine materializes the
+// ready set (sorted by sequence number) and asks the policy which event to
+// run next.
+//
+// Contract:
+//   * choose() is only called with ready.size() >= 2; it must return an
+//     index < ready.size(). The Engine clamps out-of-range picks to 0.
+//   * ready is sorted by ascending seq, so index 0 reproduces the default
+//     insertion-order schedule. InsertionOrderPolicy therefore yields a
+//     run digest byte-identical to running with no policy at all (pinned
+//     by tests/explore_test.cpp).
+//   * A policy never sees events with distinct timestamps together; time
+//     ordering is not negotiable, only same-time interleaving is.
+//
+// The `scope` field carries coarse commutativity metadata: posts labelled
+// with a node id (see Engine::post(at, scope, fn)) touch only that node's
+// state, so two co-enabled events with different non-negative scopes
+// commute and exploring both orders is redundant. Scope -1 means
+// "unknown — assume it conflicts with everything".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fabsim {
+
+/// One co-enabled event as shown to a SchedulePolicy.
+struct ReadyEvent {
+  Time at = 0;
+  std::uint64_t seq = 0;  ///< insertion order; globally unique
+  int scope = -1;         ///< node id the event is confined to; -1 = unknown
+};
+
+/// Two co-enabled events commute when both are confined to (different)
+/// single nodes. Shared with the explorer's partial-order reduction.
+inline bool ready_events_commute(const ReadyEvent& a, const ReadyEvent& b) {
+  return a.scope >= 0 && b.scope >= 0 && a.scope != b.scope;
+}
+
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+
+  /// Pick the next event to dispatch from a co-enabled set (size >= 2,
+  /// sorted by ascending seq). Returning 0 reproduces the default
+  /// insertion-order schedule.
+  virtual std::size_t choose(const std::vector<ReadyEvent>& ready) = 0;
+};
+
+/// The default tie-break, reified: always dispatch the event inserted
+/// first. Attaching this policy is behaviourally identical (byte-identical
+/// run digest) to attaching no policy — the null fast path exists only to
+/// skip materializing ready sets on hot runs.
+class InsertionOrderPolicy final : public SchedulePolicy {
+ public:
+  std::size_t choose(const std::vector<ReadyEvent>&) override { return 0; }
+};
+
+}  // namespace fabsim

@@ -95,7 +95,7 @@ void HostTcp::deliver(hw::Frame frame) {
   // readable only after that completes.
   const Time processed = node_->cpu().charge(engine().now(), config_.rx_segment_cpu);
   const int conn_id = segment.dst_conn_id;
-  engine().post(processed, [this, conn_id, segment = std::move(segment)]() mutable {
+  engine().post(processed, /*scope=*/port_, [this, conn_id, segment = std::move(segment)]() mutable {
     Conn& c = *conns_.at(static_cast<std::size_t>(conn_id));
     if (segment.data != nullptr) {
       c.rx_buffer.insert(c.rx_buffer.end(), segment.data->begin(), segment.data->end());
