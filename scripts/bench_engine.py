@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Append the engine's micro-benchmark throughput to the perf trajectory.
+
+Runs the google-benchmark binary (bench/micro_simcore) in JSON mode,
+scrapes events/sec and items/sec per benchmark, and appends one record
+per commit to BENCH_engine.json at the repo root:
+
+    [
+      {"commit": "<sha>", "benchmarks": {
+          "BM_EventQueueThroughput": {"events_per_sec": ..., "items_per_sec": ...},
+          ...}},
+      ...
+    ]
+
+One record per commit: re-running on the same HEAD overwrites that
+commit's record instead of growing the file, so the trajectory stays one
+point per PR. Non-gating by design — run_all.sh invokes it best-effort
+and CI never fails on a slow machine.
+
+Usage: bench_engine.py <micro_simcore-binary> [trajectory-json]
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+
+def head_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    binary = sys.argv[1]
+    out_path = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("BENCH_engine.json")
+
+    result = subprocess.run(
+        [binary, "--benchmark_format=json", "--benchmark_min_time=0.05"],
+        capture_output=True, text=True,
+    )
+    if result.returncode != 0:
+        print(f"bench_engine: {binary} failed:\n{result.stderr}", file=sys.stderr)
+        return 1
+    data = json.loads(result.stdout)
+
+    benchmarks = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        entry = {}
+        if "events_per_sec" in bench:
+            entry["events_per_sec"] = bench["events_per_sec"]
+        if "items_per_second" in bench:
+            entry["items_per_sec"] = bench["items_per_second"]
+        if entry:
+            benchmarks[bench["name"]] = entry
+
+    commit = head_commit()
+    trajectory = []
+    if out_path.exists():
+        try:
+            trajectory = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            print(f"bench_engine: {out_path} is corrupt, starting fresh", file=sys.stderr)
+    trajectory = [r for r in trajectory if r.get("commit") != commit]
+    trajectory.append({"commit": commit, "benchmarks": benchmarks})
+    out_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    for name, entry in benchmarks.items():
+        rate = entry.get("events_per_sec")
+        if rate is not None:
+            print(f"bench_engine: {name}: {rate / 1e6:.2f} M events/sec")
+    print(f"bench_engine: appended {commit} to {out_path} ({len(trajectory)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

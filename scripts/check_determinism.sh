@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Determinism verifier. Runs representative benches twice — a lossless
-# MPI latency sweep and the fault-injection suite (fixed seed, so the
-# drop schedule is part of the contract) — and requires the two runs to
+# MPI latency sweep, the fault-injection suite (fixed seed, so the
+# drop schedule is part of the contract), and the multi-switch incast
+# sweep (64 endpoints over a 2-level Clos, so LFT routing and per-port
+# queues are part of the fingerprint) — and requires the two runs to
 # be byte-identical: same report JSON, and in particular the same
 # sim.digest (the engine's FNV-1a fold over every (time, seq) event it
 # dispatched) for every cluster the benches fingerprinted.
@@ -16,7 +18,7 @@ if [[ ! -d "$build/bench" ]]; then
   cmake --build "$build"
 fi
 
-benches=(fig3_mpi_latency ext_faults)
+benches=(fig3_mpi_latency ext_faults ext_incast)
 scratch="$(mktemp -d)"
 trap 'rm -rf "$scratch"' EXIT
 
@@ -28,18 +30,25 @@ for round in 1 2; do
   done
 done
 
+# Benches may name their quick-mode report "<bench>_quick" to keep it
+# distinct from the full sweep's artifacts.
+report_of() {
+  if [[ -f "$scratch/run1/results/$1.json" ]]; then echo "$1"; else echo "$1_quick"; fi
+}
+
 status=0
 for bench in "${benches[@]}"; do
+  report="$(report_of "$bench")"
   for ext in json csv; do
-    a="$scratch/run1/results/$bench.$ext"
-    b="$scratch/run2/results/$bench.$ext"
+    a="$scratch/run1/results/$report.$ext"
+    b="$scratch/run2/results/$report.$ext"
     if ! diff -q "$a" "$b" >/dev/null; then
       echo "NON-DETERMINISTIC: $bench.$ext differs between identical runs" >&2
       diff "$a" "$b" | head -20 >&2 || true
       status=1
     fi
   done
-  digests=$(python3 - "$scratch/run1/results/$bench.json" <<'EOF'
+  digests=$(python3 - "$scratch/run1/results/$report.json" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 print(sum(1 for k in doc.get("metrics", {}) if k.endswith("sim.digest")))

@@ -29,8 +29,14 @@ Checks, over src/ (and headers everywhere):
      metric order), silently breaking run-to-run determinism and the
      explorer's replay guarantee. Iterate a deterministic container, or
      NOLINT with a written rationale for why order cannot matter.
+  8. switch-construction: hw::Switch is only constructed by the
+     topo::Topology builders (src/topo/) — they own switch ids, LFT
+     computation and endpoint reservations, and a Switch wired up by
+     hand bypasses all three. Everything else takes a Topology (or an
+     edge switch reference from one). Tests are exempt by scope; an
+     intentional exception takes a NOLINT with a rationale.
 
-A line containing NOLINT is exempt from 3-7. Exit status: 0 clean,
+A line containing NOLINT is exempt from 3-8. Exit status: 0 clean,
 1 violations found.
 """
 import os
@@ -51,6 +57,11 @@ POST_CALL = re.compile(r"(?:->|\.)\s*post\s*\(")  # post_resume etc. do not matc
 REF_CAPTURE = re.compile(r"\[\s*&\s*[\],]")  # [&] or [&, x] default captures only
 UNORDERED_DECL = re.compile(r"std::unordered_(?:map|set)\b[^;{=]*?[\s>](\w+)\s*[;{=]")
 RANGE_FOR = re.compile(r"for\s*\([^;)]*:\s*(?:this->)?(\w+)\s*\)")
+SWITCH_CONSTRUCT = re.compile(
+    r"make_(?:unique|shared)<\s*(?:\w+::)*Switch\s*>"
+    r"|(?<![\w_])new\s+(?:\w+::)*Switch\b"
+    r"|(?<![\w:])(?:\w+::)*Switch\s+\w+\s*[({]"
+)
 
 
 def strip_comments(line):
@@ -137,6 +148,12 @@ def lint():
                      f"range-for over unordered container '{m.group(1)}' "
                      "(hash order is not deterministic; use an ordered container "
                      "or NOLINT with a rationale)")
+            if SWITCH_CONSTRUCT.search(code) and not path.startswith(
+                    os.path.join(SRC, "topo") + os.sep):
+                flag(path, i, "switch-construction",
+                     "hw::Switch is built only by the topo::Topology builders "
+                     "(they own ids, LFTs and endpoint reservations); take a "
+                     "Topology instead, or NOLINT with a rationale")
             prev_code = code
     return problems
 

@@ -77,6 +77,11 @@ for b in "$bench_dir"/*; do
   fi
 done
 
+# Engine perf trajectory: append this commit's events/sec to
+# BENCH_engine.json. Informational only — never fails the run.
+echo "=== bench_engine (non-gating) ==="
+python3 scripts/bench_engine.py build/bench/micro_simcore || true
+
 if [[ "$explore" == 1 ]]; then
   echo "=== ext_explore (large budget) ==="
   "$bench_dir"/ext_explore --budget 4096 --depth 48 --fuzz 512 --seed 1

@@ -29,6 +29,24 @@ Verdict audit_switch_conservation(std::uint64_t ingressed, std::uint64_t forward
                            u64(tail_drops));
 }
 
+Verdict audit_credit_nonnegative(std::int64_t occupancy_bytes) {
+  if (occupancy_bytes >= 0) return Verdict::pass();
+  return Verdict::fail("credit_negative",
+                       "output-queue occupancy went negative (" +
+                           std::to_string(occupancy_bytes) +
+                           "B): a credit was returned twice");
+}
+
+Verdict audit_switch_queue_drained(int port, std::size_t queued_frames,
+                                   std::int64_t occupancy_bytes, bool transmitting) {
+  if (queued_frames == 0 && occupancy_bytes == 0 && !transmitting) return Verdict::pass();
+  return Verdict::fail("queue_not_drained",
+                       "port " + std::to_string(port) + " at quiescence: " +
+                           u64(queued_frames) + " frame(s) still queued, " +
+                           std::to_string(occupancy_bytes) + "B occupancy outstanding" +
+                           (transmitting ? ", transmission in flight" : ""));
+}
+
 Verdict audit_ib_inflight_psns(const std::deque<std::uint64_t>& inflight_psns,
                                std::uint64_t snd_psn) {
   for (std::size_t i = 1; i < inflight_psns.size(); ++i) {

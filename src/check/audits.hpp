@@ -67,9 +67,23 @@ Verdict audit_switch_occupancy(double backlog_bytes, std::uint32_t frame_bytes,
 
 /// Frame conservation at a quiescent point: every frame handed to
 /// ingress() was either forwarded, dropped by the fault injector, or
-/// tail-dropped — nothing vanishes, nothing is duplicated.
+/// tail-dropped — nothing vanishes, nothing is duplicated. In routed
+/// (multi-stage) fabrics the same identity holds per hop: link arrivals
+/// count as ingress, transmissions to the next switch as forwarding.
 Verdict audit_switch_conservation(std::uint64_t ingressed, std::uint64_t forwarded,
                                   std::uint64_t fault_drops, std::uint64_t tail_drops);
+
+/// Credit non-negativity: an output queue's committed occupancy (queued
+/// bytes plus credit-reserved bytes in flight toward it) can never go
+/// below zero — a negative value means a credit was returned twice.
+Verdict audit_credit_nonnegative(std::int64_t occupancy_bytes);
+
+/// Routed-fabric quiescence: when the event queue drains, every output
+/// port must have transmitted everything (no stranded frames) and every
+/// consumed credit must have been returned (occupancy back to zero) —
+/// the credit-conservation half of the flow-control contract.
+Verdict audit_switch_queue_drained(int port, std::size_t queued_frames,
+                                   std::int64_t occupancy_bytes, bool transmitting);
 
 // ---------------------------------------------------------------------------
 // ib: RC transport

@@ -17,6 +17,7 @@
 #include "iwarp/config.hpp"
 #include "mpi/config.hpp"
 #include "mx/config.hpp"
+#include "topo/spec.hpp"
 
 namespace fabsim::core {
 
@@ -35,6 +36,11 @@ inline const char* network_name(Network network) {
 struct NetworkProfile {
   Network network;
   hw::SwitchConfig switch_cfg;
+  /// Fabric shape. Defaults to the seed's single crossbar (levels == 1);
+  /// benches override levels/radix/flow to build Clos fabrics. The flow
+  /// mode that matches each network's link layer: kCredit for IB (VL
+  /// buffer credits), kLossy for iWARP / MXoE Ethernet.
+  topo::FabricSpec fabric;
   hw::PciConfig pcie;
   hw::CpuConfig cpu;
   iwarp::RnicConfig rnic;  ///< valid for kIwarp
@@ -102,6 +108,7 @@ inline NetworkProfile ib_profile() {
   p.network = Network::kIb;
   // Mellanox MTS2400: cut-through, 4X SDR data rate 1 GB/s.
   p.switch_cfg = hw::SwitchConfig{Rate::mb_per_sec(1000.0), ns(200), ns(100)};
+  p.fabric.flow = hw::FlowControl::kCredit;  // IB link layer: VL buffer credits
   p.pcie = hw::PciConfig{Rate::mb_per_sec(2000.0), ns(250)};
   p.cpu = xeon_cpu();
 
@@ -181,8 +188,9 @@ inline NetworkProfile mx_profile_base() {
 inline NetworkProfile mxom_profile() {
   NetworkProfile p = mx_profile_base();
   p.network = Network::kMxom;
-  // Myri-10G switch: cut-through, very low latency.
+  // Myri-10G switch: cut-through, very low latency, stop/go flow control.
   p.switch_cfg = hw::SwitchConfig{Rate::gbit_per_sec(10.0), ns(100), ns(100)};
+  p.fabric.flow = hw::FlowControl::kCredit;
   p.mx.frame_overhead = 16;
   return p;
 }

@@ -8,23 +8,27 @@
 
 namespace fabsim::core {
 
-Cluster::Cluster(int nodes, NetworkProfile profile) : profile_(profile) {
-  fabric_ = std::make_unique<hw::Switch>(engine_, profile_.switch_cfg);
+Cluster::Cluster(int nodes, NetworkProfile profile)
+    : profile_(profile),
+      topo_(topo::Topology::build(engine_, profile.fabric, profile.switch_cfg, nodes)) {
+  // NICs must be constructed in increasing node order: in routed fabrics
+  // each edge switch hands out its pre-reserved global addresses FIFO.
   for (int i = 0; i < nodes; ++i) {
+    hw::Switch& edge = topo_.edge_for(i);
     nodes_.push_back(std::make_unique<hw::Node>(engine_, i, profile_.pcie, profile_.cpu));
     switch (profile_.network) {
       case Network::kIwarp: {
         iwarp::RnicConfig config = profile_.rnic;
         config.rng_seed = 1000 + static_cast<std::uint64_t>(i);
-        rnics_.push_back(std::make_unique<iwarp::Rnic>(*nodes_.back(), *fabric_, config));
+        rnics_.push_back(std::make_unique<iwarp::Rnic>(*nodes_.back(), edge, config));
         break;
       }
       case Network::kIb:
-        hcas_.push_back(std::make_unique<ib::Hca>(*nodes_.back(), *fabric_, profile_.hca));
+        hcas_.push_back(std::make_unique<ib::Hca>(*nodes_.back(), edge, profile_.hca));
         break;
       case Network::kMxoe:
       case Network::kMxom:
-        endpoints_.push_back(std::make_unique<mx::Endpoint>(*nodes_.back(), *fabric_, profile_.mx));
+        endpoints_.push_back(std::make_unique<mx::Endpoint>(*nodes_.back(), edge, profile_.mx));
         break;
     }
   }
@@ -48,15 +52,19 @@ void Cluster::attach_monitor(check::InvariantMonitor& monitor) {
   // so the lambda walks the live vectors at fire time.
   monitor.add_final_check([this](check::InvariantMonitor& m) {
     const Time now = engine_.now();
-    fabric_->audit_conservation().report(&m, now, check::Layer::kHw, -1);
-    // Cross-check against the fault plan: the switch is the only place
-    // the engine's injector is consulted, so its drop decision count must
-    // equal the switch's fault-drop counter exactly.
+    // Per-hop frame conservation on every switch of the fabric, plus the
+    // routed-mode queue-drained / credit-conservation audits.
+    topo_.audit_final(m, now);
+    // Cross-check against the fault plan: the NIC-facing ingress is the
+    // only place the engine's injector is consulted (once per frame, even
+    // across a multi-hop path), so its drop decision count must equal the
+    // fabric-wide fault-drop total exactly.
     if (const auto* plan = dynamic_cast<const fault::FaultPlan*>(engine_.fault_injector())) {
-      m.expect(plan->frames_dropped() == fabric_->fault_drops(), now, check::Layer::kHw, -1,
+      m.expect(plan->frames_dropped() == topo_.fault_drops_total(), now, check::Layer::kHw, -1,
                "fault_drop_mismatch", [&] {
                  return "FaultPlan decided " + std::to_string(plan->frames_dropped()) +
-                        " drops but the switch recorded " + std::to_string(fabric_->fault_drops());
+                        " drops but the fabric recorded " +
+                        std::to_string(topo_.fault_drops_total());
                });
     }
     for (auto& endpoint : endpoints_) endpoint->audit_consistency(m);
@@ -138,22 +146,11 @@ void Cluster::collect_metrics(MetricRegistry& registry) {
     for (const auto& [name, count] : by_rule) registry.counter(name).set(count);
   }
 
-  // Fabric: per-port serialization busy time -> utilization, tail drops,
-  // and the queue-backlog high-water mark.
-  for (int p = 0; p < static_cast<int>(fabric_->num_ports()); ++p) {
-    const std::string prefix = "switch.port" + std::to_string(p) + ".";
-    registry.counter(prefix + "tail_drops").set(fabric_->output_drops(p));
-    registry.gauge(prefix + "queue_bytes").set(fabric_->output_queue_hwm_bytes(p));
-    registry.counter(prefix + "busy_us")
-        .set(static_cast<std::uint64_t>(to_us(fabric_->output_busy_time(p))));
-    if (elapsed > 0) {
-      registry.gauge(prefix + "utilization")
-          .set(static_cast<double>(fabric_->output_busy_time(p)) / static_cast<double>(elapsed));
-    }
-  }
-  registry.counter("switch.fault_drops").set(fabric_->fault_drops());
-  registry.counter("switch.fault_corruptions").set(fabric_->fault_corruptions());
-  registry.counter("switch.fault_delays").set(fabric_->fault_delays());
+  // Fabric: per-switch, per-port serialization busy time -> utilization,
+  // tail drops, queue high-water marks, and (routed fabrics) the
+  // credit-stall / PAUSE counters. Single crossbars keep the seed's flat
+  // switch.portN.* names.
+  topo_.collect_metrics(registry, elapsed);
 
   // Host side: CPU busy time and PCIe DMA byte counts per node.
   for (int i = 0; i < num_nodes(); ++i) {

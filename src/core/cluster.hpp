@@ -17,6 +17,7 @@
 #include "mpi/rank.hpp"
 #include "mx/endpoint.hpp"
 #include "sim/engine.hpp"
+#include "topo/topology.hpp"
 #include "verbs/verbs.hpp"
 
 namespace fabsim::core {
@@ -34,7 +35,13 @@ class Cluster {
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
 
   hw::Node& node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
-  hw::Switch& fabric() { return *fabric_; }
+  /// The fabric graph (switches, placement, LFTs). profile.fabric picks
+  /// the shape; the default (levels == 1) is the seed's single crossbar.
+  topo::Topology& topology() { return topo_; }
+  const topo::Topology& topology() const { return topo_; }
+  /// Seed-compat accessor: the single crossbar (or first switch of a
+  /// multi-stage fabric — prefer topology() there).
+  hw::Switch& fabric() { return topo_.sw(0); }
 
   /// Verbs device of node i (iWARP / IB networks only).
   verbs::Device& device(int i);
@@ -79,7 +86,7 @@ class Cluster {
  private:
   NetworkProfile profile_;
   Engine engine_;
-  std::unique_ptr<hw::Switch> fabric_;
+  topo::Topology topo_;
   std::vector<std::unique_ptr<hw::Node>> nodes_;
   std::vector<std::unique_ptr<iwarp::Rnic>> rnics_;
   std::vector<std::unique_ptr<ib::Hca>> hcas_;

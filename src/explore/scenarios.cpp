@@ -219,6 +219,85 @@ Scenario ib_fanin(Mutation mutation) {
   }};
 }
 
+/// Fan-in across a 2-level Clos fabric (4 endpoints on 2 leaves + 2
+/// spines, credit flow control, small port buffers): nodes 0 and 1 —
+/// both on the far leaf — write to node 3 concurrently with one early
+/// frame dropped, so every data packet crosses leaf -> spine -> leaf
+/// under per-hop credits while RC retransmission recovers the loss.
+/// The bounded multi-switch search target: co-enabled events now
+/// include switch-queue wakeups on distinct switches.
+Scenario ib_fanin_clos(Mutation mutation) {
+  return Scenario{"ib_fanin_clos", [mutation](RunContext& ctx) {
+    core::NetworkProfile profile = core::ib_profile();
+    profile.hca.rto = us(20);
+    profile.hca.retry_limit = 3;
+    profile.fabric = topo::FabricSpec{2, 4, 1.0, hw::FlowControl::kCredit};
+    profile.switch_cfg.max_queue_bytes = 4096;  // ~2 MTUs: credits engage
+    apply_mutation(profile, mutation);
+    core::Cluster cluster(4, profile);
+    ctx.arm(cluster);
+    fault::FaultPlan plan;
+    plan.nth_frame(1, fault::FaultAction::kDrop);
+    cluster.engine().set_fault_injector(&plan);
+
+    const std::uint32_t len = 4096;  // 2 MTU packets per write
+    auto& src0 = cluster.node(0).mem().alloc(len, false);
+    auto& src1 = cluster.node(1).mem().alloc(len, false);
+    auto& dst0 = cluster.node(3).mem().alloc(len, false);
+    auto& dst1 = cluster.node(3).mem().alloc(len, false);
+    VerbsOut out0, out1;
+    verbs::CompletionQueue scq0(cluster.engine());
+    verbs::CompletionQueue scq1(cluster.engine());
+    verbs::CompletionQueue rcq(cluster.engine());
+    std::vector<std::unique_ptr<verbs::QueuePair>> qps;
+    auto writer = [](core::Cluster& c, int src_node, verbs::CompletionQueue& send_cq,
+                     verbs::QueuePair& qp, std::uint64_t s, std::uint64_t d, std::uint32_t n,
+                     verbs::MrKey lkey, verbs::MrKey rkey, std::uint64_t wr,
+                     VerbsOut& result) -> Task<> {
+      auto watch = c.device(3).watch_placement(d, n);
+      co_await qp.post_send(verbs::SendWr{.wr_id = wr,
+                                          .opcode = verbs::Opcode::kRdmaWrite,
+                                          .sge = {s, n, lkey},
+                                          .remote_addr = d,
+                                          .rkey = rkey});
+      result.send = co_await verbs::next_completion(send_cq, c.node(src_node).cpu(), ns(200));
+      result.got_send = true;
+      co_await watch->wait();
+      result.got_recv = true;
+    };
+    qps.reserve(4);
+    cluster.engine().spawn([](core::Cluster& c, verbs::CompletionQueue& send_cq0,
+                              verbs::CompletionQueue& send_cq1, verbs::CompletionQueue& recv_cq,
+                              std::vector<std::unique_ptr<verbs::QueuePair>>& pairs,
+                              std::uint64_t s0, std::uint64_t s1, std::uint64_t d0,
+                              std::uint64_t d1, std::uint32_t n, VerbsOut& r0, VerbsOut& r1,
+                              decltype(writer) write) -> Task<> {
+      pairs.push_back(c.device(0).create_qp(send_cq0, send_cq0));  // 0 -> 3
+      pairs.push_back(c.device(3).create_qp(recv_cq, recv_cq));
+      pairs.push_back(c.device(1).create_qp(send_cq1, send_cq1));  // 1 -> 3
+      pairs.push_back(c.device(3).create_qp(recv_cq, recv_cq));
+      c.device(0).establish(*pairs[0], *pairs[1]);
+      c.device(1).establish(*pairs[2], *pairs[3]);
+      auto lkey0 = co_await c.device(0).reg_mr(s0, n);
+      auto lkey1 = co_await c.device(1).reg_mr(s1, n);
+      auto rkey0 = co_await c.device(3).reg_mr(d0, n);
+      auto rkey1 = co_await c.device(3).reg_mr(d1, n);
+      c.engine().spawn(write(c, 0, send_cq0, *pairs[0], s0, d0, n, lkey0, rkey0, 10, r0));
+      c.engine().spawn(write(c, 1, send_cq1, *pairs[2], s1, d1, n, lkey1, rkey1, 11, r1));
+    }(cluster, scq0, scq1, rcq, qps, src0.addr(), src1.addr(), dst0.addr(), dst1.addr(), len,
+      out0, out1, writer));
+    cluster.engine().run();
+
+    ctx.expect(out0.got_send && out0.send.status == verbs::Completion::Status::kSuccess,
+               "writer 0 must complete across the Clos despite the dropped frame");
+    ctx.expect(out1.got_send && out1.send.status == verbs::Completion::Status::kSuccess,
+               "writer 1 must complete across the Clos despite the dropped frame");
+    ctx.expect(out0.got_recv, "writer 0's bytes must cross leaf->spine->leaf to node 3");
+    ctx.expect(out1.got_recv, "writer 1's bytes must cross leaf->spine->leaf to node 3");
+    ctx.finish(cluster.engine());
+  }};
+}
+
 /// Two-node iWARP RDMA Write with an early TCP segment dropped: MPA/DDP
 /// over the stream, go-back-N must place every byte.
 Scenario iwarp_send_loss() {
@@ -409,6 +488,7 @@ std::vector<Scenario> bounded_scenarios(Mutation mutation) {
   scenarios.push_back(ib_send_loss(mutation));
   scenarios.push_back(ib_read_response_loss(mutation));
   scenarios.push_back(ib_fanin(mutation));
+  scenarios.push_back(ib_fanin_clos(mutation));
   scenarios.push_back(iwarp_send_loss());
   scenarios.push_back(mx_eager_loss());
   scenarios.push_back(mx_rndv_loss());

@@ -1,0 +1,307 @@
+#include "hw/fabric.hpp"
+
+#include <stdexcept>
+
+namespace fabsim::hw {
+
+namespace {
+
+/// Metric-name prefix for one output port. The seed's single crossbar
+/// keeps its flat names (switch.portN.*) so existing readers stay valid;
+/// routed fabrics qualify by switch id (switch.sK.portN.*).
+std::string port_prefix(const SwitchConfig& config, bool routed, int port) {
+  if (!routed) return "switch.port" + std::to_string(port) + ".";
+  return "switch.s" + std::to_string(config.id) + ".port" + std::to_string(port) + ".";
+}
+
+}  // namespace
+
+int Switch::attach(FrameSink& sink) {
+  Port port;
+  port.sink = &sink;
+  ports_.push_back(std::move(port));
+  const int index = static_cast<int>(ports_.size()) - 1;
+  if (!routed()) return index;
+  if (next_pending_ >= pending_endpoint_ids_.size()) {
+    throw std::logic_error("Switch::attach: no endpoint reservation on this switch (routed "
+                           "fabrics assign addresses through topo::Topology)");
+  }
+  const int node_id = pending_endpoint_ids_[next_pending_++];
+  set_route(node_id, index);
+  return node_id;
+}
+
+void Switch::enable_routing(int num_nodes) {
+  lft_.assign(static_cast<std::size_t>(num_nodes), -1);
+}
+
+void Switch::set_route(int dst_node, int port) {
+  lft_.at(static_cast<std::size_t>(dst_node)) = port;
+}
+
+int Switch::route(int dst_node) const {
+  if (!routed()) return dst_node;  // direct mode: address == port
+  const int port = lft_.at(static_cast<std::size_t>(dst_node));
+  if (port < 0) {
+    throw std::logic_error("Switch::route: no LFT entry for node " + std::to_string(dst_node) +
+                           " at switch " + std::to_string(config_.id));
+  }
+  return port;
+}
+
+void Switch::expect_endpoint(int node_id) { pending_endpoint_ids_.push_back(node_id); }
+
+int Switch::connect_to(Switch& peer) {
+  Port port;
+  port.peer = &peer;
+  ports_.push_back(std::move(port));
+  return static_cast<int>(ports_.size()) - 1;
+}
+
+void Switch::ingress(Frame frame) {
+  if (routed()) {
+    ingress_routed(std::move(frame));
+  } else {
+    ingress_direct(std::move(frame));
+  }
+}
+
+bool Switch::apply_faults(Frame& frame, int out_port, Time& at_switch) {
+  fault::FaultInjector* injector = engine_->fault_injector();
+  if (injector == nullptr) return true;
+  const fault::FaultDecision decision = injector->on_frame(
+      fault::FaultSite{engine_->now(), frame.src_node, frame.dst_node, frame.wire_bytes});
+  switch (decision.action) {
+    case fault::FaultAction::kDrop:
+      ++fault_drops_;
+      ++ports_.at(static_cast<std::size_t>(out_port)).fault_drops;
+      engine_->trace(TraceCategory::kWire, frame.src_node,
+                     "FAULT drop " + std::to_string(frame.src_node) + "->" +
+                         std::to_string(frame.dst_node) + " " +
+                         std::to_string(frame.wire_bytes) + "B");
+      return false;
+    case fault::FaultAction::kCorrupt:
+      ++fault_corruptions_;
+      engine_->trace(TraceCategory::kWire, frame.src_node,
+                     "FAULT corrupt " + std::to_string(frame.src_node) + "->" +
+                         std::to_string(frame.dst_node));
+      frame.corrupted = true;
+      break;
+    case fault::FaultAction::kDelay:
+      ++fault_delays_;
+      engine_->trace(TraceCategory::kWire, frame.src_node,
+                     "FAULT delay " + std::to_string(frame.src_node) + "->" +
+                         std::to_string(frame.dst_node) + " +" +
+                         std::to_string(to_us(decision.delay)) + "us");
+      at_switch += decision.delay;
+      break;
+    case fault::FaultAction::kDeliver:
+      break;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Direct (seed) data path: pure booking arithmetic, no queues.
+// ---------------------------------------------------------------------------
+
+void Switch::ingress_direct(Frame frame) {
+  const int dst = frame.dst_node;
+  Port& out = ports_.at(static_cast<std::size_t>(dst));
+  Time at_switch = engine_->now() + config_.propagation + config_.cut_through;
+  ++frames_ingressed_;
+
+  if (!apply_faults(frame, dst, at_switch)) return;
+
+  if (out.tx.busy_until() > at_switch && !config_.link_rate.is_zero()) {
+    // Backlog already booked on this output port, in bytes at link rate.
+    const double backlog_bytes = static_cast<double>(out.tx.busy_until() - at_switch) /
+                                 config_.link_rate.ps_per_byte();
+    if (backlog_bytes > out.queue_hwm_bytes) out.queue_hwm_bytes = backlog_bytes;
+    if (config_.max_queue_bytes > 0 &&
+        backlog_bytes + frame.wire_bytes > static_cast<double>(config_.max_queue_bytes)) {
+      ++out.drops;
+      if (MetricRegistry* m = engine_->metrics()) {
+        m->counter(port_prefix(config_, false, dst) + "tail_drops").add();
+      }
+      return;
+    }
+  }
+
+  if (check::InvariantMonitor* monitor = engine_->monitor();
+      monitor != nullptr && out.tx.busy_until() > at_switch && !config_.link_rate.is_zero()) {
+    // Occupancy bound: the frame was admitted, so the backlog it joins
+    // must still fit the configured port buffer.
+    const double backlog = static_cast<double>(out.tx.busy_until() - at_switch) /
+                           config_.link_rate.ps_per_byte();
+    check::audit_switch_occupancy(backlog, frame.wire_bytes, config_.max_queue_bytes)
+        .report(monitor, engine_->now(), check::Layer::kHw, dst);
+  }
+
+  ++frames_forwarded_;
+  const Time serialization = config_.link_rate.bytes_time(frame.wire_bytes);
+  const Time sent = out.tx.book(at_switch, serialization);
+  const Time delivered = sent + config_.propagation;
+  // Wire phase: serialization through the congested output port plus
+  // the fixed traversal costs, attributed to the sender.
+  engine_->charge_phase(Phase::kWire, frame.src_node,
+                        serialization + config_.cut_through + 2 * config_.propagation);
+  // Scope label: delivery runs entirely inside the destination NIC
+  // (sink == the NIC attached to port `dst`), so co-enabled deliveries
+  // to different ports commute for schedule exploration.
+  engine_->post(delivered, /*scope=*/dst, [sink = out.sink, f = std::move(frame)]() mutable {
+    sink->deliver(std::move(f));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Routed data path: LFT + event-driven per-port FIFO queues.
+// ---------------------------------------------------------------------------
+
+void Switch::ingress_routed(Frame frame) {
+  ++frames_ingressed_;
+  const int out = route(frame.dst_node);
+  Time at_switch = engine_->now() + config_.propagation + config_.cut_through;
+
+  // Fault injection stays at the NIC->switch seam only (one consult per
+  // frame, as in direct mode), so FaultPlan cross-checks keep working.
+  if (!apply_faults(frame, out, at_switch)) return;
+
+  // First-hop traversal costs; per-hop serialization is charged at each
+  // output port's transmit, downstream cut-through at each link arrival.
+  engine_->charge_phase(Phase::kWire, frame.src_node, config_.propagation + config_.cut_through);
+  engine_->post(at_switch, /*scope=*/-1, [this, out, f = std::move(frame)]() mutable {
+    admit(out, std::move(f), /*credit_reserved=*/false);
+  });
+}
+
+void Switch::link_arrival(Frame frame) {
+  ++frames_ingressed_;
+  engine_->charge_phase(Phase::kWire, frame.src_node, config_.cut_through);
+  const int out = route(frame.dst_node);
+  // Credit links committed this frame's buffer space upstream; lossy
+  // links admit (and may tail-drop) on arrival.
+  admit(out, std::move(frame), /*credit_reserved=*/config_.flow == FlowControl::kCredit);
+}
+
+void Switch::admit(int port, Frame frame, bool credit_reserved) {
+  Port& out = ports_.at(static_cast<std::size_t>(port));
+  if (!credit_reserved) {
+    if (config_.flow == FlowControl::kLossy && config_.max_queue_bytes > 0 &&
+        out.occupancy_bytes + frame.wire_bytes >
+            static_cast<std::int64_t>(config_.max_queue_bytes)) {
+      ++out.drops;
+      if (MetricRegistry* m = engine_->metrics()) {
+        m->counter(port_prefix(config_, true, port) + "tail_drops").add();
+      }
+      return;
+    }
+    out.occupancy_bytes += frame.wire_bytes;
+  }
+  out.queue.push_back(std::move(frame));
+  if (static_cast<double>(out.occupancy_bytes) > out.queue_hwm_bytes) {
+    out.queue_hwm_bytes = static_cast<double>(out.occupancy_bytes);
+  }
+  if (out.queue.size() > out.queue_hwm_frames) {
+    out.queue_hwm_frames = static_cast<std::uint64_t>(out.queue.size());
+  }
+  try_transmit(port);
+}
+
+void Switch::retry_transmit(int port) {
+  ports_.at(static_cast<std::size_t>(port)).waiting = false;
+  try_transmit(port);
+}
+
+void Switch::try_transmit(int port) {
+  Port& out = ports_.at(static_cast<std::size_t>(port));
+  // `waiting` means a wake from the downstream queue is already pending;
+  // transmitting before it would reorder past the credit gate.
+  if (out.transmitting || out.waiting || out.queue.empty()) return;
+  Frame& head = out.queue.front();
+
+  if (out.peer != nullptr && config_.flow == FlowControl::kCredit) {
+    // Credit gate: the head frame needs committed space in the
+    // downstream output queue it will be routed to. No space -> stall
+    // this port (head-of-line blocking: congestion spreads upstream).
+    Switch& down = *out.peer;
+    Port& dq = down.ports_.at(static_cast<std::size_t>(down.route(head.dst_node)));
+    if (down.config_.max_queue_bytes > 0 &&
+        dq.occupancy_bytes + head.wire_bytes >
+            static_cast<std::int64_t>(down.config_.max_queue_bytes)) {
+      if (out.stall_since == kNotStalled) {
+        out.stall_since = engine_->now();
+        ++out.credit_stalls;
+      }
+      out.waiting = true;
+      dq.waiters.emplace_back(this, port);
+      return;
+    }
+    dq.occupancy_bytes += head.wire_bytes;  // credit consumed
+  }
+
+  if (out.stall_since != kNotStalled) {
+    out.pause_time += engine_->now() - out.stall_since;
+    out.stall_since = kNotStalled;
+  }
+
+  Frame frame = std::move(out.queue.front());
+  out.queue.pop_front();
+  release_occupancy(port, frame.wire_bytes);
+  out.transmitting = true;
+
+  const Time serialization = config_.link_rate.bytes_time(frame.wire_bytes);
+  out.tx.book(engine_->now(), serialization);
+  engine_->charge_phase(Phase::kWire, frame.src_node, serialization + config_.propagation);
+  const Time sent = engine_->now() + serialization;
+
+  if (out.sink != nullptr) {
+    // Last hop: deliver to the NIC after egress propagation. Delivery
+    // runs entirely inside the destination NIC, so it is scope-confined.
+    engine_->post(sent + config_.propagation, /*scope=*/frame.dst_node,
+                  [sink = out.sink, f = std::move(frame)]() mutable {
+                    sink->deliver(std::move(f));
+                  });
+  } else {
+    Switch* peer = out.peer;
+    engine_->post(sent + config_.propagation + peer->config_.cut_through, /*scope=*/-1,
+                  [peer, f = std::move(frame)]() mutable { peer->link_arrival(std::move(f)); });
+  }
+
+  engine_->post(sent, /*scope=*/-1, [this, port] {
+    Port& p = ports_.at(static_cast<std::size_t>(port));
+    p.transmitting = false;
+    ++frames_forwarded_;
+    try_transmit(port);
+  });
+}
+
+void Switch::release_occupancy(int port, std::uint32_t bytes) {
+  Port& out = ports_.at(static_cast<std::size_t>(port));
+  out.occupancy_bytes -= bytes;
+  if (check::InvariantMonitor* monitor = engine_->monitor()) {
+    check::audit_credit_nonnegative(out.occupancy_bytes)
+        .report(monitor, engine_->now(), check::Layer::kHw, config_.id);
+  }
+  if (out.waiters.empty()) return;
+  // The freed space may unblock stalled upstream ports; wake them in
+  // FIFO registration order (deterministic). Each retry re-registers if
+  // it is still blocked.
+  std::vector<std::pair<Switch*, int>> waiters;
+  waiters.swap(out.waiters);
+  for (const auto& [up_switch, up_port] : waiters) {
+    engine_->post(engine_->now(), /*scope=*/-1,
+                  [up_switch, up_port] { up_switch->retry_transmit(up_port); });
+  }
+}
+
+void Switch::audit_quiescence(check::InvariantMonitor& monitor, Time now) const {
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    const Port& port = ports_[p];
+    check::audit_switch_queue_drained(static_cast<int>(p), port.queue.size(),
+                                      port.occupancy_bytes, port.transmitting)
+        .report(&monitor, now, check::Layer::kHw, config_.id);
+  }
+}
+
+}  // namespace fabsim::hw

@@ -1,15 +1,31 @@
 // Switch fabric model.
 //
-// Topology: every NIC connects to one switch port by a full-duplex link.
-// The transmit-side serialization is booked by the *NIC* (its tx server),
-// so the switch model covers: ingress propagation -> cut-through latency ->
-// output-port serialization (contention point) -> egress propagation ->
-// delivery to the destination NIC's FrameSink.
+// A Switch runs in one of two modes:
+//
+//  * Direct (the seed model): every NIC connects to one switch port by a
+//    full-duplex link and the port number doubles as the node's fabric
+//    address. The transmit-side serialization is booked by the *NIC* (its
+//    tx server), so the switch covers: ingress propagation -> cut-through
+//    latency -> output-port serialization (contention point) -> egress
+//    propagation -> delivery to the destination NIC's FrameSink. The
+//    output port is a pure booking horizon; a bounded buffer tail-drops.
+//
+//  * Routed (multi-stage fabrics, built only by topo::Topology): ports
+//    face either NICs or other switches, an LFT (linear forwarding
+//    table, destination node -> output port) computed at build time picks
+//    the egress, and each output port runs an event-driven FIFO queue so
+//    backpressure is observable. Per-link flow control comes in two
+//    flavours (SwitchConfig::flow): kLossy tail-drops at output-queue
+//    admission (Ethernet), kCredit holds the frame *upstream* until the
+//    next hop's output queue has room (IB-style credits / PAUSE), so
+//    congestion spreads hop by hop instead of dropping.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "check/audits.hpp"
@@ -21,6 +37,16 @@
 
 namespace fabsim::hw {
 
+/// Link-level flow control for routed-mode switches.
+enum class FlowControl : std::uint8_t {
+  kLossy,   ///< tail-drop at output-queue admission (Ethernet / iWARP)
+  kCredit,  ///< hop-by-hop credits: sender stalls until downstream has buffer
+};
+
+inline const char* flow_control_name(FlowControl flow) {
+  return flow == FlowControl::kCredit ? "credit" : "lossy";
+}
+
 struct SwitchConfig {
   Rate link_rate;        ///< per-direction link bandwidth
   Time cut_through = 0;  ///< fixed switch traversal latency
@@ -30,98 +56,60 @@ struct SwitchConfig {
   /// go-back-N); IB and Myrinet fabrics are modelled lossless, so their
   /// profiles leave this at 0.
   std::uint64_t max_queue_bytes = 0;
+  /// Routed mode only: flow control on this switch's ingress buffers.
+  FlowControl flow = FlowControl::kLossy;
+  /// Switch id within a topo::Topology (metric/trace labels); 0 for the
+  /// seed's single crossbar.
+  int id = 0;
+
+  /// True when congestion alone can lose a frame on this fabric: bounded
+  /// buffers under tail-drop flow control. Stacks whose reliability
+  /// machinery is armed lazily (MX firmware) consult this in addition to
+  /// fault::faults_armed().
+  bool can_drop() const { return flow == FlowControl::kLossy && max_queue_bytes != 0; }
 };
 
 class Switch {
  public:
   Switch(Engine& engine, SwitchConfig config) : engine_(&engine), config_(config) {}
 
-  /// Attach a receive sink; returns the port number. The same port number
-  /// is used as the node's address on this fabric.
-  int attach(FrameSink& sink) {
-    ports_.push_back(Port{&sink, SerialServer{}});
-    return static_cast<int>(ports_.size()) - 1;
-  }
+  /// Attach a receive sink; returns the node's address on this fabric.
+  /// Direct mode: the port number itself. Routed mode: the globally
+  /// unique endpoint id the owning Topology reserved for this port (and
+  /// the local LFT learns dst -> this port).
+  int attach(FrameSink& sink);
 
   /// Frame handed over by the source NIC at the moment its last bit left
   /// the NIC (the NIC booked tx serialization already).
-  void ingress(Frame frame) {
-    const int dst = frame.dst_node;
-    Port& out = ports_.at(static_cast<std::size_t>(dst));
-    Time at_switch = engine_->now() + config_.propagation + config_.cut_through;
-    ++frames_ingressed_;
+  void ingress(Frame frame);
 
-    if (fault::FaultInjector* injector = engine_->fault_injector()) {
-      const fault::FaultDecision decision = injector->on_frame(
-          fault::FaultSite{engine_->now(), frame.src_node, frame.dst_node, frame.wire_bytes});
-      switch (decision.action) {
-        case fault::FaultAction::kDrop:
-          ++fault_drops_;
-          engine_->trace(TraceCategory::kWire, frame.src_node,
-                         "FAULT drop " + std::to_string(frame.src_node) + "->" +
-                             std::to_string(frame.dst_node) + " " +
-                             std::to_string(frame.wire_bytes) + "B");
-          return;
-        case fault::FaultAction::kCorrupt:
-          ++fault_corruptions_;
-          engine_->trace(TraceCategory::kWire, frame.src_node,
-                         "FAULT corrupt " + std::to_string(frame.src_node) + "->" +
-                             std::to_string(frame.dst_node));
-          frame.corrupted = true;
-          break;
-        case fault::FaultAction::kDelay:
-          ++fault_delays_;
-          engine_->trace(TraceCategory::kWire, frame.src_node,
-                         "FAULT delay " + std::to_string(frame.src_node) + "->" +
-                             std::to_string(frame.dst_node) + " +" +
-                             std::to_string(to_us(decision.delay)) + "us");
-          at_switch += decision.delay;
-          break;
-        case fault::FaultAction::kDeliver:
-          break;
-      }
-    }
+  // --- Routed mode (driven by topo::Topology builders only) -------------
 
-    if (out.tx.busy_until() > at_switch && !config_.link_rate.is_zero()) {
-      // Backlog already booked on this output port, in bytes at link rate.
-      const double backlog_bytes = static_cast<double>(out.tx.busy_until() - at_switch) /
-                                   config_.link_rate.ps_per_byte();
-      if (backlog_bytes > out.queue_hwm_bytes) out.queue_hwm_bytes = backlog_bytes;
-      if (config_.max_queue_bytes > 0 &&
-          backlog_bytes + frame.wire_bytes > static_cast<double>(config_.max_queue_bytes)) {
-        ++out.drops;
-        if (MetricRegistry* m = engine_->metrics()) {
-          m->counter("switch.port" + std::to_string(dst) + ".tail_drops").add();
-        }
-        return;
-      }
-    }
+  /// Switch participates in a routed fabric of `num_nodes` endpoints;
+  /// allocates the LFT (all entries unroutable until set).
+  void enable_routing(int num_nodes);
+  bool routed() const { return !lft_.empty(); }
 
-    if (check::InvariantMonitor* monitor = engine_->monitor();
-        monitor != nullptr && out.tx.busy_until() > at_switch && !config_.link_rate.is_zero()) {
-      // Occupancy bound: the frame was admitted, so the backlog it joins
-      // must still fit the configured port buffer.
-      const double backlog = static_cast<double>(out.tx.busy_until() - at_switch) /
-                             config_.link_rate.ps_per_byte();
-      check::audit_switch_occupancy(backlog, frame.wire_bytes, config_.max_queue_bytes)
-          .report(monitor, engine_->now(), check::Layer::kHw, dst);
-    }
+  /// LFT entry: frames for `dst_node` leave through `port`.
+  void set_route(int dst_node, int port);
+  /// Output port for `dst_node` (identity in direct mode).
+  int route(int dst_node) const;
+  const std::vector<int>& lft() const { return lft_; }
 
-    ++frames_forwarded_;
-    const Time serialization = config_.link_rate.bytes_time(frame.wire_bytes);
-    const Time sent = out.tx.book(at_switch, serialization);
-    const Time delivered = sent + config_.propagation;
-    // Wire phase: serialization through the congested output port plus
-    // the fixed traversal costs, attributed to the sender.
-    engine_->charge_phase(Phase::kWire, frame.src_node,
-                          serialization + config_.cut_through + 2 * config_.propagation);
-    // Scope label: delivery runs entirely inside the destination NIC
-    // (sink == the NIC attached to port `dst`), so co-enabled deliveries
-    // to different ports commute for schedule exploration.
-    engine_->post(delivered, /*scope=*/dst, [sink = out.sink, f = std::move(frame)]() mutable {
-      sink->deliver(std::move(f));
-    });
+  /// Reserve the next NIC-facing attach() for global endpoint `node_id`
+  /// (reservations are consumed in FIFO order).
+  void expect_endpoint(int node_id);
+
+  /// Add a switch-facing port wired toward `peer`; returns the port.
+  /// Call on both switches to form a full-duplex link.
+  int connect_to(Switch& peer);
+
+  /// Peer switch behind `port` (nullptr for NIC-facing ports).
+  const Switch* port_peer(int port) const {
+    return ports_.at(static_cast<std::size_t>(port)).peer;
   }
+
+  // --- Accessors --------------------------------------------------------
 
   const SwitchConfig& config() const { return config_; }
   std::size_t num_ports() const { return ports_.size(); }
@@ -136,9 +124,42 @@ class Switch {
     return ports_.at(static_cast<std::size_t>(port)).drops;
   }
 
+  /// Fault-injector drops attributed to the output port the frame was
+  /// routed to (so drops are port-attributable, not just switch-global).
+  std::uint64_t output_fault_drops(int port) const {
+    return ports_.at(static_cast<std::size_t>(port)).fault_drops;
+  }
+
   /// High-water mark of an output port's queued backlog, in bytes.
   double output_queue_hwm_bytes(int port) const {
     return ports_.at(static_cast<std::size_t>(port)).queue_hwm_bytes;
+  }
+
+  /// Routed mode: high-water mark of whole frames queued at a port.
+  std::uint64_t output_queue_hwm_frames(int port) const {
+    return ports_.at(static_cast<std::size_t>(port)).queue_hwm_frames;
+  }
+
+  /// Routed mode: times the head-of-line frame found the downstream
+  /// buffer full and the port had to stall (credit flow control only).
+  std::uint64_t output_credit_stalls(int port) const {
+    return ports_.at(static_cast<std::size_t>(port)).credit_stalls;
+  }
+
+  /// Routed mode: total simulated time this port spent paused waiting
+  /// for downstream credits.
+  Time output_pause_time(int port) const {
+    return ports_.at(static_cast<std::size_t>(port)).pause_time;
+  }
+
+  /// Routed mode: current committed occupancy of a port's output buffer
+  /// (bytes queued plus credit-reserved in flight toward it).
+  std::int64_t output_occupancy_bytes(int port) const {
+    return ports_.at(static_cast<std::size_t>(port)).occupancy_bytes;
+  }
+
+  std::size_t output_queue_frames(int port) const {
+    return ports_.at(static_cast<std::size_t>(port)).queue.size();
   }
 
   // Frames perturbed by the attached fault injector at this switch.
@@ -147,7 +168,10 @@ class Switch {
   std::uint64_t fault_delays() const { return fault_delays_; }
 
   // Conservation accounting: every ingressed frame is forwarded,
-  // fault-dropped, or tail-dropped.
+  // fault-dropped, or tail-dropped. In routed mode "ingressed" counts
+  // frames entering this switch from NICs *and* upstream switches, and
+  // "forwarded" counts output-port transmissions (to a NIC or the next
+  // switch), so the identity holds per hop.
   std::uint64_t frames_ingressed() const { return frames_ingressed_; }
   std::uint64_t frames_forwarded() const { return frames_forwarded_; }
   std::uint64_t tail_drops_total() const {
@@ -164,17 +188,61 @@ class Switch {
                                             tail_drops_total());
   }
 
+  /// Routed-mode quiescence audits: once the event queue drains, every
+  /// output queue must be empty and every consumed credit returned.
+  void audit_quiescence(check::InvariantMonitor& monitor, Time now) const;
+
  private:
+  /// "Not stalled" sentinel for Port::stall_since (Time is unsigned).
+  static constexpr Time kNotStalled = ~Time{0};
+
   struct Port {
-    FrameSink* sink;
-    SerialServer tx;  // output-port serialization: the contention point
+    FrameSink* sink = nullptr;  // NIC-facing egress (null for switch links)
+    Switch* peer = nullptr;     // switch-facing egress (null for NIC ports)
+    SerialServer tx;            // output-port serialization: the contention point
     std::uint64_t drops = 0;
+    std::uint64_t fault_drops = 0;
     double queue_hwm_bytes = 0.0;  // backlog high-water mark
+    // Routed mode: event-driven output queue + flow-control state.
+    std::deque<Frame> queue;
+    std::int64_t occupancy_bytes = 0;  // queued + credit-committed in flight
+    bool transmitting = false;
+    bool waiting = false;  // registered as a waiter on a downstream port
+    Time stall_since = kNotStalled;
+    Time pause_time = 0;
+    std::uint64_t credit_stalls = 0;
+    std::uint64_t queue_hwm_frames = 0;
+    /// Upstream ports stalled on this queue's space, FIFO (determinism).
+    std::vector<std::pair<Switch*, int>> waiters;
   };
+
+  // Direct (seed) data path: booking model, port index == node address.
+  void ingress_direct(Frame frame);
+
+  // Routed data path: LFT + event-driven per-port queues.
+  void ingress_routed(Frame frame);
+  /// Frame arriving from an upstream switch (cut-through already paid).
+  void link_arrival(Frame frame);
+  /// Admission into output `port`. `credit_reserved` marks frames whose
+  /// buffer space was already committed upstream at credit-grant time.
+  void admit(int port, Frame frame, bool credit_reserved);
+  void try_transmit(int port);
+  /// Wake path for a port stalled on downstream credits: clears the
+  /// waiter registration, then retries.
+  void retry_transmit(int port);
+  /// Decrement a queue's committed occupancy and wake stalled upstreams.
+  void release_occupancy(int port, std::uint32_t bytes);
+
+  /// Fault-injection seam shared by both modes; returns false when the
+  /// frame was dropped. `out_port` attributes the drop.
+  bool apply_faults(Frame& frame, int out_port, Time& at_switch);
 
   Engine* engine_;
   SwitchConfig config_;
   std::vector<Port> ports_;
+  std::vector<int> lft_;  // routed mode: dst node -> output port (-1 unset)
+  std::vector<int> pending_endpoint_ids_;
+  std::size_t next_pending_ = 0;
   std::uint64_t fault_drops_ = 0;
   std::uint64_t fault_corruptions_ = 0;
   std::uint64_t fault_delays_ = 0;

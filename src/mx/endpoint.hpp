@@ -238,8 +238,10 @@ class Endpoint final : public hw::FrameSink {
     bool gap_signalled = false;      ///< one ack re-assert per gap
   };
 
-  /// Firmware reliability is armed only when frames can be perturbed.
-  bool reliable() { return fault::faults_armed(engine()); }
+  /// Firmware reliability is armed only when frames can be perturbed:
+  /// under a fault injector, or on a fabric whose bounded tail-drop
+  /// buffers can lose frames to congestion alone.
+  bool reliable() { return fault::faults_armed(engine()) || fabric_->config().can_drop(); }
   void send_flow_ack(int dest);
   void handle_flow_ack(int src_port, std::uint64_t ack);
   void resend_flow(int dest);

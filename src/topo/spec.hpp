@@ -1,0 +1,29 @@
+// Fabric-shape parameters carried by core::NetworkProfile.
+//
+// The spec is deliberately a plain aggregate (no behaviour) so the
+// calibration layer can embed it without depending on the Topology
+// machinery: levels == 1 reproduces the seed's single crossbar
+// (direct-mode hw::Switch); levels 2 and 3 build folded Clos / fat-tree
+// fabrics through topo::Topology with the chosen link-level flow control.
+#pragma once
+
+#include "hw/fabric.hpp"
+
+namespace fabsim::topo {
+
+struct FabricSpec {
+  /// 1 = single crossbar (seed model); 2 = leaf/spine Clos; 3 = folded
+  /// three-level Clos (pods of edge+aggregation switches under a core).
+  int levels = 1;
+  /// Ports per switch for the Clos builders.
+  int radix = 8;
+  /// Edge downlink:uplink capacity ratio (1.0 = non-blocking, 2.0 = 2:1
+  /// oversubscribed, ...). Shifts the port split at every tier.
+  double oversubscription = 1.0;
+  /// Link-level flow control on every switch of the fabric: kLossy
+  /// tail-drops under congestion (Ethernet/iWARP), kCredit backpressures
+  /// hop by hop without loss (IB-style).
+  hw::FlowControl flow = hw::FlowControl::kLossy;
+};
+
+}  // namespace fabsim::topo

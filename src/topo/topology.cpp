@@ -1,0 +1,348 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace fabsim::topo {
+
+namespace {
+
+/// Port split at a switch tier: `down` host/child-facing ports vs `up`
+/// uplinks, with down:up ≈ the requested oversubscription ratio.
+struct Split {
+  int down;
+  int up;
+};
+
+Split tier_split(int radix, double oversubscription) {
+  if (radix < 2) throw std::invalid_argument("FabricSpec: radix must be >= 2");
+  if (oversubscription <= 0.0) {
+    throw std::invalid_argument("FabricSpec: oversubscription must be > 0");
+  }
+  int down = static_cast<int>(
+      std::lround(radix * oversubscription / (1.0 + oversubscription)));
+  down = std::clamp(down, 1, radix - 1);
+  return Split{down, radix - down};
+}
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+Topology::Builder::Builder(Engine& engine, int num_endpoints)
+    : engine_(&engine), num_endpoints_(num_endpoints) {
+  if (num_endpoints < 1) throw std::invalid_argument("Topology: need at least one endpoint");
+  edge_of_.assign(static_cast<std::size_t>(num_endpoints), -1);
+}
+
+int Topology::Builder::add_switch(hw::SwitchConfig config) {
+  const int index = static_cast<int>(switches_.size());
+  config.id = index;
+  switches_.push_back(std::make_unique<hw::Switch>(*engine_, config));
+  switches_.back()->enable_routing(num_endpoints_);
+  adjacency_.emplace_back();
+  return index;
+}
+
+void Topology::Builder::link(int a, int b) {
+  hw::Switch& sa = *switches_.at(static_cast<std::size_t>(a));
+  hw::Switch& sb = *switches_.at(static_cast<std::size_t>(b));
+  const int port_a = sa.connect_to(sb);
+  const int port_b = sb.connect_to(sa);
+  adjacency_.at(static_cast<std::size_t>(a)).emplace_back(port_a, b);
+  adjacency_.at(static_cast<std::size_t>(b)).emplace_back(port_b, a);
+}
+
+void Topology::Builder::place(int node, int sw) {
+  if (node != next_node_) {
+    throw std::logic_error("Topology::Builder::place: endpoints must be placed in "
+                           "increasing node order (got " + std::to_string(node) +
+                           ", expected " + std::to_string(next_node_) + ")");
+  }
+  edge_of_.at(static_cast<std::size_t>(node)) = sw;
+  switches_.at(static_cast<std::size_t>(sw))->expect_endpoint(node);
+  ++next_node_;
+}
+
+Topology Topology::Builder::build() {
+  if (next_node_ != num_endpoints_) {
+    throw std::logic_error("Topology::Builder::build: only " + std::to_string(next_node_) +
+                           " of " + std::to_string(num_endpoints_) + " endpoints placed");
+  }
+  // Per-destination LFTs: BFS from the destination's edge switch gives
+  // shortest-path distances; every other switch forwards through an
+  // equal-cost port picked by dst % |candidates| — deterministic, and it
+  // spreads destinations across the uplinks like dst-mod-k LFT
+  // assignment on real subnets. Host-facing entries are installed by
+  // Switch::attach() when the NICs plug in.
+  constexpr int kUnreached = std::numeric_limits<int>::max();
+  const int num_switches = static_cast<int>(switches_.size());
+  std::vector<int> dist(static_cast<std::size_t>(num_switches));
+  std::vector<int> frontier;
+  std::vector<int> next;
+  for (int node = 0; node < num_endpoints_; ++node) {
+    const int root = edge_of_.at(static_cast<std::size_t>(node));
+    std::fill(dist.begin(), dist.end(), kUnreached);
+    dist.at(static_cast<std::size_t>(root)) = 0;
+    frontier.assign(1, root);
+    int depth = 0;
+    while (!frontier.empty()) {
+      ++depth;
+      next.clear();
+      for (int s : frontier) {
+        for (const auto& [port, peer] : adjacency_.at(static_cast<std::size_t>(s))) {
+          (void)port;
+          int& d = dist.at(static_cast<std::size_t>(peer));
+          if (d == kUnreached) {
+            d = depth;
+            next.push_back(peer);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+    for (int s = 0; s < num_switches; ++s) {
+      if (s == root || dist.at(static_cast<std::size_t>(s)) == kUnreached) continue;
+      const int want = dist.at(static_cast<std::size_t>(s)) - 1;
+      int candidates = 0;
+      for (const auto& [port, peer] : adjacency_.at(static_cast<std::size_t>(s))) {
+        (void)port;
+        if (dist.at(static_cast<std::size_t>(peer)) == want) ++candidates;
+      }
+      int pick = node % candidates;
+      for (const auto& [port, peer] : adjacency_.at(static_cast<std::size_t>(s))) {
+        if (dist.at(static_cast<std::size_t>(peer)) != want) continue;
+        if (pick-- == 0) {
+          switches_.at(static_cast<std::size_t>(s))->set_route(node, port);
+          break;
+        }
+      }
+    }
+  }
+  Topology topo;
+  topo.switches_ = std::move(switches_);
+  topo.edge_of_ = std::move(edge_of_);
+  return topo;
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+Topology Topology::single(Engine& engine, hw::SwitchConfig config, int endpoints) {
+  config.id = 0;
+  Topology topo;
+  topo.switches_.push_back(std::make_unique<hw::Switch>(engine, config));
+  topo.edge_of_.assign(static_cast<std::size_t>(endpoints), 0);
+  return topo;
+}
+
+Topology Topology::clos(Engine& engine, hw::SwitchConfig config, const FabricSpec& spec,
+                        int endpoints) {
+  config.flow = spec.flow;
+  const Split split = tier_split(spec.radix, spec.oversubscription);
+  const int d = split.down;  // hosts per edge switch
+  const int u = split.up;    // uplinks per edge switch
+
+  if (spec.levels == 2) {
+    // Leaf/spine: every leaf has one uplink to each of the u spines.
+    const int leaves = ceil_div(endpoints, d);
+    if (leaves > spec.radix) {
+      throw std::invalid_argument(
+          "clos2: " + std::to_string(endpoints) + " endpoints need " + std::to_string(leaves) +
+          " leaves but a radix-" + std::to_string(spec.radix) +
+          " spine has too few ports — raise radix or use levels=3");
+    }
+    Builder builder(engine, endpoints);
+    for (int l = 0; l < leaves; ++l) builder.add_switch(config);
+    for (int s = 0; s < u; ++s) builder.add_switch(config);
+    for (int l = 0; l < leaves; ++l) {
+      for (int s = 0; s < u; ++s) builder.link(l, leaves + s);
+    }
+    for (int n = 0; n < endpoints; ++n) builder.place(n, n / d);
+    return builder.build();
+  }
+
+  if (spec.levels == 3) {
+    // Folded three-level Clos: pods of d edge + u aggregation switches
+    // (full bipartite inside the pod), u*u cores above; aggregation
+    // switch a of every pod uplinks to cores [a*u, (a+1)*u), so each
+    // core has exactly one port per pod.
+    const int edges_per_pod = d;
+    const int hosts_per_pod = d * edges_per_pod;
+    const int pods = ceil_div(endpoints, hosts_per_pod);
+    if (pods > spec.radix) {
+      throw std::invalid_argument(
+          "clos3: " + std::to_string(endpoints) + " endpoints need " + std::to_string(pods) +
+          " pods but a radix-" + std::to_string(spec.radix) +
+          " core has one port per pod — raise radix");
+    }
+    Builder builder(engine, endpoints);
+    const int edge_base = 0;
+    const int agg_base = pods * edges_per_pod;
+    const int core_base = agg_base + pods * u;
+    for (int i = 0; i < pods * edges_per_pod; ++i) builder.add_switch(config);
+    for (int i = 0; i < pods * u; ++i) builder.add_switch(config);
+    for (int i = 0; i < u * u; ++i) builder.add_switch(config);
+    for (int p = 0; p < pods; ++p) {
+      for (int e = 0; e < edges_per_pod; ++e) {
+        for (int a = 0; a < u; ++a) {
+          builder.link(edge_base + p * edges_per_pod + e, agg_base + p * u + a);
+        }
+      }
+      for (int a = 0; a < u; ++a) {
+        for (int c = 0; c < u; ++c) {
+          builder.link(agg_base + p * u + a, core_base + a * u + c);
+        }
+      }
+    }
+    for (int n = 0; n < endpoints; ++n) {
+      const int pod = n / hosts_per_pod;
+      const int edge = (n % hosts_per_pod) / d;
+      builder.place(n, edge_base + pod * edges_per_pod + edge);
+    }
+    return builder.build();
+  }
+
+  throw std::invalid_argument("FabricSpec: clos levels must be 2 or 3 (got " +
+                              std::to_string(spec.levels) + ")");
+}
+
+Topology Topology::build(Engine& engine, const FabricSpec& spec, hw::SwitchConfig config,
+                         int endpoints) {
+  if (spec.levels <= 1) return single(engine, config, endpoints);
+  return clos(engine, config, spec, endpoints);
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+int Topology::index_of(const hw::Switch* sw) const {
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    if (switches_[i].get() == sw) return static_cast<int>(i);
+  }
+  throw std::logic_error("Topology::index_of: switch not part of this fabric");
+}
+
+std::uint64_t Topology::lft_digest() const {
+  std::uint64_t digest = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  auto mix = [&digest](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      digest ^= (value >> (8 * i)) & 0xff;
+      digest *= 0x100000001b3ULL;
+    }
+  };
+  mix(switches_.size());
+  for (const auto& sw : switches_) {
+    for (int entry : sw->lft()) mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(entry)));
+  }
+  return digest;
+}
+
+int Topology::path_hops(int src, int dst) const {
+  int s = edge_of_.at(static_cast<std::size_t>(src));
+  int hops = 1;
+  const int limit = static_cast<int>(switches_.size()) + 1;
+  while (true) {
+    const hw::Switch& here = *switches_.at(static_cast<std::size_t>(s));
+    const int port = here.route(dst);
+    const hw::Switch* peer = here.port_peer(port);
+    if (peer == nullptr) return hops;  // NIC-facing: arrived
+    if (++hops > limit) {
+      throw std::logic_error("Topology::path_hops: routing loop from " + std::to_string(src) +
+                             " to " + std::to_string(dst));
+    }
+    s = index_of(peer);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FabricScope / FabricCheck
+// ---------------------------------------------------------------------------
+
+void Topology::collect_metrics(MetricRegistry& registry, Time elapsed) const {
+  for (const auto& sw_ptr : switches_) {
+    const hw::Switch& sw = *sw_ptr;
+    const bool routed = sw.routed();
+    const std::string sw_prefix =
+        routed ? "switch.s" + std::to_string(sw.config().id) + "." : "switch.";
+    for (int p = 0; p < static_cast<int>(sw.num_ports()); ++p) {
+      const std::string prefix = sw_prefix + "port" + std::to_string(p) + ".";
+      registry.counter(prefix + "tail_drops").set(sw.output_drops(p));
+      registry.counter(prefix + "fault_drops").set(sw.output_fault_drops(p));
+      registry.gauge(prefix + "queue_bytes").set(sw.output_queue_hwm_bytes(p));
+      registry.counter(prefix + "busy_us")
+          .set(static_cast<std::uint64_t>(to_us(sw.output_busy_time(p))));
+      if (elapsed > 0) {
+        registry.gauge(prefix + "utilization")
+            .set(static_cast<double>(sw.output_busy_time(p)) / static_cast<double>(elapsed));
+      }
+      if (routed) {
+        registry.gauge(prefix + "queue_frames").set(static_cast<double>(sw.output_queue_hwm_frames(p)));
+        registry.counter(prefix + "credit_stalls").set(sw.output_credit_stalls(p));
+        registry.counter(prefix + "pause_us")
+            .set(static_cast<std::uint64_t>(to_us(sw.output_pause_time(p))));
+      }
+    }
+  }
+  registry.counter("switch.fault_drops").set(fault_drops_total());
+  registry.counter("switch.fault_corruptions").set(fault_corruptions_total());
+  registry.counter("switch.fault_delays").set(fault_delays_total());
+  if (!single_crossbar()) {
+    registry.counter("switch.tail_drops").set(tail_drops_total());
+    registry.counter("switch.credit_stalls").set(credit_stalls_total());
+    registry.gauge("switch.count").set(static_cast<double>(switches_.size()));
+  }
+}
+
+void Topology::audit_final(check::InvariantMonitor& monitor, Time now) const {
+  for (const auto& sw : switches_) {
+    sw->audit_conservation().report(&monitor, now, check::Layer::kHw, sw->config().id);
+    if (sw->routed()) sw->audit_quiescence(monitor, now);
+  }
+}
+
+std::uint64_t Topology::fault_drops_total() const {
+  std::uint64_t total = 0;
+  for (const auto& sw : switches_) total += sw->fault_drops();
+  return total;
+}
+
+std::uint64_t Topology::fault_corruptions_total() const {
+  std::uint64_t total = 0;
+  for (const auto& sw : switches_) total += sw->fault_corruptions();
+  return total;
+}
+
+std::uint64_t Topology::fault_delays_total() const {
+  std::uint64_t total = 0;
+  for (const auto& sw : switches_) total += sw->fault_delays();
+  return total;
+}
+
+std::uint64_t Topology::tail_drops_total() const {
+  std::uint64_t total = 0;
+  for (const auto& sw : switches_) total += sw->tail_drops_total();
+  return total;
+}
+
+std::uint64_t Topology::credit_stalls_total() const {
+  std::uint64_t total = 0;
+  for (const auto& sw : switches_) {
+    for (int p = 0; p < static_cast<int>(sw->num_ports()); ++p) {
+      total += sw->output_credit_stalls(p);
+    }
+  }
+  return total;
+}
+
+}  // namespace fabsim::topo

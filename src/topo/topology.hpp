@@ -1,0 +1,122 @@
+// FabricTopo: multi-stage switch topologies over the generalized
+// hw::Switch.
+//
+// A Topology owns the switches of one fabric, the endpoint placement
+// (which edge switch each NIC plugs into), and the build-time LFT
+// computation that makes routing deterministic and digest-stable:
+//
+//  * single()     — the seed's one-crossbar fabric (direct-mode Switch);
+//  * clos()       — parameterized 2-level (leaf/spine) or 3-level
+//                   (pods + core) folded Clos from (radix, levels,
+//                   oversubscription), à la ib_flit_sim's LFT fabrics;
+//  * Builder      — explicit adjacency for irregular fabrics.
+//
+// LFTs are computed once at build time with a per-destination BFS over
+// the switch graph; among equal-cost candidate ports the destination id
+// picks one (dst % candidates), which spreads flows across the fabric
+// the way destination-mod-k LFT assignment does on real IB subnets while
+// staying fully reproducible. All Switch construction in the tree lives
+// here (conventions_lint bans it elsewhere outside tests).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "check/invariant.hpp"
+#include "hw/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "topo/spec.hpp"
+
+namespace fabsim::topo {
+
+class Topology {
+ public:
+  /// Explicit-adjacency builder for irregular fabrics. Switch ids are
+  /// assigned in add_switch() order; endpoints must be placed in
+  /// increasing node-id order (the order Cluster constructs NICs in).
+  class Builder {
+   public:
+    Builder(Engine& engine, int num_endpoints);
+    /// Add a switch; returns its index. config.id is overwritten with it.
+    int add_switch(hw::SwitchConfig config);
+    /// Full-duplex link between switches `a` and `b`.
+    void link(int a, int b);
+    /// Place global endpoint `node` on switch `sw`.
+    void place(int node, int sw);
+    /// Compute every switch's LFT and finish the fabric.
+    Topology build();
+
+   private:
+    Engine* engine_;
+    int num_endpoints_;
+    int next_node_ = 0;
+    std::vector<std::unique_ptr<hw::Switch>> switches_;
+    /// adjacency[s] = (local port, peer switch index), in port order.
+    std::vector<std::vector<std::pair<int, int>>> adjacency_;
+    std::vector<int> edge_of_;
+  };
+
+  /// The seed fabric: one direct-mode crossbar, port == node address.
+  static Topology single(Engine& engine, hw::SwitchConfig config, int endpoints);
+
+  /// Folded Clos from (radix, levels, oversubscription); see spec.hpp.
+  static Topology clos(Engine& engine, hw::SwitchConfig config, const FabricSpec& spec,
+                       int endpoints);
+
+  /// Dispatch on spec.levels (1 -> single, 2/3 -> clos).
+  static Topology build(Engine& engine, const FabricSpec& spec, hw::SwitchConfig config,
+                        int endpoints);
+
+  /// Edge switch endpoint `node` plugs into (pass to the NIC ctor; its
+  /// attach() hands back the reserved global address).
+  hw::Switch& edge_for(int node) {
+    return *switches_.at(static_cast<std::size_t>(edge_of_.at(static_cast<std::size_t>(node))));
+  }
+  int edge_index_of(int node) const {
+    return edge_of_.at(static_cast<std::size_t>(node));
+  }
+
+  hw::Switch& sw(int i) { return *switches_.at(static_cast<std::size_t>(i)); }
+  const hw::Switch& sw(int i) const { return *switches_.at(static_cast<std::size_t>(i)); }
+  std::size_t num_switches() const { return switches_.size(); }
+  int num_endpoints() const { return static_cast<int>(edge_of_.size()); }
+  /// True for the seed's single direct-mode crossbar.
+  bool single_crossbar() const { return switches_.size() == 1 && !switches_[0]->routed(); }
+
+  /// FNV-1a digest over every switch's LFT — two builds of the same
+  /// config must agree byte for byte (tests/topo_test.cpp locks this).
+  std::uint64_t lft_digest() const;
+
+  /// Switch hops on the src -> dst path the LFTs encode (1 for a single
+  /// crossbar); throws if the walk loops — a routing bug.
+  int path_hops(int src, int dst) const;
+
+  /// FabricScope export. Single-crossbar fabrics keep the seed's flat
+  /// switch.portN.* names; routed fabrics qualify per switch
+  /// (switch.sK.portN.*) and add queue/pause/credit-stall counters.
+  void collect_metrics(MetricRegistry& registry, Time elapsed) const;
+
+  /// FabricCheck quiescent-state audits: per-hop frame conservation on
+  /// every switch, plus queue-drained / credit-conservation in routed
+  /// mode.
+  void audit_final(check::InvariantMonitor& monitor, Time now) const;
+
+  // Fabric-wide totals (sums over switches).
+  std::uint64_t fault_drops_total() const;
+  std::uint64_t fault_corruptions_total() const;
+  std::uint64_t fault_delays_total() const;
+  std::uint64_t tail_drops_total() const;
+  std::uint64_t credit_stalls_total() const;
+
+ private:
+  Topology() = default;
+
+  int index_of(const hw::Switch* sw) const;
+
+  std::vector<std::unique_ptr<hw::Switch>> switches_;
+  std::vector<int> edge_of_;  // node -> switch index
+};
+
+}  // namespace fabsim::topo
