@@ -51,7 +51,8 @@ void usage(const char* argv0) {
                "usage: %s [quick] [--scenario NAME] [--mutation NAME] [--budget RUNS]\n"
                "          [--depth N] [--branch N] [--fuzz RUNS] [--seed N] [--no-reduction]\n"
                "          [--schedule FILE] [--out DIR]\n"
-               "mutations: none | strand_pending_reads | drop_final_ack (or FABSIM_MUTATION)\n",
+               "mutations: none | strand_pending_reads | drop_final_ack | leak_credit_on_drain\n"
+               "           (or FABSIM_MUTATION)\n",
                argv0);
 }
 

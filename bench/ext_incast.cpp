@@ -156,7 +156,13 @@ struct Fabric {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "quick";
+  bool quick = false;
+  bool full_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "quick") quick = true;
+    if (arg == "--full") full_metrics = true;
+  }
   const auto networks = {Network::kIwarp, Network::kIb, Network::kMxoe};
   constexpr std::uint32_t kChunk = 64 * 1024;  // above every eager threshold
   constexpr std::uint64_t kBuffer = 32ull << 10;
@@ -167,7 +173,10 @@ int main(int argc, char** argv) {
   Report report(quick ? "ext_incast_quick" : "ext_incast");
   report.add_note("Clos fabrics via topo::Topology; LFT routing; 32KB port buffers");
   report.add_note("link layer per stack: iWARP/MXoE lossy tail-drop, IB credit/PAUSE lossless");
-  report.add_note("probe: per-chunk completion histogram + full metrics at the incast peak");
+  report.add_note(full_metrics
+                      ? "probe: per-chunk completion histogram + full metrics at the incast peak"
+                      : "probe: per-chunk completion histogram + aggregate metrics at the "
+                        "incast peak (pass --full for per-node/per-port detail)");
 
   // --- Incast: M senders -> node 0 on one fabric --------------------------
   const topo::FabricSpec incast_spec =
@@ -196,7 +205,12 @@ int main(int argc, char** argv) {
         s = run(n, incast_spec, incast_endpoints, incast(senders, 0), kChunk, incast_chunks,
                 kBuffer, &hist, &metrics);
         report.add_histogram(std::string(network_name(n)) + ".chunk_us", hist);
-        report.add_metrics(metrics, std::string(network_name(n)) + ".");
+        if (full_metrics) {
+          report.add_metrics(metrics, std::string(network_name(n)) + ".");
+        } else {
+          report.add_metrics_if(metrics, std::string(network_name(n)) + ".",
+                                Report::aggregate_key);
+        }
       } else {
         s = run(n, incast_spec, incast_endpoints, incast(senders, 0), kChunk, incast_chunks,
                 kBuffer);

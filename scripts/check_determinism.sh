@@ -18,7 +18,11 @@ if [[ ! -d "$build/bench" ]]; then
   cmake --build "$build"
 fi
 
-benches=(fig3_mpi_latency ext_faults ext_incast)
+# ext_chaos additionally self-checks: one invocation runs its probe
+# scenario three times from the same seed and exits non-zero unless all
+# three sim.digests are identical, so chaos failover (LFT reroute,
+# drain/requeue, retry exhaustion) is part of the determinism contract.
+benches=(fig3_mpi_latency ext_faults ext_incast ext_chaos)
 scratch="$(mktemp -d)"
 trap 'rm -rf "$scratch"' EXIT
 

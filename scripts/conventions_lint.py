@@ -35,8 +35,15 @@ Checks, over src/ (and headers everywhere):
      hand bypasses all three. Everything else takes a Topology (or an
      edge switch reference from one). Tests are exempt by scope; an
      intentional exception takes a NOLINT with a rationale.
+  9. switch-failure-seam: the hw::Switch failure controls
+     (set_port_down/up, set_switch_down, requeue_down_port,
+     drain_all_drop) are only driven by the failover layers — src/topo/
+     (Topology::fail_/restore_ own the reroute-then-drain ordering and
+     the credit accounting) and src/fault/. Any other caller can strand
+     credits or leave LFTs pointing at a dead port; route failures
+     through topo::Topology, or NOLINT with a rationale.
 
-A line containing NOLINT is exempt from 3-8. Exit status: 0 clean,
+A line containing NOLINT is exempt from 3-9. Exit status: 0 clean,
 1 violations found.
 """
 import os
@@ -61,6 +68,10 @@ SWITCH_CONSTRUCT = re.compile(
     r"make_(?:unique|shared)<\s*(?:\w+::)*Switch\s*>"
     r"|(?<![\w_])new\s+(?:\w+::)*Switch\b"
     r"|(?<![\w:])(?:\w+::)*Switch\s+\w+\s*[({]"
+)
+SWITCH_FAILURE_SEAM = re.compile(
+    r"(?:\.|->)\s*(?:set_port_down|set_port_up|set_switch_down|requeue_down_port"
+    r"|drain_all_drop)\s*\("
 )
 
 
@@ -154,6 +165,14 @@ def lint():
                      "hw::Switch is built only by the topo::Topology builders "
                      "(they own ids, LFTs and endpoint reservations); take a "
                      "Topology instead, or NOLINT with a rationale")
+            if SWITCH_FAILURE_SEAM.search(code) and not path.startswith(
+                    (os.path.join(SRC, "topo") + os.sep,
+                     os.path.join(SRC, "fault") + os.sep)):
+                flag(path, i, "switch-failure-seam",
+                     "hw::Switch failure controls are driven only by src/topo/ "
+                     "and src/fault/ (reroute-then-drain ordering and credit "
+                     "accounting live there); go through topo::Topology, or "
+                     "NOLINT with a rationale")
             prev_code = code
     return problems
 

@@ -21,12 +21,16 @@ Verdict audit_switch_occupancy(double backlog_bytes, std::uint32_t frame_bytes,
 }
 
 Verdict audit_switch_conservation(std::uint64_t ingressed, std::uint64_t forwarded,
-                                  std::uint64_t fault_drops, std::uint64_t tail_drops) {
-  if (ingressed == forwarded + fault_drops + tail_drops) return Verdict::pass();
+                                  std::uint64_t fault_drops, std::uint64_t tail_drops,
+                                  std::uint64_t down_drops, std::uint64_t unroutable_drops) {
+  if (ingressed == forwarded + fault_drops + tail_drops + down_drops + unroutable_drops) {
+    return Verdict::pass();
+  }
   return Verdict::fail("frame_conservation",
                        "ingressed " + u64(ingressed) + " != forwarded " + u64(forwarded) +
                            " + fault_drops " + u64(fault_drops) + " + tail_drops " +
-                           u64(tail_drops));
+                           u64(tail_drops) + " + down_drops " + u64(down_drops) +
+                           " + unroutable_drops " + u64(unroutable_drops));
 }
 
 Verdict audit_credit_nonnegative(std::int64_t occupancy_bytes) {

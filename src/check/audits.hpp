@@ -66,12 +66,16 @@ Verdict audit_switch_occupancy(double backlog_bytes, std::uint32_t frame_bytes,
                                std::uint64_t max_queue_bytes);
 
 /// Frame conservation at a quiescent point: every frame handed to
-/// ingress() was either forwarded, dropped by the fault injector, or
-/// tail-dropped — nothing vanishes, nothing is duplicated. In routed
-/// (multi-stage) fabrics the same identity holds per hop: link arrivals
-/// count as ingress, transmissions to the next switch as forwarding.
+/// ingress() was either forwarded, dropped by the fault injector,
+/// tail-dropped, lost to a failed link/switch (down_drops), or
+/// unroutable after a failure partitioned the fabric — nothing
+/// vanishes, nothing is duplicated. In routed (multi-stage) fabrics the
+/// same identity holds per hop: link arrivals count as ingress,
+/// transmissions to the next switch as forwarding.
 Verdict audit_switch_conservation(std::uint64_t ingressed, std::uint64_t forwarded,
-                                  std::uint64_t fault_drops, std::uint64_t tail_drops);
+                                  std::uint64_t fault_drops, std::uint64_t tail_drops,
+                                  std::uint64_t down_drops = 0,
+                                  std::uint64_t unroutable_drops = 0);
 
 /// Credit non-negativity: an output queue's committed occupancy (queued
 /// bytes plus credit-reserved bytes in flight toward it) can never go

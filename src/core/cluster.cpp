@@ -55,9 +55,9 @@ void Cluster::attach_monitor(check::InvariantMonitor& monitor) {
     // Per-hop frame conservation on every switch of the fabric, plus the
     // routed-mode queue-drained / credit-conservation audits.
     topo_.audit_final(m, now);
-    // Cross-check against the fault plan: the NIC-facing ingress is the
-    // only place the engine's injector is consulted (once per frame, even
-    // across a multi-hop path), so its drop decision count must equal the
+    // Cross-check against the fault plan: the injector is consulted at
+    // every hop, but each kDrop decision lands on exactly one switch's
+    // counter, so the plan's drop decision count must equal the
     // fabric-wide fault-drop total exactly.
     if (const auto* plan = dynamic_cast<const fault::FaultPlan*>(engine_.fault_injector())) {
       m.expect(plan->frames_dropped() == topo_.fault_drops_total(), now, check::Layer::kHw, -1,
@@ -172,6 +172,8 @@ void Cluster::collect_metrics(MetricRegistry& registry) {
     registry.counter(prefix + "rto_fires").set(r.rto_fires());
     registry.counter(prefix + "crc_discards").set(r.corrupt_discards());
     registry.counter(prefix + "pcix_bytes").set(r.pcix_bytes());
+    registry.counter(prefix + "retry_exceeded").set(r.retry_exceeded_completions());
+    registry.counter(prefix + "conn_errors").set(r.conn_errors());
   }
   for (std::size_t i = 0; i < hcas_.size(); ++i) {
     const ib::Hca& h = *hcas_[i];
@@ -185,6 +187,7 @@ void Cluster::collect_metrics(MetricRegistry& registry) {
     registry.counter(prefix + "crc_discards").set(h.corrupt_discards());
     registry.counter(prefix + "context_hits").set(h.context_hits());
     registry.counter(prefix + "context_misses").set(h.context_misses());
+    registry.counter(prefix + "retry_exceeded").set(h.retry_exceeded_completions());
   }
   for (std::size_t i = 0; i < endpoints_.size(); ++i) {
     const mx::Endpoint& e = *endpoints_[i];
@@ -197,6 +200,7 @@ void Cluster::collect_metrics(MetricRegistry& registry) {
     registry.counter(prefix + "crc_discards").set(e.corrupt_discards());
     registry.counter(prefix + "eager_sends").set(e.eager_sends());
     registry.counter(prefix + "rndv_sends").set(e.rndv_sends());
+    registry.counter(prefix + "flow_failures").set(e.flow_failures());
     registry.counter(prefix + "reg_cache_hits").set(e.reg_cache().hits());
     registry.counter(prefix + "reg_cache_misses").set(e.reg_cache().misses());
     registry.counter(prefix + "reg_cache_evictions").set(e.reg_cache().evictions());

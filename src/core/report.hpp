@@ -142,6 +142,25 @@ class Report {
     }
   }
 
+  /// Filtered variant: keep only the entries `keep(key)` approves.
+  /// Benches on large fabrics use it to persist aggregate counters
+  /// (fabric totals, sim.digest, check.*) without thousands of lines of
+  /// per-node/per-port detail; their --full flag switches back to the
+  /// unfiltered dump.
+  template <typename Keep>
+  void add_metrics_if(const MetricRegistry& registry, const std::string& prefix, Keep&& keep) {
+    for (const auto& [key, value] : registry.snapshot()) {
+      if (keep(key)) metrics_.push_back({prefix + key, value});
+    }
+  }
+
+  /// The shared aggregate filter for add_metrics_if: drops per-node,
+  /// per-port and per-rank instance detail, keeps fabric-wide totals.
+  static bool aggregate_key(const std::string& key) {
+    return key.find(".node") == std::string::npos && key.find(".port") == std::string::npos &&
+           key.find(".rank") == std::string::npos;
+  }
+
   // --- output --------------------------------------------------------
 
   void print(std::FILE* out = stdout) const {

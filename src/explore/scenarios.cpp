@@ -22,6 +22,9 @@ void apply_mutation(core::NetworkProfile& profile, Mutation mutation) {
     case Mutation::kDropFinalAck:
       profile.hca.mutation_drop_final_ack = true;
       break;
+    case Mutation::kLeakCreditOnDrain:
+      profile.switch_cfg.mutation_leak_credit_on_drain = true;
+      break;
   }
 }
 
@@ -298,6 +301,114 @@ Scenario ib_fanin_clos(Mutation mutation) {
   }};
 }
 
+/// FabricFail search target: the ib_fanin_clos workload with a detected
+/// link failure landing mid-transfer. Both writers' packets cross
+/// leaf0 -> spine1 (dst 3 picks uplink 3 % 2 = 1), and that link goes
+/// down while frames sit queued behind it: the topology reroutes every
+/// LFT, the stranded queue is requeued onto the surviving spine with
+/// every credit commitment returned, and the link later comes back.
+/// Unmutated this must explore clean — both writes complete and the
+/// fabric passes the quiescent credit-conservation audit under every
+/// schedule. With the leak_credit_on_drain seam armed the drain keeps
+/// one frame's committed occupancy, which audit_switch_queue_drained
+/// catches at quiescence — the explorer must rediscover that reroute
+/// bug as a violation finding.
+Scenario ib_clos_link_flap(Mutation mutation) {
+  return Scenario{"ib_clos_link_flap", [mutation](RunContext& ctx) {
+    core::NetworkProfile profile = core::ib_profile();
+    profile.hca.rto = us(20);
+    profile.hca.retry_limit = 5;
+    profile.fabric = topo::FabricSpec{2, 4, 1.0, hw::FlowControl::kCredit};
+    profile.switch_cfg.max_queue_bytes = 4096;  // ~2 MTUs: queues build behind the uplink
+    apply_mutation(profile, mutation);
+    core::Cluster cluster(4, profile);
+    ctx.arm(cluster);
+    // The failed-and-restored uplink: link 1 = leaf0 port 1 <-> spine1.
+    // Both writes route through it (dst 3 % 2 spines = spine1). A fixed
+    // fail instant is schedule-fragile — QP setup latency shifts under
+    // the explorer's tie-breaks — so instead poll at fixed times and
+    // fail the link at the first tick that finds frames queued behind
+    // it. That keeps the trigger deterministic per schedule while
+    // guaranteeing the drain actually has frames to requeue, which is
+    // what the leak_credit_on_drain seam needs to be reachable. The
+    // link comes back 25us later, inside the retry budget, so both
+    // flows must recover via the reroute.
+    topo::Topology& topo = cluster.topology();
+    const int epoch_before = topo.lft_epoch();
+    const topo::Topology::LinkRec uplink = topo.links()[1];
+    topo::Topology* tp = &topo;
+    Engine* eng = &cluster.engine();
+    auto flapped = std::make_shared<bool>(false);
+    for (int tick = 120; tick <= 170; tick += 2) {
+      eng->post(us(tick), [tp, eng, flapped, uplink] {
+        if (*flapped) return;
+        if (tp->sw(uplink.a).output_queue_frames(uplink.port_a) == 0) return;
+        *flapped = true;
+        tp->fail_link(1);
+        eng->post(eng->now() + us(25), [tp] { tp->restore_link(1); });
+      });
+    }
+
+    const std::uint32_t len = 16 * 1024;  // 8 MTU packets per write
+    auto& src0 = cluster.node(0).mem().alloc(len, false);
+    auto& src1 = cluster.node(1).mem().alloc(len, false);
+    auto& dst0 = cluster.node(3).mem().alloc(len, false);
+    auto& dst1 = cluster.node(3).mem().alloc(len, false);
+    VerbsOut out0, out1;
+    verbs::CompletionQueue scq0(cluster.engine());
+    verbs::CompletionQueue scq1(cluster.engine());
+    verbs::CompletionQueue rcq(cluster.engine());
+    std::vector<std::unique_ptr<verbs::QueuePair>> qps;
+    auto writer = [](core::Cluster& c, int src_node, verbs::CompletionQueue& send_cq,
+                     verbs::QueuePair& qp, std::uint64_t s, std::uint64_t d, std::uint32_t n,
+                     verbs::MrKey lkey, verbs::MrKey rkey, std::uint64_t wr,
+                     VerbsOut& result) -> Task<> {
+      auto watch = c.device(3).watch_placement(d, n);
+      co_await qp.post_send(verbs::SendWr{.wr_id = wr,
+                                          .opcode = verbs::Opcode::kRdmaWrite,
+                                          .sge = {s, n, lkey},
+                                          .remote_addr = d,
+                                          .rkey = rkey});
+      result.send = co_await verbs::next_completion(send_cq, c.node(src_node).cpu(), ns(200));
+      result.got_send = true;
+      co_await watch->wait();
+      result.got_recv = true;
+    };
+    qps.reserve(4);
+    cluster.engine().spawn([](core::Cluster& c, verbs::CompletionQueue& send_cq0,
+                              verbs::CompletionQueue& send_cq1, verbs::CompletionQueue& recv_cq,
+                              std::vector<std::unique_ptr<verbs::QueuePair>>& pairs,
+                              std::uint64_t s0, std::uint64_t s1, std::uint64_t d0,
+                              std::uint64_t d1, std::uint32_t n, VerbsOut& r0, VerbsOut& r1,
+                              decltype(writer) write) -> Task<> {
+      pairs.push_back(c.device(0).create_qp(send_cq0, send_cq0));  // 0 -> 3
+      pairs.push_back(c.device(3).create_qp(recv_cq, recv_cq));
+      pairs.push_back(c.device(1).create_qp(send_cq1, send_cq1));  // 1 -> 3
+      pairs.push_back(c.device(3).create_qp(recv_cq, recv_cq));
+      c.device(0).establish(*pairs[0], *pairs[1]);
+      c.device(1).establish(*pairs[2], *pairs[3]);
+      auto lkey0 = co_await c.device(0).reg_mr(s0, n);
+      auto lkey1 = co_await c.device(1).reg_mr(s1, n);
+      auto rkey0 = co_await c.device(3).reg_mr(d0, n);
+      auto rkey1 = co_await c.device(3).reg_mr(d1, n);
+      c.engine().spawn(write(c, 0, send_cq0, *pairs[0], s0, d0, n, lkey0, rkey0, 10, r0));
+      c.engine().spawn(write(c, 1, send_cq1, *pairs[2], s1, d1, n, lkey1, rkey1, 11, r1));
+    }(cluster, scq0, scq1, rcq, qps, src0.addr(), src1.addr(), dst0.addr(), dst1.addr(), len,
+      out0, out1, writer));
+    cluster.engine().run();
+
+    ctx.expect(topo.lft_epoch() >= epoch_before + 2,
+               "the down/up window must drive two LFT recomputes");
+    ctx.expect(out0.got_send && out0.send.status == verbs::Completion::Status::kSuccess,
+               "writer 0 must complete across the link flap");
+    ctx.expect(out1.got_send && out1.send.status == verbs::Completion::Status::kSuccess,
+               "writer 1 must complete across the link flap");
+    ctx.expect(out0.got_recv, "writer 0's bytes must be placed at node 3 despite the reroute");
+    ctx.expect(out1.got_recv, "writer 1's bytes must be placed at node 3 despite the reroute");
+    ctx.finish(cluster.engine());
+  }};
+}
+
 /// Two-node iWARP RDMA Write with an early TCP segment dropped: MPA/DDP
 /// over the stream, go-back-N must place every byte.
 Scenario iwarp_send_loss() {
@@ -466,6 +577,7 @@ const char* mutation_name(Mutation mutation) {
     case Mutation::kNone: return "none";
     case Mutation::kStrandPendingReads: return "strand_pending_reads";
     case Mutation::kDropFinalAck: return "drop_final_ack";
+    case Mutation::kLeakCreditOnDrain: return "leak_credit_on_drain";
   }
   return "?";
 }
@@ -477,6 +589,8 @@ bool mutation_from_name(const std::string& name, Mutation& out) {
     out = Mutation::kStrandPendingReads;
   } else if (name == "drop_final_ack") {
     out = Mutation::kDropFinalAck;
+  } else if (name == "leak_credit_on_drain") {
+    out = Mutation::kLeakCreditOnDrain;
   } else {
     return false;
   }
@@ -489,6 +603,7 @@ std::vector<Scenario> bounded_scenarios(Mutation mutation) {
   scenarios.push_back(ib_read_response_loss(mutation));
   scenarios.push_back(ib_fanin(mutation));
   scenarios.push_back(ib_fanin_clos(mutation));
+  scenarios.push_back(ib_clos_link_flap(mutation));
   scenarios.push_back(iwarp_send_loss());
   scenarios.push_back(mx_eager_loss());
   scenarios.push_back(mx_rndv_loss());

@@ -23,15 +23,17 @@ enum class Mutation : std::uint8_t {
   kNone,
   kStrandPendingReads,  ///< PR-4 regression: stranded RDMA read hangs the requester
   kDropFinalAck,        ///< responder swallows final-packet acks: spurious retry exhaustion
+  kLeakCreditOnDrain,   ///< link-failure drain leaks one frame's committed buffer space
 };
 
 const char* mutation_name(Mutation mutation);
-/// Parse "none" / "strand_pending_reads" / "drop_final_ack"; returns
-/// false on an unknown name.
+/// Parse "none" / "strand_pending_reads" / "drop_final_ack" /
+/// "leak_credit_on_drain"; returns false on an unknown name.
 bool mutation_from_name(const std::string& name, Mutation& out);
 
 /// All bounded scenarios, with the given mutation seam armed in every
-/// profile that supports it (currently the IB scenarios).
+/// profile that supports it (the IB scenarios for the HCA seams, the
+/// routed-fabric scenarios for the switch seam).
 std::vector<Scenario> bounded_scenarios(Mutation mutation = Mutation::kNone);
 
 /// Look up one scenario by name; throws std::out_of_range if unknown.

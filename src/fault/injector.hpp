@@ -1,13 +1,15 @@
 // Fault-injection surface shared by every fabric.
 //
 // A FaultInjector is attached to the Engine (like the Tracer) and is
-// consulted once per frame at each injection point: hw::Switch::ingress
-// for switch-side faults, and NIC transmit paths that model adapter-local
-// loss (the iWARP RNIC's `loss_rate`). The injector decides the frame's
-// fate — deliver, drop, corrupt (delivered but discarded by the
-// receiver's CRC check), or delay — and the recovery machinery in each
-// stack (iWARP go-back-N, IB RC retransmission, MX resend queue) earns
-// its keep against those decisions.
+// consulted once per frame at each injection point: hw::Switch fault
+// seams (once per frame on the seed's direct crossbar; once per *hop* on
+// routed multi-stage fabrics, so a FaultPlan can address an individual
+// link by (switch, output port)), and NIC transmit paths that model
+// adapter-local loss (the iWARP RNIC's `loss_rate`). The injector
+// decides the frame's fate — deliver, drop, corrupt (delivered but
+// discarded by the receiver's CRC check), or delay — and the recovery
+// machinery in each stack (iWARP go-back-N, IB RC retransmission, MX
+// resend queue) earns its keep against those decisions.
 //
 // Stacks arm their recovery machinery only when `faults_armed()` is true,
 // so an absent or inert injector leaves every lossless run byte-identical
@@ -21,12 +23,18 @@
 
 namespace fabsim::fault {
 
-/// One frame crossing an injection point.
+/// One frame crossing an injection point. On routed fabrics the site
+/// also names the hop: the switch consulting the injector and the output
+/// port the frame was routed to — together they address one directed
+/// link, so plans can fail individual cables and whole switches. The
+/// seed's direct crossbar and NIC-local injection leave them at -1.
 struct FaultSite {
   Time now = 0;
   int src_node = -1;
   int dst_node = -1;
   std::uint32_t wire_bytes = 0;
+  int switch_id = -1;  ///< switch consulting the injector (routed fabrics)
+  int out_port = -1;   ///< output port the frame was routed to
 };
 
 enum class FaultAction : std::uint8_t {

@@ -12,6 +12,23 @@ FaultDecision FaultPlan::count(FaultDecision decision) {
   return decision;
 }
 
+FaultPlan& FaultPlan::seeded_link_flaps(std::uint64_t seed, const std::vector<Link>& links,
+                                        int count, Time start, Time horizon, Time min_down,
+                                        Time max_down) {
+  // Private PRNG: the schedule depends only on (seed, links, params),
+  // never on how many per-frame draws the plan has already consumed.
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < count && !links.empty(); ++i) {
+    const Link& link = links[rng.uniform_below(links.size())];
+    const Time begin = start + rng.uniform_below(horizon > 0 ? horizon : 1);
+    const Time span = max_down > min_down
+                          ? min_down + rng.uniform_below(max_down - min_down)
+                          : min_down;
+    link_down(link.sw, link.port, begin, begin + span);
+  }
+  return *this;
+}
+
 FaultDecision FaultPlan::on_frame(const FaultSite& site) {
   ++frames_seen_;
 
@@ -31,7 +48,15 @@ FaultDecision FaultPlan::on_frame(const FaultSite& site) {
     }
   }
 
-  // Windows.
+  // Windows. Fabric-addressed ones first: they are the more specific
+  // match (one directed link or one switch vs. "anything touching a
+  // node").
+  for (const LinkWindow& window : link_windows_) {
+    if (crosses(window.sw, window.port, site) && site.now >= window.start &&
+        site.now < window.end) {
+      return count(FaultDecision{FaultAction::kDrop, 0});
+    }
+  }
   for (const Window& flap : flaps_) {
     if (touches(flap.node, site) && site.now >= flap.start && site.now < flap.end) {
       return count(FaultDecision{FaultAction::kDrop, 0});
@@ -45,7 +70,21 @@ FaultDecision FaultPlan::on_frame(const FaultSite& site) {
 
   // Probabilistic faults. Each armed probability consumes exactly one
   // draw per frame, so the decision stream for a seed is independent of
-  // which *other* probabilities are armed on a different plan.
+  // which *other* probabilities are armed on a different plan. Per-link
+  // probabilities draw only on frames that cross their link — still
+  // deterministic, because the engine presents frames in event order.
+  for (const LinkProb& link : link_probs_) {
+    if (!crosses(link.sw, link.port, site)) continue;
+    if (link.drop_p > 0.0 && rng_.bernoulli(link.drop_p)) {
+      return count(FaultDecision{FaultAction::kDrop, 0});
+    }
+    if (link.corrupt_p > 0.0 && rng_.bernoulli(link.corrupt_p)) {
+      return count(FaultDecision{FaultAction::kCorrupt, 0});
+    }
+    if (link.delay_p > 0.0 && rng_.bernoulli(link.delay_p)) {
+      return count(FaultDecision{FaultAction::kDelay, link.delay});
+    }
+  }
   if (drop_prob_ > 0.0 && rng_.bernoulli(drop_prob_)) {
     return count(FaultDecision{FaultAction::kDrop, 0});
   }

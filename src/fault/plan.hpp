@@ -1,6 +1,6 @@
 // FaultPlan: the deterministic, seedable FaultInjector implementation.
 //
-// A plan composes four kinds of faults, all reproducible from the seed:
+// A plan composes five kinds of faults, all reproducible from the seed:
 //   * probabilistic drop / corrupt / delay (one Bernoulli draw per armed
 //     probability per frame, consumed in simulation-event order),
 //   * an explicit one-shot schedule: "the first frame at/after time T
@@ -9,7 +9,14 @@
 //     is dropped (both directions — the cable is out),
 //   * NIC stall windows: frames touching a node inside [start, end) are
 //     held until the window closes (the adapter stopped responding, then
-//     resumed).
+//     resumed),
+//   * fabric-addressed faults (routed topologies, where hw::Switch
+//     consults the injector at every hop with a (switch, out port)
+//     address): link_down / switch_down windows that kill every frame
+//     crossing one directed link or one switch, and per-link
+//     probabilistic drop / corrupt / delay. seeded_link_flaps() turns a
+//     seed plus a link list into a reproducible randomized flap schedule
+//     — the chaos-soak harness's noise source.
 //
 // Determinism guarantee: the same seed and the same plan produce the same
 // decision for the Kth frame presented to the plan, for every K. Because
@@ -71,11 +78,60 @@ class FaultPlan final : public FaultInjector {
     return *this;
   }
 
+  // --- Fabric-addressed faults (routed topologies) ---
+
+  /// One directed link on a routed fabric: the output `port` of switch
+  /// `sw` (as reported in FaultSite::switch_id / out_port).
+  struct Link {
+    int sw = -1;
+    int port = -1;
+  };
+
+  /// Link down: every frame routed out (sw, port) inside [start, end)
+  /// is lost — a silent cable failure the routing layer does not see
+  /// (pair with topo::Topology::schedule_link_down for a detected
+  /// failure that reroutes).
+  FaultPlan& link_down(int sw, int port, Time start, Time end) {
+    link_windows_.push_back(LinkWindow{sw, port, start, end});
+    return *this;
+  }
+  /// Switch down: every frame consulting switch `sw` inside [start, end)
+  /// is lost, whatever port it was routed to.
+  FaultPlan& switch_down(int sw, Time start, Time end) {
+    link_windows_.push_back(LinkWindow{sw, -1, start, end});
+    return *this;
+  }
+
+  /// Per-link probabilistic faults: one Bernoulli draw per armed
+  /// probability per frame crossing (sw, port), consumed in
+  /// simulation-event order like the global probabilities.
+  FaultPlan& link_drop_probability(int sw, int port, double p) {
+    link_probs_.push_back(LinkProb{sw, port, p, 0.0, 0.0, 0});
+    return *this;
+  }
+  FaultPlan& link_corrupt_probability(int sw, int port, double p) {
+    link_probs_.push_back(LinkProb{sw, port, 0.0, p, 0.0, 0});
+    return *this;
+  }
+  FaultPlan& link_delay_probability(int sw, int port, double p, Time delay) {
+    link_probs_.push_back(LinkProb{sw, port, 0.0, 0.0, p, delay});
+    return *this;
+  }
+
+  /// Seeded randomized flap schedule: `count` link-down windows drawn
+  /// from `links` with start times in [start, start + horizon) and
+  /// durations in [min_down, max_down). Uses a private PRNG seeded from
+  /// `seed`, so the schedule is independent of (and does not perturb)
+  /// the per-frame probabilistic draw stream.
+  FaultPlan& seeded_link_flaps(std::uint64_t seed, const std::vector<Link>& links, int count,
+                               Time start, Time horizon, Time min_down, Time max_down);
+
   // --- FaultInjector ---
   FaultDecision on_frame(const FaultSite& site) override;
   bool active() const override {
     return drop_prob_ > 0.0 || corrupt_prob_ > 0.0 || delay_prob_ > 0.0 ||
-           !scheduled_.empty() || !nth_.empty() || !flaps_.empty() || !stalls_.empty();
+           !scheduled_.empty() || !nth_.empty() || !flaps_.empty() || !stalls_.empty() ||
+           !link_windows_.empty() || !link_probs_.empty();
   }
 
   // --- Statistics ---
@@ -103,9 +159,26 @@ class FaultPlan final : public FaultInjector {
     Time start;
     Time end;  ///< exclusive
   };
+  struct LinkWindow {
+    int sw;
+    int port;  ///< -1 matches every port of `sw` (whole-switch failure)
+    Time start;
+    Time end;  ///< exclusive
+  };
+  struct LinkProb {
+    int sw;
+    int port;
+    double drop_p;
+    double corrupt_p;
+    double delay_p;
+    Time delay;
+  };
 
   static bool touches(int node, const FaultSite& site) {
     return node < 0 || site.src_node == node || site.dst_node == node;
+  }
+  static bool crosses(int sw, int port, const FaultSite& site) {
+    return site.switch_id == sw && (port < 0 || site.out_port == port);
   }
 
   FaultDecision count(FaultDecision decision);
@@ -119,6 +192,8 @@ class FaultPlan final : public FaultInjector {
   std::vector<Nth> nth_;
   std::vector<Window> flaps_;
   std::vector<Window> stalls_;
+  std::vector<LinkWindow> link_windows_;
+  std::vector<LinkProb> link_probs_;
 
   std::uint64_t frames_seen_ = 0;
   std::uint64_t frames_dropped_ = 0;

@@ -69,8 +69,12 @@ void Switch::ingress(Frame frame) {
 bool Switch::apply_faults(Frame& frame, int out_port, Time& at_switch) {
   fault::FaultInjector* injector = engine_->fault_injector();
   if (injector == nullptr) return true;
+  // Routed fabrics address the hop: (switch id, routed output port)
+  // names one directed link, so plans can fail individual cables. The
+  // seed's direct crossbar keeps the unaddressed site (-1/-1).
   const fault::FaultDecision decision = injector->on_frame(
-      fault::FaultSite{engine_->now(), frame.src_node, frame.dst_node, frame.wire_bytes});
+      fault::FaultSite{engine_->now(), frame.src_node, frame.dst_node, frame.wire_bytes,
+                       routed() ? config_.id : -1, routed() ? out_port : -1});
   switch (decision.action) {
     case fault::FaultAction::kDrop:
       ++fault_drops_;
@@ -160,16 +164,36 @@ void Switch::ingress_direct(Frame frame) {
 
 void Switch::ingress_routed(Frame frame) {
   ++frames_ingressed_;
-  const int out = route(frame.dst_node);
+  if (down_) {
+    // The NIC fired into a dead edge switch: lost at the first hop. The
+    // sender's timeout machinery owns recovery.
+    ++down_drops_;
+    return;
+  }
+  const int out = route_lookup(frame.dst_node);
+  if (out < 0) {
+    // Degraded mode: a failure partitioned the fabric and no path to
+    // dst survives. Count and drop — per-stack retry exhaustion (IB
+    // kRetryExceeded, iWARP/MX equivalents) surfaces the error.
+    ++unroutable_drops_;
+    engine_->trace(TraceCategory::kWire, frame.src_node,
+                   "UNROUTABLE " + std::to_string(frame.src_node) + "->" +
+                       std::to_string(frame.dst_node) + " at switch " +
+                       std::to_string(config_.id));
+    return;
+  }
   Time at_switch = engine_->now() + config_.propagation + config_.cut_through;
 
-  // Fault injection stays at the NIC->switch seam only (one consult per
-  // frame, as in direct mode), so FaultPlan cross-checks keep working.
+  // Fault injection runs at every hop (here and in link_arrival), each
+  // consult addressed with (switch, out port) so plans can fail one
+  // link. Every drop decision lands on exactly one switch's counters,
+  // so the FaultPlan-vs-fabric drop cross-check still balances.
   if (!apply_faults(frame, out, at_switch)) return;
 
   // First-hop traversal costs; per-hop serialization is charged at each
   // output port's transmit, downstream cut-through at each link arrival.
   engine_->charge_phase(Phase::kWire, frame.src_node, config_.propagation + config_.cut_through);
+  frame.credit_port = -1;  // NIC-side ingress commits no credit
   engine_->post(at_switch, /*scope=*/-1, [this, out, f = std::move(frame)]() mutable {
     admit(out, std::move(f), /*credit_reserved=*/false);
   });
@@ -178,14 +202,60 @@ void Switch::ingress_routed(Frame frame) {
 void Switch::link_arrival(Frame frame) {
   ++frames_ingressed_;
   engine_->charge_phase(Phase::kWire, frame.src_node, config_.cut_through);
-  const int out = route(frame.dst_node);
+  const bool credit_frame = config_.flow == FlowControl::kCredit && frame.credit_port >= 0;
+  if (down_) {
+    // Switch died with frames still in flight toward it. Return the
+    // committed buffer space so no credit leaks across the failure.
+    ++down_drops_;
+    if (credit_frame) release_occupancy(frame.credit_port, frame.wire_bytes);
+    return;
+  }
+  const int out = route_lookup(frame.dst_node);
+  if (out < 0) {
+    ++unroutable_drops_;
+    if (credit_frame) release_occupancy(frame.credit_port, frame.wire_bytes);
+    engine_->trace(TraceCategory::kWire, frame.src_node,
+                   "UNROUTABLE " + std::to_string(frame.src_node) + "->" +
+                       std::to_string(frame.dst_node) + " at switch " +
+                       std::to_string(config_.id));
+    return;
+  }
+  // Per-hop fault consult, same (switch, out port) addressing as the
+  // first hop. A drop here must also return the committed credit.
+  Time at_switch = engine_->now();
+  if (!apply_faults(frame, out, at_switch)) {
+    if (credit_frame) release_occupancy(frame.credit_port, frame.wire_bytes);
+    return;
+  }
+  if (at_switch > engine_->now()) {
+    // Fault-injected extra latency: admission waits out the delay.
+    engine_->post(at_switch, /*scope=*/-1, [this, out, credit_frame,
+                                            f = std::move(frame)]() mutable {
+      admit(out, std::move(f), credit_frame);
+    });
+    return;
+  }
   // Credit links committed this frame's buffer space upstream; lossy
   // links admit (and may tail-drop) on arrival.
-  admit(out, std::move(frame), /*credit_reserved=*/config_.flow == FlowControl::kCredit);
+  admit(out, std::move(frame), credit_frame);
 }
 
 void Switch::admit(int port, Frame frame, bool credit_reserved) {
+  // Routing-epoch reconciliation: the upstream committed buffer space on
+  // the output port the *old* LFT named. If a reroute landed the frame
+  // on a different port, move the commitment there so nothing leaks.
+  if (credit_reserved && frame.credit_port != port) {
+    if (frame.credit_port >= 0) release_occupancy(frame.credit_port, frame.wire_bytes);
+    credit_reserved = false;
+  }
   Port& out = ports_.at(static_cast<std::size_t>(port));
+  if (out.down) {
+    // Routed into a link that failed while the frame was crossing the
+    // fabric: the frame is lost here, its credit returned.
+    if (credit_reserved) release_occupancy(port, frame.wire_bytes);
+    ++down_drops_;
+    return;
+  }
   if (!credit_reserved) {
     if (config_.flow == FlowControl::kLossy && config_.max_queue_bytes > 0 &&
         out.occupancy_bytes + frame.wire_bytes >
@@ -216,28 +286,37 @@ void Switch::retry_transmit(int port) {
 void Switch::try_transmit(int port) {
   Port& out = ports_.at(static_cast<std::size_t>(port));
   // `waiting` means a wake from the downstream queue is already pending;
-  // transmitting before it would reorder past the credit gate.
-  if (out.transmitting || out.waiting || out.queue.empty()) return;
+  // transmitting before it would reorder past the credit gate. A down
+  // port (or a dead switch) transmits nothing until restored.
+  if (down_ || out.down || out.transmitting || out.waiting || out.queue.empty()) return;
   Frame& head = out.queue.front();
+  head.credit_port = -1;
 
   if (out.peer != nullptr && config_.flow == FlowControl::kCredit) {
     // Credit gate: the head frame needs committed space in the
     // downstream output queue it will be routed to. No space -> stall
     // this port (head-of-line blocking: congestion spreads upstream).
+    // When the downstream LFT has no path (post-failure degraded mode)
+    // there is no buffer to commit; the peer counts the frame
+    // unroutable on arrival.
     Switch& down = *out.peer;
-    Port& dq = down.ports_.at(static_cast<std::size_t>(down.route(head.dst_node)));
-    if (down.config_.max_queue_bytes > 0 &&
-        dq.occupancy_bytes + head.wire_bytes >
-            static_cast<std::int64_t>(down.config_.max_queue_bytes)) {
-      if (out.stall_since == kNotStalled) {
-        out.stall_since = engine_->now();
-        ++out.credit_stalls;
+    const int droute = down.route_lookup(head.dst_node);
+    if (droute >= 0) {
+      Port& dq = down.ports_.at(static_cast<std::size_t>(droute));
+      if (down.config_.max_queue_bytes > 0 &&
+          dq.occupancy_bytes + head.wire_bytes >
+              static_cast<std::int64_t>(down.config_.max_queue_bytes)) {
+        if (out.stall_since == kNotStalled) {
+          out.stall_since = engine_->now();
+          ++out.credit_stalls;
+        }
+        out.waiting = true;
+        dq.waiters.emplace_back(this, port);
+        return;
       }
-      out.waiting = true;
-      dq.waiters.emplace_back(this, port);
-      return;
+      dq.occupancy_bytes += head.wire_bytes;  // credit consumed
+      head.credit_port = droute;
     }
-    dq.occupancy_bytes += head.wire_bytes;  // credit consumed
   }
 
   if (out.stall_since != kNotStalled) {
@@ -274,6 +353,70 @@ void Switch::try_transmit(int port) {
     ++frames_forwarded_;
     try_transmit(port);
   });
+}
+
+// ---------------------------------------------------------------------------
+// Failure state: driven by topo::Topology failover.
+// ---------------------------------------------------------------------------
+
+void Switch::set_port_down(int port) {
+  ports_.at(static_cast<std::size_t>(port)).down = true;
+}
+
+void Switch::set_port_up(int port) {
+  ports_.at(static_cast<std::size_t>(port)).down = false;
+  // The port may have accumulated rerouted frames while down (credit
+  // requeue can land on a port that fails later); restart the pump.
+  try_transmit(port);
+}
+
+void Switch::requeue_down_port(int port) {
+  Port& out = ports_.at(static_cast<std::size_t>(port));
+  std::deque<Frame> stranded;
+  stranded.swap(out.queue);
+  for (Frame& frame : stranded) {
+    if (config_.mutation_leak_credit_on_drain && !leak_spent_) {
+      // Mutation seam: the first drained frame keeps its committed
+      // occupancy — the credit leak audit_switch_queue_drained exists
+      // to catch. One-shot so the leak is exactly one frame's worth.
+      leak_spent_ = true;
+    } else {
+      release_occupancy(port, frame.wire_bytes);
+    }
+    if (config_.flow == FlowControl::kCredit) {
+      // Lossless fabric: the frames were admitted under a credit
+      // guarantee, so reroute them onto the post-failure LFT instead of
+      // dropping. No surviving path (or the path still runs through
+      // this dead link) -> counted loss, stacks recover via timeout.
+      const int alt = route_lookup(frame.dst_node);
+      if (alt >= 0 && alt != port && !ports_.at(static_cast<std::size_t>(alt)).down) {
+        frame.credit_port = -1;
+        admit(alt, std::move(frame), /*credit_reserved=*/false);
+        continue;
+      }
+    }
+    ++down_drops_;
+    engine_->trace(TraceCategory::kWire, frame.src_node,
+                   "LINKDOWN drop " + std::to_string(frame.src_node) + "->" +
+                       std::to_string(frame.dst_node) + " at switch " +
+                       std::to_string(config_.id) + " port " + std::to_string(port));
+  }
+}
+
+void Switch::drain_all_drop() {
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    Port& out = ports_[p];
+    std::deque<Frame> stranded;
+    stranded.swap(out.queue);
+    for (Frame& frame : stranded) {
+      if (config_.mutation_leak_credit_on_drain && !leak_spent_) {
+        leak_spent_ = true;
+      } else {
+        release_occupancy(static_cast<int>(p), frame.wire_bytes);
+      }
+      ++down_drops_;
+    }
+  }
 }
 
 void Switch::release_occupancy(int port, std::uint32_t bytes) {

@@ -19,6 +19,14 @@
 //    admission (Ethernet), kCredit holds the frame *upstream* until the
 //    next hop's output queue has room (IB-style credits / PAUSE), so
 //    congestion spreads hop by hop instead of dropping.
+//
+// Routed switches are failure-aware (FabricFail): topo::Topology can
+// mark ports (links) or the whole switch down, drain or requeue the
+// affected queues per flow-control mode, and recompute LFTs around the
+// failed element. Frames that meet a failure are counted (down_drops /
+// unroutable_drops) so per-hop conservation still balances, and credit
+// commitments are always returned — link failure must never leak
+// occupancy (audit_switch_queue_drained proves it at quiescence).
 #pragma once
 
 #include <cstdint>
@@ -67,6 +75,12 @@ struct SwitchConfig {
   /// machinery is armed lazily (MX firmware) consult this in addition to
   /// fault::faults_armed().
   bool can_drop() const { return flow == FlowControl::kLossy && max_queue_bytes != 0; }
+
+  /// Test-only mutation seam (FabricExplore): re-introduce the credit
+  /// leak the down-drain path originally shipped with — the first frame
+  /// drained off a failed port keeps its committed occupancy, so the
+  /// quiescence audit (queue drained, occupancy zero) must catch it.
+  bool mutation_leak_credit_on_drain = false;
 };
 
 class Switch {
@@ -92,9 +106,43 @@ class Switch {
 
   /// LFT entry: frames for `dst_node` leave through `port`.
   void set_route(int dst_node, int port);
-  /// Output port for `dst_node` (identity in direct mode).
+  /// Output port for `dst_node` (identity in direct mode); throws when
+  /// the LFT has no entry — building-time routing bugs must be loud.
   int route(int dst_node) const;
+  /// Degraded-mode lookup: -1 when no path exists (a failure
+  /// partitioned the fabric). The data path uses this form and counts
+  /// the frame as an unroutable drop instead of throwing, so per-stack
+  /// timeout machinery (not an exception) owns recovery.
+  int route_lookup(int dst_node) const {
+    if (!routed()) return dst_node;
+    return lft_.at(static_cast<std::size_t>(dst_node));
+  }
   const std::vector<int>& lft() const { return lft_; }
+
+  // --- Failure state (driven by topo::Topology failover only) ---------
+
+  /// Mark one port's link down/up. While down the port neither admits
+  /// nor transmits; restoring kicks the transmit pump.
+  void set_port_down(int port);
+  void set_port_up(int port);
+  bool port_down(int port) const { return ports_.at(static_cast<std::size_t>(port)).down; }
+
+  /// Whole-switch failure: every arrival is counted and dropped (with
+  /// its credit commitment returned) until the switch is restored.
+  void set_switch_down(bool down) { down_ = down; }
+  bool switch_down() const { return down_; }
+
+  /// Drain a failed port after the owning Topology recomputed LFTs:
+  /// credit flow control requeues each frame onto its rerouted output
+  /// port (no path -> counted drop), lossy drops and counts. Committed
+  /// occupancy is released either way — link failure never leaks
+  /// credits.
+  void requeue_down_port(int port);
+
+  /// Dead-switch drain: drop every queued frame on every port (both
+  /// flow-control modes — the switch lost its buffers), releasing all
+  /// committed occupancy and waking stalled upstreams.
+  void drain_all_drop();
 
   /// Reserve the next NIC-facing attach() for global endpoint `node_id`
   /// (reservations are consumed in FIFO order).
@@ -167,11 +215,18 @@ class Switch {
   std::uint64_t fault_corruptions() const { return fault_corruptions_; }
   std::uint64_t fault_delays() const { return fault_delays_; }
 
+  // Frames lost to fabric failures at this switch: met a down
+  // link/switch (down_drops) or had no surviving path after a reroute
+  // (unroutable_drops).
+  std::uint64_t down_drops() const { return down_drops_; }
+  std::uint64_t unroutable_drops() const { return unroutable_drops_; }
+
   // Conservation accounting: every ingressed frame is forwarded,
-  // fault-dropped, or tail-dropped. In routed mode "ingressed" counts
-  // frames entering this switch from NICs *and* upstream switches, and
-  // "forwarded" counts output-port transmissions (to a NIC or the next
-  // switch), so the identity holds per hop.
+  // fault-dropped, tail-dropped, lost to a failed element, or
+  // unroutable. In routed mode "ingressed" counts frames entering this
+  // switch from NICs *and* upstream switches, and "forwarded" counts
+  // output-port transmissions (to a NIC or the next switch), so the
+  // identity holds per hop.
   std::uint64_t frames_ingressed() const { return frames_ingressed_; }
   std::uint64_t frames_forwarded() const { return frames_forwarded_; }
   std::uint64_t tail_drops_total() const {
@@ -185,7 +240,7 @@ class Switch {
   /// own drop counter there).
   check::Verdict audit_conservation() const {
     return check::audit_switch_conservation(frames_ingressed_, frames_forwarded_, fault_drops_,
-                                            tail_drops_total());
+                                            tail_drops_total(), down_drops_, unroutable_drops_);
   }
 
   /// Routed-mode quiescence audits: once the event queue drains, every
@@ -214,6 +269,8 @@ class Switch {
     std::uint64_t queue_hwm_frames = 0;
     /// Upstream ports stalled on this queue's space, FIFO (determinism).
     std::vector<std::pair<Switch*, int>> waiters;
+    /// Link failure: the port neither admits nor transmits while down.
+    bool down = false;
   };
 
   // Direct (seed) data path: booking model, port index == node address.
@@ -248,6 +305,10 @@ class Switch {
   std::uint64_t fault_delays_ = 0;
   std::uint64_t frames_ingressed_ = 0;
   std::uint64_t frames_forwarded_ = 0;
+  std::uint64_t down_drops_ = 0;
+  std::uint64_t unroutable_drops_ = 0;
+  bool down_ = false;         ///< whole-switch failure
+  bool leak_spent_ = false;   ///< mutation seam: one leak, once
 };
 
 }  // namespace fabsim::hw

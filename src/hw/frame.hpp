@@ -18,6 +18,11 @@ struct Frame {
   /// Set by fault injection: the frame is delivered, but its CRC is bad.
   /// Every receiver must discard it before parsing the payload.
   bool corrupted = false;
+  /// Credit flow control only: the downstream output port whose buffer
+  /// space was committed for this frame at transmit-start. If an LFT
+  /// reroute lands the frame on a different port, admission moves the
+  /// commitment so no credit leaks across routing epochs.
+  int credit_port = -1;
 };
 
 /// Anything that can accept a delivered frame (usually a NIC receive path).

@@ -412,12 +412,10 @@ void Hca::enter_error(Conn& conn) {
                      " -> error state");
   // Flush outstanding signaled work requests with an error completion —
   // the RC contract when the transport retry counter is exhausted.
-  bool stranded_response = false;
   for (const Packet& packet : conn.inflight) {
     if (packet.kind == MsgKind::kReadResponse) {
-      // Responder-generated; no local work request to flush, but the
-      // peer's read is now stranded — it must be errored out too.
-      stranded_response = true;
+      // Responder-generated; no local work request to flush. The peer
+      // notification below errors the stranded requester out.
       continue;
     }
     if (packet.kind == MsgKind::kReadRequest) {
@@ -463,9 +461,25 @@ void Hca::enter_error(Conn& conn) {
     conn.pending_reads.clear();
   }
 
-  if (stranded_response && conn.peer != nullptr && !config_.mutation_strand_pending_reads) {
-    // Out-of-band, like connect(): stands in for the requester's own
-    // response-timeout exhaustion, which this model elides.
+  // The RQ drains with flush errors when a QP enters the error state —
+  // a receiver blocked on its recv CQ surfaces the failure instead of
+  // hanging on data that will never arrive.
+  for (const verbs::RecvWr& wr : conn.recv_queue) {
+    verbs::Completion completion{};
+    completion.wr_id = wr.wr_id;
+    completion.qp_num = conn.qp->qp_num();
+    completion.status = verbs::Completion::Status::kRetryExceeded;
+    completion.type = verbs::Completion::Type::kRecv;
+    conn.qp->recv_cq_->push(completion);
+    ++retry_exceeded_completions_;
+  }
+  conn.recv_queue.clear();
+
+  if (conn.peer != nullptr && !config_.mutation_strand_pending_reads) {
+    // Out-of-band, like connect(): stands in for the peer-side teardown
+    // (its own timeout exhaustion, or the CM disconnect event) that this
+    // model elides. Without it a receiver whose sender died — or a read
+    // requester whose responder died — waits forever.
     conn.peer->peer_conn_error(conn.peer_conn_id);
   }
 }

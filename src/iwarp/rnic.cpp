@@ -89,6 +89,7 @@ int Rnic::new_conn(Qp& qp) {
 
 Task<> Rnic::post_send_impl(Qp& qp, verbs::SendWr wr) {
   if (!qp.connected()) throw std::logic_error("iwarp: post_send on unconnected QP");
+  if (qp.in_error_) throw std::runtime_error("iwarp: post_send on QP in error state");
   if (wr.sge.length == 0) throw std::invalid_argument("iwarp: zero-length work request");
   if (!registry_.covers(wr.sge.lkey, wr.sge.addr, wr.sge.length)) {
     throw std::invalid_argument("iwarp: sge not covered by lkey");
@@ -131,7 +132,16 @@ Task<> Rnic::post_send_impl(Qp& qp, verbs::SendWr wr) {
   engine().post(engine().now() + config_.doorbell, /*scope=*/port_,
                 [this, conn_id, msg = std::move(msg)]() mutable {
                   Conn& conn = *conns_[static_cast<std::size_t>(conn_id)];
+                  if (conn.qp->in_error_) {
+                    // Raced the error transition: flush instead of queueing.
+                    flush_outmsg(conn, msg);
+                    return;
+                  }
                   msg.msg_id = conn.next_msg_id++;
+                  if (msg.kind == MsgKind::kReadRequest) {
+                    conn.pending_reads.push_back(
+                        PendingRead{msg.wr_id, msg.read_len, msg.signaled});
+                  }
                   conn.sendq.push_back(std::move(msg));
                   pump(conn);
                 });
@@ -139,6 +149,7 @@ Task<> Rnic::post_send_impl(Qp& qp, verbs::SendWr wr) {
 
 Task<> Rnic::post_recv_impl(Qp& qp, verbs::RecvWr wr) {
   if (!qp.connected()) throw std::logic_error("iwarp: post_recv on unconnected QP");
+  if (qp.in_error_) throw std::runtime_error("iwarp: post_recv on QP in error state");
   if (!registry_.covers(wr.sge.lkey, wr.sge.addr, wr.sge.length)) {
     throw std::invalid_argument("iwarp: recv sge not covered by lkey");
   }
@@ -162,6 +173,7 @@ std::shared_ptr<std::vector<std::byte>> Rnic::snapshot(hw::AddressSpace& mem, st
 // ---------------------------------------------------------------------------
 
 void Rnic::pump(Conn& conn) {
+  if (conn.qp->in_error_) return;
   while (!conn.sendq.empty()) {
     OutMsg& msg = conn.sendq.front();
     while (msg.offset < msg.len) {
@@ -332,6 +344,7 @@ void Rnic::handle_ack(Conn& conn, std::uint64_t ack) {
   }
   if (ack <= conn.snd_una) return;
   conn.snd_una = ack;
+  conn.retry_count = 0;  // forward progress: the stream is alive
   while (!conn.inflight.empty() &&
          conn.inflight.front().seq + conn.inflight.front().payload_len <= conn.snd_una) {
     conn.inflight.pop_front();
@@ -368,8 +381,17 @@ void Rnic::on_timeout(int conn_id, std::uint64_t gen) {
   if (gen != conn.timer_gen || conn.snd_una >= conn.snd_nxt) return;
   conn.timer_armed = false;
   ++rto_fires_;
+  ++conn.retry_count;
   engine().trace(TraceCategory::kProto, node_->id(),
-                 "TCP RTO fired: go-back-N from seq=" + std::to_string(conn.snd_una));
+                 "TCP RTO fired: go-back-N from seq=" + std::to_string(conn.snd_una) +
+                     " (retry " + std::to_string(conn.retry_count) + "/" +
+                     std::to_string(config_.retry_limit) + ")");
+  if (conn.retry_count > config_.retry_limit) {
+    // TCP gives up: the connection resets instead of retrying forever —
+    // a fabric partition must surface as an error, not a hang.
+    enter_error(conn);
+    return;
+  }
   // Go-back-N: resend everything outstanding.
   for (const Segment& segment : conn.inflight) {
     Segment copy = segment;
@@ -378,6 +400,100 @@ void Rnic::on_timeout(int conn_id, std::uint64_t gen) {
   }
   ++conn.timer_gen;
   arm_timer(conn);
+}
+
+void Rnic::flush_outmsg(Conn& conn, const OutMsg& msg) {
+  if (!msg.signaled || msg.kind == MsgKind::kReadResponse) return;
+  verbs::Completion completion{};
+  completion.wr_id = msg.wr_id;
+  completion.qp_num = conn.qp->qp_num();
+  completion.status = verbs::Completion::Status::kRetryExceeded;
+  switch (msg.kind) {
+    case MsgKind::kUntagged:
+      completion.type = verbs::Completion::Type::kSend;
+      completion.byte_len = msg.len;
+      break;
+    case MsgKind::kTaggedWrite:
+      completion.type = verbs::Completion::Type::kRdmaWrite;
+      completion.byte_len = msg.len;
+      break;
+    case MsgKind::kReadRequest:
+      completion.type = verbs::Completion::Type::kRdmaRead;
+      completion.byte_len = msg.read_len;
+      break;
+    case MsgKind::kReadResponse:
+      return;  // responder-generated: the requester's side owns the error
+  }
+  conn.qp->send_cq_->push(completion);
+  ++retry_exceeded_completions_;
+}
+
+void Rnic::enter_error(Conn& conn) {
+  if (conn.qp->in_error_) return;
+  conn.qp->in_error_ = true;
+  conn.timer_armed = false;
+  ++conn.timer_gen;
+  ++conn_errors_;
+  engine().trace(TraceCategory::kProto, node_->id(),
+                 "TCP retry limit exhausted: QP " + std::to_string(conn.qp->qp_num()) +
+                     " connection reset -> error state");
+  // Sends and writes complete optimistically at first wire handoff, so
+  // only messages whose final segment never left (still in the sendq)
+  // owe a completion. Read requests are owned by the pending-read list;
+  // drop their sendq duplicates first so they flush exactly once.
+  for (const OutMsg& msg : conn.sendq) {
+    if (msg.kind == MsgKind::kReadRequest) {
+      for (auto it = conn.pending_reads.begin(); it != conn.pending_reads.end(); ++it) {
+        if (it->wr_id == msg.wr_id) {
+          conn.pending_reads.erase(it);
+          break;
+        }
+      }
+    }
+    flush_outmsg(conn, msg);
+  }
+  conn.sendq.clear();
+  conn.inflight.clear();
+  // Reads whose request is already on the wire (or acked) but whose
+  // response will never arrive.
+  for (const PendingRead& read : conn.pending_reads) {
+    if (!read.signaled) continue;
+    verbs::Completion completion{};
+    completion.wr_id = read.wr_id;
+    completion.byte_len = read.len;
+    completion.qp_num = conn.qp->qp_num();
+    completion.status = verbs::Completion::Status::kRetryExceeded;
+    completion.type = verbs::Completion::Type::kRdmaRead;
+    conn.qp->send_cq_->push(completion);
+    ++retry_exceeded_completions_;
+  }
+  conn.pending_reads.clear();
+  // A dead connection also flushes posted receives (the RQ drains with
+  // flush errors when a QP enters error) — a receiver blocked on its
+  // recv CQ surfaces the failure instead of hanging.
+  for (const verbs::RecvWr& wr : conn.recv_queue) {
+    verbs::Completion completion{};
+    completion.wr_id = wr.wr_id;
+    completion.qp_num = conn.qp->qp_num();
+    completion.status = verbs::Completion::Status::kRetryExceeded;
+    completion.type = verbs::Completion::Type::kRecv;
+    conn.qp->recv_cq_->push(completion);
+    ++retry_exceeded_completions_;
+  }
+  conn.recv_queue.clear();
+  // Out-of-band peer notification: stands in for the RST the peer's TCP
+  // would see (or its own retry exhaustion) — both sides observe the
+  // teardown, neither hangs.
+  if (conn.peer != nullptr) conn.peer->peer_conn_error(conn.peer_conn_id);
+}
+
+void Rnic::peer_conn_error(int conn_id) {
+  Conn& conn = *conns_.at(static_cast<std::size_t>(conn_id));
+  if (conn.qp->in_error_) return;
+  engine().trace(TraceCategory::kProto, node_->id(),
+                 "TCP peer failure: QP " + std::to_string(conn.qp->qp_num()) +
+                     " -> error state (connection reset by peer)");
+  enter_error(conn);
 }
 
 // ---------------------------------------------------------------------------
@@ -393,6 +509,7 @@ void Rnic::deliver(hw::Frame frame) {
   }
   Segment segment = std::any_cast<Segment>(std::move(frame.payload));
   Conn& conn = *conns_.at(static_cast<std::size_t>(segment.dst_conn_id));
+  if (conn.qp->in_error_) return;  // dead connection: late arrivals discarded
 
   handle_ack(conn, segment.ack);
   if (segment.payload_len == 0) {
@@ -456,6 +573,7 @@ void Rnic::deliver(hw::Frame frame) {
 }
 
 void Rnic::handle_read_request(Conn& conn, const Segment& request) {
+  if (conn.qp->in_error_) return;
   if (!registry_.covers(request.rkey, request.remote_source_addr(), request.read_len)) {
     throw std::invalid_argument("iwarp: RDMA read source not covered by rkey");
   }
@@ -473,6 +591,7 @@ void Rnic::handle_read_request(Conn& conn, const Segment& request) {
 }
 
 void Rnic::complete_placement(Conn& conn, const Segment& segment) {
+  if (conn.qp->in_error_) return;
   RxMsg& rx = conn.rx_msgs[segment.msg_id];
 
   std::uint64_t addr = 0;
@@ -540,6 +659,12 @@ void Rnic::complete_placement(Conn& conn, const Segment& segment) {
     case MsgKind::kReadResponse:
       conn.qp->send_cq_->push(verbs::Completion{segment.wr_id, verbs::Completion::Type::kRdmaRead,
                                                 segment.msg_len, conn.qp->qp_num()});
+      for (auto it = conn.pending_reads.begin(); it != conn.pending_reads.end(); ++it) {
+        if (it->wr_id == segment.wr_id) {
+          conn.pending_reads.erase(it);
+          break;
+        }
+      }
       check_watches(base, segment.msg_len);
       break;
     case MsgKind::kTaggedWrite:

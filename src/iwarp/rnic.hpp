@@ -39,6 +39,7 @@ class Qp final : public verbs::QueuePair {
   Task<> post_recv(verbs::RecvWr wr) override;
   int qp_num() const override { return qp_num_; }
   bool connected() const override { return conn_id_ >= 0; }
+  bool in_error() const override { return in_error_; }
 
  private:
   friend class Rnic;
@@ -48,6 +49,7 @@ class Qp final : public verbs::QueuePair {
   Rnic* nic_;
   int qp_num_;
   int conn_id_ = -1;
+  bool in_error_ = false;
   verbs::CompletionQueue* send_cq_;
   verbs::CompletionQueue* recv_cq_;
 };
@@ -90,6 +92,8 @@ class Rnic final : public verbs::Device, public hw::FrameSink {
   std::uint64_t rto_fires() const { return rto_fires_; }
   std::uint64_t retransmitted_bytes() const { return retransmitted_bytes_; }
   std::uint64_t corrupt_discards() const { return corrupt_discards_; }
+  std::uint64_t retry_exceeded_completions() const { return retry_exceeded_completions_; }
+  std::uint64_t conn_errors() const { return conn_errors_; }
 
  private:
   friend class Qp;
@@ -147,6 +151,15 @@ class Rnic final : public verbs::Device, public hw::FrameSink {
     std::uint64_t recv_wr_id = 0;  ///< untagged only
   };
 
+  /// An RDMA read posted locally whose response has not yet been fully
+  /// placed; tracked so retry exhaustion can flush it with an error
+  /// completion instead of letting the requester hang.
+  struct PendingRead {
+    std::uint64_t wr_id = 0;
+    std::uint32_t len = 0;
+    bool signaled = true;
+  };
+
   /// Per-connection state (this side).
   struct Conn {
     Qp* qp = nullptr;
@@ -161,6 +174,8 @@ class Rnic final : public verbs::Device, public hw::FrameSink {
     std::deque<Segment> inflight;  ///< copies for go-back-N retransmit
     std::uint64_t timer_gen = 0;
     bool timer_armed = false;
+    int retry_count = 0;  ///< consecutive RTO fires without ack progress
+    std::vector<PendingRead> pending_reads;
 
     // Receive.
     std::uint64_t rcv_nxt = 0;
@@ -190,6 +205,14 @@ class Rnic final : public verbs::Device, public hw::FrameSink {
   void handle_ack(Conn& conn, std::uint64_t ack);
   void arm_timer(Conn& conn);
   void on_timeout(int conn_id, std::uint64_t gen);
+  /// Retry exhaustion (TCP gives up): flush every outstanding signaled
+  /// WR — un-completed sends/writes still in the sendq, pending reads,
+  /// posted receives — with kRetryExceeded, then notify the peer
+  /// out-of-band (the RST analog) so its side errors out too.
+  void enter_error(Conn& conn);
+  void peer_conn_error(int conn_id);
+  /// Error completion for a message that will never finish transmitting.
+  void flush_outmsg(Conn& conn, const OutMsg& msg);
   void handle_read_request(Conn& conn, const Segment& request);
   void complete_placement(Conn& conn, const Segment& segment);
   void check_watches(std::uint64_t addr, std::uint32_t len);
@@ -218,6 +241,8 @@ class Rnic final : public verbs::Device, public hw::FrameSink {
   std::uint64_t rto_fires_ = 0;
   std::uint64_t retransmitted_bytes_ = 0;
   std::uint64_t corrupt_discards_ = 0;
+  std::uint64_t retry_exceeded_completions_ = 0;
+  std::uint64_t conn_errors_ = 0;
 };
 
 }  // namespace fabsim::iwarp

@@ -51,6 +51,12 @@ struct MxConfig {
   // reverse traffic and fall back to standalone ack frames.
   Time rto = us(200);           ///< per-flow resend timeout
   std::uint32_t ack_every = 8;  ///< standalone ack after this many frames
+  /// Consecutive timer fires without ack progress before the firmware
+  /// declares the peer dead (mx_errno MX_STATUS_ENDPOINT_UNREACHABLE
+  /// analog): the flow fails permanently, every request stuck behind it
+  /// fails, and later sends to that peer fail immediately. Keeps fabric
+  /// partitions from hanging MPI-style wait loops.
+  int retry_limit = 12;
 
   // --- Registration (rendezvous path), internal cache ---
   hw::RegistrationConfig reg{us(1.0), us(2.9), us(0.5), us(0.3), 4096};

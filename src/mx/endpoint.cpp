@@ -133,6 +133,17 @@ Task<bool> Endpoint::test(const RequestPtr& request) {
   co_return request->done();
 }
 
+Task<bool> Endpoint::cancel(const RequestPtr& request) {
+  co_await node_->cpu().compute(config_.test_cpu);
+  if (request->done()) co_return false;
+  auto it = std::find_if(posted_.begin(), posted_.end(),
+                         [&](const PostedRecv& recv) { return recv.request == request; });
+  if (it == posted_.end()) co_return false;  // already matched: too late to cancel
+  posted_.erase(it);
+  request->fail();
+  co_return true;
+}
+
 Task<Endpoint::ProbeResult> Endpoint::iprobe(std::uint64_t match_bits,
                                              std::uint64_t match_mask) {
   co_await node_->cpu().compute(config_.test_cpu);
@@ -156,6 +167,13 @@ Task<Endpoint::ProbeResult> Endpoint::iprobe(std::uint64_t match_bits,
 // ---------------------------------------------------------------------------
 
 void Endpoint::enqueue_tx(PendingTx tx) {
+  // A failed flow transmits nothing: sequencing new frames onto a dead
+  // peer would strand them in the resend queue forever. Anything that
+  // still carries a completion fails instead of silently vanishing.
+  if (tx.frame.kind != FrameKind::kAck && flow_failed(tx.dest)) {
+    if (tx.complete != nullptr && !tx.complete->done()) tx.complete->fail();
+    return;
+  }
   // Firmware reliability: every frame except acks gets a per-flow sequence
   // number and a slot in the resend queue. Resends arrive here with their
   // sequence already stamped and must not be re-recorded.
@@ -314,6 +332,10 @@ void Endpoint::on_flow_timeout(int dest, std::uint64_t gen) {
   if (flow.unacked.empty()) return;
   ++flow.retries;
   ++rto_fires_;
+  if (flow.retries > config_.retry_limit) {
+    fail_flow(dest);
+    return;
+  }
   engine().trace(TraceCategory::kProto, node_->id(),
                  "MX flow RTO fired: retry " + std::to_string(flow.retries) + " to port " +
                      std::to_string(dest));
@@ -321,7 +343,56 @@ void Endpoint::on_flow_timeout(int dest, std::uint64_t gen) {
   arm_flow_timer(dest);
 }
 
+void Endpoint::fail_flow(int dest) {
+  FlowTx& flow = tx_flows_[dest];
+  if (flow.failed) return;
+  flow.failed = true;
+  flow.unacked.clear();  // nothing will be resent; quiescence audits see no strands
+  flow.timer_armed = false;
+  ++flow.timer_gen;
+  ++flow_failures_;
+  engine().trace(TraceCategory::kProto, node_->id(),
+                 "MX flow to port " + std::to_string(dest) + " failed: retry limit " +
+                     std::to_string(config_.retry_limit) + " exhausted, peer unreachable");
+  // Rendezvous sends still waiting for a CTS that will never arrive.
+  for (auto it = pending_sends_.begin(); it != pending_sends_.end();) {
+    if (it->second.dest == dest) {
+      if (!it->second.request->done()) it->second.request->fail();
+      it = pending_sends_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Rendezvous pulls sourced from the dead peer: remaining data frames
+  // will never arrive, so fail the receive now.
+  for (auto it = rndv_recvs_.begin(); it != rndv_recvs_.end();) {
+    if (it->second.src_port == dest) {
+      if (!it->second.recv.request->done()) it->second.recv.request->fail();
+      it = rndv_recvs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Unexpected-queue entries from the dead peer that can no longer make
+  // progress: a half-buffered eager message (its tail is lost) fails any
+  // receive already attached to it; an RTS advertisement is withdrawn —
+  // the sender-side request already failed with the flow, and matching it
+  // later would send a CTS onto this dead flow and strand the receive.
+  for (auto it = unexpected_.begin(); it != unexpected_.end();) {
+    if (it->src_port == dest && (it->kind == FrameKind::kRts || !it->complete)) {
+      if (it->has_match && !it->matched.request->done()) it->matched.request->fail();
+      it = unexpected_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void Endpoint::send_eager(SendOp op) {
+  if (flow_failed(op.dest)) {
+    op.request->fail();
+    return;
+  }
   const std::uint64_t msg_id = next_msg_id_++;
   std::uint32_t offset = 0;
   while (offset < op.len) {
@@ -352,6 +423,10 @@ void Endpoint::send_eager(SendOp op) {
 }
 
 void Endpoint::send_rts(SendOp op) {
+  if (flow_failed(op.dest)) {
+    op.request->fail();
+    return;
+  }
   const std::uint64_t msg_id = next_msg_id_++;
   op.data = snapshot(node_->mem(), op.addr, op.len);
   send_control(FrameKind::kRts, op.dest, msg_id, 0, op.match_bits, op.len);
@@ -556,7 +631,12 @@ void Endpoint::handle_eager_arrival(MxFrame frame) {
     auto it = std::find_if(unexpected_.begin(), unexpected_.end(), [&](const Unexpected& u) {
       return u.src_port == frame.src_port && u.msg_id == frame.msg_id;
     });
-    if (it == unexpected_.end()) throw std::logic_error("mx: eager continuation without head");
+    if (it == unexpected_.end()) {
+      // A failed flow purges half-buffered entries; continuations already
+      // in flight from the dead peer land here and are discarded.
+      if (flow_failed(frame.src_port)) return;
+      throw std::logic_error("mx: eager continuation without head");
+    }
     entry = &*it;
   }
 
@@ -620,8 +700,14 @@ void Endpoint::start_rendezvous(const PostedRecv& recv, int src_port,
                                 std::uint64_t sender_msg_id, std::uint64_t match_bits,
                                 std::uint32_t msg_len) {
   if (recv.capacity < msg_len) throw std::length_error("mx: receive buffer too small");
+  if (flow_failed(src_port)) {
+    // The sender died between advertising and this match: the CTS could
+    // never be delivered, so fail the receive instead of stranding it.
+    if (!recv.request->done()) recv.request->fail();
+    return;
+  }
   const std::uint64_t handle = next_recv_handle_++;
-  rndv_recvs_.emplace(handle, RndvRecv{recv, msg_len, 0});
+  rndv_recvs_.emplace(handle, RndvRecv{recv, msg_len, 0, src_port});
   // Pin the target buffer (cache hit is free; a miss charges the host),
   // then grant the sender the go-ahead.
   const Time pinned = pin(engine().now(), recv.addr, msg_len);
@@ -632,6 +718,9 @@ void Endpoint::start_rendezvous(const PostedRecv& recv, int src_port,
 }
 
 void Endpoint::handle_cts(const MxFrame& frame) {
+  // A CTS racing the flow-failure declaration: the pending send was
+  // already failed and purged, so the grant is moot.
+  if (flow_failed(frame.src_port)) return;
   engine().trace(TraceCategory::kProto, node_->id(),
                  "MX CTS arrived: streaming msg " + std::to_string(frame.msg_id));
   stream_data(frame.msg_id, frame.peer_msg_id);
@@ -639,7 +728,12 @@ void Endpoint::handle_cts(const MxFrame& frame) {
 
 void Endpoint::handle_data(const MxFrame& frame) {
   auto it = rndv_recvs_.find(frame.peer_msg_id);
-  if (it == rndv_recvs_.end()) throw std::logic_error("mx: data for unknown rendezvous");
+  if (it == rndv_recvs_.end()) {
+    // A failed flow purges its rendezvous pulls; data already in flight
+    // from the dead peer lands here and is discarded.
+    if (flow_failed(frame.src_port)) return;
+    throw std::logic_error("mx: data for unknown rendezvous");
+  }
   RndvRecv& rr = it->second;
   if (frame.data != nullptr) {
     node_->mem().write(rr.recv.addr + frame.offset, *frame.data);

@@ -38,6 +38,9 @@ class Request {
   explicit Request(Engine& engine) : done_event_(engine) {}
 
   bool done() const { return done_; }
+  /// The operation was abandoned (peer unreachable after retry
+  /// exhaustion, or cancelled): done, but no data moved.
+  bool failed() const { return failed_; }
   /// Matched message length (valid once done; receives may be shorter
   /// than the posted capacity).
   std::uint32_t length() const { return length_; }
@@ -52,8 +55,15 @@ class Request {
     done_event_.trigger();
   }
 
+  void fail() {
+    done_ = true;
+    failed_ = true;
+    done_event_.trigger();
+  }
+
  private:
   bool done_ = false;
+  bool failed_ = false;
   std::uint32_t length_ = 0;
   std::uint64_t match_bits_ = 0;
   Event done_event_;
@@ -83,6 +93,12 @@ class Endpoint final : public hw::FrameSink {
 
   /// Non-blocking completion probe (mx_test); charges the probe cost.
   Task<bool> test(const RequestPtr& request);
+
+  /// mx_cancel: withdraw a posted receive that has not matched yet. The
+  /// request fails (done, failed()) so a blocked wait() returns; returns
+  /// false if the operation already matched or completed. This is how an
+  /// application unblocks receives stranded by a dead peer.
+  Task<bool> cancel(const RequestPtr& request);
 
   /// mx_iprobe: peek the unexpected queue for a matching message without
   /// consuming it; returns (match_bits, length) if present.
@@ -119,6 +135,7 @@ class Endpoint final : public hw::FrameSink {
   std::uint64_t resent_bytes() const { return resent_bytes_; }
   std::uint64_t acks_sent() const { return acks_sent_; }
   std::uint64_t corrupt_discards() const { return corrupt_discards_; }
+  std::uint64_t flow_failures() const { return flow_failures_; }
   const hw::RegCache& reg_cache() const { return reg_cache_; }
 
   /// FabricCheck final audit (quiescent state only): the NIC-resident
@@ -188,6 +205,7 @@ class Endpoint final : public hw::FrameSink {
     PostedRecv recv;
     std::uint32_t msg_len = 0;
     std::uint32_t placed = 0;
+    int src_port = -1;  ///< sender, so a flow failure can strand-sweep
   };
 
   void send_eager(SendOp op);
@@ -228,7 +246,8 @@ class Endpoint final : public hw::FrameSink {
     std::deque<Unacked> unacked;  ///< frames held for resend, oldest first
     std::uint64_t timer_gen = 0;
     bool timer_armed = false;
-    int retries = 0;  ///< consecutive timeout rounds without progress
+    int retries = 0;     ///< consecutive timeout rounds without progress
+    bool failed = false;  ///< retry limit hit: peer declared unreachable
   };
 
   /// Receiver-side reliability state for one source port.
@@ -247,6 +266,14 @@ class Endpoint final : public hw::FrameSink {
   void resend_flow(int dest);
   void arm_flow_timer(int dest);
   void on_flow_timeout(int dest, std::uint64_t gen);
+  /// Retry exhaustion: declare `dest` unreachable and fail every request
+  /// stuck behind that flow (pending rendezvous sends, mid-buffer eager
+  /// arrivals, rendezvous pulls from that peer) so nothing hangs.
+  void fail_flow(int dest);
+  bool flow_failed(int dest) const {
+    auto it = tx_flows_.find(dest);
+    return it != tx_flows_.end() && it->second.failed;
+  }
 
   static bool matches(const PostedRecv& recv, std::uint64_t bits) {
     return (bits & recv.match_mask) == recv.match_bits;
@@ -287,6 +314,7 @@ class Endpoint final : public hw::FrameSink {
   std::uint64_t resent_bytes_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::uint64_t corrupt_discards_ = 0;
+  std::uint64_t flow_failures_ = 0;
   std::size_t unexpected_hwm_ = 0;
   std::size_t posted_hwm_ = 0;
 };

@@ -59,6 +59,7 @@ void Topology::Builder::link(int a, int b) {
   const int port_b = sb.connect_to(sa);
   adjacency_.at(static_cast<std::size_t>(a)).emplace_back(port_a, b);
   adjacency_.at(static_cast<std::size_t>(b)).emplace_back(port_b, a);
+  links_.push_back(LinkRec{a, port_a, b, port_b, true});
 }
 
 void Topology::Builder::place(int node, int sw) {
@@ -77,59 +78,13 @@ Topology Topology::Builder::build() {
     throw std::logic_error("Topology::Builder::build: only " + std::to_string(next_node_) +
                            " of " + std::to_string(num_endpoints_) + " endpoints placed");
   }
-  // Per-destination LFTs: BFS from the destination's edge switch gives
-  // shortest-path distances; every other switch forwards through an
-  // equal-cost port picked by dst % |candidates| — deterministic, and it
-  // spreads destinations across the uplinks like dst-mod-k LFT
-  // assignment on real subnets. Host-facing entries are installed by
-  // Switch::attach() when the NICs plug in.
-  constexpr int kUnreached = std::numeric_limits<int>::max();
-  const int num_switches = static_cast<int>(switches_.size());
-  std::vector<int> dist(static_cast<std::size_t>(num_switches));
-  std::vector<int> frontier;
-  std::vector<int> next;
-  for (int node = 0; node < num_endpoints_; ++node) {
-    const int root = edge_of_.at(static_cast<std::size_t>(node));
-    std::fill(dist.begin(), dist.end(), kUnreached);
-    dist.at(static_cast<std::size_t>(root)) = 0;
-    frontier.assign(1, root);
-    int depth = 0;
-    while (!frontier.empty()) {
-      ++depth;
-      next.clear();
-      for (int s : frontier) {
-        for (const auto& [port, peer] : adjacency_.at(static_cast<std::size_t>(s))) {
-          (void)port;
-          int& d = dist.at(static_cast<std::size_t>(peer));
-          if (d == kUnreached) {
-            d = depth;
-            next.push_back(peer);
-          }
-        }
-      }
-      frontier.swap(next);
-    }
-    for (int s = 0; s < num_switches; ++s) {
-      if (s == root || dist.at(static_cast<std::size_t>(s)) == kUnreached) continue;
-      const int want = dist.at(static_cast<std::size_t>(s)) - 1;
-      int candidates = 0;
-      for (const auto& [port, peer] : adjacency_.at(static_cast<std::size_t>(s))) {
-        (void)port;
-        if (dist.at(static_cast<std::size_t>(peer)) == want) ++candidates;
-      }
-      int pick = node % candidates;
-      for (const auto& [port, peer] : adjacency_.at(static_cast<std::size_t>(s))) {
-        if (dist.at(static_cast<std::size_t>(peer)) != want) continue;
-        if (pick-- == 0) {
-          switches_.at(static_cast<std::size_t>(s))->set_route(node, port);
-          break;
-        }
-      }
-    }
-  }
   Topology topo;
+  topo.engine_ = engine_;
   topo.switches_ = std::move(switches_);
+  topo.adjacency_ = std::move(adjacency_);
+  topo.links_ = std::move(links_);
   topo.edge_of_ = std::move(edge_of_);
+  topo.compute_lfts();
   return topo;
 }
 
@@ -140,7 +95,9 @@ Topology Topology::Builder::build() {
 Topology Topology::single(Engine& engine, hw::SwitchConfig config, int endpoints) {
   config.id = 0;
   Topology topo;
+  topo.engine_ = &engine;
   topo.switches_.push_back(std::make_unique<hw::Switch>(engine, config));
+  topo.adjacency_.emplace_back();
   topo.edge_of_.assign(static_cast<std::size_t>(endpoints), 0);
   return topo;
 }
@@ -223,6 +180,257 @@ Topology Topology::build(Engine& engine, const FabricSpec& spec, hw::SwitchConfi
 }
 
 // ---------------------------------------------------------------------------
+// LFT computation (build time and post-failure recompute)
+// ---------------------------------------------------------------------------
+
+void Topology::compute_levels() {
+  // Tier position of every switch: multi-source BFS from the edge
+  // switches (level 0) over the FULL adjacency — a switch's physical
+  // tier does not move when links fail, so levels are computed once and
+  // stay stable across every recompute (and across failures, which
+  // keeps the up/down classification of each link deterministic).
+  const int num_switches = static_cast<int>(switches_.size());
+  level_.assign(static_cast<std::size_t>(num_switches), -1);
+  std::vector<int> frontier;
+  for (int s : edge_of_) {
+    if (level_.at(static_cast<std::size_t>(s)) != 0) {
+      level_[static_cast<std::size_t>(s)] = 0;
+      frontier.push_back(s);
+    }
+  }
+  std::vector<int> next;
+  int depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (int s : frontier) {
+      for (const auto& [port, peer] : adjacency_.at(static_cast<std::size_t>(s))) {
+        (void)port;
+        int& l = level_.at(static_cast<std::size_t>(peer));
+        if (l < 0) {
+          l = depth;
+          next.push_back(peer);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+void Topology::compute_lfts() {
+  if (single_crossbar()) return;
+  // Per-destination LFTs with up*/down* (down-preferred) routing: a
+  // switch that can still DESCEND to the destination's edge switch
+  // always routes down the shortest descending path; only switches with
+  // no surviving descending path climb, toward the up-neighbour with
+  // the cheapest onward route. Every resulting path climbs some tiers
+  // and then only descends — never down-then-up — which is what keeps
+  // the credit/PAUSE fabrics deadlock-free: a "valley" route created by
+  // naive shortest-path repair can close a cyclic buffer dependency
+  // between output queues, and a full credit cycle wedges every queue
+  // on it with the event queue drained (the chaos soak's lossless
+  // fabrics found exactly that). On a healthy Clos the down-preferred
+  // candidates coincide with the shortest-path candidates, so build-time
+  // LFTs (and every digest derived from them) are unchanged.
+  //
+  // Among equal-cost candidate ports the destination id picks one
+  // (dst % candidates) — deterministic, and it spreads destinations
+  // across the uplinks like dst-mod-k LFT assignment on real subnets.
+  // Host-facing entries (edge switch of the destination itself) are
+  // preserved: Switch::attach() installs them when the NICs plug in and
+  // failures never move a NIC. Destinations whose edge switch is down,
+  // or that failures cut off from every up*/down* path, keep -1
+  // entries — the data path counts those frames unroutable and the
+  // per-stack retry machinery surfaces the loss. (Same-tier links are
+  // never routed over: the Clos builders do not create them, and they
+  // have no up/down class.)
+  constexpr int kUnreached = std::numeric_limits<int>::max();
+  const int num_switches = static_cast<int>(switches_.size());
+  const int num_nodes = static_cast<int>(edge_of_.size());
+  if (level_.size() != switches_.size()) compute_levels();
+  // Sweep orders: ascending tier for the descend pass (a switch's
+  // down-neighbours are finished first), descending tier for the climb
+  // pass. Index order within a tier keeps both sweeps deterministic.
+  std::vector<int> by_level_up(static_cast<std::size_t>(num_switches));
+  for (int s = 0; s < num_switches; ++s) by_level_up[static_cast<std::size_t>(s)] = s;
+  std::sort(by_level_up.begin(), by_level_up.end(), [this](int a, int b) {
+    const int la = level_.at(static_cast<std::size_t>(a));
+    const int lb = level_.at(static_cast<std::size_t>(b));
+    return la != lb ? la < lb : a < b;
+  });
+  std::vector<int> cost_down(static_cast<std::size_t>(num_switches));
+  std::vector<int> total(static_cast<std::size_t>(num_switches));
+  // Liveness is the Topology's administrative view (LinkRec::up, switch
+  // down flags), not the ports' own flags: fail_/restore_ update the
+  // records before recomputing, so a just-restored link is routable in
+  // the same recompute even though its transmit pump restarts after.
+  std::vector<std::vector<char>> port_ok(static_cast<std::size_t>(num_switches));
+  for (int s = 0; s < num_switches; ++s) {
+    port_ok[static_cast<std::size_t>(s)].assign(switches_[static_cast<std::size_t>(s)]->num_ports(),
+                                                1);
+  }
+  for (const LinkRec& l : links_) {
+    if (l.up) continue;
+    port_ok[static_cast<std::size_t>(l.a)][static_cast<std::size_t>(l.port_a)] = 0;
+    port_ok[static_cast<std::size_t>(l.b)][static_cast<std::size_t>(l.port_b)] = 0;
+  }
+  auto usable = [this, &port_ok](int s, int port, int peer) {
+    return port_ok[static_cast<std::size_t>(s)][static_cast<std::size_t>(port)] != 0 &&
+           !switches_[static_cast<std::size_t>(peer)]->switch_down();
+  };
+  for (int node = 0; node < num_nodes; ++node) {
+    const int root = edge_of_.at(static_cast<std::size_t>(node));
+    for (int s = 0; s < num_switches; ++s) {
+      if (s != root) switches_[static_cast<std::size_t>(s)]->set_route(node, -1);
+    }
+    if (switches_[static_cast<std::size_t>(root)]->switch_down()) continue;
+    // Descend pass: cost_down[s] = shortest path to root that only ever
+    // steps to a lower tier. Ascending-tier sweep order makes each
+    // switch's down-neighbours final before it is visited.
+    std::fill(cost_down.begin(), cost_down.end(), kUnreached);
+    cost_down.at(static_cast<std::size_t>(root)) = 0;
+    for (int s : by_level_up) {
+      if (s == root) continue;
+      const int lvl = level_.at(static_cast<std::size_t>(s));
+      int& best = cost_down.at(static_cast<std::size_t>(s));
+      for (const auto& [port, peer] : adjacency_.at(static_cast<std::size_t>(s))) {
+        if (level_.at(static_cast<std::size_t>(peer)) != lvl - 1) continue;
+        if (!usable(s, port, peer)) continue;
+        const int via = cost_down.at(static_cast<std::size_t>(peer));
+        if (via != kUnreached && via + 1 < best) best = via + 1;
+      }
+    }
+    // Climb pass: a switch with no descending path routes up; its cost
+    // is 1 + the cheapest up-neighbour. Descending-tier sweep order
+    // makes each switch's up-neighbours final before it is visited.
+    total = cost_down;
+    for (auto it = by_level_up.rbegin(); it != by_level_up.rend(); ++it) {
+      const int s = *it;
+      if (total.at(static_cast<std::size_t>(s)) != kUnreached) continue;
+      const int lvl = level_.at(static_cast<std::size_t>(s));
+      int& best = total.at(static_cast<std::size_t>(s));
+      for (const auto& [port, peer] : adjacency_.at(static_cast<std::size_t>(s))) {
+        if (level_.at(static_cast<std::size_t>(peer)) != lvl + 1) continue;
+        if (!usable(s, port, peer)) continue;
+        const int via = total.at(static_cast<std::size_t>(peer));
+        if (via != kUnreached && via + 1 < best) best = via + 1;
+      }
+    }
+    for (int s = 0; s < num_switches; ++s) {
+      if (s == root || total.at(static_cast<std::size_t>(s)) == kUnreached) continue;
+      const int lvl = level_.at(static_cast<std::size_t>(s));
+      const bool descend = cost_down.at(static_cast<std::size_t>(s)) != kUnreached;
+      const int peer_level = descend ? lvl - 1 : lvl + 1;
+      const int want = total.at(static_cast<std::size_t>(s)) - 1;
+      auto is_candidate = [&](int port, int peer) {
+        if (level_.at(static_cast<std::size_t>(peer)) != peer_level) return false;
+        if (!usable(s, port, peer)) return false;
+        const auto& costs = descend ? cost_down : total;
+        return costs.at(static_cast<std::size_t>(peer)) == want;
+      };
+      int candidates = 0;
+      for (const auto& [port, peer] : adjacency_.at(static_cast<std::size_t>(s))) {
+        if (is_candidate(port, peer)) ++candidates;
+      }
+      int pick = node % candidates;
+      for (const auto& [port, peer] : adjacency_.at(static_cast<std::size_t>(s))) {
+        if (!is_candidate(port, peer)) continue;
+        if (pick-- == 0) {
+          switches_.at(static_cast<std::size_t>(s))->set_route(node, port);
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Topology::recompute_lfts() {
+  compute_lfts();
+  ++lft_epoch_;
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection (FabricFail)
+// ---------------------------------------------------------------------------
+
+void Topology::fail_link(int link) {
+  LinkRec& l = links_.at(static_cast<std::size_t>(link));
+  if (!l.up) return;
+  l.up = false;
+  hw::Switch& sa = *switches_.at(static_cast<std::size_t>(l.a));
+  hw::Switch& sb = *switches_.at(static_cast<std::size_t>(l.b));
+  sa.set_port_down(l.port_a);
+  sb.set_port_down(l.port_b);
+  // Reroute first, then drain: the requeue path re-admits stranded
+  // frames through the *new* LFTs, so anything with a surviving path
+  // recovers in place (credit mode) instead of dropping.
+  recompute_lfts();
+  sa.requeue_down_port(l.port_a);
+  sb.requeue_down_port(l.port_b);
+}
+
+void Topology::restore_link(int link) {
+  LinkRec& l = links_.at(static_cast<std::size_t>(link));
+  if (l.up) return;
+  l.up = true;
+  // Recompute before restarting the pumps so the first transmit after
+  // recovery already follows the reclaimed shortest paths.
+  recompute_lfts();
+  switches_.at(static_cast<std::size_t>(l.a))->set_port_up(l.port_a);
+  switches_.at(static_cast<std::size_t>(l.b))->set_port_up(l.port_b);
+}
+
+void Topology::fail_switch(int sw) {
+  hw::Switch& dead = *switches_.at(static_cast<std::size_t>(sw));
+  if (dead.switch_down()) return;
+  dead.set_switch_down(true);
+  // Every link touching the dead switch is effectively down: mark both
+  // ends so neighbours stop transmitting into the blackhole (frames
+  // already in flight are counted + credit-released on arrival).
+  for (const LinkRec& l : links_) {
+    if (!l.up || (l.a != sw && l.b != sw)) continue;
+    switches_.at(static_cast<std::size_t>(l.a))->set_port_down(l.port_a);
+    switches_.at(static_cast<std::size_t>(l.b))->set_port_down(l.port_b);
+  }
+  recompute_lfts();
+  // The dead switch lost its buffers outright; neighbours requeue onto
+  // the rerouted LFTs per flow-control mode.
+  dead.drain_all_drop();
+  for (const LinkRec& l : links_) {
+    if (!l.up || (l.a != sw && l.b != sw)) continue;
+    const int neighbour = l.a == sw ? l.b : l.a;
+    const int nport = l.a == sw ? l.port_b : l.port_a;
+    switches_.at(static_cast<std::size_t>(neighbour))->requeue_down_port(nport);
+  }
+}
+
+void Topology::restore_switch(int sw) {
+  hw::Switch& back = *switches_.at(static_cast<std::size_t>(sw));
+  if (!back.switch_down()) return;
+  back.set_switch_down(false);
+  recompute_lfts();
+  // Restart links whose far end is also alive and that were not failed
+  // independently of this switch.
+  for (const LinkRec& l : links_) {
+    if (!l.up || (l.a != sw && l.b != sw)) continue;
+    const int other = l.a == sw ? l.b : l.a;
+    if (switches_.at(static_cast<std::size_t>(other))->switch_down()) continue;
+    switches_.at(static_cast<std::size_t>(l.a))->set_port_up(l.port_a);
+    switches_.at(static_cast<std::size_t>(l.b))->set_port_up(l.port_b);
+  }
+}
+
+void Topology::schedule_link_down(int link, Time start, Time end) {
+  engine_->post(start, /*scope=*/-1, [this, link] { fail_link(link); });
+  engine_->post(end, /*scope=*/-1, [this, link] { restore_link(link); });
+}
+
+void Topology::schedule_switch_down(int sw, Time start, Time end) {
+  engine_->post(start, /*scope=*/-1, [this, sw] { fail_switch(sw); });
+  engine_->post(end, /*scope=*/-1, [this, sw] { restore_switch(sw); });
+}
+
+// ---------------------------------------------------------------------------
 // Queries
 // ---------------------------------------------------------------------------
 
@@ -301,6 +509,11 @@ void Topology::collect_metrics(MetricRegistry& registry, Time elapsed) const {
     registry.counter("switch.tail_drops").set(tail_drops_total());
     registry.counter("switch.credit_stalls").set(credit_stalls_total());
     registry.gauge("switch.count").set(static_cast<double>(switches_.size()));
+    // FabricFail: losses attributable to failed elements, and the number
+    // of reroute epochs the fabric went through.
+    registry.counter("switch.down_drops").set(down_drops_total());
+    registry.counter("switch.unroutable_drops").set(unroutable_drops_total());
+    registry.counter("topo.lft_epochs").set(static_cast<std::uint64_t>(lft_epoch_));
   }
 }
 
@@ -332,6 +545,18 @@ std::uint64_t Topology::fault_delays_total() const {
 std::uint64_t Topology::tail_drops_total() const {
   std::uint64_t total = 0;
   for (const auto& sw : switches_) total += sw->tail_drops_total();
+  return total;
+}
+
+std::uint64_t Topology::down_drops_total() const {
+  std::uint64_t total = 0;
+  for (const auto& sw : switches_) total += sw->down_drops();
+  return total;
+}
+
+std::uint64_t Topology::unroutable_drops_total() const {
+  std::uint64_t total = 0;
+  for (const auto& sw : switches_) total += sw->unroutable_drops();
   return total;
 }
 

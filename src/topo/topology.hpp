@@ -11,12 +11,35 @@
 //                   oversubscription), à la ib_flit_sim's LFT fabrics;
 //  * Builder      — explicit adjacency for irregular fabrics.
 //
-// LFTs are computed once at build time with a per-destination BFS over
-// the switch graph; among equal-cost candidate ports the destination id
-// picks one (dst % candidates), which spreads flows across the fabric
-// the way destination-mod-k LFT assignment does on real IB subnets while
-// staying fully reproducible. All Switch construction in the tree lives
-// here (conventions_lint bans it elsewhere outside tests).
+// LFTs are computed at build time with per-destination up*/down*
+// (down-preferred) routing over the switch graph: a switch that can
+// still descend toward the destination routes down the shortest
+// descending path, and only switches with no descending path climb.
+// Among equal-cost candidate ports the destination id picks one
+// (dst % candidates), which spreads flows across the fabric the way
+// destination-mod-k LFT assignment does on real IB subnets while
+// staying fully reproducible. On a healthy Clos this is exactly
+// shortest-path routing; its value shows after failures (below). All
+// Switch construction in the tree lives here (conventions_lint bans it
+// elsewhere outside tests).
+//
+// Failure awareness (FabricFail): the Topology retains the adjacency it
+// was built from, so links and switches can fail and recover at runtime
+// (fail_link / fail_switch, or the schedule_* helpers for deterministic
+// down/up windows). Each transition recomputes every LFT with the same
+// up*/down* rule over the *surviving* graph — same dst % candidates
+// tie-break, so the post-failure routing is as reproducible as the
+// original — bumps lft_epoch(), and drains the affected queues per
+// flow-control mode (credit: requeue onto the new routes, returning
+// every commitment; lossy: drop and count). Down-preference is what
+// keeps the repaired routes deadlock-free on the lossless fabrics: a
+// naive shortest-path repair can route down-then-up ("valley" paths),
+// and a valley can close a cyclic credit dependency that wedges every
+// output queue on the cycle. Destinations severed from the fabric (or
+// cut off from every up*/down* path) get -1 LFT entries; the data path
+// counts such frames unroutable and the per-stack timeout machinery
+// (IB kRetryExceeded, iWARP/MX equivalents) surfaces the error instead
+// of hanging.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +56,17 @@ namespace fabsim::topo {
 
 class Topology {
  public:
+  /// One full-duplex inter-switch link: switch `a` port `port_a` wired
+  /// to switch `b` port `port_b`. Link ids are assigned in
+  /// Builder::link() order and are the addresses fail_link() takes.
+  struct LinkRec {
+    int a;
+    int port_a;
+    int b;
+    int port_b;
+    bool up = true;
+  };
+
   /// Explicit-adjacency builder for irregular fabrics. Switch ids are
   /// assigned in add_switch() order; endpoints must be placed in
   /// increasing node-id order (the order Cluster constructs NICs in).
@@ -55,6 +89,7 @@ class Topology {
     std::vector<std::unique_ptr<hw::Switch>> switches_;
     /// adjacency[s] = (local port, peer switch index), in port order.
     std::vector<std::vector<std::pair<int, int>>> adjacency_;
+    std::vector<LinkRec> links_;
     std::vector<int> edge_of_;
   };
 
@@ -85,6 +120,42 @@ class Topology {
   /// True for the seed's single direct-mode crossbar.
   bool single_crossbar() const { return switches_.size() == 1 && !switches_[0]->routed(); }
 
+  // --- Failure injection (FabricFail) ---------------------------------
+
+  /// Inter-switch links in Builder::link() order (empty for a single
+  /// crossbar). The index is the link id fail_link() addresses.
+  const std::vector<LinkRec>& links() const { return links_; }
+
+  /// Routing-epoch counter: bumped by every recompute_lfts(), so tests
+  /// and benches can assert a failure actually rerouted.
+  int lft_epoch() const { return lft_epoch_; }
+
+  /// Take link `link` down now: both ports stop admitting/transmitting,
+  /// every LFT is recomputed around it, and the stranded queues are
+  /// drained per flow-control mode (credit requeues onto the new
+  /// routes, lossy drops and counts). No-op if already down.
+  void fail_link(int link);
+  /// Bring link `link` back: recompute LFTs to reclaim the shorter
+  /// paths, then restart both transmit pumps.
+  void restore_link(int link);
+
+  /// Whole-switch failure: the switch blackholes (counting) everything,
+  /// all its links go down, LFTs route around it, its queues drop, and
+  /// neighbour queues requeue per flow-control mode.
+  void fail_switch(int sw);
+  void restore_switch(int sw);
+  bool switch_up(int sw) const { return !switches_.at(static_cast<std::size_t>(sw))->switch_down(); }
+
+  /// Deterministic down/up window: fail at `start`, restore at `end`
+  /// (absolute simulated times, posted on the shared scope).
+  void schedule_link_down(int link, Time start, Time end);
+  void schedule_switch_down(int sw, Time start, Time end);
+
+  /// Recompute every LFT over the surviving graph (same BFS and
+  /// dst % candidates tie-break as build time) and bump lft_epoch().
+  /// fail_/restore_ call this; exposed for tests.
+  void recompute_lfts();
+
   /// FNV-1a digest over every switch's LFT — two builds of the same
   /// config must agree byte for byte (tests/topo_test.cpp locks this).
   std::uint64_t lft_digest() const;
@@ -109,14 +180,29 @@ class Topology {
   std::uint64_t fault_delays_total() const;
   std::uint64_t tail_drops_total() const;
   std::uint64_t credit_stalls_total() const;
+  std::uint64_t down_drops_total() const;
+  std::uint64_t unroutable_drops_total() const;
 
  private:
   Topology() = default;
 
   int index_of(const hw::Switch* sw) const;
+  /// Tier levels (0 = edge), from a multi-source BFS over the full
+  /// adjacency; computed once, stable across failures.
+  void compute_levels();
+  /// The routing computation itself (shared by build() and
+  /// recompute_lfts()); preserves host-facing LFT entries, rewrites
+  /// every inter-switch entry with up*/down* (down-preferred) routes.
+  void compute_lfts();
 
+  Engine* engine_ = nullptr;
   std::vector<std::unique_ptr<hw::Switch>> switches_;
+  /// adjacency[s] = (local port, peer switch index), in port order.
+  std::vector<std::vector<std::pair<int, int>>> adjacency_;
+  std::vector<LinkRec> links_;
   std::vector<int> edge_of_;  // node -> switch index
+  std::vector<int> level_;    // switch tier (0 = edge), see compute_levels()
+  int lft_epoch_ = 0;
 };
 
 }  // namespace fabsim::topo

@@ -119,6 +119,84 @@ TEST(Topology, PathHopsMatchTheTiers) {
   EXPECT_EQ(topo.path_hops(0, 15), 5);  // cross-pod: edge-agg-core-agg-edge
 }
 
+// --- Failure awareness: fail/restore, epochs, up*/down* routing -----------
+
+TEST(Topology, FailRestoreRoundTripsLftDigestAndEpoch) {
+  Engine engine;
+  auto topo = topo::Topology::clos(engine, clos_switch_config(), topo::FabricSpec{2, 8, 1.0}, 16);
+  const std::uint64_t healthy = topo.lft_digest();
+  EXPECT_EQ(topo.lft_epoch(), 0);
+
+  topo.fail_link(0);  // leaf0's first uplink
+  EXPECT_EQ(topo.lft_epoch(), 1);
+  EXPECT_FALSE(topo.links()[0].up);
+  EXPECT_NE(topo.lft_digest(), healthy) << "routes must actually move off the dead link";
+
+  topo.restore_link(0);
+  EXPECT_EQ(topo.lft_epoch(), 2);
+  EXPECT_TRUE(topo.links()[0].up);
+  EXPECT_EQ(topo.lft_digest(), healthy)
+      << "restoring the link must reproduce the build-time routes exactly";
+
+  // fail/restore are idempotent: re-restoring an up link changes nothing.
+  topo.restore_link(0);
+  EXPECT_EQ(topo.lft_epoch(), 2);
+}
+
+TEST(Topology, FailedSwitchTakesAllItsLinksDownAndBack) {
+  Engine engine;
+  auto topo = topo::Topology::clos(engine, clos_switch_config(), topo::FabricSpec{2, 8, 1.0}, 16);
+  const std::uint64_t healthy = topo.lft_digest();
+
+  // Leaves are built first, so the first spine follows the last edge.
+  const int spine = topo.edge_index_of(15) + 1;
+  ASSERT_TRUE(topo.switch_up(spine));
+  topo.fail_switch(spine);
+  EXPECT_FALSE(topo.switch_up(spine));
+  // Link records track *independent* link failures only; a dead switch
+  // takes its ports down without co-opting them, so a later
+  // restore_switch knows which links to bring back.
+  for (const auto& link : topo.links()) EXPECT_TRUE(link.up);
+  EXPECT_NE(topo.lft_digest(), healthy);
+
+  topo.restore_switch(spine);
+  EXPECT_TRUE(topo.switch_up(spine));
+  EXPECT_EQ(topo.lft_digest(), healthy);
+}
+
+TEST(Topology, RecomputeOnHealthyFabricIsAFixpoint) {
+  // The up*/down* (down-preferred) recompute must agree with the
+  // build-time routes on an intact Clos — otherwise every first failure
+  // would also perturb the *unaffected* paths.
+  Engine engine;
+  for (const topo::FabricSpec spec :
+       {topo::FabricSpec{2, 8, 1.0}, topo::FabricSpec{3, 4, 1.0}}) {
+    auto topo = topo::Topology::clos(engine, clos_switch_config(), spec, 16);
+    const std::uint64_t healthy = topo.lft_digest();
+    topo.recompute_lfts();
+    EXPECT_EQ(topo.lft_digest(), healthy);
+  }
+}
+
+TEST(Topology, RerouteKeepsAllPairsReachableOnThreeLevelClos) {
+  // Losing one core switch must not strand any host pair: up*/down*
+  // still finds a (possibly longer) path, and no LFT walk may loop.
+  Engine engine;
+  core::NetworkProfile p = core::ib_profile();
+  p.fabric = topo::FabricSpec{3, 4, 1.0};
+  core::Cluster cluster(16, p);
+  auto& topo = cluster.topology();
+
+  const int core = static_cast<int>(topo.num_switches()) - 1;
+  topo.fail_switch(core);
+  for (int src = 0; src < 16; ++src) {
+    for (int dst = 0; dst < 16; ++dst) {
+      if (src == dst) continue;
+      EXPECT_GE(topo.path_hops(src, dst), 1) << src << "->" << dst;
+    }
+  }
+}
+
 // --- Routed traffic: determinism + flow-control divergence ----------------
 
 /// One verbs RDMA write between the two most distant endpoints; returns
