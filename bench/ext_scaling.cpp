@@ -2,11 +2,27 @@
 // "We plan to put these networks to the test in a larger testbed").
 // Scales the simulated cluster to 16 nodes and measures how the
 // interconnects' collective performance diverges with rank count.
+//
+// This is also the perf-trajectory workload: the heaviest configuration
+// (16 ranks, bandwidth-bound allreduce) re-runs with a FabricProf
+// profiler attached, publishing host events/sec per network as
+// <net>.events_per_sec scalars (scraped into BENCH_engine.json by
+// scripts/bench_engine.py) plus the prof.* hot-spot breakdown in the
+// metrics section.
+//
+// Args:
+//   quick   smaller sweep (2..8 ranks, probe at 8) writing
+//           results/ext_scaling_quick.* — the CI perf-smoke config
+//   --full  keep per-node/per-rank metric detail in the report instead
+//           of the aggregate trim
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/cluster.hpp"
 #include "core/report.hpp"
+#include "sim/prof.hpp"
 
 using namespace fabsim;
 using namespace fabsim::core;
@@ -14,11 +30,13 @@ using namespace fabsim::core;
 namespace {
 
 double allreduce_us(Network network, int ranks, std::uint32_t count_doubles, int iters = 8,
-                    Histogram* hist = nullptr, MetricRegistry* metrics = nullptr) {
+                    Histogram* hist = nullptr, MetricRegistry* metrics = nullptr,
+                    Profiler* profiler = nullptr) {
   NetworkProfile p = profile(network);
   p.mpi.eager_buffers = 64;  // keep the N^2 mesh memory bounded at 16 ranks
   Cluster cluster(ranks, p);
   if (metrics != nullptr) cluster.engine().set_metrics(metrics);
+  if (profiler != nullptr) cluster.attach_profiler(*profiler);
   const std::uint32_t bytes = count_doubles * sizeof(double);
   std::vector<hw::Buffer*> data, scratch;
   for (int r = 0; r < ranks; ++r) {
@@ -74,23 +92,42 @@ double barrier_us(Network network, int ranks, int iters = 10) {
 
 }  // namespace
 
-int main() {
-  const auto networks = {Network::kIwarp, Network::kIb, Network::kMxoe, Network::kMxom};
-  // Probe the heaviest configuration: 16 ranks, bandwidth-bound allreduce.
-  constexpr int kProbeRanks = 16;
-  constexpr std::uint32_t kProbeDoubles = 4096;
-  std::printf("=== Extension X8: scaling to a 16-node testbed ===\n");
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool full_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "quick") quick = true;
+    else if (arg == "--full") full_metrics = true;
+    else {
+      std::fprintf(stderr, "usage: %s [quick] [--full]\n", argv[0]);
+      return 2;
+    }
+  }
 
-  Report report("ext_scaling");
-  report.add_note("barrier and allreduce scaling, 2..16 ranks");
-  report.add_note("probe: rank-0 per-iteration allreduce histogram + metrics at 16 ranks, 32KB");
+  const auto networks = {Network::kIwarp, Network::kIb, Network::kMxoe, Network::kMxom};
+  // Probe the heaviest configuration: bandwidth-bound allreduce at the
+  // largest rank count in the sweep.
+  const std::vector<int> rank_sweep = quick ? std::vector<int>{2, 8} : std::vector<int>{2, 4, 8, 16};
+  const int probe_ranks = rank_sweep.back();
+  constexpr std::uint32_t kProbeDoubles = 4096;
+  const int probe_iters = quick ? 4 : 8;
+  std::printf("=== Extension X8: scaling to a %d-node testbed%s ===\n", probe_ranks,
+              quick ? " (quick)" : "");
+
+  Report report(quick ? "ext_scaling_quick" : "ext_scaling");
+  report.add_note("barrier and allreduce scaling, " + std::to_string(rank_sweep.front()) + ".." +
+                  std::to_string(rank_sweep.back()) + " ranks");
+  report.add_note("probe: rank-0 allreduce histogram + metrics + FabricProf host profile at " +
+                  std::to_string(probe_ranks) + " ranks, 32KB" +
+                  (full_metrics ? "" : " (pass --full for per-node/per-rank detail)"));
 
   std::vector<std::string> cols;
   for (Network n : networks) cols.push_back(network_name(n));
 
   {
     Table table("Barrier latency (us) vs ranks", "ranks", cols);
-    for (int ranks : {2, 4, 8, 16}) {
+    for (int ranks : rank_sweep) {
       std::vector<double> row;
       for (Network n : networks) row.push_back(barrier_us(n, ranks));
       table.add_row(ranks, std::move(row));
@@ -101,17 +138,27 @@ int main() {
   for (std::uint32_t doubles : {8u, 4096u}) {
     Table table("Allreduce " + std::to_string(doubles * 8) + "B latency (us) vs ranks", "ranks",
                 cols);
-    for (int ranks : {2, 4, 8, 16}) {
+    for (int ranks : rank_sweep) {
       std::vector<double> row;
       for (Network n : networks) {
-        if (ranks == kProbeRanks && doubles == kProbeDoubles) {
+        if (ranks == probe_ranks && doubles == kProbeDoubles) {
           Histogram hist;
           MetricRegistry metrics;
-          row.push_back(allreduce_us(n, ranks, doubles, 8, &hist, &metrics));
+          // Host-time profile of the heaviest run: stride 8 keeps the
+          // clock off 7 of 8 dispatches, slices stay bounded.
+          Profiler profiler(Profiler::Config{.sample_stride = 8, .max_slices = 4096});
+          row.push_back(allreduce_us(n, ranks, doubles, probe_iters, &hist, &metrics, &profiler));
           report.add_histogram(std::string(network_name(n)) + ".allreduce_us", hist);
-          report.add_metrics(metrics, std::string(network_name(n)) + ".");
+          if (full_metrics) {
+            report.add_metrics(metrics, std::string(network_name(n)) + ".");
+          } else {
+            report.add_metrics_if(metrics, std::string(network_name(n)) + ".",
+                                  Report::aggregate_key);
+          }
+          report.add_scalar(std::string(network_name(n)) + ".events_per_sec",
+                            profiler.events_per_sec(), "events/s");
         } else {
-          row.push_back(allreduce_us(n, ranks, doubles));
+          row.push_back(allreduce_us(n, ranks, doubles, probe_iters));
         }
       }
       table.add_row(ranks, std::move(row));

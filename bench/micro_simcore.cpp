@@ -1,10 +1,17 @@
 // google-benchmark microbenchmarks of the simulation core itself:
 // event throughput, coroutine context switches, resource booking, and a
 // full iWARP RDMA-write transfer as an end-to-end figure of merit.
+//
+// The *Profiled variants re-run a workload with a FabricProf profiler
+// attached: the events/sec delta against the detached twin is the
+// measured profiler overhead, and the prof_* counters surface where the
+// host time and heap churn go (scripts/bench_engine.py records both
+// sides in the BENCH_engine.json trajectory).
 #include <benchmark/benchmark.h>
 
 #include "core/cluster.hpp"
 #include "sim/engine.hpp"
+#include "sim/prof.hpp"
 #include "sim/resource.hpp"
 #include "sim/sync.hpp"
 
@@ -76,6 +83,45 @@ void BM_MailboxPingPong(benchmark::State& state) {
   report_event_rate(state, events);
 }
 BENCHMARK(BM_MailboxPingPong);
+
+/// BM_EventQueueThroughput with the profiler attached (1-in-16 clock
+/// sampling, no slice retention): the events/sec gap to the detached
+/// twin is the attached-profiler cost, and the prof_* counters give the
+/// hot-spot breakdown per event — host ns in dispatch, binary-heap
+/// work, and allocator traffic on the queue storage.
+void BM_EventQueueThroughputProfiled(benchmark::State& state) {
+  std::uint64_t events = 0;
+  Profiler profiler(Profiler::Config{.sample_stride = 16, .max_slices = 0});
+  for (auto _ : state) {
+    Engine engine;
+    engine.set_profiler(&profiler);
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 10000; ++i) {
+      engine.post(static_cast<Time>(i), [&sink, i] { sink += static_cast<std::uint64_t>(i); });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sink);
+    events += engine.events_processed();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+  report_event_rate(state, events);
+  if (profiler.sampled_dispatches() > 0) {
+    state.counters["prof_dispatch_ns_per_event"] =
+        static_cast<double>(profiler.sampled_dispatch_ns()) /
+        static_cast<double>(profiler.sampled_dispatches());
+  }
+  if (profiler.events_dispatched() > 0) {
+    const auto per_event = [&](double v) {
+      return v / static_cast<double>(profiler.events_dispatched());
+    };
+    state.counters["prof_heapify_cost_per_event"] =
+        per_event(static_cast<double>(profiler.heapify_cost()));
+    state.counters["prof_alloc_bytes_per_event"] =
+        per_event(static_cast<double>(profiler.alloc_delta().bytes_allocated));
+  }
+  state.counters["prof_queue_peak_depth"] = static_cast<double>(profiler.peak_depth());
+}
+BENCHMARK(BM_EventQueueThroughputProfiled);
 
 void BM_SerialServerBooking(benchmark::State& state) {
   SerialServer server;

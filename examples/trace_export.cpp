@@ -1,13 +1,17 @@
 // Chrome-trace export: run one rendezvous MPI message over iWARP with
 // the tracer and metric registry armed, then write a Trace Event Format
 // JSON file. Open it at ui.perfetto.dev (or chrome://tracing) to see the
-// two nodes as processes, host/NIC/wire/proto as rows, and the switch
-// queue depth as a counter track.
+// two nodes as processes, host/NIC/wire/proto as rows, the switch queue
+// depth as a counter track, and — courtesy of an attached FabricProf
+// profiler — a "host (profiler)" process whose lanes show where the
+// *wall-clock* dispatch time went while the simulated lanes above show
+// where the *simulated* time went.
 //
 //   ./trace_export [output.json]      (default: trace_export.json)
 #include <cstdio>
 
 #include "core/cluster.hpp"
+#include "sim/prof.hpp"
 #include "sim/trace_export.hpp"
 
 using namespace fabsim;
@@ -19,8 +23,10 @@ int main(int argc, char** argv) {
   Cluster cluster(2, Network::kIwarp);
   Tracer tracer;
   MetricRegistry metrics;
+  Profiler profiler(Profiler::Config{.sample_stride = 1});  // every dispatch: short run
   cluster.engine().set_tracer(&tracer);
   cluster.engine().set_metrics(&metrics);
+  cluster.attach_profiler(profiler);
 
   const std::uint32_t len = 24 * 1024;  // rendezvous-sized
   auto& src = cluster.node(0).mem().alloc(len, false);
@@ -30,6 +36,7 @@ int main(int argc, char** argv) {
   cluster.engine().spawn([](Cluster& c) -> Task<> { co_await c.setup_mpi(); }(cluster));
   cluster.engine().run();
   tracer.clear();
+  profiler.reset();
 
   cluster.engine().spawn([](Cluster& c, std::uint64_t s, std::uint32_t n) -> Task<> {
     co_await c.mpi_rank(0).send(1, 1, s, n);
@@ -39,7 +46,7 @@ int main(int argc, char** argv) {
   }(cluster, dst.addr(), len));
   cluster.engine().run();
 
-  if (!write_chrome_trace(path, tracer, &metrics)) {
+  if (!write_chrome_trace(path, tracer, &metrics, &profiler)) {
     std::fprintf(stderr, "failed to write %s\n", path);
     return 1;
   }

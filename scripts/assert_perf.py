@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_engine.json trajectory.
+
+Usage: assert_perf.py [trajectory-json] [--threshold 0.25] [--warn-only]
+
+Companion to assert_clean.py: where that gate fails on broken reports,
+this one fails on a *slower* engine. It compares the newest trajectory
+record (appended by scripts/bench_engine.py) against the previous
+recorded commit:
+
+  * Any benchmark whose events_per_sec dropped by more than
+    ``--threshold`` (default 25%) is a regression. With ``--warn-only``
+    regressions are printed but do not fail the gate — shared CI runners
+    are too noisy for a hard wall-clock gate, while a developer running
+    run_all.sh locally gets the hard failure.
+
+Hard failures that ``--warn-only`` does NOT soften (these mean the
+instrument itself is broken, not that the machine is slow):
+
+  * the trajectory file is missing, corrupt, or empty;
+  * the newest record carries no benchmarks at all;
+  * any recorded events_per_sec is zero or negative — a workload that
+    dispatched nothing produced no measurement.
+
+A single-record trajectory (fresh baseline) passes: there is nothing to
+compare against yet.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("trajectory", nargs="?", default="BENCH_engine.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="fractional events/sec drop that counts as a regression")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions without failing (noisy shared runners)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trajectory, encoding="utf-8") as f:
+            trajectory = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"assert_perf: cannot read {args.trajectory}: {e}", file=sys.stderr)
+        return 1
+    if not isinstance(trajectory, list) or not trajectory:
+        print(f"assert_perf: {args.trajectory} holds no records", file=sys.stderr)
+        return 1
+
+    newest = trajectory[-1]
+    benches = newest.get("benchmarks", {})
+    if not benches:
+        print(f"assert_perf: newest record ({newest.get('commit')}) has no benchmarks",
+              file=sys.stderr)
+        return 1
+
+    hard_bad = 0
+    for name, entry in sorted(benches.items()):
+        rate = entry.get("events_per_sec")
+        if rate is None:
+            continue
+        if rate <= 0:
+            print(f"assert_perf: {name}: events_per_sec = {rate} — no measurement",
+                  file=sys.stderr)
+            hard_bad += 1
+    if not any("events_per_sec" in e for e in benches.values()):
+        print("assert_perf: newest record has no events_per_sec figures", file=sys.stderr)
+        hard_bad += 1
+    if hard_bad:
+        return 1
+
+    if len(trajectory) < 2:
+        print(f"assert_perf: single record ({newest.get('commit')}) — baseline, nothing to "
+              "compare against")
+        return 0
+
+    previous = trajectory[-2]
+    prev_benches = previous.get("benchmarks", {})
+    regressions = []
+    for name, entry in sorted(benches.items()):
+        new_rate = entry.get("events_per_sec")
+        old_rate = prev_benches.get(name, {}).get("events_per_sec")
+        if new_rate is None or old_rate is None or old_rate <= 0:
+            continue
+        change = new_rate / old_rate - 1.0
+        marker = ""
+        if change < -args.threshold:
+            regressions.append(name)
+            marker = "  <-- REGRESSION"
+        print(f"assert_perf: {name}: {old_rate / 1e6:.2f} -> {new_rate / 1e6:.2f} M events/sec "
+              f"({change:+.1%}){marker}")
+
+    if regressions:
+        verdict = (f"assert_perf: {len(regressions)} benchmark(s) regressed more than "
+                   f"{args.threshold:.0%} vs {previous.get('commit')}")
+        if args.warn_only:
+            print(f"{verdict} (warn-only)", file=sys.stderr)
+            return 0
+        print(verdict, file=sys.stderr)
+        return 1
+    print(f"assert_perf: clean vs {previous.get('commit')} "
+          f"(threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,26 +1,42 @@
 #!/usr/bin/env python3
-"""Append the engine's micro-benchmark throughput to the perf trajectory.
+"""Append the engine's perf figures to the BENCH_engine.json trajectory.
 
-Runs the google-benchmark binary (bench/micro_simcore) in JSON mode,
-scrapes events/sec and items/sec per benchmark, and appends one record
-per commit to BENCH_engine.json at the repo root:
+Runs the google-benchmark binary (bench/micro_simcore) in JSON mode and
+scrapes events/sec and items/sec per benchmark. Optionally also scrapes
+Report JSON artifacts (--report results/ext_scaling.json): every scalar
+named ``<series>.events_per_sec`` becomes a ``<benchmark>.<series>``
+trajectory entry, so the big-fabric probes ride in the same record as
+the microbenchmarks.
+
+One record per commit is appended to BENCH_engine.json at the repo root:
 
     [
-      {"commit": "<sha>", "benchmarks": {
+      {"commit": "<sha>",
+       "date": "<ISO-8601 UTC>",
+       "config": {"preset": "...", "jobs": N, "cpu_count": N},
+       "benchmarks": {
           "BM_EventQueueThroughput": {"events_per_sec": ..., "items_per_sec": ...},
+          "ext_scaling.iWARP": {"events_per_sec": ...},
           ...}},
       ...
     ]
 
-One record per commit: re-running on the same HEAD overwrites that
-commit's record instead of growing the file, so the trajectory stays one
-point per PR. Non-gating by design — run_all.sh invokes it best-effort
-and CI never fails on a slow machine.
+Idempotent per commit: re-running on the same HEAD *replaces* that
+commit's record instead of appending a duplicate, so the trajectory
+stays one point per commit no matter how often run_all.sh re-runs.
 
-Usage: bench_engine.py <micro_simcore-binary> [trajectory-json]
+scripts/assert_perf.py gates on the resulting trajectory (>25%
+events/sec regression against the previous recorded commit fails).
+
+Usage:
+  bench_engine.py <micro_simcore-binary> [trajectory-json]
+                  [--report <report.json>]... [--preset NAME] [--jobs N]
 """
 
+import argparse
+import datetime
 import json
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -36,20 +52,14 @@ def head_commit() -> str:
         return "unknown"
 
 
-def main() -> int:
-    if len(sys.argv) < 2:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    binary = sys.argv[1]
-    out_path = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("BENCH_engine.json")
-
+def scrape_micro(binary: str) -> dict:
     result = subprocess.run(
         [binary, "--benchmark_format=json", "--benchmark_min_time=0.05"],
         capture_output=True, text=True,
     )
     if result.returncode != 0:
         print(f"bench_engine: {binary} failed:\n{result.stderr}", file=sys.stderr)
-        return 1
+        return {}
     data = json.loads(result.stdout)
 
     benchmarks = {}
@@ -63,23 +73,74 @@ def main() -> int:
             entry["items_per_sec"] = bench["items_per_second"]
         if entry:
             benchmarks[bench["name"]] = entry
+    return benchmarks
+
+
+def scrape_report(path: str) -> dict:
+    """Pull <series>.events_per_sec scalars out of a Report JSON."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_engine: cannot read report {path}: {e}", file=sys.stderr)
+        return {}
+    name = doc.get("benchmark", Path(path).stem)
+    suffix = ".events_per_sec"
+    out = {}
+    for key, value in doc.get("scalars", {}).items():
+        if key.endswith(suffix):
+            out[f"{name}.{key[:-len(suffix)]}"] = {"events_per_sec": value}
+    if not out:
+        print(f"bench_engine: no *.events_per_sec scalars in {path}", file=sys.stderr)
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("binary", help="bench/micro_simcore google-benchmark binary")
+    parser.add_argument("trajectory", nargs="?", default="BENCH_engine.json")
+    parser.add_argument("--report", action="append", default=[],
+                        help="Report JSON to scrape *.events_per_sec scalars from (repeatable)")
+    parser.add_argument("--preset", default="default", help="build preset recorded in the entry")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="build parallelism recorded in the entry (default: cpu count)")
+    args = parser.parse_args()
+
+    benchmarks = scrape_micro(args.binary)
+    if not benchmarks:
+        return 1
+    for report in args.report:
+        benchmarks.update(scrape_report(report))
 
     commit = head_commit()
+    out_path = Path(args.trajectory)
     trajectory = []
     if out_path.exists():
         try:
             trajectory = json.loads(out_path.read_text())
         except json.JSONDecodeError:
             print(f"bench_engine: {out_path} is corrupt, starting fresh", file=sys.stderr)
+    # One record per commit: replace, never duplicate.
     trajectory = [r for r in trajectory if r.get("commit") != commit]
-    trajectory.append({"commit": commit, "benchmarks": benchmarks})
+    trajectory.append({
+        "commit": commit,
+        "date": datetime.datetime.now(datetime.timezone.utc)
+                .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "config": {
+            "preset": args.preset,
+            "jobs": args.jobs if args.jobs is not None else os.cpu_count(),
+            "cpu_count": os.cpu_count(),
+        },
+        "benchmarks": benchmarks,
+    })
     out_path.write_text(json.dumps(trajectory, indent=2) + "\n")
 
-    for name, entry in benchmarks.items():
+    for name, entry in sorted(benchmarks.items()):
         rate = entry.get("events_per_sec")
         if rate is not None:
             print(f"bench_engine: {name}: {rate / 1e6:.2f} M events/sec")
-    print(f"bench_engine: appended {commit} to {out_path} ({len(trajectory)} records)")
+    print(f"bench_engine: recorded {commit} in {out_path} ({len(trajectory)} records)")
     return 0
 
 

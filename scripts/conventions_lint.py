@@ -42,6 +42,12 @@ Checks, over src/ (and headers everywhere):
      the credit accounting) and src/fault/. Any other caller can strand
      credits or leave LFTs pointing at a dead port; route failures
      through topo::Topology, or NOLINT with a rationale.
+ 10. wall-clock-exemption: the FabricProf host-time profiler is the
+     single sanctioned consumer of the host clock — rule 3's wall-clock
+     ban is lifted for src/sim/prof.hpp and src/sim/prof.cpp only
+     (host-side dispatch profiling is meaningless in simulated time, and
+     the Engine keeps all clock reads behind the Profiler seam). Every
+     other file touching steady_clock/rdtsc-style time still fails.
 
 A line containing NOLINT is exempt from 3-9. Exit status: 0 clean,
 1 violations found.
@@ -73,6 +79,11 @@ SWITCH_FAILURE_SEAM = re.compile(
     r"(?:\.|->)\s*(?:set_port_down|set_port_up|set_switch_down|requeue_down_port"
     r"|drain_all_drop)\s*\("
 )
+# Rule 10: the one sanctioned wall-clock consumer (FabricProf).
+WALL_CLOCK_EXEMPT = {
+    os.path.join("src", "sim", "prof.hpp"),
+    os.path.join("src", "sim", "prof.cpp"),
+}
 
 
 def strip_comments(line):
@@ -137,9 +148,11 @@ def lint():
                 prev_code = strip_comments(raw)
                 continue
             code = strip_comments(raw)
-            if WALL_CLOCK.search(code):
+            if (WALL_CLOCK.search(code)
+                    and os.path.relpath(path, ROOT) not in WALL_CLOCK_EXEMPT):
                 flag(path, i, "no-wall-clock",
-                     "host clock call in simulation code (use Engine::now())")
+                     "host clock call in simulation code (use Engine::now(); "
+                     "host-time profiling belongs in src/sim/prof.* — rule 10)")
             if RAND.search(code):
                 flag(path, i, "no-rand", "unseeded C randomness (use seeded std::mt19937)")
             m = NAKED_NEW.search(code)

@@ -77,10 +77,19 @@ for b in "$bench_dir"/*; do
   fi
 done
 
-# Engine perf trajectory: append this commit's events/sec to
-# BENCH_engine.json. Informational only — never fails the run.
-echo "=== bench_engine (non-gating) ==="
-python3 scripts/bench_engine.py build/bench/micro_simcore || true
+# Engine perf trajectory: append this commit's events/sec (micro_simcore
+# plus the ext_scaling FabricProf probe) to BENCH_engine.json, then gate:
+# >25% events/sec regression against the last recorded commit fails the
+# run, as do zero-event measurements (assert_perf.py).
+echo "=== bench_engine + assert_perf (gating) ==="
+if [[ "$check" == 1 ]]; then
+  # Perf numbers must come from the uninstrumented default build; the
+  # bench loop above produced results/ext_scaling.* from build-check.
+  build/bench/ext_scaling > /dev/null
+fi
+python3 scripts/bench_engine.py build/bench/micro_simcore \
+  --preset default --report results/ext_scaling.json
+python3 scripts/assert_perf.py BENCH_engine.json
 
 if [[ "$explore" == 1 ]]; then
   echo "=== ext_explore (large budget) ==="

@@ -134,6 +134,9 @@ void Cluster::collect_metrics(MetricRegistry& registry) {
   registry.counter("sim.events").set(engine_.events_processed());
   registry.counter("sim.digest").set(engine_.run_digest());
 
+  // FabricProf: host-side dispatch/queue/alloc profile, when attached.
+  if (const Profiler* profiler = engine_.profiler()) profiler->publish(registry);
+
   // FabricCheck: violation totals, plus one counter per (layer, rule).
   // Tallied into a local map first so repeated collect_metrics calls
   // overwrite rather than accumulate.

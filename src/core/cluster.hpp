@@ -67,6 +67,11 @@ class Cluster {
   /// when a monitor is attached, the check.* violation counters.
   void collect_metrics(MetricRegistry& registry);
 
+  /// FabricProf: attach a caller-owned host-time profiler to the engine.
+  /// collect_metrics() then publishes its prof.* taxonomy alongside the
+  /// simulated counters. Detached automatically when the engine dies.
+  void attach_profiler(Profiler& profiler) { engine_.set_profiler(&profiler); }
+
   /// FabricCheck: attach a caller-owned protocol-invariant monitor. Wires
   /// it into the engine (hot-path audits in every stack pick it up from
   /// there) and registers the cluster-wide quiescent-state audits — frame

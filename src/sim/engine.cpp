@@ -29,6 +29,15 @@ Engine::~Engine() {
   for (void* address : drivers_) {  // NOLINT(unordered-iteration)
     std::coroutine_handle<>::from_address(address).destroy();
   }
+  // Dying with a profiler attached must not leave the global allocation
+  // seam armed for whatever engine comes next.
+  if (profiler_ != nullptr) profiler_->on_detach();
+}
+
+void Engine::set_profiler(Profiler* profiler) {
+  if (profiler_ != nullptr) profiler_->on_detach();
+  profiler_ = profiler;
+  if (profiler_ != nullptr) profiler_->on_attach();
 }
 
 void Engine::post(Time at, int scope, std::function<void()> fn) {
@@ -39,6 +48,7 @@ void Engine::post(Time at, int scope, std::function<void()> fn) {
                          "us < now " + std::to_string(to_us(now_)) + "us");
   }
   queue_.push(Item{at, next_seq_++, scope, std::move(fn)});
+  if (profiler_ != nullptr) profiler_->on_post(queue_.size());
 }
 
 void Engine::post_resume(Time at, std::coroutine_handle<> h) {
@@ -108,6 +118,7 @@ void Engine::on_drain() {
 Engine::Item Engine::pop_next() {
   // Item::fn may schedule more events; copy out before popping.
   if (policy_ == nullptr) {
+    if (profiler_ != nullptr) profiler_->on_dequeue(queue_.size());
     Item item = std::move(const_cast<Item&>(queue_.top()));
     queue_.pop();
     return item;
@@ -119,6 +130,7 @@ Engine::Item Engine::pop_next() {
   const Time head = queue_.top().at;
   std::vector<Item> ready;
   while (!queue_.empty() && queue_.top().at == head) {
+    if (profiler_ != nullptr) profiler_->on_dequeue(queue_.size());
     ready.push_back(std::move(const_cast<Item&>(queue_.top())));
     queue_.pop();
   }
@@ -132,28 +144,35 @@ Engine::Item Engine::pop_next() {
   }
   Item chosen = std::move(ready[pick]);
   for (std::size_t i = 0; i < ready.size(); ++i) {
-    if (i != pick) queue_.push(std::move(ready[i]));
+    if (i != pick) {
+      queue_.push(std::move(ready[i]));
+      if (profiler_ != nullptr) profiler_->on_requeue(queue_.size());
+    }
   }
   return chosen;
 }
 
 void Engine::run() {
+  if (profiler_ != nullptr) profiler_->on_run_begin(events_processed_);
   while (!queue_.empty()) {
     Item item = pop_next();
     account_event(item);
-    item.fn();
+    dispatch(item);
     check_exception();
   }
+  if (profiler_ != nullptr) profiler_->on_run_end(events_processed_);
   on_drain();
 }
 
 void Engine::run_until(Time t) {
+  if (profiler_ != nullptr) profiler_->on_run_begin(events_processed_);
   while (!queue_.empty() && queue_.top().at <= t) {
     Item item = pop_next();
     account_event(item);
-    item.fn();
+    dispatch(item);
     check_exception();
   }
+  if (profiler_ != nullptr) profiler_->on_run_end(events_processed_);
   if (t > now_) now_ = t;
 }
 

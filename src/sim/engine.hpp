@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sim/metrics.hpp"
+#include "sim/prof.hpp"
 #include "sim/schedule.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
@@ -202,6 +203,15 @@ class Engine {
   check::InvariantMonitor* monitor() { return monitor_; }
   void set_monitor(check::InvariantMonitor* monitor) { monitor_ = monitor; }
 
+  /// Optional FabricProf host-time profiler (null when profiling is
+  /// off). Caller-owned, like the tracer; the dispatch loop and post()
+  /// guard on this pointer, so a detached profiler costs one branch per
+  /// event and the simulated timeline stays byte-identical (pinned by
+  /// tests). Attaching enables the counting-allocator seam; detaching
+  /// (or destroying the engine) disables it.
+  Profiler* profiler() { return profiler_; }
+  void set_profiler(Profiler* profiler);
+
   /// Optional pluggable tie-break for co-enabled events (FabricExplore).
   /// Caller-owned, like the tracer. With no policy (the default) the
   /// dispatch loop pops straight off the priority queue — the insertion-
@@ -244,6 +254,16 @@ class Engine {
   /// materializes the co-enabled set at the head timestamp and lets the
   /// policy pick; otherwise pops the (time, seq) minimum directly.
   Item pop_next();
+  /// Run one event's callback, wrapped in the profiler's sampled
+  /// host-time measurement when a Profiler is attached.
+  void dispatch(const Item& item) {
+    if (profiler_ != nullptr && profiler_->begin_dispatch(now_, item.scope)) {
+      item.fn();
+      profiler_->end_dispatch();
+      return;
+    }
+    item.fn();
+  }
   /// Digest + monotonicity + bookkeeping for one popped event.
   void account_event(const Item& item);
   /// Monitor hooks at queue drain: lost-wakeup audit + final checks.
@@ -253,7 +273,11 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t digest_ = 0xcbf29ce484222325ULL;  ///< FNV-1a offset basis
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+  // The queue's backing store allocates through the FabricProf counting
+  // allocator (a no-op branch unless a Profiler is attached), so event-
+  // posting heap traffic is a measured number, not folklore.
+  std::priority_queue<Item, std::vector<Item, prof::CountingAllocator<Item>>, std::greater<>>
+      queue_;
   std::unordered_set<void*> drivers_;
   std::unordered_set<void*> daemons_;
   std::exception_ptr pending_exception_;
@@ -261,6 +285,7 @@ class Engine {
   MetricRegistry* metrics_ = nullptr;
   fault::FaultInjector* fault_injector_ = nullptr;
   check::InvariantMonitor* monitor_ = nullptr;
+  Profiler* profiler_ = nullptr;
   SchedulePolicy* policy_ = nullptr;
 };
 

@@ -12,21 +12,33 @@
 //     ts in microseconds (the format's native unit)
 //   * each registry sample -> a counter event (ph "C") on a track named
 //     by the sample, rendered by the UI as a stacked area chart
+//   * each FabricProf slice -> a duration event (ph "X", cat "prof") on
+//     the dedicated kHostProfilePid process ("host (profiler)"), with ts
+//     in *host* microseconds since profiler attach and the simulated
+//     clock carried in args.sim_us — the sim-time lanes above and the
+//     host-time lanes below share one document but not one clock
 #pragma once
 
 #include <string>
 
 #include "sim/metrics.hpp"
+#include "sim/prof.hpp"
 #include "sim/trace.hpp"
 
 namespace fabsim {
 
-/// Render the trace (and optional counter samples) as a complete
-/// Chrome-trace JSON document.
-std::string chrome_trace_json(const Tracer& tracer, const MetricRegistry* metrics = nullptr);
+/// The pid the host-time profiler lanes render under. Far outside any
+/// plausible simulated node id so the two families can never collide.
+inline constexpr int kHostProfilePid = 1'000'000;
+
+/// Render the trace (and optional counter samples / host-time profiler
+/// slices) as a complete Chrome-trace JSON document.
+std::string chrome_trace_json(const Tracer& tracer, const MetricRegistry* metrics = nullptr,
+                              const Profiler* profiler = nullptr);
 
 /// Write chrome_trace_json() to `path`; returns false on I/O failure.
 bool write_chrome_trace(const std::string& path, const Tracer& tracer,
-                        const MetricRegistry* metrics = nullptr);
+                        const MetricRegistry* metrics = nullptr,
+                        const Profiler* profiler = nullptr);
 
 }  // namespace fabsim
