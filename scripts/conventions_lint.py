@@ -48,10 +48,19 @@ Checks, over src/ (and headers everywhere):
      (host-side dispatch profiling is meaningless in simulated time, and
      the Engine keeps all clock reads behind the Profiler seam). Every
      other file touching steady_clock/rdtsc-style time still fails.
+ 11. no-global-state: mutable namespace-scope/file-scope variables
+     (`static` or global non-const) are banned in src/. Hidden global
+     state is exactly what the scope/ownership analysis
+     (scripts/scope_check.py) cannot see at a post() call site, and it
+     couples otherwise scope-confined events — poison for the parallel
+     engine and for FabricExplore's commutation claims. Constants
+     (const/constexpr/constinit-const) are fine; a deliberate global
+     takes a NOLINT(global-state) with a written rationale.
 
-A line containing NOLINT is exempt from 3-9. Exit status: 0 clean,
-1 violations found.
+A line containing NOLINT is exempt from 3-9 and 11. Exit status:
+0 clean, 1 violations found.
 """
+import argparse
 import os
 import re
 import sys
@@ -84,6 +93,54 @@ WALL_CLOCK_EXEMPT = {
     os.path.join("src", "sim", "prof.hpp"),
     os.path.join("src", "sim", "prof.cpp"),
 }
+# Rule 11: a variable declaration at namespace scope. Function
+# declarations are excluded by requiring no '(' after the name; keyword
+# statements (using/typedef/forward decls/...) by the lookahead.
+NS_VAR_DECL = re.compile(
+    r"^\s*(?:inline\s+|static\s+|thread_local\s+)*"
+    r"(?!using\b|typedef\b|extern\b|template\b|namespace\b|class\b|struct\b"
+    r"|enum\b|union\b|friend\b|static_assert\b|return\b|if\b|for\b|while\b)"
+    r"(?:const\s+|constexpr\s+|constinit\s+)*"
+    r"[A-Za-z_][\w:]*(?:<[^;]*>)?(?:\s*[*&])*\s+[A-Za-z_]\w*"
+    r"(?:\s*\[[^\]]*\])?\s*(?:=[^;]*|\{[^;{}]*\})?;\s*$"
+)
+CONST_QUALIFIED = re.compile(r"\bconst\b|\bconstexpr\b|\bconstinit\b")
+NAMESPACE_HEAD = re.compile(r"\bnamespace\b")
+
+
+def global_state_pass(path, lines, flag):
+    """Rule 11: mutable namespace-scope variables. Tracks brace nesting
+    (class members and function bodies are out of scope) and tests whole
+    `;`-terminated statements, so multi-line function declarations don't
+    confuse it."""
+    stack = []   # True = namespace scope, False = anything else
+    stmt = ""    # statement text since the last ; { or } — classifies
+                 # both '{' openers and ';' declarations
+    stmt_nolint = False
+    for i, raw in enumerate(lines, 1):
+        if "NOLINT" in raw:
+            stmt_nolint = True
+        for c in strip_comments(raw):
+            if c == "{":
+                stack.append(bool(NAMESPACE_HEAD.search(stmt)) and "(" not in stmt)
+                stmt, stmt_nolint = "", False
+            elif c == "}":
+                if stack:
+                    stack.pop()
+                stmt, stmt_nolint = "", False
+            elif c == ";":
+                if (all(stack) and not stmt_nolint and "(" not in stmt
+                        and NS_VAR_DECL.match(stmt + ";")
+                        and not CONST_QUALIFIED.search(stmt)):
+                    flag(path, i, "no-global-state",
+                         "mutable namespace-scope state (invisible to the scope/"
+                         "ownership analysis and shared across every event scope); "
+                         "make it const, move it behind an owner object, or "
+                         "NOLINT(global-state) with a rationale")
+                stmt, stmt_nolint = "", False
+            else:
+                stmt += c
+        stmt += " "
 
 
 def strip_comments(line):
@@ -92,7 +149,12 @@ def strip_comments(line):
 
 
 def source_files(top, exts):
-    for dirpath, _, names in os.walk(top):
+    for dirpath, dirnames, names in os.walk(top):
+        dirnames.sort()
+        # Fixture trees are deliberately dirty; skip them unless they ARE
+        # the scan root (the self-tests point --root at one).
+        if "lint_fixtures" in os.path.relpath(dirpath, top).split(os.sep):
+            continue
         for name in sorted(names):
             if os.path.splitext(name)[1] in exts:
                 yield os.path.join(dirpath, name)
@@ -142,6 +204,7 @@ def lint():
     for path in source_files(SRC, {".hpp", ".h", ".cpp"}):
         with open(path, encoding="utf-8") as f:
             lines = f.readlines()
+        global_state_pass(path, lines, flag)
         prev_code = ""
         for i, raw in enumerate(lines, 1):
             if "NOLINT" in raw:
@@ -191,6 +254,14 @@ def lint():
 
 
 def main():
+    global ROOT, SRC
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=ROOT,
+                        help="tree to lint (default: this repo; the linter "
+                             "self-tests point it at fixture trees)")
+    args = parser.parse_args()
+    ROOT = os.path.abspath(args.root)
+    SRC = os.path.join(ROOT, "src")
     problems = lint()
     for p in problems:
         print(p, file=sys.stderr)

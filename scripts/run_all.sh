@@ -8,7 +8,10 @@
 #   --check      build with the FabricCheck invariant auditor compiled in
 #                (build-check/, -DFABSIM_CHECK=ON) and use it for the
 #                figure regeneration; any bench reporting check.violations
-#                != 0 fails the run
+#                != 0 fails the run. Also runs the FabricScope-Check
+#                static gate: scope_check.py must be clean on the
+#                annotated tree AND must flag the deliberately
+#                mislabeled seam under --mutation
 #   --trace      after the benches, export a Chrome-trace JSON of one
 #                rendezvous message to results/trace_export.json
 #   --explore    after the benches, re-run the FabricExplore schedule
@@ -49,6 +52,18 @@ if [[ "$check" == 1 ]]; then
   cmake --build build-check
   ctest --test-dir build-check --output-on-failure
   bench_dir=build-check/bench
+
+  # FabricScope-Check static gate (mirrors the runtime ScopeAuditor the
+  # FABSIM_CHECK build just exercised): the analyzer must run clean on
+  # the annotated tree, and must still catch the deliberately mislabeled
+  # seam when reading its mutated arm — a gate that cannot fail gates
+  # nothing.
+  echo "=== scope_check (gating) ==="
+  python3 scripts/scope_check.py
+  if python3 scripts/scope_check.py --mutation --out - >/dev/null 2>&1; then
+    echo "scope_check: mislabeled-scope mutation was NOT caught" >&2
+    exit 1
+  fi
 fi
 
 mkdir -p results

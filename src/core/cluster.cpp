@@ -41,6 +41,11 @@ check::InvariantMonitor& Cluster::enable_checks(bool fatal) {
   if (owned_monitor_ == nullptr) {
     owned_monitor_ = std::make_unique<check::InvariantMonitor>(fatal);
     attach_monitor(*owned_monitor_);
+    // Dynamic half of FabricScope-Check: every checked run corroborates
+    // the static scope_check.py verdicts. Violations flow through the
+    // monitor, so fatal/counting behaviour matches the other audits.
+    owned_auditor_ = std::make_unique<scope::ScopeAuditor>(owned_monitor_.get());
+    attach_scope_auditor(*owned_auditor_);
   }
   return *owned_monitor_;
 }
@@ -147,6 +152,14 @@ void Cluster::collect_metrics(MetricRegistry& registry) {
       ++by_rule[std::string("check.") + check::layer_name(v.layer) + "." + v.rule];
     }
     for (const auto& [name, count] : by_rule) registry.counter(name).set(count);
+  }
+
+  // FabricScope-Check: dynamic scope-audit coverage, when attached. A
+  // zero scope.checks with the auditor on means the traps never ran —
+  // as suspicious as a violation for the parallel-engine gate.
+  if (const scope::ScopeAuditor* auditor = engine_.scope_auditor()) {
+    registry.counter("scope.checks").set(auditor->checks());
+    registry.counter("scope.violations").set(auditor->violations());
   }
 
   // Fabric: per-switch, per-port serialization busy time -> utilization,

@@ -59,6 +59,9 @@ int Switch::connect_to(Switch& peer) {
 }
 
 void Switch::ingress(Frame frame) {
+  // Scope trap: ingress mutates shared fabric state (conservation
+  // counters, port queues), so only a scope -1 event may run it.
+  FABSIM_AUDIT_SHARED(*engine_, check::Layer::kHw, config_.id, "Switch::ingress");
   if (routed()) {
     ingress_routed(std::move(frame));
   } else {
@@ -153,7 +156,8 @@ void Switch::ingress_direct(Frame frame) {
   // Scope label: delivery runs entirely inside the destination NIC
   // (sink == the NIC attached to port `dst`), so co-enabled deliveries
   // to different ports commute for schedule exploration.
-  engine_->post(delivered, /*scope=*/dst, [sink = out.sink, f = std::move(frame)]() mutable {
+  engine_->post(delivered, /*scope=*/dst,  // SCOPE-OK(sink is the dst NIC's FrameSink — state owned by the labelled node; the frame is lambda-owned)
+                [sink = out.sink, f = std::move(frame)]() mutable {
     sink->deliver(std::move(f));
   });
 }
@@ -194,12 +198,21 @@ void Switch::ingress_routed(Frame frame) {
   // output port's transmit, downstream cut-through at each link arrival.
   engine_->charge_phase(Phase::kWire, frame.src_node, config_.propagation + config_.cut_through);
   frame.credit_port = -1;  // NIC-side ingress commits no credit
-  engine_->post(at_switch, /*scope=*/-1, [this, out, f = std::move(frame)]() mutable {
-    admit(out, std::move(f), /*credit_reserved=*/false);
-  });
+  // Admission mutates shared switch queue state, so the honest label is
+  // -1. The FabricScope-Check mutation seam swaps in the source node's
+  // scope; the mislabel expression is hoisted so nothing reads `frame`
+  // alongside the capture's std::move.
+  const int mislabeled = frame.src_node;
+  engine_->post(at_switch,
+                FABSIM_MUTATION_SCOPE(/*scope=*/-1, mislabeled,
+                                      config_.mutation_mislabel_wire_scope),
+                [this, out, f = std::move(frame)]() mutable {
+                  admit(out, std::move(f), /*credit_reserved=*/false);
+                });
 }
 
 void Switch::link_arrival(Frame frame) {
+  FABSIM_AUDIT_SHARED(*engine_, check::Layer::kHw, config_.id, "Switch::link_arrival");
   ++frames_ingressed_;
   engine_->charge_phase(Phase::kWire, frame.src_node, config_.cut_through);
   const bool credit_frame = config_.flow == FlowControl::kCredit && frame.credit_port >= 0;
@@ -241,6 +254,9 @@ void Switch::link_arrival(Frame frame) {
 }
 
 void Switch::admit(int port, Frame frame, bool credit_reserved) {
+  // Scope trap: the dynamic half of the mislabel mutation self-test —
+  // an admission event carrying a confined label lands here.
+  FABSIM_AUDIT_SHARED(*engine_, check::Layer::kHw, config_.id, "Switch::admit");
   // Routing-epoch reconciliation: the upstream committed buffer space on
   // the output port the *old* LFT named. If a reroute landed the frame
   // on a different port, move the commitment there so nothing leaks.
@@ -337,7 +353,7 @@ void Switch::try_transmit(int port) {
   if (out.sink != nullptr) {
     // Last hop: deliver to the NIC after egress propagation. Delivery
     // runs entirely inside the destination NIC, so it is scope-confined.
-    engine_->post(sent + config_.propagation, /*scope=*/frame.dst_node,
+    engine_->post(sent + config_.propagation, /*scope=*/frame.dst_node,  // SCOPE-OK(sink is the dst NIC's FrameSink — state owned by the labelled node; the frame is lambda-owned)
                   [sink = out.sink, f = std::move(frame)]() mutable {
                     sink->deliver(std::move(f));
                   });

@@ -41,6 +41,7 @@
 #include "hw/frame.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
+#include "sim/scope.hpp"
 #include "sim/time.hpp"
 
 namespace fabsim::hw {
@@ -81,6 +82,13 @@ struct SwitchConfig {
   /// drained off a failed port keeps its committed occupancy, so the
   /// quiescence audit (queue drained, occupancy zero) must catch it.
   bool mutation_leak_credit_on_drain = false;
+
+  /// Test-only mutation seam (FabricScope-Check): label the routed-mode
+  /// admission event with the *source node's* scope instead of -1. The
+  /// admitted frame mutates shared switch queue state, so the label is a
+  /// lie — scope_check.py --mutation must flag the call site statically
+  /// and the ScopeAuditor must trap Switch::admit dynamically.
+  bool mutation_mislabel_wire_scope = false;
 };
 
 class Switch {
@@ -294,8 +302,13 @@ class Switch {
   /// frame was dropped. `out_port` attributes the drop.
   bool apply_faults(Frame& frame, int out_port, Time& at_switch);
 
+  // Scope/ownership annotations (scripts/scope_check.py, src/sim/scope.hpp).
+  FABSIM_ENGINE_LOCAL;  // engine plumbing + build-time configuration
   Engine* engine_;
   SwitchConfig config_;
+  FABSIM_SHARED;  // fabric state: frames from every node funnel through the
+                  // port queues, LFT and conservation counters, so touching
+                  // them is only legal from scope -1 events
   std::vector<Port> ports_;
   std::vector<int> lft_;  // routed mode: dst node -> output port (-1 unset)
   std::vector<int> pending_endpoint_ids_;

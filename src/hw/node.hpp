@@ -7,6 +7,7 @@
 #include "hw/memory.hpp"
 #include "hw/pci.hpp"
 #include "sim/engine.hpp"
+#include "sim/scope.hpp"
 
 namespace fabsim::hw {
 
@@ -24,8 +25,12 @@ class Node {
   PcieBus& pcie() { return pcie_; }
 
  private:
+  // Scope/ownership annotations (scripts/scope_check.py, src/sim/scope.hpp).
+  FABSIM_ENGINE_LOCAL;  // engine plumbing + node identity
   Engine* engine_;
   int id_;
+  FABSIM_OWNED_BY(id_);  // host resources: booked only by this node's
+                         // events (or scope -1 coroutine resumes)
   HostCpu cpu_;
   AddressSpace mem_;
   PcieBus pcie_;

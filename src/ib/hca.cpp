@@ -183,6 +183,8 @@ Time Hca::engine_process(Time ready, const Packet& packet, bool transmit_side,
 }
 
 void Hca::send_message(Conn& conn, OutMsg msg) {
+  // Scope trap: all transmit-side HCA state is FABSIM_OWNED_BY(port_).
+  FABSIM_AUDIT_OWNED(engine(), check::Layer::kIb, port_, "Hca::send_message");
   if (msg.kind == MsgKind::kReadRequest) {
     // Track the read until its response completes it: the request packet
     // is acked (and leaves inflight) long before the response arrives,
@@ -381,6 +383,7 @@ void Hca::arm_timer(Conn& conn) {
 }
 
 void Hca::on_timeout(int conn_id, std::uint64_t gen) {
+  FABSIM_AUDIT_OWNED(engine(), check::Layer::kIb, port_, "Hca::on_timeout");
   Conn& conn = *conns_[static_cast<std::size_t>(conn_id)];
   if (!conn.timer_armed || gen != conn.timer_gen) return;  // superseded
   conn.timer_armed = false;
@@ -498,6 +501,9 @@ void Hca::peer_conn_error(int conn_id) {
 // ---------------------------------------------------------------------------
 
 void Hca::deliver(hw::Frame frame) {
+  // Scope trap: delivery mutates this HCA's receive state, so the
+  // carrying event must be labelled with this node's scope (or -1).
+  FABSIM_AUDIT_OWNED(engine(), check::Layer::kIb, port_, "Hca::deliver");
   if (frame.corrupted) {
     // Failed ICRC/VCRC: the packet is silently discarded and recovered (if
     // at all) by the requester's retry timer, exactly like a drop.

@@ -30,6 +30,7 @@
 #include "hw/fabric.hpp"
 #include "hw/node.hpp"
 #include "ib/config.hpp"
+#include "sim/scope.hpp"
 #include "verbs/verbs.hpp"
 
 namespace fabsim::ib {
@@ -49,8 +50,11 @@ class Qp final : public verbs::QueuePair {
   Qp(Hca& nic, int qp_num, verbs::CompletionQueue& send_cq, verbs::CompletionQueue& recv_cq)
       : nic_(&nic), qp_num_(qp_num), send_cq_(&send_cq), recv_cq_(&recv_cq) {}
 
+  FABSIM_ENGINE_LOCAL;  // wiring fixed at create_qp/connect time
   Hca* nic_;
   int qp_num_;
+  FABSIM_OWNED_BY(nic_->fabric_port());  // QP state advances only inside
+                                         // the owning HCA's events
   int conn_id_ = -1;
   bool in_error_ = false;
   verbs::CompletionQueue* send_cq_;
@@ -148,10 +152,14 @@ class Hca final : public verbs::Device, public hw::FrameSink {
   };
 
   struct Conn {
+    FABSIM_ENGINE_LOCAL;  // wiring fixed at connect() time
     Qp* qp = nullptr;
     Hca* peer = nullptr;
     int id = -1;  ///< own index in conns_
     int peer_conn_id = -1;
+    FABSIM_OWNED_BY(qp->nic_->fabric_port());  // RC machine state: advances
+                                               // only inside the owning
+                                               // HCA's events
     std::uint64_t next_msg_id = 1;
     std::map<std::uint64_t, RxMsg> rx_msgs;
     std::deque<verbs::RecvWr> recv_queue;
@@ -217,10 +225,14 @@ class Hca final : public verbs::Device, public hw::FrameSink {
 
   Engine& engine() { return node_->engine(); }
 
+  // Scope/ownership annotations (scripts/scope_check.py, src/sim/scope.hpp).
+  FABSIM_ENGINE_LOCAL;  // engine plumbing + run-constant wiring
   hw::Node* node_;
   hw::Switch* fabric_;
   HcaConfig config_;
   int port_;
+  FABSIM_OWNED_BY(port_);  // mutable HCA/protocol state: confined to this
+                           // node's events (or scope -1 wire handoffs)
   hw::MemoryRegistry registry_;
   SerialServer dma_;     ///< NIC DMA engine, shared by both directions
   SerialServer proc_;    ///< processor-based protocol engine, shared

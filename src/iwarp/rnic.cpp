@@ -173,6 +173,8 @@ std::shared_ptr<std::vector<std::byte>> Rnic::snapshot(hw::AddressSpace& mem, st
 // ---------------------------------------------------------------------------
 
 void Rnic::pump(Conn& conn) {
+  // Scope trap: all transmit-side NIC state is FABSIM_OWNED_BY(port_).
+  FABSIM_AUDIT_OWNED(engine(), check::Layer::kIwarp, port_, "Rnic::pump");
   if (conn.qp->in_error_) return;
   while (!conn.sendq.empty()) {
     OutMsg& msg = conn.sendq.front();
@@ -377,6 +379,7 @@ int Rnic::conn_index(const Conn& conn) const {
 }
 
 void Rnic::on_timeout(int conn_id, std::uint64_t gen) {
+  FABSIM_AUDIT_OWNED(engine(), check::Layer::kIwarp, port_, "Rnic::on_timeout");
   Conn& conn = *conns_[static_cast<std::size_t>(conn_id)];
   if (gen != conn.timer_gen || conn.snd_una >= conn.snd_nxt) return;
   conn.timer_armed = false;
@@ -501,6 +504,9 @@ void Rnic::peer_conn_error(int conn_id) {
 // ---------------------------------------------------------------------------
 
 void Rnic::deliver(hw::Frame frame) {
+  // Scope trap: delivery mutates this NIC's receive state, so the
+  // carrying event must be labelled with this node's scope (or -1).
+  FABSIM_AUDIT_OWNED(engine(), check::Layer::kIwarp, port_, "Rnic::deliver");
   if (frame.corrupted) {
     // Failed Ethernet CRC / MPA marker check: the segment is discarded and
     // the TCP go-back-N machinery recovers it like any other loss.

@@ -26,6 +26,7 @@
 #include "hw/fabric.hpp"
 #include "hw/node.hpp"
 #include "iwarp/config.hpp"
+#include "sim/scope.hpp"
 #include "verbs/verbs.hpp"
 
 namespace fabsim::iwarp {
@@ -46,8 +47,11 @@ class Qp final : public verbs::QueuePair {
   Qp(Rnic& nic, int qp_num, verbs::CompletionQueue& send_cq, verbs::CompletionQueue& recv_cq)
       : nic_(&nic), qp_num_(qp_num), send_cq_(&send_cq), recv_cq_(&recv_cq) {}
 
+  FABSIM_ENGINE_LOCAL;  // wiring fixed at create_qp/connect time
   Rnic* nic_;
   int qp_num_;
+  FABSIM_OWNED_BY(nic_->fabric_port());  // QP state advances only inside
+                                         // the owning NIC's events
   int conn_id_ = -1;
   bool in_error_ = false;
   verbs::CompletionQueue* send_cq_;
@@ -162,10 +166,14 @@ class Rnic final : public verbs::Device, public hw::FrameSink {
 
   /// Per-connection state (this side).
   struct Conn {
+    FABSIM_ENGINE_LOCAL;  // wiring fixed at connect() time
     Qp* qp = nullptr;
     Rnic* peer = nullptr;
     int peer_conn_id = -1;
 
+    FABSIM_OWNED_BY(qp->nic_->fabric_port());  // TCP/RDMAP machine state:
+                                               // advances only inside the
+                                               // owning NIC's events
     // Transmit.
     std::deque<OutMsg> sendq;
     std::uint64_t next_msg_id = 1;
@@ -219,10 +227,14 @@ class Rnic final : public verbs::Device, public hw::FrameSink {
 
   Engine& engine() { return node_->engine(); }
 
+  // Scope/ownership annotations (scripts/scope_check.py, src/sim/scope.hpp).
+  FABSIM_ENGINE_LOCAL;  // engine plumbing + run-constant wiring
   hw::Node* node_;
   hw::Switch* fabric_;
   RnicConfig config_;
   int port_;
+  FABSIM_OWNED_BY(port_);  // mutable NIC/protocol state: confined to this
+                           // node's events (or scope -1 wire handoffs)
   hw::MemoryRegistry registry_;
   hw::PcixBus pcix_;
   PipelinedServer tx_engine_;

@@ -19,6 +19,7 @@
 #include "mpi/channel.hpp"
 #include "mpi/config.hpp"
 #include "mx/endpoint.hpp"
+#include "sim/scope.hpp"
 
 namespace fabsim::mpi {
 
@@ -65,11 +66,15 @@ class ChMx final : public Channel {
   /// Resolve the matched message, sending the ssend-ack if required.
   Task<> finalize(MxRequest& request);
 
+  // Scope/ownership annotations (scripts/scope_check.py, src/sim/scope.hpp).
+  FABSIM_ENGINE_LOCAL;  // wiring fixed at construction
   int rank_;
   int world_size_;
   mx::Endpoint* endpoint_;
   MpiConfig config_;
   std::vector<int> rank_ports_;
+  FABSIM_OWNED_BY(rank_);  // scratch registrations: used only from this
+                           // rank's coroutines (scope -1 resumes)
   std::uint64_t ack_scratch_send_ = 0;  ///< 8-byte buffers for ack traffic
   std::uint64_t ack_scratch_recv_ = 0;
 };

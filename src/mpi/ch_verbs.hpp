@@ -26,6 +26,7 @@
 #include "hw/reg_cache.hpp"
 #include "mpi/channel.hpp"
 #include "mpi/config.hpp"
+#include "sim/scope.hpp"
 #include "verbs/verbs.hpp"
 
 namespace fabsim::check {
@@ -170,12 +171,16 @@ class ChVerbs final : public Channel {
 
   hw::HostCpu& cpu() { return node_->cpu(); }
 
+  // Scope/ownership annotations (scripts/scope_check.py, src/sim/scope.hpp).
+  FABSIM_ENGINE_LOCAL;  // wiring fixed at construction
   int rank_;
   int world_size_;
   verbs::Device* device_;
   hw::Node* node_;
   Engine* engine_;
   MpiConfig config_;
+  FABSIM_OWNED_BY(rank_);  // host-side MPI progress state: advances only
+                           // in this rank's coroutines (scope -1 resumes)
   verbs::CompletionQueue cq_;
   std::vector<Peer> peers_;  ///< indexed by peer rank (self unused)
   std::deque<PostedRecv> posted_;

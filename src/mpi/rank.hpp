@@ -15,6 +15,7 @@
 
 #include "mpi/channel.hpp"
 #include "mpi/request.hpp"
+#include "sim/scope.hpp"
 
 namespace fabsim::mpi {
 
@@ -107,10 +108,14 @@ class Rank {
   int from_world(int world_rank) const;
   Status translate(Status status) const;
 
+  // Scope/ownership annotations (scripts/scope_check.py, src/sim/scope.hpp).
+  FABSIM_ENGINE_LOCAL;  // communicator shape, fixed at construction
   Channel* channel_;
   std::vector<int> members_;  ///< world rank of each communicator rank
   int my_index_;
   int context_;
+  FABSIM_OWNED_BY(channel_->rank());  // collective progress state: advances
+                                      // only in this rank's coroutines
   std::uint64_t barrier_scratch_;  ///< small buffers for zero-payload sync
   int barrier_epoch_ = 0;
 };

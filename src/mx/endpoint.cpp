@@ -210,6 +210,8 @@ void Endpoint::enqueue_tx(PendingTx tx) {
 // head-of-line-block receive traffic on the shared DMA engine — real
 // NIC firmware interleaves both directions.
 void Endpoint::pump_tx() {
+  // Scope trap: the tx chain mutates state FABSIM_OWNED_BY(port_).
+  FABSIM_AUDIT_OWNED(engine(), check::Layer::kMx, port_, "Endpoint::pump_tx");
   if (txq_.empty()) {
     pump_armed_ = false;
     return;
@@ -326,6 +328,7 @@ void Endpoint::arm_flow_timer(int dest) {
 }
 
 void Endpoint::on_flow_timeout(int dest, std::uint64_t gen) {
+  FABSIM_AUDIT_OWNED(engine(), check::Layer::kMx, port_, "Endpoint::on_flow_timeout");
   FlowTx& flow = tx_flows_[dest];
   if (!flow.timer_armed || gen != flow.timer_gen) return;  // superseded
   flow.timer_armed = false;
@@ -506,6 +509,9 @@ Time Endpoint::pin(Time ready, std::uint64_t addr, std::uint32_t len) {
 // ---------------------------------------------------------------------------
 
 void Endpoint::deliver(hw::Frame raw) {
+  // Scope trap: delivery mutates this endpoint's matching/reliability
+  // state, so the carrying event must carry this node's scope (or -1).
+  FABSIM_AUDIT_OWNED(engine(), check::Layer::kMx, port_, "Endpoint::deliver");
   if (raw.corrupted) {
     // Failed frame CRC: discarded at the link interface, recovered by the
     // sender's resend timer exactly like a drop.
@@ -665,7 +671,7 @@ void Endpoint::finish_eager_delivery(Unexpected& u) {
   // done by the host.
   const Time copied = node_->cpu().charge_copy(engine().now(), recv.addr, u.msg_len);
   if (u.data != nullptr) node_->mem().write(recv.addr, *u.data);
-  engine().post(copied, /*scope=*/port_,
+  engine().post(copied, /*scope=*/port_,  // SCOPE-OK(the completion touches only this node's Request; the lambda owns a shared_ptr ref plus two scalar copies)
                 [request = recv.request, len = u.msg_len, match = u.match_bits] {
                   request->complete(len, match);
                 });

@@ -23,6 +23,7 @@
 #include "hw/node.hpp"
 #include "hw/reg_cache.hpp"
 #include "mx/config.hpp"
+#include "sim/scope.hpp"
 #include "sim/sync.hpp"
 #include "verbs/verbs.hpp"
 
@@ -281,11 +282,16 @@ class Endpoint final : public hw::FrameSink {
 
   Engine& engine() { return node_->engine(); }
 
+  // Scope/ownership annotations (scripts/scope_check.py, src/sim/scope.hpp).
+  FABSIM_ENGINE_LOCAL;  // engine plumbing + run-constant wiring
   hw::Node* node_;
   hw::Switch* fabric_;
   MxConfig config_;
   Notifier unexpected_activity_;
   int port_;
+  FABSIM_OWNED_BY(port_);  // mutable firmware state: matching queues, tx
+                           // chain and flow reliability are confined to
+                           // this node's events (or scope -1 handoffs)
   hw::RegCache reg_cache_;
   hw::MemoryRegistry registry_;  ///< cost model for pinning
   PipelinedServer tx_engine_;

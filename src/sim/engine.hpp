@@ -24,6 +24,7 @@
 #include "sim/metrics.hpp"
 #include "sim/prof.hpp"
 #include "sim/schedule.hpp"
+#include "sim/scope.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
@@ -212,6 +213,16 @@ class Engine {
   Profiler* profiler() { return profiler_; }
   void set_profiler(Profiler* profiler);
 
+  /// Optional FabricScope-Check runtime auditor (null when auditing is
+  /// off). Caller-owned, like the tracer. The dispatch loop brackets
+  /// every event with the scope label it was posted under; annotated
+  /// state entry points (FABSIM_AUDIT_OWNED / FABSIM_AUDIT_SHARED) trap
+  /// accesses whose ownership contradicts that label. Never posts or
+  /// reorders events, so an attached auditor leaves run_digest()
+  /// byte-identical (pinned by tests/scope_test.cpp).
+  scope::ScopeAuditor* scope_auditor() { return scope_auditor_; }
+  void set_scope_auditor(scope::ScopeAuditor* auditor) { scope_auditor_ = auditor; }
+
   /// Optional pluggable tie-break for co-enabled events (FabricExplore).
   /// Caller-owned, like the tracer. With no policy (the default) the
   /// dispatch loop pops straight off the priority queue — the insertion-
@@ -257,12 +268,14 @@ class Engine {
   /// Run one event's callback, wrapped in the profiler's sampled
   /// host-time measurement when a Profiler is attached.
   void dispatch(const Item& item) {
+    if (scope_auditor_ != nullptr) scope_auditor_->begin_event(now_, item.scope);
     if (profiler_ != nullptr && profiler_->begin_dispatch(now_, item.scope)) {
       item.fn();
       profiler_->end_dispatch();
-      return;
+    } else {
+      item.fn();
     }
-    item.fn();
+    if (scope_auditor_ != nullptr) scope_auditor_->end_event();
   }
   /// Digest + monotonicity + bookkeeping for one popped event.
   void account_event(const Item& item);
@@ -286,6 +299,7 @@ class Engine {
   fault::FaultInjector* fault_injector_ = nullptr;
   check::InvariantMonitor* monitor_ = nullptr;
   Profiler* profiler_ = nullptr;
+  scope::ScopeAuditor* scope_auditor_ = nullptr;
   SchedulePolicy* policy_ = nullptr;
 };
 

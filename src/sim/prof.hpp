@@ -64,8 +64,12 @@ struct AllocStats {
 };
 
 namespace detail {
-inline AllocStats alloc_stats_storage;
-inline bool alloc_tracking = false;
+// NOLINT(global-state): operator new/delete have no object to hang state
+// off — the counting-allocator seam is necessarily process-global. It is
+// host-side observability only (like the wall clock, rule 10): nothing
+// simulated reads it, so it can't couple event scopes or feed the digest.
+inline AllocStats alloc_stats_storage;   // NOLINT(global-state): see above
+inline bool alloc_tracking = false;      // NOLINT(global-state): see above
 }  // namespace detail
 
 inline AllocStats& alloc_stats() { return detail::alloc_stats_storage; }

@@ -84,6 +84,9 @@ Task<> HostTcp::send_impl(int conn_id, std::uint64_t addr, std::uint32_t len) {
 }
 
 void HostTcp::deliver(hw::Frame frame) {
+  // Scope trap: delivery mutates this stack's socket state, so the
+  // carrying event must carry this node's scope (or -1).
+  FABSIM_AUDIT_OWNED(engine(), check::Layer::kSim, port_, "HostTcp::deliver");
   // Failed checksum: the NIC discards the frame before the host ever sees
   // an interrupt (this simplified stack models no retransmission, so the
   // bytes are simply lost — pair it with a fault-free plan or the iWARP

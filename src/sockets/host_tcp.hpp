@@ -19,6 +19,7 @@
 
 #include "hw/fabric.hpp"
 #include "hw/node.hpp"
+#include "sim/scope.hpp"
 #include "sim/sync.hpp"
 
 namespace fabsim::sockets {
@@ -99,10 +100,14 @@ class HostTcp final : public hw::FrameSink {
 
   Engine& engine() { return node_->engine(); }
 
+  // Scope/ownership annotations (scripts/scope_check.py, src/sim/scope.hpp).
+  FABSIM_ENGINE_LOCAL;  // engine plumbing + run-constant wiring
   hw::Node* node_;
   hw::Switch* fabric_;
   TcpConfig config_;
   int port_;
+  FABSIM_OWNED_BY(port_);  // kernel socket state: confined to this node's
+                           // events (or scope -1 wire handoffs)
   SerialServer tx_link_;
   std::vector<std::unique_ptr<Conn>> conns_;
   std::uint64_t segments_sent_ = 0;

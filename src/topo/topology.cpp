@@ -354,6 +354,8 @@ void Topology::recompute_lfts() {
 // ---------------------------------------------------------------------------
 
 void Topology::fail_link(int link) {
+  // Scope trap: failover rewrites LFTs fabric-wide (FABSIM_SHARED).
+  FABSIM_AUDIT_SHARED(*engine_, check::Layer::kHw, -1, "Topology::fail_link");
   LinkRec& l = links_.at(static_cast<std::size_t>(link));
   if (!l.up) return;
   l.up = false;
@@ -370,6 +372,7 @@ void Topology::fail_link(int link) {
 }
 
 void Topology::restore_link(int link) {
+  FABSIM_AUDIT_SHARED(*engine_, check::Layer::kHw, -1, "Topology::restore_link");
   LinkRec& l = links_.at(static_cast<std::size_t>(link));
   if (l.up) return;
   l.up = true;
@@ -381,6 +384,7 @@ void Topology::restore_link(int link) {
 }
 
 void Topology::fail_switch(int sw) {
+  FABSIM_AUDIT_SHARED(*engine_, check::Layer::kHw, -1, "Topology::fail_switch");
   hw::Switch& dead = *switches_.at(static_cast<std::size_t>(sw));
   if (dead.switch_down()) return;
   dead.set_switch_down(true);
@@ -405,6 +409,7 @@ void Topology::fail_switch(int sw) {
 }
 
 void Topology::restore_switch(int sw) {
+  FABSIM_AUDIT_SHARED(*engine_, check::Layer::kHw, -1, "Topology::restore_switch");
   hw::Switch& back = *switches_.at(static_cast<std::size_t>(sw));
   if (!back.switch_down()) return;
   back.set_switch_down(false);

@@ -50,6 +50,7 @@
 #include "hw/fabric.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
+#include "sim/scope.hpp"
 #include "topo/spec.hpp"
 
 namespace fabsim::topo {
@@ -195,7 +196,11 @@ class Topology {
   /// every inter-switch entry with up*/down* (down-preferred) routes.
   void compute_lfts();
 
+  // Scope/ownership annotations (scripts/scope_check.py, src/sim/scope.hpp).
+  FABSIM_ENGINE_LOCAL;  // engine plumbing
   Engine* engine_ = nullptr;
+  FABSIM_SHARED;  // fabric graph + failover state: reroutes touch every
+                  // switch's LFT, so only scope -1 events may drive them
   std::vector<std::unique_ptr<hw::Switch>> switches_;
   /// adjacency[s] = (local port, peer switch index), in port order.
   std::vector<std::vector<std::pair<int, int>>> adjacency_;

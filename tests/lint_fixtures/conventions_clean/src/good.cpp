@@ -1,0 +1,18 @@
+// Fixture: compliant call sites for the behavioural rules.
+#include "good.hpp"
+
+namespace fixture {
+
+void Good::tick() {
+  // Rule 4 negative: allocation through a smart pointer.
+  auto owned = std::make_unique<int>(3);
+  // Rule 6 negative: explicit capture in a posted lambda.
+  int credits = static_cast<int>(rng_());
+  engine().post(now(), [this, credits] { lookup_[credits] = *owned; });
+  // Rule 7 negative: range-for over the ordered container.
+  for (auto& kv : ordered_) {
+    kv.second += 1;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: the compliant (negative) case for every conventions_lint
+// rule. The linter is textual, so this file only needs to *look* like
+// project C++ — it is never compiled.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+// Rule 11 negatives: constants are fine at namespace scope...
+constexpr int kLimit = 8;
+inline const double kScale = 1.5;
+// ...and a deliberate mutable global is fine with a written rationale.
+inline int sanctioned_global = 0;  // NOLINT(global-state): fixture exemplar
+
+class Good {
+ public:
+  // Rule 7 negative: the member is unordered, but iteration below goes
+  // through the ordered mirror.
+  std::unordered_map<int, int> lookup_;
+  std::map<int, int> ordered_;
+
+  void tick();
+
+ private:
+  std::mt19937 rng_{42};  // rule 5 negative: seeded engine
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: rule 10 negative — src/sim/prof.hpp is the one sanctioned
+// wall-clock consumer, so a steady_clock read here is clean.
+#pragma once
+
+#include <chrono>
+
+namespace fixture {
+
+inline long host_now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: rules 8/9 negatives — Switch construction and the failure
+// seam are sanctioned inside src/topo/.
+#include <memory>
+
+namespace fixture {
+
+void build_and_fail() {
+  auto sw = std::make_unique<hw::Switch>(config());
+  sw->set_port_down(1);
+  sw->set_port_up(1);
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: one positive (violating) case per conventions_lint rule.
+// Rule 1: no `#pragma once` — the first directive is the include below.
+#include "nope/missing.hpp"
+
+#include <unordered_map>
+
+namespace fixture {
+
+// Rule 11: mutable namespace-scope state without a written rationale.
+inline int global_counter = 0;
+
+class Bad {
+ public:
+  void tick();
+  std::unordered_map<int, int> table_;
+};
+
+}  // namespace fixture

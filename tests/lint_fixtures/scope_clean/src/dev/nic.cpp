@@ -1,0 +1,25 @@
+// Fixture: honest scope labels — `this` under the class's declared
+// owner, lambda-owned moves, plain value copies, a waived pointer
+// capture with a written rationale, and the dynamic trap scope_check's
+// pass D demands for every statically-trusted class.
+#include "nic.hpp"
+
+namespace fixture {
+
+void Nic::pump() {
+  FABSIM_AUDIT_OWNED(*engine_, check::Layer::kHw, port_, "Nic::pump");
+  int credits = 3;
+  Message msg = next_message();
+  // Scope matches the FABSIM_OWNED_BY(port_) annotation; captures are
+  // `this`, a value copy, and a lambda-owned move.
+  engine_->post(later(), /*scope=*/port_,
+                [this, credits, m = std::move(msg)] { inflight_ += credits; });
+  // Unscoped (-1) posts claim nothing, so any capture is fine.
+  engine_->post(later(), [this] { pump(); });
+  Sink* sink = peer_sink();
+  // Unprovable pointer capture, waived with a rationale.
+  engine_->post(later(), /*scope=*/port_,  // SCOPE-OK(the sink belongs to this node's peer NIC object)
+                [sink, credits] { sink->take(credits); });
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: a fully-annotated device whose post() scope labels are
+// honest — the negative case for every scope_check.py rule.
+#pragma once
+
+namespace fixture {
+
+class Nic {
+ public:
+  void pump();
+
+ private:
+  FABSIM_ENGINE_LOCAL;  // wiring, fixed at construction
+  Engine* engine_ = nullptr;
+  FABSIM_OWNED_BY(port_);  // per-node progress state
+  int port_ = 0;
+  int inflight_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: dishonest scope labels, one violation per scope_check rule.
+// No FABSIM_AUDIT_OWNED trap in the file either, so pass D fires too.
+#include "nic.hpp"
+
+namespace fixture {
+
+void Nic::pump() {
+  Peer* peer = lookup_peer();
+  int count = 0;
+  // scope_mismatch: `node_` is not the declared owner (`port_`).
+  engine_->post(later(), /*scope=*/node_, [this, count] { inflight_ = count; });
+  // unprovable_capture: raw pointer to foreign state, no SCOPE-OK.
+  engine_->post(later(), /*scope=*/port_, [this, peer] { peer->poke(); });
+  // unprovable_capture: by-reference capture under a confinement claim.
+  engine_->post(later(), /*scope=*/port_, [this, &count] { inflight_ = count; });
+  // empty_waiver: SCOPE-OK without a written rationale waives nothing.
+  engine_->post(later(), /*scope=*/port_,  // SCOPE-OK()
+                [this, peer] { peer->poke(); });
+}
+
+void Fabric::route() {
+  // scope_mismatch: FABSIM_SHARED state captured under a confined scope.
+  engine_->post(later(), /*scope=*/2, [this] { frames_ += 1; });
+}
+
+}  // namespace fixture

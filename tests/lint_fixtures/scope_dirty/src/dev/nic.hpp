@@ -1,0 +1,32 @@
+// Fixture: annotated classes whose post() sites lie about confinement —
+// one positive case per scope_check.py rule.
+#pragma once
+
+namespace fixture {
+
+class Nic {
+ public:
+  void pump();
+
+ private:
+  FABSIM_ENGINE_LOCAL;
+  Engine* engine_ = nullptr;
+  FABSIM_OWNED_BY(port_);
+  int port_ = 0;
+  int node_ = 0;
+  int inflight_ = 0;
+};
+
+// Fabric-wide state: confined events must not touch it. No
+// FABSIM_AUDIT_SHARED trap anywhere -> pass D flags the class too.
+class Fabric {
+ public:
+  void route();
+
+ private:
+  FABSIM_SHARED;
+  Engine* engine_ = nullptr;
+  int frames_ = 0;
+};
+
+}  // namespace fixture
