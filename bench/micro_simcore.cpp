@@ -120,6 +120,10 @@ void BM_EventQueueThroughputProfiled(benchmark::State& state) {
         per_event(static_cast<double>(profiler.alloc_delta().bytes_allocated));
   }
   state.counters["prof_queue_peak_depth"] = static_cast<double>(profiler.peak_depth());
+  // The zero-allocation dispatch contract, as a bench counter: tracked
+  // allocations per dispatched event with amortized queue growth
+  // excluded. Must read 0.0 after the InplaceFn payload rework.
+  state.counters["prof_alloc_allocs_per_event"] = profiler.allocs_per_event();
 }
 BENCHMARK(BM_EventQueueThroughputProfiled);
 

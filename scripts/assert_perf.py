@@ -18,6 +18,9 @@ Hard failures that ``--warn-only`` does NOT soften (these mean the
 instrument itself is broken, not that the machine is slow):
 
   * the trajectory file is missing, corrupt, or empty;
+  * any record is schema-incomplete — every record must carry commit,
+    date and config, or trajectory comparisons silently lose their
+    provenance (which machine, which preset, when);
   * the newest record carries no benchmarks at all;
   * any recorded events_per_sec is zero or negative — a workload that
     dispatched nothing produced no measurement.
@@ -49,6 +52,16 @@ def main() -> int:
         return 1
     if not isinstance(trajectory, list) or not trajectory:
         print(f"assert_perf: {args.trajectory} holds no records", file=sys.stderr)
+        return 1
+
+    schema_bad = 0
+    for idx, record in enumerate(trajectory):
+        for field, kind in (("commit", str), ("date", str), ("config", dict)):
+            if not isinstance(record.get(field), kind):
+                print(f"assert_perf: record {idx} ({record.get('commit')}) is "
+                      f"schema-incomplete: missing/invalid '{field}'", file=sys.stderr)
+                schema_bad += 1
+    if schema_bad:
         return 1
 
     newest = trajectory[-1]

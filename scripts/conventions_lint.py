@@ -56,8 +56,15 @@ Checks, over src/ (and headers everywhere):
      engine and for FabricExplore's commutation claims. Constants
      (const/constexpr/constinit-const) are fine; a deliberate global
      takes a NOLINT(global-state) with a written rationale.
+ 12. no-stdfunction: `std::function` parameters/members are banned in
+     src/sim/ and src/hw/ headers. Type-erased callables heap-allocate
+     once the capture outgrows the SBO — exactly the allocation the
+     zero-alloc dispatch contract (scripts/hotpath_check.py) exists to
+     keep off the hot path. Use sim::InplaceFn (sim/inplace_fn.hpp),
+     a template parameter, or a concrete functor; a deliberate use
+     takes a NOLINT with a written rationale.
 
-A line containing NOLINT is exempt from 3-9 and 11. Exit status:
+A line containing NOLINT is exempt from 3-9, 11 and 12. Exit status:
 0 clean, 1 violations found.
 """
 import argparse
@@ -84,6 +91,7 @@ SWITCH_CONSTRUCT = re.compile(
     r"|(?<![\w_])new\s+(?:\w+::)*Switch\b"
     r"|(?<![\w:])(?:\w+::)*Switch\s+\w+\s*[({]"
 )
+STD_FUNCTION = re.compile(r"std\s*::\s*function\s*<")
 SWITCH_FAILURE_SEAM = re.compile(
     r"(?:\.|->)\s*(?:set_port_down|set_port_up|set_switch_down|requeue_down_port"
     r"|drain_all_drop)\s*\("
@@ -241,6 +249,14 @@ def lint():
                      "hw::Switch is built only by the topo::Topology builders "
                      "(they own ids, LFTs and endpoint reservations); take a "
                      "Topology instead, or NOLINT with a rationale")
+            if (STD_FUNCTION.search(code) and path.endswith((".hpp", ".h"))
+                    and path.startswith((os.path.join(SRC, "sim") + os.sep,
+                                         os.path.join(SRC, "hw") + os.sep))):
+                flag(path, i, "no-stdfunction",
+                     "std::function in a sim/hw header (heap-allocates past the "
+                     "SBO, breaking the zero-alloc dispatch contract); use "
+                     "sim::InplaceFn, a template parameter, or a concrete "
+                     "functor, or NOLINT with a rationale")
             if SWITCH_FAILURE_SEAM.search(code) and not path.startswith(
                     (os.path.join(SRC, "topo") + os.sep,
                      os.path.join(SRC, "fault") + os.sep)):

@@ -22,6 +22,11 @@
 #                 labels vs ownership annotations, plus the mutation
 #                 self-test (the deliberately mislabeled seam must be
 #                 caught, proving the gate can fail)
+#   hotpath-check scripts/hotpath_check.py (always runs): dispatch-path
+#                 purity (no alloc/wall-clock/IO/throw reachable from
+#                 Engine::dispatch or any post() continuation), plus its
+#                 own mutation self-test (the FABSIM_MUTATION_HOTALLOC
+#                 seam in Engine::dispatch must be caught)
 #
 # Usage: scripts/lint.sh [--fix] [--strict]
 set -euo pipefail
@@ -95,6 +100,13 @@ python3 scripts/scope_check.py || failed+=("scope-check")
 # (FABSIM_MUTATION_SCOPE, src/hw/fabric.cpp) has to be flagged.
 python3 scripts/scope_check.py --mutation --expect-violations --out - \
   || failed+=("scope-check-mutation")
+
+echo "== hotpath-check =="
+python3 scripts/hotpath_check.py || failed+=("hotpath-check")
+# Same teeth requirement: the deliberately allocating dispatch seam
+# (FABSIM_MUTATION_HOTALLOC, src/sim/engine.hpp) has to be flagged.
+python3 scripts/hotpath_check.py --mutation --expect-violations --out - \
+  || failed+=("hotpath-check-mutation")
 
 if [[ "${#failed[@]}" -gt 0 ]]; then
   echo "lint: FAILED sections: ${failed[*]}" >&2

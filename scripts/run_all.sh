@@ -8,10 +8,11 @@
 #   --check      build with the FabricCheck invariant auditor compiled in
 #                (build-check/, -DFABSIM_CHECK=ON) and use it for the
 #                figure regeneration; any bench reporting check.violations
-#                != 0 fails the run. Also runs the FabricScope-Check
-#                static gate: scope_check.py must be clean on the
-#                annotated tree AND must flag the deliberately
-#                mislabeled seam under --mutation
+#                != 0 fails the run. Also runs the FabricScope-Check and
+#                FabricHot-Check static gates: scope_check.py and
+#                hotpath_check.py must be clean on the annotated tree
+#                AND must each flag their deliberately planted seam
+#                under --mutation
 #   --trace      after the benches, export a Chrome-trace JSON of one
 #                rendezvous message to results/trace_export.json
 #   --explore    after the benches, re-run the FabricExplore schedule
@@ -62,6 +63,17 @@ if [[ "$check" == 1 ]]; then
   python3 scripts/scope_check.py
   if python3 scripts/scope_check.py --mutation --out - >/dev/null 2>&1; then
     echo "scope_check: mislabeled-scope mutation was NOT caught" >&2
+    exit 1
+  fi
+
+  # FabricHot-Check static gate (mirrors the runtime HotpathAuditor the
+  # FABSIM_CHECK build just exercised): dispatch-path purity must hold
+  # on the annotated tree, and the deliberately allocating seam in
+  # Engine::dispatch must be caught when read on its armed arm.
+  echo "=== hotpath_check (gating) ==="
+  python3 scripts/hotpath_check.py
+  if python3 scripts/hotpath_check.py --mutation --out - >/dev/null 2>&1; then
+    echo "hotpath_check: hot-path allocation mutation was NOT caught" >&2
     exit 1
   fi
 fi

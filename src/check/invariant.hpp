@@ -94,12 +94,14 @@ class InvariantMonitor {
   /// `check.<layer>.<rule>`.
   void report(Time at, Layer layer, int node, std::string rule, std::string detail) {
     InvariantViolation violation{at, layer, node, std::move(rule), std::move(detail)};
+    // HOT-OK(fatal-mode audit stop; never taken on a clean steady-state run)
     if (fatal_) throw InvariantViolationError(std::move(violation));
     ++violation_count_;
     if (metrics_ != nullptr) {
       metrics_->counter("check.violations").add();
       metrics_->counter(std::string("check.") + layer_name(layer) + "." + violation.rule).add();
     }
+    // HOT-OK(violation recording, capped at kMaxKept; clean runs never reach it)
     if (violations_.size() < kMaxKept) violations_.push_back(std::move(violation));
   }
 

@@ -46,6 +46,11 @@ check::InvariantMonitor& Cluster::enable_checks(bool fatal) {
     // monitor, so fatal/counting behaviour matches the other audits.
     owned_auditor_ = std::make_unique<scope::ScopeAuditor>(owned_monitor_.get());
     attach_scope_auditor(*owned_auditor_);
+    // Dynamic half of FabricHot-Check: corroborate the static
+    // hotpath_check.py verdicts — zero tracked allocations per
+    // dispatched event (amortized queue growth excused) on live traffic.
+    owned_hot_auditor_ = std::make_unique<hot::HotpathAuditor>(owned_monitor_.get());
+    attach_hotpath_auditor(*owned_hot_auditor_);
   }
   return *owned_monitor_;
 }
@@ -160,6 +165,13 @@ void Cluster::collect_metrics(MetricRegistry& registry) {
   if (const scope::ScopeAuditor* auditor = engine_.scope_auditor()) {
     registry.counter("scope.checks").set(auditor->checks());
     registry.counter("scope.violations").set(auditor->violations());
+  }
+
+  // FabricHot-Check: dynamic allocation-budget coverage, when attached —
+  // same zero-checks-is-suspicious logic as the scope auditor.
+  if (const hot::HotpathAuditor* auditor = engine_.hotpath_auditor()) {
+    registry.counter("hot.checks").set(auditor->checks());
+    registry.counter("hot.violations").set(auditor->violations());
   }
 
   // Fabric: per-switch, per-port serialization busy time -> utilization,

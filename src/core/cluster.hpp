@@ -96,8 +96,16 @@ class Cluster {
     engine_.set_scope_auditor(&auditor);
   }
 
+  /// FabricHot-Check: attach a caller-owned runtime hot-path auditor. The
+  /// engine brackets every dispatched event and traps tracked allocation
+  /// over the per-event budget (src/sim/hot.hpp).
+  void attach_hotpath_auditor(hot::HotpathAuditor& auditor) {
+    engine_.set_hotpath_auditor(&auditor);
+  }
+
   check::InvariantMonitor* monitor() { return engine_.monitor(); }
   scope::ScopeAuditor* scope_auditor() { return engine_.scope_auditor(); }
+  hot::HotpathAuditor* hotpath_auditor() { return engine_.hotpath_auditor(); }
 
  private:
   NetworkProfile profile_;
@@ -113,6 +121,7 @@ class Cluster {
   std::unique_ptr<Event> mpi_ready_event_;
   std::unique_ptr<check::InvariantMonitor> owned_monitor_;
   std::unique_ptr<scope::ScopeAuditor> owned_auditor_;
+  std::unique_ptr<hot::HotpathAuditor> owned_hot_auditor_;
 };
 
 }  // namespace fabsim::core

@@ -253,7 +253,7 @@ void Switch::link_arrival(Frame frame) {
   admit(out, std::move(frame), credit_frame);
 }
 
-void Switch::admit(int port, Frame frame, bool credit_reserved) {
+FABSIM_HOT void Switch::admit(int port, Frame frame, bool credit_reserved) {
   // Scope trap: the dynamic half of the mislabel mutation self-test —
   // an admission event carrying a confined label lands here.
   FABSIM_AUDIT_SHARED(*engine_, check::Layer::kHw, config_.id, "Switch::admit");
@@ -284,6 +284,7 @@ void Switch::admit(int port, Frame frame, bool credit_reserved) {
     }
     out.occupancy_bytes += frame.wire_bytes;
   }
+  // HOT-OK(per-port frame queue bounded by queue_capacity; capacity reused after warm-up)
   out.queue.push_back(std::move(frame));
   if (static_cast<double>(out.occupancy_bytes) > out.queue_hwm_bytes) {
     out.queue_hwm_bytes = static_cast<double>(out.occupancy_bytes);
@@ -327,6 +328,7 @@ void Switch::try_transmit(int port) {
           ++out.credit_stalls;
         }
         out.waiting = true;
+        // HOT-OK(PAUSE waiter list bounded by the port count)
         dq.waiters.emplace_back(this, port);
         return;
       }

@@ -40,9 +40,11 @@ void AddressSpace::write(std::uint64_t addr, std::span<const std::byte> data) {
 std::span<std::byte> AddressSpace::window(std::uint64_t addr, std::uint64_t len) {
   Buffer* buffer = find(addr);
   if (buffer == nullptr || addr + len > buffer->addr() + buffer->size()) {
+    // HOT-OK(misuse guard; unreachable in a conforming run)
     throw std::out_of_range("AddressSpace::window outside any buffer");
   }
   if (!buffer->has_data()) {
+    // HOT-OK(misuse guard; unreachable in a conforming run)
     throw std::logic_error("AddressSpace::window on a size-only buffer");
   }
   return buffer->bytes().subspan(addr - buffer->addr(), len);

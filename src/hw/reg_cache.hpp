@@ -47,6 +47,7 @@ class RegCache {
       return result;
     }
     ++misses_;
+    // HOT-OK(registration-cache LRU node, bounded by the cache capacity)
     lru_.push_front(Entry{key, len, user});
     index_[key] = lru_.begin();
     bytes_ += len;
@@ -54,6 +55,7 @@ class RegCache {
       if (lru_.size() == 1) break;  // never evict the entry just inserted
       const Entry& victim = lru_.back();
       bytes_ -= victim.len;
+      // HOT-OK(eviction report bounded by the cache capacity; caller-drained per op)
       result.evicted.push_back(Evicted{victim.key.addr, victim.len, victim.user});
       index_.erase(victim.key);
       lru_.pop_back();

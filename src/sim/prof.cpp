@@ -12,6 +12,7 @@ namespace {
 // rule 10): host-side profiling is meaningless in simulated time.
 std::int64_t host_now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             // HOT-OK(the one sanctioned host-clock read (conventions_lint rule 10); profiler-only)
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
@@ -44,12 +45,13 @@ void Profiler::on_attach() {
   attached_ = true;
   if (epoch_ns_ == 0) epoch_ns_ = host_now_ns();  // slices stay on one axis across re-attaches
   alloc_baseline_ = prof::alloc_stats();
-  prof::set_alloc_tracking(true);
+  prof::acquire_alloc_tracking();
 }
 
 void Profiler::on_detach() {
-  if (attached_) fold(alloc_accum_, stats_since(alloc_baseline_));
-  prof::set_alloc_tracking(false);
+  if (!attached_) return;
+  fold(alloc_accum_, stats_since(alloc_baseline_));
+  prof::release_alloc_tracking();
   attached_ = false;
   in_sample_ = false;
   in_run_ = false;
@@ -76,6 +78,7 @@ void Profiler::end_dispatch() {
   ++samples;
   ns_total += dur;
   if (slices_.size() < config_.max_slices) {
+    // HOT-OK(sampled slice retention, capped at Config::max_slices; profiler-only observability)
     slices_.push_back(Slice{static_cast<double>(sample_begin_ns_ - epoch_ns_) / 1e3,
                             static_cast<double>(dur) / 1e3, sample_sim_at_, sample_scope_});
   } else {
@@ -129,6 +132,10 @@ void Profiler::publish(MetricRegistry& registry, const std::string& prefix) cons
   registry.counter(prefix + "alloc.frees").set(delta.frees);
   registry.counter(prefix + "alloc.bytes_allocated").set(delta.bytes_allocated);
   registry.counter(prefix + "alloc.bytes_freed").set(delta.bytes_freed);
+  registry.counter(prefix + "alloc.queue_growths").set(queue_growths_);
+  registry.counter(prefix + "alloc.dispatch_allocs").set(dispatch_allocs_);
+  registry.counter(prefix + "alloc.dispatch_growth_allocs").set(dispatch_growth_allocs_);
+  registry.gauge(prefix + "alloc.allocs_per_event").set(allocs_per_event());
 
   registry.counter(prefix + "host.run_ns").set(run_ns_);
   registry.counter(prefix + "host.events").set(dispatched_);
@@ -149,6 +156,9 @@ void Profiler::reset() {
   in_run_ = in_sample_ = false;
   slices_.clear();
   slices_dropped_ = 0;
+  queue_growths_ = dispatch_allocs_ = dispatch_growth_allocs_ = alloc_events_ = 0;
+  event_allocs_at_begin_ = 0;
+  in_event_ = false;
   alloc_accum_ = prof::AllocStats{};
   epoch_ns_ = host_now_ns();
   if (was_attached) alloc_baseline_ = prof::alloc_stats();

@@ -69,12 +69,19 @@ namespace detail {
 // host-side observability only (like the wall clock, rule 10): nothing
 // simulated reads it, so it can't couple event scopes or feed the digest.
 inline AllocStats alloc_stats_storage;   // NOLINT(global-state): see above
-inline bool alloc_tracking = false;      // NOLINT(global-state): see above
+inline int alloc_tracking_refs = 0;      // NOLINT(global-state): see above
 }  // namespace detail
 
 inline AllocStats& alloc_stats() { return detail::alloc_stats_storage; }
-inline bool alloc_tracking_enabled() { return detail::alloc_tracking; }
-inline void set_alloc_tracking(bool on) { detail::alloc_tracking = on; }
+inline bool alloc_tracking_enabled() { return detail::alloc_tracking_refs > 0; }
+
+/// The tracking seam is refcounted: a Profiler and a hot::HotpathAuditor
+/// each hold one reference while attached, so either can arm it without
+/// the other's detach disarming it underneath them.
+inline void acquire_alloc_tracking() { ++detail::alloc_tracking_refs; }
+inline void release_alloc_tracking() {
+  if (detail::alloc_tracking_refs > 0) --detail::alloc_tracking_refs;
+}
 
 /// std::allocator with accounting: containers on the event/continuation
 /// posting path (the Engine's queue storage) allocate through this, so
@@ -160,6 +167,30 @@ class Profiler {
     ++requeues_;
     note_heap_op(depth_after);
   }
+  /// The Engine's event queue grew a backing store (amortized doubling
+  /// of the key heap, the payload slab, or the slab's free list);
+  /// `allocs` is how many tracked allocations that one growth step
+  /// performed. Growth allocations that land inside a dispatch bracket
+  /// are attributed separately so allocs_per_event() reflects only the
+  /// steady-state per-event cost.
+  void on_queue_growth(std::uint64_t allocs = 1) {
+    ++queue_growths_;
+    if (in_event_) dispatch_growth_allocs_ += allocs;
+  }
+
+  /// Bracket one event callback for the per-dispatch allocation tally.
+  /// Unlike the strided host-clock sampling, this runs for every event:
+  /// it reads the global counter, never the clock.
+  void begin_event_allocs() {
+    event_allocs_at_begin_ = prof::alloc_stats().allocs;
+    in_event_ = true;
+  }
+  void end_event_allocs() {
+    if (!in_event_) return;
+    in_event_ = false;
+    ++alloc_events_;
+    dispatch_allocs_ += prof::alloc_stats().allocs - event_allocs_at_begin_;
+  }
 
   /// Decide whether to sample this dispatch; true means the caller must
   /// pair it with end_dispatch() around the callback.
@@ -205,6 +236,20 @@ class Profiler {
   /// containers only; the global seam is off while detached).
   prof::AllocStats alloc_delta() const;
 
+  std::uint64_t queue_growths() const { return queue_growths_; }
+  std::uint64_t dispatch_allocs() const { return dispatch_allocs_; }
+  std::uint64_t dispatch_growth_allocs() const { return dispatch_growth_allocs_; }
+  std::uint64_t alloc_events() const { return alloc_events_; }
+
+  /// Tracked allocations per dispatched event in steady state (amortized
+  /// event-queue growth excluded). ROADMAP item 1's zero-allocation
+  /// acceptance number: 0.0 after the InplaceFn payload swap.
+  double allocs_per_event() const {
+    return alloc_events_ > 0 ? static_cast<double>(dispatch_allocs_ - dispatch_growth_allocs_) /
+                                   static_cast<double>(alloc_events_)
+                             : 0.0;
+  }
+
   /// Export everything under `prefix` ("prof." by default): counters
   /// for the queue/dispatch/alloc tallies plus a <prefix>host.
   /// events_per_sec gauge. Per-scope detail lands under
@@ -246,6 +291,13 @@ class Profiler {
   Time sample_sim_at_ = 0;
   int sample_scope_ = -1;
   bool in_sample_ = false;
+
+  std::uint64_t queue_growths_ = 0;
+  std::uint64_t dispatch_allocs_ = 0;
+  std::uint64_t dispatch_growth_allocs_ = 0;
+  std::uint64_t alloc_events_ = 0;
+  std::uint64_t event_allocs_at_begin_ = 0;
+  bool in_event_ = false;
 
   std::vector<Slice> slices_;
   std::uint64_t slices_dropped_ = 0;

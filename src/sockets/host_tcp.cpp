@@ -101,6 +101,7 @@ void HostTcp::deliver(hw::Frame frame) {
   engine().post(processed, /*scope=*/port_, [this, conn_id, segment = std::move(segment)]() mutable {
     Conn& c = *conns_.at(static_cast<std::size_t>(conn_id));
     if (segment.data != nullptr) {
+      // HOT-OK(socket receive ring append, bounded by the receive window)
       c.rx_buffer.insert(c.rx_buffer.end(), segment.data->begin(), segment.data->end());
     }
     c.rx_bytes_total += segment.payload_len;

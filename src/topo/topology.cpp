@@ -183,7 +183,9 @@ Topology Topology::build(Engine& engine, const FabricSpec& spec, hw::SwitchConfi
 // LFT computation (build time and post-failure recompute)
 // ---------------------------------------------------------------------------
 
-void Topology::compute_levels() {
+// Reroute path: runs at fabric build and on failure recovery, never
+// per steady-state event — exempt from the hot-path purity rules.
+FABSIM_COLD void Topology::compute_levels() {
   // Tier position of every switch: multi-source BFS from the edge
   // switches (level 0) over the FULL adjacency — a switch's physical
   // tier does not move when links fail, so levels are computed once and
@@ -217,7 +219,9 @@ void Topology::compute_levels() {
   }
 }
 
-void Topology::compute_lfts() {
+// Reroute path: runs at fabric build and on failure recovery, never
+// per steady-state event — exempt from the hot-path purity rules.
+FABSIM_COLD void Topology::compute_lfts() {
   if (single_crossbar()) return;
   // Per-destination LFTs with up*/down* (down-preferred) routing: a
   // switch that can still DESCEND to the destination's edge switch

@@ -1,0 +1,13 @@
+#pragma once
+// Rule 12 negative case: sim/hw headers carry callables as
+// sim::InplaceFn (or behind a NOLINT with a written rationale), never
+// as a bare std::function.
+
+namespace fixsim {
+
+struct Dispatcher {
+  sim::InplaceFn<64> on_event;
+  std::function<void()> debug_hook;  // NOLINT(no-stdfunction): cold-path debug seam, never dispatched
+};
+
+}  // namespace fixsim

@@ -1,0 +1,11 @@
+#pragma once
+// Rule 12 positive case: a std::function member in a sim/ header must
+// be flagged [no-stdfunction].
+
+namespace fixsim {
+
+struct HotDispatcher {
+  std::function<void()> on_event;
+};
+
+}  // namespace fixsim

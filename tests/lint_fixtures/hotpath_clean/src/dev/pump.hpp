@@ -1,0 +1,27 @@
+#pragma once
+// hotpath_check self-test fixture: the clean tree. One Engine::dispatch
+// root, one FABSIM_HOT leaf, one FABSIM_COLD stop whose body allocates
+// (legally: the walk must not scan past the cold marker), one post()
+// continuation lambda, and exactly one waived finding with a rationale.
+
+namespace fixdev {
+
+class Pump {
+ public:
+  FABSIM_HOT void step(int token);
+  FABSIM_COLD void rebuild();
+
+ private:
+  int credits_ = 0;
+  int* table_ = nullptr;
+};
+
+class Engine {
+ public:
+  void dispatch(int ev);
+
+ private:
+  Pump pump_;
+};
+
+}  // namespace fixdev

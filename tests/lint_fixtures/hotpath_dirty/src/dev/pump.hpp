@@ -1,0 +1,19 @@
+#pragma once
+// hotpath_check self-test fixture: the dirty tree. Engine::dispatch
+// commits one violation per rule (plus one inside a post() lambda and a
+// dormant mutation seam for the --mutation polarity case); the
+// self-test asserts every tag fires.
+
+namespace fixdev {
+
+class Engine {
+ public:
+  void dispatch(int ev);
+
+ private:
+  char* buf_ = nullptr;
+  int ctr_ = 0;
+  bool armed_ = true;
+};
+
+}  // namespace fixdev

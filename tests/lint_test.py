@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
 """Self-tests for the dependency-free analyzers (ctest: lint_selftest).
 
-Runs scripts/conventions_lint.py and scripts/scope_check.py against the
-fixture trees under tests/lint_fixtures/: the *_clean trees must pass,
-and the *_dirty trees must fail with every expected rule tag present —
-one positive and one negative case per rule, so a regex that silently
-stops matching (or starts over-matching) turns the suite red.
+Runs scripts/conventions_lint.py, scripts/scope_check.py and
+scripts/hotpath_check.py against the fixture trees under
+tests/lint_fixtures/: the *_clean trees must pass, and the *_dirty
+trees must fail with every expected rule tag present — one positive and
+one negative case per rule, so a regex that silently stops matching (or
+starts over-matching) turns the suite red.
 """
 import os
 import subprocess
@@ -41,10 +42,10 @@ check("conventions: dirty tree fails", dirty.returncode != 0)
 for rule in ["pragma-once", "include-resolution", "no-wall-clock",
              "no-naked-new", "no-rand", "post-ref-capture",
              "unordered-iteration", "switch-construction",
-             "switch-failure-seam", "no-global-state"]:
+             "switch-failure-seam", "no-global-state", "no-stdfunction"]:
     check(f"conventions: dirty tree flags [{rule}]", f"[{rule}]" in dirty.stderr)
 check("conventions: dirty tree count is exact",
-      "10 problem(s)" in dirty.stderr)
+      "11 problem(s)" in dirty.stderr)
 
 # The real tree must be clean too (the gate the fixtures exist to guard).
 real = run("conventions_lint.py")
@@ -75,6 +76,38 @@ check("scope: real src/ is clean", real.returncode == 0)
 mutation = run("scope_check.py", "--mutation", "--expect-violations", "--out", "-")
 check("scope: mutation seam is caught statically", mutation.returncode == 0)
 check("scope: mutation verdict names the seam", "fabric.cpp" in mutation.stderr)
+
+# --- hotpath_check.py -------------------------------------------------
+
+clean = run("hotpath_check.py", "--root",
+            os.path.join(FIXTURES, "hotpath_clean"), "--out", "-")
+check("hotpath: clean tree passes", clean.returncode == 0)
+check("hotpath: clean tree saw the waiver", "1 waived" in clean.stdout)
+check("hotpath: clean tree stopped at the cold function",
+      "1 cold stops" in clean.stdout)
+
+dirty = run("hotpath_check.py", "--root",
+            os.path.join(FIXTURES, "hotpath_dirty"), "--out", "-")
+check("hotpath: dirty tree fails", dirty.returncode != 0)
+for rule in ["hot_alloc", "hot_growth", "hot_stdfunction", "hot_wallclock",
+             "hot_io", "hot_throw", "empty_waiver"]:
+    check(f"hotpath: dirty tree flags [{rule}]", f"[{rule}]" in dirty.stderr)
+check("hotpath: dirty tree scanned the post lambda",
+      "<post-lambda>" in dirty.stderr)
+check("hotpath: dormant mutation seam is NOT flagged",
+      "mutation_hotalloc" not in dirty.stderr)
+armed = run("hotpath_check.py", "--root",
+            os.path.join(FIXTURES, "hotpath_dirty"), "--mutation", "--out", "-")
+check("hotpath: armed mutation seam is flagged",
+      "[mutation_hotalloc]" in armed.stderr)
+
+# The real tree: clean by default, and the deliberately allocating
+# dispatch seam must be caught when armed (the gate can fail).
+real = run("hotpath_check.py", "--out", "-")
+check("hotpath: real src/ is clean", real.returncode == 0)
+mutation = run("hotpath_check.py", "--mutation", "--expect-violations", "--out", "-")
+check("hotpath: mutation seam is caught statically", mutation.returncode == 0)
+check("hotpath: mutation verdict names the seam", "engine.hpp" in mutation.stderr)
 
 if failures:
     print(f"lint_test: {len(failures)} failure(s)")

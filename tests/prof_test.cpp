@@ -168,20 +168,20 @@ TEST(Prof, PolicyRequeuesAreAccounted) {
 }
 
 TEST(Prof, CountingAllocatorTalliesOnlyWhileTracking) {
+  ASSERT_FALSE(prof::alloc_tracking_enabled()) << "seam must start disarmed";
   const prof::AllocStats before = prof::alloc_stats();
   {
-    prof::set_alloc_tracking(false);
     std::vector<int, prof::CountingAllocator<int>> untracked;
     untracked.resize(1024);
   }
   EXPECT_EQ(prof::alloc_stats().allocs, before.allocs) << "tracking off: no tally";
 
-  prof::set_alloc_tracking(true);
+  prof::acquire_alloc_tracking();
   {
     std::vector<int, prof::CountingAllocator<int>> tracked;
     tracked.resize(1024);
   }
-  prof::set_alloc_tracking(false);
+  prof::release_alloc_tracking();
   const prof::AllocStats after = prof::alloc_stats();
   EXPECT_GT(after.allocs, before.allocs);
   EXPECT_GE(after.bytes_allocated - before.bytes_allocated, 1024 * sizeof(int));
